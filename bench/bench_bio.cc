@@ -1,0 +1,111 @@
+// Experiment E13 (DESIGN.md §4): filters in computational biology (§3.2).
+//
+// Paper claims: a Bloom de Bruijn graph keeps its large-scale structure
+// until FPR >= ~0.15 [Pell]; eliminating the critical false positives
+// yields an exact navigational representation [Chikhi & Rizk]; replacing
+// the exact table with a cascading Bloom filter shrinks it further
+// [Salikhov]; the CQF counts skewed k-mer multisets compactly [Squeakr].
+
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "apps/bio/debruijn.h"
+#include "apps/bio/kmer.h"
+#include "apps/bio/kmer_counter.h"
+#include "workload/generators.h"
+
+using namespace bbf::bio;
+
+namespace {
+
+double PhantomEdgeRate(const DeBruijnGraph& g,
+                       const std::vector<uint64_t>& kmers,
+                       const std::unordered_set<uint64_t>& truth) {
+  uint64_t phantom = 0;
+  uint64_t edges = 0;
+  size_t i = 0;
+  for (uint64_t km : kmers) {
+    for (uint64_t nb : g.RightNeighbors(km)) {
+      ++edges;
+      phantom += !truth.contains(nb);
+    }
+    if (++i >= 20000) break;
+  }
+  return edges == 0 ? 0 : static_cast<double>(phantom) / edges;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E13: de Bruijn graphs and k-mer counting ==\n\n");
+  const int k = 21;
+  const std::string genome = bbf::GenerateDna(2000000, 0.3, 17);
+  const auto all = ExtractKmers(genome, k);
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (uint64_t km : all) ++counts[km];
+  std::vector<uint64_t> kmers;
+  kmers.reserve(counts.size());
+  for (const auto& [km, c] : counts) kmers.push_back(km);
+  const std::unordered_set<uint64_t> truth(kmers.begin(), kmers.end());
+  std::printf("genome %zu bp -> %zu distinct canonical %d-mers\n\n",
+              genome.size(), kmers.size(), k);
+
+  // (a) Phantom-edge rate of the probabilistic dBG vs Bloom budget.
+  std::printf("(a) Pell-style probabilistic dBG: phantom edges vs FPR\n");
+  std::printf("  %-10s %12s %14s\n", "bits/kmer", "bloom fpr", "phantom edges");
+  for (double bpk : {2.0, 4.0, 6.0, 10.0}) {
+    DeBruijnGraph g(kmers, k, DeBruijnGraph::Mode::kProbabilistic, bpk);
+    // Estimate the raw Bloom FPR on random non-kmers.
+    const auto ghosts = bbf::GenerateDistinctKeys(50000, 99);
+    uint64_t fp = 0;
+    uint64_t total = 0;
+    for (uint64_t g2 : ghosts) {
+      const uint64_t candidate = g2 & ((uint64_t{1} << (2 * k)) - 1);
+      if (truth.contains(Canonical(candidate, k))) continue;
+      ++total;
+      fp += g.HasNode(Canonical(candidate, k));
+    }
+    std::printf("  %-10.1f %12.4f %14.4f\n", bpk,
+                static_cast<double>(fp) / total,
+                PhantomEdgeRate(g, kmers, truth));
+  }
+
+  // (b) The three representations at a fixed budget.
+  std::printf("\n(b) representations at 8 bits/kmer\n");
+  std::printf("  %-24s %14s %14s %12s\n", "mode", "phantom edges",
+              "bits/kmer", "cFP entries");
+  DeBruijnGraph prob(kmers, k, DeBruijnGraph::Mode::kProbabilistic, 8.0);
+  DeBruijnGraph exact(kmers, k, DeBruijnGraph::Mode::kExactTable, 8.0);
+  DeBruijnGraph cascade(kmers, k, DeBruijnGraph::Mode::kCascading, 8.0);
+  std::printf("  %-24s %14.5f %14.2f %12s\n", "probabilistic",
+              PhantomEdgeRate(prob, kmers, truth),
+              static_cast<double>(prob.SpaceBits()) / kmers.size(), "-");
+  std::printf("  %-24s %14.5f %14.2f %12zu\n", "exact cFP table",
+              PhantomEdgeRate(exact, kmers, truth),
+              static_cast<double>(exact.SpaceBits()) / kmers.size(),
+              exact.critical_fp_count());
+  std::printf("  %-24s %14.5f %14.2f %12s\n", "cascading bloom",
+              PhantomEdgeRate(cascade, kmers, truth),
+              static_cast<double>(cascade.SpaceBits()) / kmers.size(), "-");
+
+  // (c) Squeakr-style counting.
+  std::printf("\n(c) CQF k-mer counting (Squeakr)\n");
+  KmerCounter counter(k, kmers.size() * 105 / 100);
+  counter.AddSequence(genome);
+  uint64_t exact_counts = 0;
+  for (const auto& [km, c] : counts) {
+    exact_counts += counter.CountPacked(km) == c;
+  }
+  std::printf("  exact counts: %.2f%%; space %.2f bits per distinct k-mer; "
+              "load %.2f\n",
+              100.0 * exact_counts / counts.size(),
+              static_cast<double>(counter.SpaceBits()) / counts.size(),
+              counter.LoadFactor());
+
+  std::printf(
+      "\nexpected shape (paper §3.2): phantom edges vanish in the exact and\n"
+      "cascading modes; the cascading variant is smaller than the exact\n"
+      "table; counting stays ~exact despite repeat-induced skew.\n");
+  return 0;
+}

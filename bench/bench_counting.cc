@@ -1,0 +1,102 @@
+// Experiment E6 (DESIGN.md §4): counting filters on skewed multisets
+// (§2.6). Paper claims: fixed-width CBF counters saturate and stick;
+// d-left saves ~2x space over CBF; the CQF's variable-length counters are
+// asymptotically optimal and handle highly skewed distributions.
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench_util.h"
+#include "bloom/counting_bloom.h"
+#include "bloom/dleft_filter.h"
+#include "quotient/quotient_filter.h"
+#include "workload/generators.h"
+
+using namespace bbf;
+using namespace bbf::bench;
+
+namespace {
+
+struct Accuracy {
+  double exact_frac;
+  uint64_t undercounts;  // Should stay 0: counts are upper bounds.
+};
+
+template <typename F>
+Accuracy Check(const F& filter,
+               const std::unordered_map<uint64_t, uint64_t>& truth,
+               uint64_t cap) {
+  uint64_t exact = 0;
+  uint64_t under = 0;
+  for (const auto& [k, c] : truth) {
+    const uint64_t got = filter.Count(k);
+    exact += got == c;
+    under += got < std::min(c, cap);
+  }
+  return {static_cast<double>(exact) / truth.size(), under};
+}
+
+void RunTheta(double theta) {
+  const uint64_t universe = 100000;
+  const uint64_t stream_len = 2000000;
+  const auto stream = GenerateZipfStream(universe, theta, stream_len);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (uint64_t k : stream) ++truth[k];
+  uint64_t max_mult = 0;
+  for (const auto& [k, c] : truth) max_mult = std::max(max_mult, c);
+  std::printf("zipf theta=%.2f: %zu distinct keys, max multiplicity %llu\n",
+              theta, truth.size(), static_cast<unsigned long long>(max_mult));
+
+  {
+    CountingBloomFilter cbf(universe, 40.0, /*counter_bits=*/4);
+    for (uint64_t k : stream) cbf.Insert(k);
+    const Accuracy a = Check(cbf, truth, 15);
+    std::printf("  %-20s %8.2f bits/key  exact %5.1f%%  undercounts %llu  "
+                "saturated counters %llu\n",
+                "counting-bloom", static_cast<double>(cbf.SpaceBits()) /
+                                      truth.size(),
+                100 * a.exact_frac, static_cast<unsigned long long>(
+                                        a.undercounts),
+                static_cast<unsigned long long>(cbf.saturated_counters()));
+  }
+  {
+    DleftCountingFilter dleft(universe);
+    for (uint64_t k : stream) dleft.Insert(k);
+    const Accuracy a = Check(dleft, truth, ~uint64_t{0});
+    std::printf("  %-20s %8.2f bits/key  exact %5.1f%%  undercounts %llu  "
+                "overflow entries %llu\n",
+                "dleft-counting",
+                static_cast<double>(dleft.SpaceBits()) / truth.size(),
+                100 * a.exact_frac,
+                static_cast<unsigned long long>(a.undercounts),
+                static_cast<unsigned long long>(dleft.overflow_size()));
+  }
+  {
+    CountingQuotientFilter cqf = CountingQuotientFilter::ForCapacity(
+        universe * 2, 1.0 / 512);
+    for (uint64_t k : stream) cqf.Insert(k);
+    const Accuracy a = Check(cqf, truth, ~uint64_t{0});
+    std::printf("  %-20s %8.2f bits/key  exact %5.1f%%  undercounts %llu  "
+                "slots used %llu\n",
+                "counting-quotient",
+                static_cast<double>(cqf.SpaceBits()) / truth.size(),
+                100 * a.exact_frac,
+                static_cast<unsigned long long>(a.undercounts),
+                static_cast<unsigned long long>(cqf.num_used_slots()));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E6: counting filters on Zipfian multisets ==\n\n");
+  RunTheta(0.99);
+  RunTheta(1.50);
+  std::printf(
+      "expected shape (paper §2.6): the CBF saturates on hot keys (exactness\n"
+      "drops as theta grows); the CQF's variable-length counters stay exact\n"
+      "at a fraction of the slots; undercounts are always zero.\n");
+  return 0;
+}

@@ -1,0 +1,187 @@
+// Experiment E7 (DESIGN.md §4): range filters (§2.5).
+//
+// Three paper claims, three tables:
+//   (a) FPR vs range length at a fixed space budget — Rosetta is strong on
+//       short ranges and degrades to no filtering; SNARF/Grafite stay flat
+//       until their design range; SuRF sits in between.
+//   (b) Correlated key/query workloads — Grafite's robustness; SuRF's
+//       boundary weakness.
+//   (c) Adversarial long-common-prefix keys — SuRF's space blows up,
+//       Grafite's does not.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "range/arf.h"
+#include "range/grafite.h"
+#include "range/prefix_bloom_range.h"
+#include "range/rosetta.h"
+#include "range/snarf.h"
+#include "range/surf.h"
+#include "util/bits.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+using namespace bbf;
+
+namespace {
+
+struct NamedFilter {
+  const char* name;
+  std::unique_ptr<RangeFilter> filter;
+};
+
+std::vector<NamedFilter> BuildAll(const std::vector<uint64_t>& sorted_keys) {
+  std::vector<NamedFilter> filters;
+  filters.push_back(
+      {"prefix-bloom", std::make_unique<PrefixBloomRangeFilter>(
+                           sorted_keys, 44, 16.0)});
+  filters.push_back({"surf-real",
+                     std::make_unique<SurfFilter>(
+                         sorted_keys, SurfFilter::SuffixMode::kReal, 8)});
+  filters.push_back(
+      {"rosetta", std::make_unique<RosettaRangeFilter>(sorted_keys, 17,
+                                                       17.0)});
+  filters.push_back({"snarf", std::make_unique<SnarfRangeFilter>(
+                                  sorted_keys, 12)});
+  filters.push_back({"grafite", std::make_unique<GrafiteRangeFilter>(
+                                    sorted_keys, 42, 17)});
+  return filters;
+}
+
+double EmptyRangeFpr(const RangeFilter& f, const std::set<uint64_t>& keys,
+                     uint64_t range_len, bool correlated, uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<uint64_t> key_vec(keys.begin(), keys.end());
+  uint64_t fp = 0;
+  uint64_t total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t lo;
+    if (correlated) {
+      lo = key_vec[rng.NextBelow(key_vec.size())] + 1;
+    } else {
+      lo = rng.Next();
+    }
+    const uint64_t hi = lo + range_len - 1;
+    if (hi < lo) continue;
+    const auto it = keys.lower_bound(lo);
+    if (it != keys.end() && *it <= hi) continue;  // Not empty; skip.
+    ++total;
+    fp += f.MayContainRange(lo, hi);
+  }
+  return total == 0 ? 0.0 : static_cast<double>(fp) / total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E7: range filters ==\n\n");
+  const uint64_t n = 200000;
+  auto keys = GenerateDistinctKeys(n);
+  std::sort(keys.begin(), keys.end());
+  const std::set<uint64_t> key_set(keys.begin(), keys.end());
+  auto filters = BuildAll(keys);
+
+  // (a) FPR vs range length, uniform query starts.
+  std::printf("(a) empty-range FPR vs range length (uniform starts)\n");
+  std::printf("%-14s", "filter");
+  for (int lg : {0, 4, 8, 12, 16}) std::printf("  len=2^%-3d", lg);
+  std::printf("  bits/key\n");
+  for (auto& nf : filters) {
+    std::printf("%-14s", nf.name);
+    for (int lg : {0, 4, 8, 12, 16}) {
+      std::printf("  %8.4f",
+                  EmptyRangeFpr(*nf.filter, key_set, uint64_t{1} << lg,
+                                false, 100 + lg));
+    }
+    std::printf("  %8.2f\n",
+                static_cast<double>(nf.filter->SpaceBits()) / n);
+  }
+
+  // (b) Correlated workloads.
+  std::printf("\n(b) empty-range FPR under key/query correlation "
+              "(len = 2^6)\n");
+  std::printf("%-14s %12s %12s\n", "filter", "uniform", "correlated");
+  for (auto& nf : filters) {
+    std::printf("%-14s %12.4f %12.4f\n", nf.name,
+                EmptyRangeFpr(*nf.filter, key_set, 64, false, 200),
+                EmptyRangeFpr(*nf.filter, key_set, 64, true, 201));
+  }
+
+  // (c) Adversarial keys: pairs sharing long prefixes.
+  std::printf("\n(c) space under adversarial long-common-prefix keys\n");
+  std::vector<uint64_t> adversarial;
+  SplitMix64 rng(300);
+  for (uint64_t i = 0; i < n / 2; ++i) {
+    const uint64_t base = rng.Next() & ~LowMask(8);
+    adversarial.push_back(base);
+    adversarial.push_back(base | 1);
+  }
+  std::sort(adversarial.begin(), adversarial.end());
+  adversarial.erase(std::unique(adversarial.begin(), adversarial.end()),
+                    adversarial.end());
+  SurfFilter surf_benign(keys, SurfFilter::SuffixMode::kBase, 0);
+  SurfFilter surf_adv(adversarial, SurfFilter::SuffixMode::kBase, 0);
+  GrafiteRangeFilter graf_benign(keys, 42, 17);
+  GrafiteRangeFilter graf_adv(adversarial, 42, 17);
+  std::printf("%-14s %16s %16s\n", "filter", "benign bits/key",
+              "adversarial");
+  std::printf("%-14s %16.2f %16.2f\n", "surf",
+              static_cast<double>(surf_benign.SpaceBits()) / keys.size(),
+              static_cast<double>(surf_adv.SpaceBits()) /
+                  adversarial.size());
+  std::printf("%-14s %16.2f %16.2f\n", "grafite",
+              static_cast<double>(graf_benign.SpaceBits()) / keys.size(),
+              static_cast<double>(graf_adv.SpaceBits()) /
+                  adversarial.size());
+
+  // (d) ARF: trainable, workload-bound.
+  std::printf("\n(d) ARF: empty-range FPR before/after training, then under "
+              "a workload shift\n");
+  {
+    ArfRangeFilter arf(1 << 18);
+    SplitMix64 rng(400);
+    // A *repeating* workload (ARF's sweet spot) plus a shifted one.
+    auto make_workload = [&](uint64_t region_base) {
+      std::vector<std::pair<uint64_t, uint64_t>> w;
+      while (w.size() < 1000) {
+        const uint64_t lo = region_base + (rng.Next() >> 2);
+        const uint64_t hi = lo + 255;
+        if (hi < lo) continue;
+        const auto it = key_set.lower_bound(lo);
+        if (it != key_set.end() && *it <= hi) continue;  // Keep empty only.
+        w.emplace_back(lo, hi);
+      }
+      return w;
+    };
+    const auto stable = make_workload(0);
+    const auto moved = make_workload(uint64_t{3} << 62);
+    auto run_phase = [&](const auto& workload, bool train) {
+      uint64_t fp = 0;
+      for (const auto& [lo, hi] : workload) {
+        if (arf.MayContainRange(lo, hi)) {
+          ++fp;
+          if (train) arf.Train(lo, hi, true);
+        }
+      }
+      return static_cast<double>(fp) / workload.size();
+    };
+    const double untrained = run_phase(stable, /*train=*/true);
+    const double trained = run_phase(stable, /*train=*/false);
+    const double shifted = run_phase(moved, /*train=*/false);
+    std::printf("  untrained %.4f -> trained %.4f -> after workload shift "
+                "%.4f   (%zu nodes)\n",
+                untrained, trained, shifted, arf.num_nodes());
+  }
+
+  std::printf(
+      "\nexpected shape (paper §2.5): rosetta's FPR races to 1 as ranges\n"
+      "grow; grafite/snarf flat into their design range; grafite alone is\n"
+      "unmoved by correlation; surf's space explodes on adversarial keys\n"
+      "while grafite's does not; ARF converges on a repeating workload and\n"
+      "relapses when the workload shifts.\n");
+  return 0;
+}

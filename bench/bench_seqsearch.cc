@@ -1,0 +1,112 @@
+// Experiment E15 (DESIGN.md §4): large-scale sequence search (§3.2).
+//
+// Paper claim: "Mantis proved to be smaller, faster, and exact compared
+// to the SBT which is an approximate index." We build both over the same
+// synthetic experiment collection and compare space, query time, and
+// precision against an exact reference.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "apps/bio/sequence_index.h"
+#include "bench_util.h"
+#include "util/random.h"
+
+using namespace bbf::bio;
+using bbf::bench::Seconds;
+
+namespace {
+
+std::set<uint32_t> ExactHits(
+    const std::vector<std::vector<uint64_t>>& experiments,
+    const std::vector<uint64_t>& query, double theta) {
+  std::set<uint32_t> hits;
+  for (uint32_t e = 0; e < experiments.size(); ++e) {
+    uint64_t present = 0;
+    for (uint64_t km : query) {
+      present += std::binary_search(experiments[e].begin(),
+                                    experiments[e].end(), km);
+    }
+    if (static_cast<double>(present) / query.size() >= theta) hits.insert(e);
+  }
+  return hits;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E15: experiment discovery — SBT vs Mantis ==\n\n");
+  const int k = 21;
+  const uint32_t kExperiments = 64;
+  const auto experiments = GenerateExperiments(kExperiments, 60000, k, 77);
+  uint64_t total_kmers = 0;
+  for (const auto& e : experiments) total_kmers += e.size();
+  std::printf("%u experiments, %llu k-mer postings total\n\n", kExperiments,
+              static_cast<unsigned long long>(total_kmers));
+
+  // Query workload: 200-k-mer probes, 60%% drawn from a source experiment
+  // and 40%% random absent k-mers, so many experiments sit just below the
+  // theta threshold — exactly where Bloom noise flips decisions.
+  bbf::SplitMix64 rng(78);
+  std::vector<std::vector<uint64_t>> queries;
+  for (int q = 0; q < 200; ++q) {
+    const auto& src = experiments[rng.NextBelow(kExperiments)];
+    std::vector<uint64_t> query;
+    for (int i = 0; i < 120; ++i) {
+      query.push_back(src[rng.NextBelow(src.size())]);
+    }
+    for (int i = 0; i < 80; ++i) query.push_back(rng.Next());
+    queries.push_back(std::move(query));
+  }
+  const double theta = 0.55;
+
+  for (double sbt_bits : {2.0, 4.0, 8.0}) {
+    SequenceBloomTree sbt(experiments, sbt_bits);
+    uint64_t extra = 0;
+    uint64_t missed = 0;
+    const double secs = Seconds([&] {
+      for (const auto& q : queries) {
+        const auto got = sbt.Query(q, theta);
+        const auto exact = ExactHits(experiments, q, theta);
+        std::set<uint32_t> got_set;
+        for (const auto& h : got) got_set.insert(h.experiment);
+        for (uint32_t e : got_set) extra += !exact.contains(e);
+        for (uint32_t e : exact) missed += !got_set.contains(e);
+      }
+    });
+    std::printf("sbt @%4.1f b/kmer : %7.1f MiB, %6.1f ms/query, "
+                "extra hits %llu, missed %llu\n",
+                sbt_bits, sbt.SpaceBits() / 8.0 / (1 << 20),
+                1000.0 * secs / queries.size(),
+                static_cast<unsigned long long>(extra),
+                static_cast<unsigned long long>(missed));
+  }
+
+  MantisIndex mantis(experiments);
+  uint64_t extra = 0;
+  uint64_t missed = 0;
+  const double secs = Seconds([&] {
+    for (const auto& q : queries) {
+      const auto got = mantis.Query(q, theta);
+      const auto exact = ExactHits(experiments, q, theta);
+      std::set<uint32_t> got_set;
+      for (const auto& h : got) got_set.insert(h.experiment);
+      for (uint32_t e : got_set) extra += !exact.contains(e);
+      for (uint32_t e : exact) missed += !got_set.contains(e);
+    }
+  });
+  std::printf("mantis (exact)  : %7.1f MiB, %6.1f ms/query, extra hits "
+              "%llu, missed %llu (%zu color classes)\n",
+              mantis.SpaceBits() / 8.0 / (1 << 20),
+              1000.0 * secs / queries.size(),
+              static_cast<unsigned long long>(extra),
+              static_cast<unsigned long long>(missed),
+              mantis.num_color_classes());
+
+  std::printf(
+      "\nexpected shape (paper §3.2): the SBT needs a fat Bloom budget to\n"
+      "avoid extra hits yet never reaches exactness; Mantis reports zero\n"
+      "extra/missed at comparable-or-smaller space.\n");
+  return 0;
+}

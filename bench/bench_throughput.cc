@@ -1,0 +1,140 @@
+// Experiment E3 (DESIGN.md §4): insert/lookup throughput across filter
+// families, via google-benchmark. Paper claim (§1.1): "systems developers
+// still use Bloom filters in traditional ways leaving performance on the
+// table" — fingerprint filters answer lookups with one or two cache
+// probes where a Bloom filter takes k dependent probes.
+
+#include <benchmark/benchmark.h>
+
+#include "bloom/bloom_filter.h"
+#include "cuckoo/cuckoo_filter.h"
+#include "quotient/quotient_filter.h"
+#include "staticf/ribbon_filter.h"
+#include "staticf/xor_filter.h"
+#include "workload/generators.h"
+
+namespace bbf {
+namespace {
+
+constexpr uint64_t kN = 1 << 20;
+
+const std::vector<uint64_t>& Keys() {
+  static const auto* keys =
+      new std::vector<uint64_t>(GenerateDistinctKeys(kN, 77));
+  return *keys;
+}
+
+const std::vector<uint64_t>& Negatives() {
+  static const auto* negatives =
+      new std::vector<uint64_t>(GenerateNegativeKeys(Keys(), kN, 78));
+  return *negatives;
+}
+
+template <typename F>
+void LookupLoop(benchmark::State& state, const F& filter, bool positive) {
+  const auto& queries = positive ? Keys() : Negatives();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Contains(queries[i]));
+    if (++i == queries.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BloomInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BloomFilter f(kN, 10.0);
+    state.ResumeTiming();
+    for (uint64_t k : Keys()) f.Insert(k);
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_BloomInsert)->Unit(benchmark::kMillisecond);
+
+void BM_QuotientInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    QuotientFilter f(21, 9);
+    state.ResumeTiming();
+    for (uint64_t k : Keys()) f.Insert(k);
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_QuotientInsert)->Unit(benchmark::kMillisecond);
+
+void BM_CuckooInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    CuckooFilter f(kN, 12);
+    state.ResumeTiming();
+    for (uint64_t k : Keys()) f.Insert(k);
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_CuckooInsert)->Unit(benchmark::kMillisecond);
+
+void BM_XorBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    XorFilter f(Keys(), 12);
+    benchmark::DoNotOptimize(f.SpaceBits());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_XorBuild)->Unit(benchmark::kMillisecond);
+
+void BM_RibbonBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    RibbonFilter f(Keys(), 12);
+    benchmark::DoNotOptimize(f.SpaceBits());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_RibbonBuild)->Unit(benchmark::kMillisecond);
+
+void BM_BloomLookup(benchmark::State& state) {
+  static const auto* f = [] {
+    auto* filter = new BloomFilter(kN, 10.0);
+    for (uint64_t k : Keys()) filter->Insert(k);
+    return filter;
+  }();
+  LookupLoop(state, *f, state.range(0) == 1);
+}
+BENCHMARK(BM_BloomLookup)->Arg(1)->Arg(0);
+
+void BM_QuotientLookup(benchmark::State& state) {
+  static const auto* f = [] {
+    auto* filter = new QuotientFilter(21, 9);
+    for (uint64_t k : Keys()) filter->Insert(k);
+    return filter;
+  }();
+  LookupLoop(state, *f, state.range(0) == 1);
+}
+BENCHMARK(BM_QuotientLookup)->Arg(1)->Arg(0);
+
+void BM_CuckooLookup(benchmark::State& state) {
+  static const auto* f = [] {
+    auto* filter = new CuckooFilter(kN, 12);
+    for (uint64_t k : Keys()) filter->Insert(k);
+    return filter;
+  }();
+  LookupLoop(state, *f, state.range(0) == 1);
+}
+BENCHMARK(BM_CuckooLookup)->Arg(1)->Arg(0);
+
+void BM_XorLookup(benchmark::State& state) {
+  static const auto* f = new XorFilter(Keys(), 12);
+  LookupLoop(state, *f, state.range(0) == 1);
+}
+BENCHMARK(BM_XorLookup)->Arg(1)->Arg(0);
+
+void BM_RibbonLookup(benchmark::State& state) {
+  static const auto* f = new RibbonFilter(Keys(), 12);
+  LookupLoop(state, *f, state.range(0) == 1);
+}
+BENCHMARK(BM_RibbonLookup)->Arg(1)->Arg(0);
+
+}  // namespace
+}  // namespace bbf
+
+BENCHMARK_MAIN();

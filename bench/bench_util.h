@@ -1,0 +1,41 @@
+#ifndef BBF_BENCH_BENCH_UTIL_H_
+#define BBF_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment harness (DESIGN.md §4). Each bench
+// binary regenerates one experiment's table; EXPERIMENTS.md records the
+// paper-claim vs measured comparison.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "core/filter.h"
+
+namespace bbf::bench {
+
+/// Measured false-positive rate of a point filter over `negatives`.
+inline double MeasureFpr(const Filter& f,
+                         const std::vector<uint64_t>& negatives) {
+  uint64_t fp = 0;
+  for (uint64_t k : negatives) fp += f.Contains(k);
+  return static_cast<double>(fp) / negatives.size();
+}
+
+/// Wall-clock seconds of `fn()`.
+template <typename Fn>
+double Seconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Million operations per second.
+inline double Mops(uint64_t ops, double seconds) {
+  return seconds <= 0 ? 0 : ops / seconds / 1e6;
+}
+
+}  // namespace bbf::bench
+
+#endif  // BBF_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,77 @@
+// Example: filter-accelerated equality joins (paper §3.1).
+//
+// "A common approach is to build a filter over qualified join keys from
+// the smaller table. When the larger table is scanned, we can check its
+// join keys against this filter to preemptively discard rows with
+// non-matching join keys." We join a 100k-row dimension table against a
+// 10M-row fact table at several selectivities and count how many rows
+// survive the probe into the (expensive) join machinery.
+
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "cuckoo/cuckoo_filter.h"
+#include "staticf/xor_filter.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+using namespace bbf;
+
+int main() {
+  const uint64_t kDim = 100000;
+  const uint64_t kFact = 10000000;
+  const auto dim_keys = GenerateDistinctKeys(kDim, 19);
+  std::unordered_set<uint64_t> dim_set(dim_keys.begin(), dim_keys.end());
+
+  std::printf("semi-join pushdown: %llu-row dimension table, %llu-row fact "
+              "scan\n\n",
+              static_cast<unsigned long long>(kDim),
+              static_cast<unsigned long long>(kFact));
+  std::printf("%-12s | %-10s | %-14s | %-14s | %s\n", "selectivity",
+              "filter", "rows passed", "exact matches", "wasted probes");
+  std::printf("%s\n", std::string(80, '-').c_str());
+
+  for (double selectivity : {0.001, 0.01, 0.1}) {
+    // Fact rows: `selectivity` of them reference the dimension table.
+    SplitMix64 rng(23);
+    std::vector<uint64_t> fact;
+    fact.reserve(kFact);
+    uint64_t true_matches = 0;
+    for (uint64_t i = 0; i < kFact; ++i) {
+      if (rng.NextDouble() < selectivity) {
+        fact.push_back(dim_keys[rng.NextBelow(kDim)]);
+        ++true_matches;
+      } else {
+        fact.push_back(rng.Next() | (uint64_t{1} << 63));  // Never in dim.
+      }
+    }
+
+    BloomFilter bloom(kDim, 10.0);
+    for (uint64_t k : dim_keys) bloom.Insert(k);
+    XorFilter xorf(dim_keys, 10);
+    CuckooFilter cuckoo = CuckooFilter::ForFpr(kDim, 0.001);
+    for (uint64_t k : dim_keys) cuckoo.Insert(k);
+
+    struct Probe {
+      const char* name;
+      const Filter* filter;
+    };
+    const Probe probes[] = {
+        {"bloom", &bloom}, {"xor", &xorf}, {"cuckoo", &cuckoo}};
+    for (const Probe& p : probes) {
+      uint64_t passed = 0;
+      for (uint64_t k : fact) passed += p.filter->Contains(k);
+      std::printf("%-12g | %-10s | %14llu | %14llu | %llu\n", selectivity,
+                  p.name, static_cast<unsigned long long>(passed),
+                  static_cast<unsigned long long>(true_matches),
+                  static_cast<unsigned long long>(passed - true_matches));
+    }
+  }
+  std::printf(
+      "\nAt low selectivity the filter discards ~99%% of the scan before\n"
+      "the join; wasted probes = filter false positives only ([62]: at\n"
+      "high selectivity filtering stops paying — probe everything).\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Example: a filter-accelerated LSM-tree storage engine (paper §3.1).
+//
+// Loads half a million key-value pairs, then shows how per-run point filters
+// (with Monkey allocation) and range filters change the simulated I/O bill
+// of point lookups and range scans — the motivating workload for most of
+// the filter research the tutorial surveys.
+
+#include <cstdio>
+#include <string>
+
+#include "apps/lsm/lsm_tree.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+using bbf::lsm::FilterAllocation;
+using bbf::lsm::LsmOptions;
+using bbf::lsm::LsmTree;
+using bbf::lsm::PointFilterKind;
+using bbf::lsm::RangeFilterKind;
+
+namespace {
+
+struct Config {
+  const char* name;
+  PointFilterKind point;
+  FilterAllocation alloc;
+  RangeFilterKind range;
+};
+
+void RunConfig(const Config& config, const std::vector<uint64_t>& keys,
+               const std::vector<uint64_t>& negatives) {
+  LsmOptions o;
+  o.memtable_entries = 4096;
+  o.size_ratio = 4;
+  o.point_filter = config.point;
+  o.point_bits_per_key = 10;
+  o.allocation = config.alloc;
+  o.range_filter = config.range;
+  LsmTree db(o);
+  for (uint64_t k : keys) db.Put(k, k ^ 0xDB);
+
+  db.ResetIo();
+  for (uint64_t k : negatives) db.Get(k);
+  const double point_ios =
+      static_cast<double>(db.io().data_reads) / negatives.size();
+
+  db.ResetIo();
+  bbf::SplitMix64 rng(99);
+  const int kScans = 3000;
+  for (int i = 0; i < kScans; ++i) {
+    const uint64_t lo = rng.Next();
+    db.Scan(lo, lo + 100);
+  }
+  const double scan_ios = static_cast<double>(db.io().data_reads) / kScans;
+
+  std::printf("%-28s | %7.3f | %7.3f | %6.1f MiB | wamp %.1f\n", config.name,
+              point_ios, scan_ios,
+              db.TotalFilterBits() / 8.0 / (1 << 20),
+              db.WriteAmplification());
+}
+
+}  // namespace
+
+int main() {
+  const auto keys = bbf::GenerateDistinctKeys(500000, 7);
+  const auto negatives = bbf::GenerateNegativeKeys(keys, 20000, 8);
+
+  std::printf("mini-LSM with 500k entries; I/Os are simulated page reads\n\n");
+  std::printf("%-28s | neg-get | scan    | filter mem | write amp\n", "config");
+  std::printf("%s\n", std::string(85, '-').c_str());
+  const Config configs[] = {
+      {"no filters", PointFilterKind::kNone, FilterAllocation::kUniform,
+       RangeFilterKind::kNone},
+      {"bloom uniform", PointFilterKind::kBloom, FilterAllocation::kUniform,
+       RangeFilterKind::kNone},
+      {"bloom + monkey", PointFilterKind::kBloom, FilterAllocation::kMonkey,
+       RangeFilterKind::kNone},
+      {"ribbon (static) uniform", PointFilterKind::kRibbon,
+       FilterAllocation::kUniform, RangeFilterKind::kNone},
+      {"bloom + grafite ranges", PointFilterKind::kBloom,
+       FilterAllocation::kUniform, RangeFilterKind::kGrafite},
+      {"bloom + surf ranges", PointFilterKind::kBloom,
+       FilterAllocation::kUniform, RangeFilterKind::kSurf},
+  };
+  for (const Config& c : configs) RunConfig(c, keys, negatives);
+  std::printf(
+      "\nPoint filters erase almost the whole negative-lookup bill; Monkey\n"
+      "concentrates the remaining false probes in one level; range filters\n"
+      "do the same for empty scans (paper §3.1).\n");
+  return 0;
+}

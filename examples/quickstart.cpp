@@ -1,0 +1,85 @@
+// Quickstart: the modern filter API in one tour (§1 of the paper).
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "adaptive/adaptive_quotient_filter.h"
+#include "bloom/bloom_filter.h"
+#include "cuckoo/cuckoo_filter.h"
+#include "expandable/taffy_filter.h"
+#include "quotient/quotient_filter.h"
+#include "quotient/quotient_maplet.h"
+#include "staticf/xor_filter.h"
+#include "util/hash.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace bbf;
+  const auto keys = GenerateDistinctKeys(100000);
+  const auto ghosts = GenerateNegativeKeys(keys, 100000);
+
+  std::printf("== Beyond Bloom quickstart ==\n\n");
+
+  // --- 1. The classic: a Bloom filter (semi-dynamic: no deletes). -----
+  BloomFilter bloom(keys.size(), /*bits_per_key=*/10);
+  for (uint64_t k : keys) bloom.Insert(k);
+  uint64_t fp = 0;
+  for (uint64_t g : ghosts) fp += bloom.Contains(g);
+  std::printf("bloom        : %5.2f bits/key, fpr %.4f%%\n",
+              bloom.BitsPerKey(), 100.0 * fp / ghosts.size());
+
+  // --- 2. Dynamic filters support deletes and counting. ---------------
+  QuotientFilter qf = QuotientFilter::ForCapacity(keys.size(), 0.01);
+  CuckooFilter cf = CuckooFilter::ForFpr(keys.size(), 0.01);
+  for (uint64_t k : keys) {
+    qf.Insert(k);
+    cf.Insert(k);
+  }
+  qf.Insert(keys[0]);  // Multiset: same key twice.
+  std::printf("quotient     : %5.2f bits/key, count(dup key) = %llu\n",
+              qf.BitsPerKey(),
+              static_cast<unsigned long long>(qf.Count(keys[0])));
+  cf.Erase(keys[1]);  // Dynamic: deletion works.
+  std::printf("cuckoo       : %5.2f bits/key, erased? %s\n", cf.BitsPerKey(),
+              cf.Contains(keys[1]) ? "no" : "yes");
+
+  // --- 3. Static filters: smallest, built once from a known set. ------
+  XorFilter xf(keys, /*fingerprint_bits=*/10);
+  std::printf("xor (static) : %5.2f bits/key\n", xf.BitsPerKey());
+
+  // --- 4. Expandable: grow indefinitely without the original keys. ----
+  TaffyFilter taffy(/*q_bits=*/10, /*fingerprint_bits=*/16);
+  for (uint64_t k : keys) taffy.Insert(k);
+  std::printf("taffy        : grew through %d doublings, no key lost: %s\n",
+              taffy.expansions(), taffy.Contains(keys[42]) ? "yes" : "no");
+
+  // --- 5. Adaptive: a reported false positive never repeats. ----------
+  AdaptiveQuotientFilter aqf(17, 7);
+  for (uint64_t k : keys) aqf.Insert(k);
+  for (uint64_t g : ghosts) {
+    if (aqf.Contains(g)) {
+      aqf.ReportFalsePositive(g);
+      std::printf("adaptive     : ghost %llu was a false positive once, "
+                  "now Contains=%d\n",
+                  static_cast<unsigned long long>(g), aqf.Contains(g));
+      break;
+    }
+  }
+
+  // --- 6. Maplets: associate small values with keys. -------------------
+  QuotientMaplet maplet = QuotientMaplet::ForCapacity(keys.size(), 0.01, 8);
+  maplet.Insert(keys[7], 42);
+  const auto vals = maplet.Lookup(keys[7]);
+  std::printf("maplet       : lookup -> %zu candidate value(s), first = %llu\n",
+              vals.size(), static_cast<unsigned long long>(vals[0]));
+
+  // --- 7. String keys: hash at the boundary. ---------------------------
+  BloomFilter urls(3, 12);
+  urls.Insert(HashBytes("https://example.com/a"));
+  std::printf("string keys  : contains(\"https://example.com/a\") = %d\n",
+              urls.Contains(HashBytes("https://example.com/a")));
+  return 0;
+}

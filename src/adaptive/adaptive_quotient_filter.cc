@@ -1,0 +1,118 @@
+#include "adaptive/adaptive_quotient_filter.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bbf {
+
+AdaptiveQuotientFilter::AdaptiveQuotientFilter(int q_bits, int r_bits,
+                                               uint64_t hash_seed)
+    : base_(q_bits, r_bits, hash_seed), hash_seed_(hash_seed) {}
+
+AdaptiveQuotientFilter AdaptiveQuotientFilter::ForCapacity(uint64_t n,
+                                                           double fpr) {
+  const QuotientFilter sized = QuotientFilter::ForCapacity(n, fpr);
+  return AdaptiveQuotientFilter(sized.q_bits(), sized.r_bits());
+}
+
+uint64_t AdaptiveQuotientFilter::FingerprintKey(uint64_t key) const {
+  uint64_t fq;
+  uint64_t fr;
+  base_.Fingerprint(key, &fq, &fr);
+  return (fq << base_.r_bits()) | fr;
+}
+
+uint64_t AdaptiveQuotientFilter::ExtensionBitsOf(uint64_t key,
+                                                 int len) const {
+  // Extension bits come from an independent hash so they extend the
+  // fingerprint regardless of the base filter's geometry.
+  return Hash64(key, hash_seed_ + 0xE47) & LowMask(len);
+}
+
+bool AdaptiveQuotientFilter::Insert(uint64_t key) {
+  if (!base_.Insert(key)) return false;
+  const uint64_t f = FingerprintKey(key);
+  remote_[f].push_back(key);
+  const auto it = extensions_.find(f);
+  if (it != extensions_.end()) {
+    // This fingerprint already adapted: give the new resident an extension
+    // of the same length as the longest present, so Contains keeps
+    // consulting extensions consistently.
+    int len = 1;
+    for (const Extension& e : it->second) len = std::max(len, e.len);
+    it->second.push_back(Extension{key, len, ExtensionBitsOf(key, len)});
+  }
+  return true;
+}
+
+bool AdaptiveQuotientFilter::Contains(uint64_t key) const {
+  if (!base_.Contains(key)) return false;
+  const uint64_t f = FingerprintKey(key);
+  const auto it = extensions_.find(f);
+  if (it == extensions_.end()) return true;  // Never adapted: plain hit.
+  for (const Extension& e : it->second) {
+    if (ExtensionBitsOf(key, e.len) == e.bits) return true;
+  }
+  return false;
+}
+
+bool AdaptiveQuotientFilter::Erase(uint64_t key) {
+  const uint64_t f = FingerprintKey(key);
+  const auto rit = remote_.find(f);
+  if (rit == remote_.end()) return false;
+  auto& keys = rit->second;
+  const auto kit = std::find(keys.begin(), keys.end(), key);
+  if (kit == keys.end()) return false;  // Exact deletes via the dictionary.
+  keys.erase(kit);
+  if (keys.empty()) remote_.erase(rit);
+  const auto eit = extensions_.find(f);
+  if (eit != extensions_.end()) {
+    auto& exts = eit->second;
+    for (size_t i = 0; i < exts.size(); ++i) {
+      if (exts[i].key == key) {
+        exts.erase(exts.begin() + i);
+        break;
+      }
+    }
+    if (exts.empty()) extensions_.erase(eit);
+  }
+  return base_.Erase(key);
+}
+
+bool AdaptiveQuotientFilter::ReportFalsePositive(uint64_t key) {
+  const uint64_t f = FingerprintKey(key);
+  const auto rit = remote_.find(f);
+  if (rit == remote_.end()) {
+    // Nothing resident shares the fingerprint (e.g. the report was stale);
+    // nothing to adapt.
+    return !Contains(key);
+  }
+  std::vector<Extension> exts;
+  exts.reserve(rit->second.size());
+  for (uint64_t resident : rit->second) {
+    // Grow this resident's extension until it no longer matches `key`.
+    int len = 1;
+    while (len < kMaxExtensionBits &&
+           ExtensionBitsOf(resident, len) == ExtensionBitsOf(key, len)) {
+      ++len;
+    }
+    exts.push_back(Extension{resident, len, ExtensionBitsOf(resident, len)});
+  }
+  extensions_[f] = std::move(exts);
+  ++adaptations_;
+  return !Contains(key);
+}
+
+size_t AdaptiveQuotientFilter::SpaceBits() const {
+  size_t ext_bits = 0;
+  for (const auto& [f, exts] : extensions_) {
+    // Charge the fingerprint index plus each extension's bits and length.
+    ext_bits += 64;
+    for (const Extension& e : exts) ext_bits += e.len + 6;
+  }
+  return base_.SpaceBits() + ext_bits;
+}
+
+}  // namespace bbf

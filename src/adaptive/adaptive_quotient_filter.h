@@ -1,0 +1,72 @@
+#ifndef BBF_ADAPTIVE_ADAPTIVE_QUOTIENT_FILTER_H_
+#define BBF_ADAPTIVE_ADAPTIVE_QUOTIENT_FILTER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/filter.h"
+#include "quotient/quotient_filter.h"
+
+namespace bbf {
+
+/// Adaptive quotient filter in the broom-filter mould [Bender et al. 2018;
+/// Wen et al. 2025] (§2.3): a quotient filter plus per-fingerprint
+/// *extensions*. When the fronted dictionary reports a false positive,
+/// every resident key sharing the offending fingerprint grows its
+/// extension — further hash bits, recomputed from the dictionary's copy of
+/// the key — until the reported query no longer matches. A query that hits
+/// the base filter must also match some resident's extension, so an
+/// adapted false positive can never repeat: any sequence of n negative
+/// queries sees O(eps * n) false positives even when chosen adversarially
+/// (the *monotone adaptivity* guarantee).
+///
+/// The extension store is a sparse side map (most fingerprints never adapt
+/// and cost nothing); the remote key store models the dictionary the
+/// filter always fronts and is not charged to SpaceBits.
+class AdaptiveQuotientFilter : public Filter, public AdaptiveHook {
+ public:
+  AdaptiveQuotientFilter(int q_bits, int r_bits, uint64_t hash_seed = 0xAD);
+
+  static AdaptiveQuotientFilter ForCapacity(uint64_t n, double fpr);
+
+  bool Insert(uint64_t key) override;
+  bool Contains(uint64_t key) const override;
+  bool Erase(uint64_t key) override;
+  size_t SpaceBits() const override;
+  uint64_t NumKeys() const override { return base_.NumKeys(); }
+  FilterClass Class() const override { return FilterClass::kDynamic; }
+  std::string_view Name() const override { return "adaptive-quotient"; }
+
+  /// Extends colliding residents' fingerprints until `key` stops
+  /// matching. Returns true if Contains(key) is now false.
+  bool ReportFalsePositive(uint64_t key) override;
+
+  uint64_t adaptations() const { return adaptations_; }
+  size_t extended_fingerprints() const { return extensions_.size(); }
+
+  static constexpr int kMaxExtensionBits = 32;
+
+ private:
+  struct Extension {
+    uint64_t key;   // Resident (from the remote store / dictionary).
+    int len;        // Extension bits in use.
+    uint64_t bits;  // The resident's own hash extension of that length.
+  };
+
+  uint64_t FingerprintKey(uint64_t key) const;  // (fq << r) | fr.
+  uint64_t ExtensionBitsOf(uint64_t key, int len) const;
+
+  QuotientFilter base_;
+  uint64_t hash_seed_;
+  // fingerprint -> residents with extended fingerprints. Only populated
+  // for fingerprints that have adapted at least once.
+  std::unordered_map<uint64_t, std::vector<Extension>> extensions_;
+  // fingerprint -> resident keys (the dictionary's reverse index).
+  std::unordered_map<uint64_t, std::vector<uint64_t>> remote_;
+  uint64_t adaptations_ = 0;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_ADAPTIVE_ADAPTIVE_QUOTIENT_FILTER_H_

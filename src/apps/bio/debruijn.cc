@@ -1,0 +1,93 @@
+#include "apps/bio/debruijn.h"
+
+#include <algorithm>
+
+#include "apps/bio/kmer.h"
+
+namespace bbf::bio {
+
+DeBruijnGraph::DeBruijnGraph(const std::vector<uint64_t>& kmers, int k,
+                             Mode mode, double bits_per_key)
+    : k_(k),
+      mode_(mode),
+      mask_(k == 32 ? ~uint64_t{0} : ((uint64_t{1} << (2 * k)) - 1)) {
+  std::vector<uint64_t> unique = kmers;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  bloom_ = std::make_unique<BloomFilter>(
+      std::max<uint64_t>(unique.size(), 1), bits_per_key);
+  for (uint64_t km : unique) bloom_->Insert(km);
+  if (mode_ == Mode::kProbabilistic) return;
+
+  // Critical false positives: Bloom-positive potential neighbours of true
+  // nodes that are not true nodes themselves (Chikhi & Rizk).
+  std::unordered_set<uint64_t> truth(unique.begin(), unique.end());
+  std::unordered_set<uint64_t> cfps;
+  for (uint64_t km : unique) {
+    for (uint64_t nb : PotentialNeighbors(km)) {
+      if (!truth.contains(nb) && bloom_->Contains(nb)) cfps.insert(nb);
+    }
+  }
+  if (mode_ == Mode::kExactTable) {
+    critical_fps_ = std::move(cfps);
+  } else {
+    // Cascading replacement: exact over cFPs vs true k-mers, the only two
+    // populations navigational queries can produce.
+    const std::vector<uint64_t> members(cfps.begin(), cfps.end());
+    cascade_ = std::make_unique<CascadingBloomFilter>(members, unique,
+                                                      bits_per_key, 3);
+  }
+}
+
+std::vector<uint64_t> DeBruijnGraph::PotentialNeighbors(uint64_t kmer) const {
+  std::vector<uint64_t> out;
+  out.reserve(8);
+  for (uint64_t b = 0; b < 4; ++b) {
+    out.push_back(Canonical(((kmer << 2) | b) & mask_, k_));
+    out.push_back(
+        Canonical((kmer >> 2) | (b << (2 * (k_ - 1))), k_));
+  }
+  return out;
+}
+
+bool DeBruijnGraph::HasNode(uint64_t canonical_kmer) const {
+  if (!bloom_->Contains(canonical_kmer)) return false;
+  switch (mode_) {
+    case Mode::kProbabilistic:
+      return true;
+    case Mode::kExactTable:
+      return !critical_fps_.contains(canonical_kmer);
+    case Mode::kCascading:
+      return !cascade_->Contains(canonical_kmer);
+  }
+  return true;
+}
+
+std::vector<uint64_t> DeBruijnGraph::RightNeighbors(uint64_t kmer) const {
+  std::vector<uint64_t> out;
+  for (uint64_t b = 0; b < 4; ++b) {
+    const uint64_t nb = Canonical(((kmer << 2) | b) & mask_, k_);
+    if (HasNode(nb)) out.push_back(nb);
+  }
+  return out;
+}
+
+std::vector<uint64_t> DeBruijnGraph::LeftNeighbors(uint64_t kmer) const {
+  std::vector<uint64_t> out;
+  for (uint64_t b = 0; b < 4; ++b) {
+    const uint64_t nb =
+        Canonical((kmer >> 2) | (b << (2 * (k_ - 1))), k_);
+    if (HasNode(nb)) out.push_back(nb);
+  }
+  return out;
+}
+
+size_t DeBruijnGraph::SpaceBits() const {
+  size_t bits = bloom_->SpaceBits();
+  if (mode_ == Mode::kExactTable) bits += critical_fps_.size() * 2 * k_;
+  if (cascade_ != nullptr) bits += cascade_->SpaceBits();
+  return bits;
+}
+
+}  // namespace bbf::bio

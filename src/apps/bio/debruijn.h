@@ -1,0 +1,64 @@
+#ifndef BBF_APPS_BIO_DEBRUIJN_H_
+#define BBF_APPS_BIO_DEBRUIJN_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/cascading_bloom.h"
+
+namespace bbf::bio {
+
+/// Filter-backed de Bruijn graph representations (§3.2).
+///
+/// Nodes are canonical k-mers; an edge joins two nodes that overlap in
+/// k-1 bases, i.e. neighbours reachable by extending one base left/right.
+///
+///   * kProbabilistic — Pell et al. [78]: a plain Bloom filter of the
+///     k-mer set; navigation admits false-positive nodes, which barely
+///     perturbs the large-scale structure until FPR >= ~0.15.
+///   * kExactTable — Chikhi & Rizk [25]: Bloom filter + an exact side
+///     table of the *critical false positives* (Bloom FPs adjacent to
+///     true k-mers), giving an exact navigational representation.
+///   * kCascading — Salikhov et al. [84]: the exact side table replaced
+///     by a cascading Bloom filter, cutting its memory further.
+class DeBruijnGraph {
+ public:
+  enum class Mode { kProbabilistic, kExactTable, kCascading };
+
+  /// Builds over the distinct canonical k-mers of a dataset.
+  DeBruijnGraph(const std::vector<uint64_t>& kmers, int k, Mode mode,
+                double bits_per_key);
+
+  /// Node membership as the representation sees it (navigational queries
+  /// from true nodes are exact in kExactTable/kCascading modes).
+  bool HasNode(uint64_t canonical_kmer) const;
+
+  /// Canonical k-mers reachable by appending one base to the right of
+  /// `kmer` (given in its as-stored orientation).
+  std::vector<uint64_t> RightNeighbors(uint64_t kmer) const;
+  /// Likewise for prepending one base on the left.
+  std::vector<uint64_t> LeftNeighbors(uint64_t kmer) const;
+
+  size_t SpaceBits() const;
+  size_t critical_fp_count() const { return critical_fps_.size(); }
+  int k() const { return k_; }
+
+ private:
+  // All 8 potential neighbours (4 right, 4 left) of a k-mer, in canonical
+  // form. Used at build time to find critical false positives.
+  std::vector<uint64_t> PotentialNeighbors(uint64_t kmer) const;
+
+  int k_;
+  Mode mode_;
+  uint64_t mask_;
+  std::unique_ptr<BloomFilter> bloom_;
+  std::unordered_set<uint64_t> critical_fps_;       // kExactTable.
+  std::unique_ptr<CascadingBloomFilter> cascade_;   // kCascading.
+};
+
+}  // namespace bbf::bio
+
+#endif  // BBF_APPS_BIO_DEBRUIJN_H_

@@ -1,0 +1,57 @@
+#include "apps/bio/kmer.h"
+
+namespace bbf::bio {
+
+uint64_t ReverseComplement(uint64_t kmer, int k) {
+  uint64_t rc = 0;
+  for (int i = 0; i < k; ++i) {
+    rc = (rc << 2) | (3 - (kmer & 3));  // Complement: A<->T, C<->G.
+    kmer >>= 2;
+  }
+  return rc;
+}
+
+std::optional<uint64_t> EncodeKmer(std::string_view sv) {
+  uint64_t kmer = 0;
+  for (char c : sv) {
+    const auto b = EncodeBase(c);
+    if (!b.has_value()) return std::nullopt;
+    kmer = (kmer << 2) | *b;
+  }
+  return kmer;
+}
+
+std::string DecodeKmer(uint64_t kmer, int k) {
+  std::string s(k, 'A');
+  for (int i = k - 1; i >= 0; --i) {
+    s[i] = DecodeBase(kmer & 3);
+    kmer >>= 2;
+  }
+  return s;
+}
+
+std::vector<uint64_t> ExtractKmers(std::string_view dna, int k,
+                                   bool canonical) {
+  std::vector<uint64_t> kmers;
+  if (static_cast<int>(dna.size()) < k) return kmers;
+  kmers.reserve(dna.size() - k + 1);
+  const uint64_t mask =
+      k == 32 ? ~uint64_t{0} : ((uint64_t{1} << (2 * k)) - 1);
+  uint64_t window = 0;
+  int valid = 0;  // Consecutive valid bases ending here.
+  for (char c : dna) {
+    const auto b = EncodeBase(c);
+    if (!b.has_value()) {
+      valid = 0;
+      window = 0;
+      continue;
+    }
+    window = ((window << 2) | *b) & mask;
+    if (++valid >= k) {
+      kmers.push_back(canonical ? Canonical(window, k) : window);
+    }
+  }
+  return kmers;
+}
+
+}  // namespace bbf::bio

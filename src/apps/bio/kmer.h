@@ -1,0 +1,48 @@
+#ifndef BBF_APPS_BIO_KMER_H_
+#define BBF_APPS_BIO_KMER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bbf::bio {
+
+/// 2-bit DNA base codes. k-mers with k <= 32 pack into one uint64_t.
+inline std::optional<uint64_t> EncodeBase(char c) {
+  switch (c) {
+    case 'A': case 'a': return 0;
+    case 'C': case 'c': return 1;
+    case 'G': case 'g': return 2;
+    case 'T': case 't': return 3;
+    default: return std::nullopt;
+  }
+}
+
+inline char DecodeBase(uint64_t code) { return "ACGT"[code & 3]; }
+
+/// Reverse complement of a packed k-mer.
+uint64_t ReverseComplement(uint64_t kmer, int k);
+
+/// Canonical form: min(kmer, revcomp(kmer)) — strand-independent identity,
+/// the representation Squeakr/Mantis count under.
+inline uint64_t Canonical(uint64_t kmer, int k) {
+  const uint64_t rc = ReverseComplement(kmer, k);
+  return kmer < rc ? kmer : rc;
+}
+
+/// Packs `sv` (length exactly k) into 2-bit codes; nullopt on non-ACGT.
+std::optional<uint64_t> EncodeKmer(std::string_view sv);
+
+/// Unpacks a k-mer to its string form.
+std::string DecodeKmer(uint64_t kmer, int k);
+
+/// All k-mers of `dna` (canonicalized when `canonical`), skipping windows
+/// containing non-ACGT characters.
+std::vector<uint64_t> ExtractKmers(std::string_view dna, int k,
+                                   bool canonical = true);
+
+}  // namespace bbf::bio
+
+#endif  // BBF_APPS_BIO_KMER_H_

@@ -1,0 +1,30 @@
+#include "apps/bio/kmer_counter.h"
+
+#include "apps/bio/kmer.h"
+
+namespace bbf::bio {
+
+KmerCounter::KmerCounter(int k, uint64_t expected_kmers, double fpr)
+    : k_(k),
+      cqf_(CountingQuotientFilter::ForCapacity(expected_kmers, fpr)) {}
+
+uint64_t KmerCounter::AddSequence(std::string_view dna) {
+  uint64_t added = 0;
+  for (uint64_t kmer : ExtractKmers(dna, k_, /*canonical=*/true)) {
+    if (cqf_.Count(kmer) == 0) ++distinct_;
+    if (cqf_.Insert(kmer)) ++added;
+  }
+  return added;
+}
+
+uint64_t KmerCounter::Count(std::string_view kmer) const {
+  const auto packed = EncodeKmer(kmer);
+  if (!packed.has_value()) return 0;
+  return cqf_.Count(Canonical(*packed, k_));
+}
+
+uint64_t KmerCounter::CountPacked(uint64_t canonical_kmer) const {
+  return cqf_.Count(canonical_kmer);
+}
+
+}  // namespace bbf::bio

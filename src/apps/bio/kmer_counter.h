@@ -1,0 +1,43 @@
+#ifndef BBF_APPS_BIO_KMER_COUNTER_H_
+#define BBF_APPS_BIO_KMER_COUNTER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "quotient/quotient_filter.h"
+
+namespace bbf::bio {
+
+/// Squeakr-style k-mer counter [Pandey et al. 2017] (§3.2): counts
+/// canonical k-mers of sequencing data in a counting quotient filter.
+/// Genomic k-mer spectra are heavily skewed (repeats), which is exactly
+/// the distribution the CQF's variable-length counters compress well —
+/// experiment E13/E6.
+class KmerCounter {
+ public:
+  /// Capacity for ~`expected_kmers` distinct canonical k-mers with
+  /// fingerprint false-positive rate `fpr`.
+  KmerCounter(int k, uint64_t expected_kmers, double fpr = 1.0 / 256);
+
+  /// Counts every canonical k-mer of `dna`. Returns how many were added.
+  uint64_t AddSequence(std::string_view dna);
+
+  /// Multiplicity of a k-mer given as a string (canonicalized first).
+  uint64_t Count(std::string_view kmer) const;
+  /// Multiplicity of an already-canonical packed k-mer.
+  uint64_t CountPacked(uint64_t canonical_kmer) const;
+
+  int k() const { return k_; }
+  uint64_t distinct_estimate() const { return distinct_; }
+  size_t SpaceBits() const { return cqf_.SpaceBits(); }
+  double LoadFactor() const { return cqf_.LoadFactor(); }
+
+ private:
+  int k_;
+  CountingQuotientFilter cqf_;
+  uint64_t distinct_ = 0;
+};
+
+}  // namespace bbf::bio
+
+#endif  // BBF_APPS_BIO_KMER_COUNTER_H_

@@ -1,0 +1,214 @@
+#include "apps/bio/sequence_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "apps/bio/kmer.h"
+#include "util/bits.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace bbf::bio {
+
+// ---------------------------------------------------------------------------
+// SequenceBloomTree
+// ---------------------------------------------------------------------------
+
+SequenceBloomTree::SequenceBloomTree(
+    const std::vector<std::vector<uint64_t>>& experiment_kmers,
+    double bits_per_kmer)
+    : num_experiments_(experiment_kmers.size()) {
+  if (!experiment_kmers.empty()) {
+    root_ = BuildNode(experiment_kmers, 0,
+                      static_cast<uint32_t>(experiment_kmers.size()),
+                      bits_per_kmer);
+  }
+}
+
+int SequenceBloomTree::BuildNode(
+    const std::vector<std::vector<uint64_t>>& experiment_kmers,
+    uint32_t begin, uint32_t end, double bits_per_kmer) {
+  Node node;
+  uint64_t total = 0;
+  for (uint32_t e = begin; e < end; ++e) total += experiment_kmers[e].size();
+  node.filter = std::make_unique<BloomFilter>(
+      std::max<uint64_t>(total, 1), bits_per_kmer, 0,
+      /*hash_seed=*/0x5B7 + begin * 131 + end);
+  for (uint32_t e = begin; e < end; ++e) {
+    for (uint64_t km : experiment_kmers[e]) node.filter->Insert(km);
+  }
+  if (end - begin == 1) {
+    node.experiment = static_cast<int>(begin);
+  }
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  if (end - begin > 1) {
+    const uint32_t mid = begin + (end - begin) / 2;
+    const int left = BuildNode(experiment_kmers, begin, mid, bits_per_kmer);
+    const int right = BuildNode(experiment_kmers, mid, end, bits_per_kmer);
+    nodes_[index].left = left;
+    nodes_[index].right = right;
+  }
+  return index;
+}
+
+void SequenceBloomTree::QueryNode(int node_idx,
+                                  const std::vector<uint64_t>& query_kmers,
+                                  double theta,
+                                  std::vector<ExperimentHit>* hits) const {
+  const Node& node = nodes_[node_idx];
+  uint64_t present = 0;
+  for (uint64_t km : query_kmers) present += node.filter->Contains(km);
+  const double fraction =
+      query_kmers.empty() ? 0
+                          : static_cast<double>(present) / query_kmers.size();
+  if (fraction < theta) return;  // Prune: the subtree cannot reach theta.
+  if (node.experiment >= 0) {
+    hits->push_back(
+        ExperimentHit{static_cast<uint32_t>(node.experiment), fraction});
+    return;
+  }
+  QueryNode(node.left, query_kmers, theta, hits);
+  QueryNode(node.right, query_kmers, theta, hits);
+}
+
+std::vector<ExperimentHit> SequenceBloomTree::Query(
+    const std::vector<uint64_t>& query_kmers, double theta) const {
+  std::vector<ExperimentHit> hits;
+  if (root_ >= 0 && !query_kmers.empty()) {
+    QueryNode(root_, query_kmers, theta, &hits);
+  }
+  return hits;
+}
+
+size_t SequenceBloomTree::SpaceBits() const {
+  size_t bits = 0;
+  for (const Node& n : nodes_) bits += n.filter->SpaceBits();
+  return bits;
+}
+
+// ---------------------------------------------------------------------------
+// MantisIndex
+// ---------------------------------------------------------------------------
+
+MantisIndex::MantisIndex(
+    const std::vector<std::vector<uint64_t>>& experiment_kmers, double fpr)
+    : num_experiments_(experiment_kmers.size()) {
+  // Pass 1: per-k-mer experiment bit vectors (the color of each k-mer).
+  const size_t words =
+      (num_experiments_ + 63) / 64;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> colors;
+  for (uint32_t e = 0; e < experiment_kmers.size(); ++e) {
+    for (uint64_t km : experiment_kmers[e]) {
+      auto& bits = colors[km];
+      bits.resize(words, 0);
+      bits[e >> 6] |= uint64_t{1} << (e & 63);
+    }
+  }
+  // Pass 2: deduplicate colors into classes (the Mantis trick: distinct
+  // colors are few because co-occurring k-mers share them).
+  std::map<std::vector<uint64_t>, uint32_t> class_ids;
+  std::vector<std::pair<uint64_t, uint32_t>> kmer_class;
+  kmer_class.reserve(colors.size());
+  for (const auto& [km, bits] : colors) {
+    const auto [it, inserted] =
+        class_ids.emplace(bits, static_cast<uint32_t>(class_ids.size()));
+    kmer_class.emplace_back(km, it->second);
+  }
+  color_classes_.resize(class_ids.size());
+  for (const auto& [bits, id] : class_ids) {
+    BitVector bv(num_experiments_);
+    for (size_t e = 0; e < num_experiments_; ++e) {
+      if ((bits[e >> 6] >> (e & 63)) & 1) bv.Set(e);
+    }
+    color_classes_[id] = std::move(bv);
+  }
+  // Pass 3: the k-mer -> class-id maplet. fpr == 0 requests key-sized
+  // fingerprints (quotient + remainder cover most of the 64-bit hash), so
+  // lookups are exact with overwhelming probability — Mantis's exactness.
+  const uint64_t n = std::max<size_t>(kmer_class.size(), 1);
+  const int q_bits =
+      std::max(6, BitWidth(NextPow2(static_cast<uint64_t>(n / 0.9)) - 1));
+  const int r_bits =
+      fpr > 0 ? std::max(1, static_cast<int>(-std::log2(fpr)))
+              : std::min(44, 64 - q_bits);
+  const int value_bits = std::max(
+      1, BitWidth(color_classes_.empty() ? 1 : color_classes_.size() - 1));
+  maplet_ = std::make_unique<QuotientMaplet>(q_bits, r_bits, value_bits);
+  for (const auto& [km, id] : kmer_class) maplet_->Insert(km, id);
+}
+
+std::vector<uint32_t> MantisIndex::ExperimentsOf(uint64_t kmer) const {
+  std::vector<uint32_t> out;
+  const auto candidates = maplet_->Lookup(kmer);
+  if (candidates.empty()) return out;
+  const BitVector& bv = color_classes_[candidates.front()];
+  for (size_t e = 0; e < num_experiments_; ++e) {
+    if (bv.Get(e)) out.push_back(static_cast<uint32_t>(e));
+  }
+  return out;
+}
+
+std::vector<ExperimentHit> MantisIndex::Query(
+    const std::vector<uint64_t>& query_kmers, double theta) const {
+  std::vector<ExperimentHit> hits;
+  if (query_kmers.empty()) return hits;
+  std::vector<uint64_t> per_experiment(num_experiments_, 0);
+  for (uint64_t km : query_kmers) {
+    const auto candidates = maplet_->Lookup(km);
+    if (candidates.empty()) continue;
+    const BitVector& bv = color_classes_[candidates.front()];
+    for (size_t e = 0; e < num_experiments_; ++e) {
+      per_experiment[e] += bv.Get(e);
+    }
+  }
+  for (size_t e = 0; e < num_experiments_; ++e) {
+    const double fraction =
+        static_cast<double>(per_experiment[e]) / query_kmers.size();
+    if (fraction >= theta) {
+      hits.push_back(ExperimentHit{static_cast<uint32_t>(e), fraction});
+    }
+  }
+  return hits;
+}
+
+size_t MantisIndex::SpaceBits() const {
+  size_t bits = maplet_->SpaceBits();
+  for (const BitVector& bv : color_classes_) bits += bv.size();
+  return bits;
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic experiments
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<uint64_t>> GenerateExperiments(uint32_t count,
+                                                       uint64_t base_len,
+                                                       int k, uint64_t seed) {
+  const std::string base = GenerateDna(base_len, 0.1, seed);
+  SplitMix64 rng(seed * 31 + 7);
+  std::vector<std::vector<uint64_t>> out;
+  out.reserve(count);
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  for (uint32_t e = 0; e < count; ++e) {
+    // Each experiment: a mutated copy of a slice of the base genome plus a
+    // unique appendix, so experiments share many but not all k-mers.
+    const uint64_t slice_len = base_len / 2 + rng.NextBelow(base_len / 2);
+    const uint64_t start = rng.NextBelow(base_len - slice_len + 1);
+    std::string dna = base.substr(start, slice_len);
+    const uint64_t mutations = slice_len / 100;  // ~1% point mutations.
+    for (uint64_t m = 0; m < mutations; ++m) {
+      dna[rng.NextBelow(dna.size())] = kBases[rng.NextBelow(4)];
+    }
+    dna += GenerateDna(base_len / 10, 0.0, seed * 97 + e + 1);
+    auto kmers = ExtractKmers(dna, k);
+    std::sort(kmers.begin(), kmers.end());
+    kmers.erase(std::unique(kmers.begin(), kmers.end()), kmers.end());
+    out.push_back(std::move(kmers));
+  }
+  return out;
+}
+
+}  // namespace bbf::bio

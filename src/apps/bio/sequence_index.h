@@ -1,0 +1,97 @@
+#ifndef BBF_APPS_BIO_SEQUENCE_INDEX_H_
+#define BBF_APPS_BIO_SEQUENCE_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "quotient/quotient_maplet.h"
+#include "util/bit_vector.h"
+
+namespace bbf::bio {
+
+/// The experiment-discovery problem (§3.2, Solomon & Kingsford): given a
+/// query set of k-mers, return every sequencing experiment containing at
+/// least a fraction theta of them.
+struct ExperimentHit {
+  uint32_t experiment;
+  double fraction;  // Fraction of query k-mers present.
+};
+
+/// Sequence Bloom Tree [Solomon & Kingsford 2016] (§3.2): a binary tree
+/// whose leaves hold one Bloom filter per experiment and whose interior
+/// nodes hold Bloom filters of their subtrees' k-mer unions. Queries
+/// descend the tree, pruning subtrees whose filter already rules out the
+/// theta threshold. Approximate: Bloom false positives can both inflate
+/// per-experiment fractions and retain pruned subtrees.
+class SequenceBloomTree {
+ public:
+  /// `experiment_kmers[i]` = the distinct canonical k-mers of experiment i.
+  SequenceBloomTree(const std::vector<std::vector<uint64_t>>& experiment_kmers,
+                    double bits_per_kmer);
+
+  /// Experiments containing >= theta of `query_kmers` (by this index's
+  /// approximate reckoning).
+  std::vector<ExperimentHit> Query(const std::vector<uint64_t>& query_kmers,
+                                   double theta) const;
+
+  size_t SpaceBits() const;
+  size_t num_experiments() const { return num_experiments_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<BloomFilter> filter;
+    int left = -1;    // Child node indexes; -1 for leaves.
+    int right = -1;
+    int experiment = -1;  // Leaf payload.
+  };
+
+  int BuildNode(const std::vector<std::vector<uint64_t>>& experiment_kmers,
+                uint32_t begin, uint32_t end, double bits_per_kmer);
+  void QueryNode(int node, const std::vector<uint64_t>& query_kmers,
+                 double theta, std::vector<ExperimentHit>* hits) const;
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  size_t num_experiments_ = 0;
+};
+
+/// Mantis [Pandey et al. 2018] (§3.2): an exact inverted index. Every
+/// distinct k-mer maps, through a counting-quotient-filter maplet with
+/// key-sized fingerprints, to a *color class* — a deduplicated bit vector
+/// naming the experiments that contain it. "Smaller, faster, and exact
+/// compared to the SBT".
+class MantisIndex {
+ public:
+  MantisIndex(const std::vector<std::vector<uint64_t>>& experiment_kmers,
+              double fpr = 0.0);  // fpr 0 -> key-sized fingerprints (exact).
+
+  std::vector<ExperimentHit> Query(const std::vector<uint64_t>& query_kmers,
+                                   double theta) const;
+
+  /// Experiments containing this single k-mer.
+  std::vector<uint32_t> ExperimentsOf(uint64_t kmer) const;
+
+  size_t SpaceBits() const;
+  size_t num_color_classes() const { return color_classes_.size(); }
+
+ private:
+  std::unique_ptr<QuotientMaplet> maplet_;  // k-mer -> color-class id.
+  std::vector<BitVector> color_classes_;
+  size_t num_experiments_ = 0;
+};
+
+/// Synthetic experiment generator: `count` experiments derived from a
+/// shared base genome with per-experiment mutations/insertions, yielding
+/// realistic k-mer sharing across experiments.
+std::vector<std::vector<uint64_t>> GenerateExperiments(uint32_t count,
+                                                       uint64_t base_len,
+                                                       int k,
+                                                       uint64_t seed = 1234);
+
+}  // namespace bbf::bio
+
+#endif  // BBF_APPS_BIO_SEQUENCE_INDEX_H_

@@ -1,0 +1,129 @@
+#include "apps/lsm/circular_log.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace bbf::lsm {
+
+CircularLog::CircularLog(Options options)
+    : options_(options), rebuild_q_bits_(options.initial_q_bits) {
+  maplet_ = std::make_unique<ExpandingQuotientMaplet>(
+      options_.initial_q_bits, options_.fingerprint_bits, /*value_bits=*/32);
+}
+
+int CircularLog::maplet_expansions() const { return maplet_->expansions(); }
+
+std::optional<uint64_t> CircularLog::FindOffset(uint64_t key) {
+  const auto candidates = maplet_->Lookup(key);
+  if (candidates.empty()) return std::nullopt;
+  // Visit each candidate page once; maplet noise shows up here as extra
+  // page reads that find nothing.
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t page : candidates) {
+    if (!seen.insert(page).second) continue;
+    ++io_.data_reads;
+    const uint64_t begin = page * kRecordsPerPage;
+    const uint64_t end =
+        std::min<uint64_t>(begin + kRecordsPerPage, log_.size());
+    bool found = false;
+    uint64_t offset = 0;
+    for (uint64_t i = begin; i < end; ++i) {
+      if (!log_[i].dead && log_[i].key == key) {
+        found = true;
+        offset = i;  // Keep the latest live record in the page.
+      }
+    }
+    if (found) return offset;
+    ++io_.false_probes;
+  }
+  return std::nullopt;
+}
+
+void CircularLog::Append(uint64_t key, uint64_t value,
+                         bool tombstone_of_delete) {
+  log_.push_back(Record{key, value, tombstone_of_delete});
+  // Appends are batched into pages: charge one write per page boundary.
+  if (log_.size() % kRecordsPerPage == 1) ++io_.runs_consulted;
+}
+
+void CircularLog::Put(uint64_t key, uint64_t value) {
+  const auto old_offset = FindOffset(key);
+  if (old_offset.has_value()) {
+    log_[*old_offset].dead = true;
+    ++dead_;
+    --live_;
+    maplet_->Erase(key, PageOf(*old_offset));
+  }
+  Append(key, value, false);
+  const uint64_t page = PageOf(log_.size() - 1);
+  if (options_.expand == ExpandStrategy::kRebuildFromLog &&
+      maplet_->NumEntries() + 1 >=
+          (uint64_t{1} << rebuild_q_bits_) * 9 / 10) {
+    ++rebuild_q_bits_;
+    RebuildMaplet(rebuild_q_bits_);
+    ++rebuilds_;
+  }
+  maplet_->Insert(key, page);
+  ++live_;
+  MaybeGc();
+}
+
+void CircularLog::Delete(uint64_t key) {
+  const auto old_offset = FindOffset(key);
+  if (!old_offset.has_value()) return;
+  log_[*old_offset].dead = true;
+  ++dead_;
+  --live_;
+  maplet_->Erase(key, PageOf(*old_offset));
+  Append(key, 0, /*tombstone_of_delete=*/true);  // Logged for recovery.
+  ++dead_;  // The tombstone itself is immediately garbage.
+  MaybeGc();
+}
+
+std::optional<uint64_t> CircularLog::Get(uint64_t key) {
+  const auto offset = FindOffset(key);
+  if (!offset.has_value()) return std::nullopt;
+  return log_[*offset].value;
+}
+
+void CircularLog::RebuildMaplet(int q_bits) {
+  // A rebuild reads the entire log (the expensive path the paper warns
+  // about) but restores full-length fingerprints.
+  io_.data_reads += log_.size() / kRecordsPerPage + 1;
+  maplet_ = std::make_unique<ExpandingQuotientMaplet>(
+      q_bits, options_.fingerprint_bits, /*value_bits=*/32);
+  for (uint64_t i = 0; i < log_.size(); ++i) {
+    if (!log_[i].dead) maplet_->Insert(log_[i].key, PageOf(i));
+  }
+}
+
+void CircularLog::MaybeGc() {
+  if (log_.size() < kRecordsPerPage * 8 ||
+      static_cast<double>(dead_) <
+          options_.gc_dead_fraction * static_cast<double>(log_.size())) {
+    return;
+  }
+  ++gc_runs_;
+  // Compact: read the whole log, write back the live prefix.
+  io_.data_reads += log_.size() / kRecordsPerPage + 1;
+  std::vector<Record> compacted;
+  compacted.reserve(live_);
+  for (const Record& r : log_) {
+    if (!r.dead) compacted.push_back(r);
+  }
+  io_.runs_consulted += compacted.size() / kRecordsPerPage + 1;
+  log_ = std::move(compacted);
+  dead_ = 0;
+  // Offsets changed: the maplet must be rebuilt (fresh fingerprints).
+  const uint64_t needed = std::max<uint64_t>(live_ * 10 / 9, 64);
+  int q_bits = options_.initial_q_bits;
+  while ((uint64_t{1} << q_bits) < needed) ++q_bits;
+  rebuild_q_bits_ = q_bits;
+  maplet_ = std::make_unique<ExpandingQuotientMaplet>(
+      q_bits, options_.fingerprint_bits, /*value_bits=*/32);
+  for (uint64_t i = 0; i < log_.size(); ++i) {
+    maplet_->Insert(log_[i].key, PageOf(i));
+  }
+}
+
+}  // namespace bbf::lsm

@@ -1,0 +1,86 @@
+#ifndef BBF_APPS_LSM_CIRCULAR_LOG_H_
+#define BBF_APPS_LSM_CIRCULAR_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "apps/lsm/io_model.h"
+#include "quotient/expanding_quotient_maplet.h"
+
+namespace bbf::lsm {
+
+/// A circular-log key-value store (§3.1, the FAWN/FASTER/Pliops family):
+/// every put/delete appends a record to an append-only log; an in-memory
+/// maplet maps each live key to its log position. The paper: "it is
+/// crucial for these maplets to support updates, deletes, and expansion
+/// ... and to exhibit high performance and low false positive rates."
+///
+/// This engine makes those requirements measurable:
+///   * the maplet stores each key's log *page*; a lookup reads every
+///     candidate page the maplet returns, so maplet noise (eps) turns
+///     directly into wasted page reads;
+///   * updates/deletes erase the stale mapping in place (dynamic maplet);
+///   * growth beyond capacity triggers either an in-place fingerprint
+///     expansion (no data I/O, costs one fingerprint bit) or a full log
+///     scan rebuild (costs a read of every live page) — the two
+///     strategies of §2.2, selectable per instance;
+///   * garbage collection compacts the log once enough of it is dead.
+class CircularLog {
+ public:
+  enum class ExpandStrategy { kExpandMaplet, kRebuildFromLog };
+
+  struct Options {
+    ExpandStrategy expand = ExpandStrategy::kExpandMaplet;
+    int initial_q_bits = 12;        // Maplet starts with 2^12 slots.
+    int fingerprint_bits = 12;
+    double gc_dead_fraction = 0.5;  // Compact when half the log is dead.
+  };
+
+  explicit CircularLog(Options options);
+
+  void Put(uint64_t key, uint64_t value);
+  void Delete(uint64_t key);
+  std::optional<uint64_t> Get(uint64_t key);
+
+  const IoStats& io() const { return io_; }
+  void ResetIo() { io_.Reset(); }
+
+  uint64_t live_entries() const { return live_; }
+  uint64_t log_records() const { return log_.size(); }
+  int maplet_expansions() const;
+  uint64_t rebuilds() const { return rebuilds_; }
+  uint64_t gc_runs() const { return gc_runs_; }
+  size_t MapletBits() const { return maplet_->SpaceBits(); }
+
+ private:
+  struct Record {
+    uint64_t key;
+    uint64_t value;
+    bool dead = false;  // Superseded or deleted.
+  };
+
+  static constexpr uint64_t kRecordsPerPage = 64;
+
+  uint64_t PageOf(uint64_t offset) const { return offset / kRecordsPerPage; }
+  /// Finds the live record offset for key (reads candidate pages).
+  std::optional<uint64_t> FindOffset(uint64_t key);
+  void Append(uint64_t key, uint64_t value, bool tombstone_of_delete);
+  void MaybeGc();
+  void RebuildMaplet(int q_bits);
+
+  Options options_;
+  std::vector<Record> log_;
+  std::unique_ptr<ExpandingQuotientMaplet> maplet_;  // key -> page.
+  IoStats io_;
+  uint64_t live_ = 0;
+  uint64_t dead_ = 0;
+  uint64_t rebuilds_ = 0;
+  uint64_t gc_runs_ = 0;
+  int rebuild_q_bits_;
+};
+
+}  // namespace bbf::lsm
+
+#endif  // BBF_APPS_LSM_CIRCULAR_LOG_H_

@@ -1,0 +1,33 @@
+#ifndef BBF_APPS_LSM_IO_MODEL_H_
+#define BBF_APPS_LSM_IO_MODEL_H_
+
+#include <cstdint>
+
+namespace bbf::lsm {
+
+/// Deterministic storage-cost model (DESIGN.md §3). Real systems measure
+/// device I/O; we count the quantities every cited LSM paper optimizes:
+/// one I/O per sorted-run probe (the page fetch a filter can avert) plus
+/// one per extra data page a range scan touches.
+struct IoStats {
+  uint64_t data_reads = 0;      // Simulated page reads from storage.
+  uint64_t filter_probes = 0;   // In-memory filter consultations (CPU).
+  uint64_t runs_consulted = 0;  // Runs whose filters were consulted.
+  uint64_t false_probes = 0;    // Reads that found nothing (filter FPs).
+
+  void Reset() { *this = IoStats{}; }
+  IoStats& operator+=(const IoStats& o) {
+    data_reads += o.data_reads;
+    filter_probes += o.filter_probes;
+    runs_consulted += o.runs_consulted;
+    false_probes += o.false_probes;
+    return *this;
+  }
+};
+
+/// Entries per simulated 4 KiB page (16-byte key/value pairs).
+inline constexpr uint64_t kEntriesPerPage = 256;
+
+}  // namespace bbf::lsm
+
+#endif  // BBF_APPS_LSM_IO_MODEL_H_

@@ -1,0 +1,193 @@
+#include "apps/lsm/lsm_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bbf::lsm {
+
+LsmTree::LsmTree(LsmOptions options) : options_(options) {}
+
+void LsmTree::Put(uint64_t key, uint64_t value) {
+  memtable_[key] = Entry{key, value, false};
+  ++ingested_;
+  if (memtable_.size() >= options_.memtable_entries) FlushMemtable();
+}
+
+void LsmTree::Delete(uint64_t key) {
+  memtable_[key] = Entry{key, 0, true};
+  ++ingested_;
+  if (memtable_.size() >= options_.memtable_entries) FlushMemtable();
+}
+
+std::optional<uint64_t> LsmTree::Get(uint64_t key) {
+  const auto mit = memtable_.find(key);
+  if (mit != memtable_.end()) {
+    if (mit->second.tombstone) return std::nullopt;
+    return mit->second.value;
+  }
+  for (const Level& level : levels_) {
+    for (const auto& run : level.runs) {  // Newest first within a level.
+      const std::optional<Entry> e = run->Get(key, &io_);
+      if (e.has_value()) {
+        if (e->tombstone) return std::nullopt;
+        return e->value;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> LsmTree::Scan(uint64_t lo,
+                                                         uint64_t hi) {
+  // Collect matches per source, newest source first, then merge.
+  std::map<uint64_t, Entry> merged;  // Key -> newest version seen.
+  const auto absorb = [&merged](const Entry& e) {
+    merged.emplace(e.key, e);  // emplace keeps the first (newest) version.
+  };
+  for (auto it = memtable_.lower_bound(lo);
+       it != memtable_.end() && it->first <= hi; ++it) {
+    absorb(it->second);
+  }
+  std::vector<Entry> batch;
+  for (const Level& level : levels_) {
+    for (const auto& run : level.runs) {
+      batch.clear();
+      run->Scan(lo, hi, &batch, &io_);
+      for (const Entry& e : batch) absorb(e);
+    }
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(merged.size());
+  for (const auto& [k, e] : merged) {
+    if (!e.tombstone) out.emplace_back(k, e.value);
+  }
+  return out;
+}
+
+uint64_t LsmTree::LevelCapacity(size_t level_idx) const {
+  // Level i holds up to memtable * T^(i+1) entries.
+  double cap = static_cast<double>(options_.memtable_entries);
+  for (size_t i = 0; i <= level_idx; ++i) cap *= options_.size_ratio;
+  return static_cast<uint64_t>(cap);
+}
+
+double LsmTree::PointBitsForLevel(size_t level_idx) const {
+  if (options_.allocation == FilterAllocation::kUniform ||
+      options_.point_filter == PointFilterKind::kNone) {
+    return options_.point_bits_per_key;
+  }
+  // Monkey: FPR_i = eps0 / T^(L-1-i) — the bottom level carries the base
+  // rate, each smaller level a T-times lower one, so the SUM of FPRs (the
+  // expected wasted I/Os per negative lookup) converges to eps0*T/(T-1)
+  // instead of growing linearly in L.
+  //
+  // Memory matching: level i spends 1.44*lg(T) extra bits per key per
+  // level of distance from the bottom, but holds a T^-distance fraction
+  // of the keys, so the total overhead versus uniform allocation is
+  // 1.44*lg(T)*sum(j T^-j) = 1.44*lg(T)*T/(T-1)^2 bits/key. We give the
+  // bottom level that much less so total memory matches the uniform
+  // budget.
+  const size_t num_levels = std::max<size_t>(levels_.size(), 1);
+  const double t = static_cast<double>(options_.size_ratio);
+  const double overhead = 1.44 * std::log2(t) * t / ((t - 1) * (t - 1));
+  const double base_bits =
+      std::max(1.0, options_.point_bits_per_key - overhead);
+  const double base_fpr = std::exp2(-base_bits / 1.44);
+  const double distance =
+      static_cast<double>(num_levels - 1 -
+                          std::min(level_idx, num_levels - 1));
+  const double fpr = base_fpr / std::pow(t, distance);
+  return -std::log2(std::max(fpr, 1e-12)) * 1.44;
+}
+
+std::shared_ptr<SortedRun> LsmTree::BuildRun(std::vector<Entry> entries,
+                                             size_t level_idx) {
+  return std::make_shared<SortedRun>(
+      std::move(entries), options_.point_filter, PointBitsForLevel(level_idx),
+      options_.range_filter, options_.range_bits_per_key, ++run_seed_);
+}
+
+void LsmTree::FlushMemtable() {
+  if (memtable_.empty()) return;
+  std::vector<Entry> entries;
+  entries.reserve(memtable_.size());
+  for (const auto& [k, e] : memtable_) entries.push_back(e);
+  memtable_.clear();
+  if (levels_.empty()) levels_.emplace_back();
+  levels_[0].runs.insert(levels_[0].runs.begin(),
+                         BuildRun(std::move(entries), 0));
+  MaybeCompact(0);
+}
+
+void LsmTree::MaybeCompact(size_t level_idx) {
+  if (level_idx >= levels_.size()) return;
+  uint64_t level_entries = 0;
+  for (const auto& run : levels_[level_idx].runs) {
+    level_entries += run->size();
+  }
+  const size_t max_runs = options_.tiering
+                              ? static_cast<size_t>(options_.size_ratio)
+                              : 1;
+  const bool overflow = options_.tiering
+                            ? levels_[level_idx].runs.size() > max_runs
+                            : level_entries > LevelCapacity(level_idx);
+  if (!overflow || levels_[level_idx].runs.empty()) return;
+
+  // Merge every run of this level with the next level's runs. NOTE:
+  // emplace_back can reallocate levels_, so only index-based access here.
+  if (level_idx + 1 >= levels_.size()) levels_.emplace_back();
+  std::vector<std::shared_ptr<SortedRun>> sources = levels_[level_idx].runs;
+  if (!options_.tiering) {
+    // Leveling: the next level's single run participates in the merge.
+    for (const auto& run : levels_[level_idx + 1].runs) {
+      sources.push_back(run);
+    }
+    levels_[level_idx + 1].runs.clear();
+  }
+  levels_[level_idx].runs.clear();
+
+  // K-way merge, newest source wins per key. Sources are ordered newest
+  // to oldest already (level order preserved).
+  std::map<uint64_t, Entry> merged;
+  for (const auto& run : sources) {
+    for (const Entry& e : run->entries()) merged.emplace(e.key, e);
+  }
+  // Tombstones may only be dropped when nothing older can resurrect the
+  // key: the destination is the last level and (under tiering) holds no
+  // older runs that escaped this merge.
+  const bool bottom_level =
+      level_idx + 2 >= levels_.size() &&
+      (!options_.tiering || levels_[level_idx + 1].runs.empty());
+  std::vector<Entry> entries;
+  entries.reserve(merged.size());
+  for (const auto& [k, e] : merged) {
+    // Tombstones drop out once they reach the bottom of the tree.
+    if (e.tombstone && bottom_level) continue;
+    entries.push_back(e);
+  }
+  compaction_writes_ += entries.size();
+  if (!entries.empty()) {
+    levels_[level_idx + 1].runs.insert(
+        levels_[level_idx + 1].runs.begin(),
+        BuildRun(std::move(entries), level_idx + 1));
+  }
+  MaybeCompact(level_idx + 1);
+}
+
+uint64_t LsmTree::TotalEntries() const {
+  uint64_t total = memtable_.size();
+  for (const Level& level : levels_) {
+    for (const auto& run : level.runs) total += run->size();
+  }
+  return total;
+}
+
+size_t LsmTree::TotalFilterBits() const {
+  size_t bits = 0;
+  for (const Level& level : levels_) {
+    for (const auto& run : level.runs) bits += run->FilterBits();
+  }
+  return bits;
+}
+
+}  // namespace bbf::lsm

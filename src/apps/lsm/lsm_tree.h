@@ -1,0 +1,87 @@
+#ifndef BBF_APPS_LSM_LSM_TREE_H_
+#define BBF_APPS_LSM_LSM_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "apps/lsm/io_model.h"
+#include "apps/lsm/run.h"
+
+namespace bbf::lsm {
+
+/// Filter-memory allocation across levels (§3.1).
+enum class FilterAllocation {
+  kUniform,  // Same bits/key everywhere: expected lookup cost O(eps * L).
+  kMonkey,   // Monkey [32]: geometrically lower FPR for smaller levels,
+             // sum of FPRs converges -> expected lookup cost O(eps).
+};
+
+struct LsmOptions {
+  uint64_t memtable_entries = 4096;  // Flush threshold.
+  int size_ratio = 4;                // T: level i+1 is T times level i.
+  bool tiering = false;              // false = leveling (1 run/level).
+  PointFilterKind point_filter = PointFilterKind::kBloom;
+  double point_bits_per_key = 10.0;
+  RangeFilterKind range_filter = RangeFilterKind::kNone;
+  double range_bits_per_key = 14.0;
+  FilterAllocation allocation = FilterAllocation::kUniform;
+};
+
+/// A miniature LSM-tree storage engine (§3.1): memtable + leveled or
+/// tiered sorted runs, each fronted by pluggable point/range filters, over
+/// the simulated I/O model. Supports puts, deletes (tombstones), point
+/// lookups, and range scans; tracks write amplification and I/O counts so
+/// experiments E9 can reproduce the Monkey / range-filter claims.
+class LsmTree {
+ public:
+  explicit LsmTree(LsmOptions options);
+
+  void Put(uint64_t key, uint64_t value);
+  void Delete(uint64_t key);
+
+  /// Point lookup: newest to oldest. Charges the I/O model.
+  std::optional<uint64_t> Get(uint64_t key);
+
+  /// All live key/value pairs in [lo, hi], newest version wins.
+  std::vector<std::pair<uint64_t, uint64_t>> Scan(uint64_t lo, uint64_t hi);
+
+  const IoStats& io() const { return io_; }
+  void ResetIo() { io_.Reset(); }
+
+  uint64_t TotalEntries() const;
+  size_t TotalFilterBits() const;
+  int NumLevels() const { return static_cast<int>(levels_.size()); }
+  /// Entries written by compactions / entries ingested.
+  double WriteAmplification() const {
+    return ingested_ == 0
+               ? 0.0
+               : static_cast<double>(compaction_writes_) / ingested_;
+  }
+
+ private:
+  struct Level {
+    std::vector<std::shared_ptr<SortedRun>> runs;  // Newest first.
+  };
+
+  void FlushMemtable();
+  void MaybeCompact(size_t level_idx);
+  uint64_t LevelCapacity(size_t level_idx) const;
+  double PointBitsForLevel(size_t level_idx) const;
+  std::shared_ptr<SortedRun> BuildRun(std::vector<Entry> entries,
+                                      size_t level_idx);
+
+  LsmOptions options_;
+  std::map<uint64_t, Entry> memtable_;
+  std::vector<Level> levels_;
+  IoStats io_;
+  uint64_t ingested_ = 0;
+  uint64_t compaction_writes_ = 0;
+  uint64_t run_seed_ = 0;
+};
+
+}  // namespace bbf::lsm
+
+#endif  // BBF_APPS_LSM_LSM_TREE_H_

@@ -1,0 +1,159 @@
+#include "apps/lsm/run.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bloom/bloom_filter.h"
+#include "cuckoo/cuckoo_filter.h"
+#include "quotient/quotient_filter.h"
+#include "range/grafite.h"
+#include "range/prefix_bloom_range.h"
+#include "range/rosetta.h"
+#include "range/snarf.h"
+#include "range/surf.h"
+#include "staticf/ribbon_filter.h"
+#include "util/bits.h"
+#include "staticf/xor_filter.h"
+
+namespace bbf::lsm {
+namespace {
+
+std::unique_ptr<Filter> BuildPointFilter(const std::vector<uint64_t>& keys,
+                                         PointFilterKind kind,
+                                         double bits_per_key, uint64_t seed) {
+  const uint64_t n = std::max<uint64_t>(keys.size(), 1);
+  // Fingerprint widths chosen so each filter spends ~bits_per_key.
+  switch (kind) {
+    case PointFilterKind::kNone:
+      return nullptr;
+    case PointFilterKind::kBloom: {
+      auto f = std::make_unique<BloomFilter>(n, bits_per_key, 0, seed);
+      for (uint64_t k : keys) f->Insert(k);
+      return f;
+    }
+    case PointFilterKind::kBlockedBloom: {
+      auto f = std::make_unique<BlockedBloomFilter>(n, bits_per_key);
+      for (uint64_t k : keys) f->Insert(k);
+      return f;
+    }
+    case PointFilterKind::kXor: {
+      const int fp_bits =
+          std::max(2, static_cast<int>(std::lround(bits_per_key / 1.23)));
+      return std::make_unique<XorFilter>(keys, fp_bits);
+    }
+    case PointFilterKind::kRibbon: {
+      const int fp_bits =
+          std::max(2, static_cast<int>(std::lround(bits_per_key / 1.05)));
+      return std::make_unique<RibbonFilter>(keys, fp_bits);
+    }
+    case PointFilterKind::kCuckoo: {
+      const int fp_bits =
+          std::max(4, static_cast<int>(std::lround(bits_per_key * 0.95)));
+      auto f = std::make_unique<CuckooFilter>(n, fp_bits, seed);
+      for (uint64_t k : keys) f->Insert(k);
+      return f;
+    }
+    case PointFilterKind::kQuotient: {
+      const int r_bits =
+          std::max(2, static_cast<int>(std::lround(bits_per_key - 3)));
+      const int q_bits = std::max(
+          6, BitWidth(NextPow2(static_cast<uint64_t>(
+                 std::ceil(n / QuotientFilter::kMaxLoadFactor))) -
+             1));
+      auto f = std::make_unique<QuotientFilter>(q_bits, r_bits, seed);
+      for (uint64_t k : keys) f->Insert(k);
+      return f;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<RangeFilter> BuildRangeFilter(
+    const std::vector<uint64_t>& keys, RangeFilterKind kind,
+    double bits_per_key) {
+  if (keys.empty()) return nullptr;
+  switch (kind) {
+    case RangeFilterKind::kNone:
+      return nullptr;
+    case RangeFilterKind::kPrefixBloom:
+      return std::make_unique<PrefixBloomRangeFilter>(keys, 44, bits_per_key);
+    case RangeFilterKind::kSurf: {
+      // Spend whatever the trie doesn't need on real suffix bits.
+      return std::make_unique<SurfFilter>(keys, SurfFilter::SuffixMode::kReal,
+                                          8);
+    }
+    case RangeFilterKind::kRosetta:
+      return std::make_unique<RosettaRangeFilter>(keys, 17, bits_per_key);
+    case RangeFilterKind::kSnarf:
+      return std::make_unique<SnarfRangeFilter>(
+          keys, std::max(1, static_cast<int>(bits_per_key) - 2));
+    case RangeFilterKind::kGrafite:
+      return std::make_unique<GrafiteRangeFilter>(
+          GrafiteRangeFilter::ForBitsPerKey(keys, bits_per_key));
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+SortedRun::SortedRun(std::vector<Entry> entries, PointFilterKind point_kind,
+                     double point_bits_per_key, RangeFilterKind range_kind,
+                     double range_bits_per_key, uint64_t filter_seed)
+    : entries_(std::move(entries)) {
+  std::vector<uint64_t> keys;
+  keys.reserve(entries_.size());
+  for (const Entry& e : entries_) keys.push_back(e.key);
+  if (!keys.empty()) {
+    point_filter_ =
+        BuildPointFilter(keys, point_kind, point_bits_per_key, filter_seed);
+    range_filter_ = BuildRangeFilter(keys, range_kind, range_bits_per_key);
+  }
+}
+
+std::optional<Entry> SortedRun::Get(uint64_t key, IoStats* io) const {
+  if (entries_.empty() || key < min_key() || key > max_key()) {
+    return std::nullopt;
+  }
+  ++io->runs_consulted;
+  if (point_filter_ != nullptr) {
+    ++io->filter_probes;
+    if (!point_filter_->Contains(key)) return std::nullopt;
+  }
+  ++io->data_reads;  // One page fetch to binary-search the run.
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, uint64_t k) { return e.key < k; });
+  if (it != entries_.end() && it->key == key) return *it;
+  ++io->false_probes;  // The filter (or key-range check) lied.
+  return std::nullopt;
+}
+
+void SortedRun::Scan(uint64_t lo, uint64_t hi, std::vector<Entry>* out,
+                     IoStats* io) const {
+  if (entries_.empty() || hi < min_key() || lo > max_key()) return;
+  ++io->runs_consulted;
+  if (range_filter_ != nullptr) {
+    ++io->filter_probes;
+    if (!range_filter_->MayContainRange(lo, hi)) return;
+  }
+  const auto begin = std::lower_bound(
+      entries_.begin(), entries_.end(), lo,
+      [](const Entry& e, uint64_t k) { return e.key < k; });
+  const auto end = std::upper_bound(
+      entries_.begin(), entries_.end(), hi,
+      [](uint64_t k, const Entry& e) { return k < e.key; });
+  const uint64_t matched = static_cast<uint64_t>(end - begin);
+  // The seek costs one page; each further page of results costs another.
+  io->data_reads += 1 + matched / kEntriesPerPage;
+  if (matched == 0) ++io->false_probes;
+  out->insert(out->end(), begin, end);
+}
+
+size_t SortedRun::FilterBits() const {
+  size_t bits = 0;
+  if (point_filter_ != nullptr) bits += point_filter_->SpaceBits();
+  if (range_filter_ != nullptr) bits += range_filter_->SpaceBits();
+  return bits;
+}
+
+}  // namespace bbf::lsm

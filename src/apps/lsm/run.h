@@ -1,0 +1,77 @@
+#ifndef BBF_APPS_LSM_RUN_H_
+#define BBF_APPS_LSM_RUN_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "apps/lsm/io_model.h"
+#include "core/filter.h"
+#include "range/range_filter.h"
+
+namespace bbf::lsm {
+
+/// One key/value entry in a sorted run; deletes travel as tombstones.
+struct Entry {
+  uint64_t key;
+  uint64_t value;
+  bool tombstone = false;
+};
+
+/// Which point filter each run carries (§3.1: "as each file is immutable
+/// once created, any static filter is applicable in this context").
+enum class PointFilterKind {
+  kNone,
+  kBloom,
+  kBlockedBloom,
+  kXor,
+  kRibbon,
+  kCuckoo,
+  kQuotient,
+};
+
+/// Which range filter each run carries (§2.5).
+enum class RangeFilterKind {
+  kNone,
+  kPrefixBloom,
+  kSurf,
+  kRosetta,
+  kSnarf,
+  kGrafite,
+};
+
+/// An immutable sorted run ("file") with optional per-run filters.
+class SortedRun {
+ public:
+  /// Builds from entries sorted by key (newest version per key only).
+  SortedRun(std::vector<Entry> entries, PointFilterKind point_kind,
+            double point_bits_per_key, RangeFilterKind range_kind,
+            double range_bits_per_key, uint64_t filter_seed);
+
+  /// Point lookup. Consults the filter first; a filter miss costs nothing.
+  /// Returns the entry (possibly a tombstone) if present.
+  std::optional<Entry> Get(uint64_t key, IoStats* io) const;
+
+  /// Appends every live entry in [lo, hi] to `out`, charging page reads.
+  /// Consults the range filter first.
+  void Scan(uint64_t lo, uint64_t hi, std::vector<Entry>* out,
+            IoStats* io) const;
+
+  uint64_t size() const { return entries_.size(); }
+  uint64_t min_key() const { return entries_.empty() ? 0 : entries_.front().key; }
+  uint64_t max_key() const { return entries_.empty() ? 0 : entries_.back().key; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// In-memory filter footprint of this run.
+  size_t FilterBits() const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::unique_ptr<Filter> point_filter_;
+  std::unique_ptr<RangeFilter> range_filter_;
+};
+
+}  // namespace bbf::lsm
+
+#endif  // BBF_APPS_LSM_RUN_H_

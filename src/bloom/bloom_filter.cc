@@ -1,0 +1,108 @@
+#include "bloom/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/hash.h"
+#include "util/serialize.h"
+
+namespace bbf {
+namespace {
+
+int OptimalNumHashes(double bits_per_key) {
+  return std::max(1, static_cast<int>(std::lround(bits_per_key * 0.6931)));
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(uint64_t expected_keys, double bits_per_key,
+                         int num_hashes, uint64_t hash_seed)
+    : bits_(std::max<uint64_t>(
+          64, static_cast<uint64_t>(expected_keys * bits_per_key))),
+      num_hashes_(num_hashes > 0 ? num_hashes
+                                 : OptimalNumHashes(bits_per_key)),
+      hash_seed_(hash_seed) {}
+
+BloomFilter BloomFilter::ForFpr(uint64_t expected_keys, double fpr,
+                                uint64_t hash_seed) {
+  // m/n = -ln(eps) / (ln 2)^2 = 1.44 lg(1/eps).
+  const double bits_per_key = -std::log(fpr) / (0.6931 * 0.6931);
+  return BloomFilter(expected_keys, bits_per_key, 0, hash_seed);
+}
+
+bool BloomFilter::Insert(uint64_t key) {
+  // Kirsch–Mitzenmacher double hashing: h_i = h1 + i * h2.
+  const uint64_t h1 = Hash64(key, hash_seed_ * 2 + 0x71);
+  const uint64_t h2 = Hash64(key, hash_seed_ * 2 + 0x72) | 1;
+  uint64_t h = h1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    bits_.Set(FastRange64(h, bits_.size()));
+    h += h2;
+  }
+  ++num_keys_;
+  return true;
+}
+
+bool BloomFilter::Contains(uint64_t key) const {
+  const uint64_t h1 = Hash64(key, hash_seed_ * 2 + 0x71);
+  const uint64_t h2 = Hash64(key, hash_seed_ * 2 + 0x72) | 1;
+  uint64_t h = h1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    if (!bits_.Get(FastRange64(h, bits_.size()))) return false;
+    h += h2;
+  }
+  return true;
+}
+
+void BloomFilter::Save(std::ostream& os) const {
+  WriteI32(os, num_hashes_);
+  WriteU64(os, hash_seed_);
+  WriteU64(os, num_keys_);
+  bits_.Save(os);
+}
+
+bool BloomFilter::Load(std::istream& is) {
+  int32_t k;
+  if (!ReadI32(is, &k) || k < 1 || k > 64) return false;
+  num_hashes_ = k;
+  return ReadU64(is, &hash_seed_) && ReadU64(is, &num_keys_) &&
+         bits_.Load(is);
+}
+
+BlockedBloomFilter::BlockedBloomFilter(uint64_t expected_keys,
+                                       double bits_per_key, int num_hashes)
+    : num_hashes_(num_hashes > 0 ? num_hashes
+                                 : OptimalNumHashes(bits_per_key)) {
+  const uint64_t total_bits = std::max<uint64_t>(
+      kBlockBits, static_cast<uint64_t>(expected_keys * bits_per_key));
+  num_blocks_ = (total_bits + kBlockBits - 1) / kBlockBits;
+  bits_.Resize(num_blocks_ * kBlockBits);
+}
+
+bool BlockedBloomFilter::Insert(uint64_t key) {
+  const uint64_t block = FastRange64(Hash64(key, 0x73), num_blocks_);
+  const uint64_t base = block * kBlockBits;
+  uint64_t h = Hash64(key, 0x74);
+  for (int i = 0; i < num_hashes_; ++i) {
+    bits_.Set(base + (h & (kBlockBits - 1)));
+    h >>= 9;  // 9 bits per in-block probe; 512-bit blocks need 9 bits each.
+    if (i % 6 == 5) h = Hash64(key, 0x75 + i);  // Refresh hash bits.
+  }
+  ++num_keys_;
+  return true;
+}
+
+bool BlockedBloomFilter::Contains(uint64_t key) const {
+  const uint64_t block = FastRange64(Hash64(key, 0x73), num_blocks_);
+  const uint64_t base = block * kBlockBits;
+  uint64_t h = Hash64(key, 0x74);
+  for (int i = 0; i < num_hashes_; ++i) {
+    if (!bits_.Get(base + (h & (kBlockBits - 1)))) return false;
+    h >>= 9;
+    if (i % 6 == 5) h = Hash64(key, 0x75 + i);
+  }
+  return true;
+}
+
+}  // namespace bbf

@@ -1,0 +1,48 @@
+#ifndef BBF_BLOOM_CASCADING_BLOOM_H_
+#define BBF_BLOOM_CASCADING_BLOOM_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+
+namespace bbf {
+
+/// Cascading Bloom filter [Salikhov et al. 2013; §3.2, §2.3]: an *exact*
+/// representation of a set S relative to a closed candidate universe.
+/// Level 0 is a Bloom filter of S; level 1 is a Bloom filter of the level-0
+/// false positives among the candidates; level 2 of the level-1 false
+/// positives among S; and so on, with a small exact set terminating the
+/// cascade. Queries for any candidate (or member) are answered exactly.
+///
+/// This is the trick that turns the probabilistic de Bruijn graph of Pell
+/// et al. into the exact navigational representation of Chikhi & Rizk with
+/// far less memory than an exact side table.
+class CascadingBloomFilter {
+ public:
+  /// Builds over members S and the non-member candidates that will ever be
+  /// queried. `bits_per_key` applies to level 0; deeper levels get the
+  /// same rate over their (much smaller) input sets. `levels` >= 1.
+  CascadingBloomFilter(const std::vector<uint64_t>& members,
+                       const std::vector<uint64_t>& candidates,
+                       double bits_per_key, int levels = 3);
+
+  /// Exact membership for any key in members ∪ candidates; best-effort
+  /// (standard Bloom semantics) for anything else.
+  bool Contains(uint64_t key) const;
+
+  size_t SpaceBits() const;
+  size_t num_levels() const { return levels_.size(); }
+  size_t exact_set_size() const { return exact_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<BloomFilter>> levels_;
+  std::unordered_set<uint64_t> exact_;  // Truth for survivors of the cascade.
+  bool exact_holds_members_ = false;    // Parity of the final level.
+};
+
+}  // namespace bbf
+
+#endif  // BBF_BLOOM_CASCADING_BLOOM_H_

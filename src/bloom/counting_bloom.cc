@@ -1,0 +1,128 @@
+#include "bloom/counting_bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bbf {
+namespace {
+
+int OptimalNumHashes(double bits_per_key, int counter_bits) {
+  // bits_per_key budgets total space; the counter array has
+  // bits_per_key / counter_bits counters per key.
+  const double counters_per_key = bits_per_key / counter_bits;
+  return std::max(1, static_cast<int>(std::lround(counters_per_key * 0.6931)));
+}
+
+uint64_t NumCounters(uint64_t expected_keys, double bits_per_key,
+                     int counter_bits) {
+  return std::max<uint64_t>(
+      64, static_cast<uint64_t>(expected_keys * bits_per_key / counter_bits));
+}
+
+}  // namespace
+
+CountingBloomFilter::CountingBloomFilter(uint64_t expected_keys,
+                                         double bits_per_key, int counter_bits,
+                                         int num_hashes)
+    : counters_(NumCounters(expected_keys, bits_per_key, counter_bits),
+                counter_bits),
+      num_hashes_(num_hashes > 0
+                      ? num_hashes
+                      : OptimalNumHashes(bits_per_key, counter_bits)) {}
+
+uint64_t CountingBloomFilter::CounterIndex(uint64_t key, int i) const {
+  const uint64_t h1 = Hash64(key, 0x81);
+  const uint64_t h2 = Hash64(key, 0x82) | 1;
+  return FastRange64(h1 + static_cast<uint64_t>(i) * h2, counters_.size());
+}
+
+bool CountingBloomFilter::Insert(uint64_t key) {
+  const uint64_t max = LowMask(counters_.width());
+  for (int i = 0; i < num_hashes_; ++i) {
+    const uint64_t idx = CounterIndex(key, i);
+    const uint64_t c = counters_.Get(idx);
+    if (c < max) {
+      counters_.Set(idx, c + 1);
+      if (c + 1 == max) ++saturated_;
+    }
+  }
+  ++num_keys_;
+  return true;
+}
+
+bool CountingBloomFilter::Erase(uint64_t key) {
+  if (Count(key) == 0) return false;
+  const uint64_t max = LowMask(counters_.width());
+  for (int i = 0; i < num_hashes_; ++i) {
+    const uint64_t idx = CounterIndex(key, i);
+    const uint64_t c = counters_.Get(idx);
+    // Saturated counters are sticky: decrementing one could create a false
+    // negative for some other key that pushed it past the maximum.
+    if (c > 0 && c < max) counters_.Set(idx, c - 1);
+  }
+  --num_keys_;
+  return true;
+}
+
+uint64_t CountingBloomFilter::Count(uint64_t key) const {
+  uint64_t min_count = ~uint64_t{0};
+  for (int i = 0; i < num_hashes_; ++i) {
+    min_count = std::min(min_count, counters_.Get(CounterIndex(key, i)));
+  }
+  return min_count;
+}
+
+CountingBloomFilter CountingBloomFilter::RebuiltWithWiderCounters() const {
+  const double bits_per_key =
+      NumKeys() == 0
+          ? 8.0
+          : static_cast<double>(counters_.size()) * counters_.width() * 2 /
+                NumKeys();
+  CountingBloomFilter wider(std::max<uint64_t>(NumKeys(), 1), bits_per_key,
+                            counters_.width() * 2, num_hashes_);
+  return wider;
+}
+
+SpectralBloomFilter::SpectralBloomFilter(uint64_t expected_keys,
+                                         double bits_per_key, int counter_bits,
+                                         int num_hashes)
+    : counters_(NumCounters(expected_keys, bits_per_key, counter_bits),
+                counter_bits),
+      num_hashes_(num_hashes > 0
+                      ? num_hashes
+                      : OptimalNumHashes(bits_per_key, counter_bits)) {}
+
+uint64_t SpectralBloomFilter::CounterIndex(uint64_t key, int i) const {
+  const uint64_t h1 = Hash64(key, 0x83);
+  const uint64_t h2 = Hash64(key, 0x84) | 1;
+  return FastRange64(h1 + static_cast<uint64_t>(i) * h2, counters_.size());
+}
+
+bool SpectralBloomFilter::Insert(uint64_t key) {
+  // Minimum increase: only bump the counters that hold the current minimum.
+  uint64_t min_count = ~uint64_t{0};
+  for (int i = 0; i < num_hashes_; ++i) {
+    min_count = std::min(min_count, counters_.Get(CounterIndex(key, i)));
+  }
+  const uint64_t max = LowMask(counters_.width());
+  for (int i = 0; i < num_hashes_; ++i) {
+    const uint64_t idx = CounterIndex(key, i);
+    const uint64_t c = counters_.Get(idx);
+    if (c == min_count && c < max) counters_.Set(idx, c + 1);
+  }
+  ++num_keys_;
+  return true;
+}
+
+uint64_t SpectralBloomFilter::Count(uint64_t key) const {
+  uint64_t min_count = ~uint64_t{0};
+  for (int i = 0; i < num_hashes_; ++i) {
+    min_count = std::min(min_count, counters_.Get(CounterIndex(key, i)));
+  }
+  return min_count;
+}
+
+}  // namespace bbf

@@ -1,0 +1,155 @@
+#include "bloom/dleft_filter.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bbf {
+
+DleftCountingFilter::DleftCountingFilter(uint64_t expected_keys, int d,
+                                         int cells_per_bucket,
+                                         int fingerprint_bits,
+                                         int counter_bits)
+    : d_(d),
+      cells_per_bucket_(cells_per_bucket),
+      fingerprint_bits_(fingerprint_bits),
+      counter_bits_(counter_bits) {
+  const uint64_t total_cells =
+      std::max<uint64_t>(d_ * cells_per_bucket_,
+                         static_cast<uint64_t>(expected_keys / 0.75));
+  buckets_per_table_ =
+      std::max<uint64_t>(1, total_cells / (d_ * cells_per_bucket_));
+  cells_ = CompactVector(
+      static_cast<uint64_t>(d_) * buckets_per_table_ * cells_per_bucket_,
+      fingerprint_bits_ + counter_bits_);
+}
+
+uint64_t DleftCountingFilter::Fingerprint(uint64_t key) const {
+  const uint64_t fp = Hash64(key, 0x91) & LowMask(fingerprint_bits_);
+  return fp == 0 ? 1 : fp;  // 0 is the empty-cell marker.
+}
+
+uint64_t DleftCountingFilter::BucketIndex(uint64_t key, int table) const {
+  return FastRange64(Hash64(key, 0xA0 + table), buckets_per_table_);
+}
+
+DleftCountingFilter::Cell DleftCountingFilter::GetCell(uint64_t slot) const {
+  const uint64_t raw = cells_.Get(slot);
+  return Cell{raw >> counter_bits_, raw & LowMask(counter_bits_)};
+}
+
+void DleftCountingFilter::PutCell(uint64_t slot, const Cell& cell) {
+  cells_.Set(slot, (cell.fingerprint << counter_bits_) |
+                       (cell.count & LowMask(counter_bits_)));
+}
+
+int DleftCountingFilter::BucketLoad(int table, uint64_t bucket) const {
+  int load = 0;
+  for (int c = 0; c < cells_per_bucket_; ++c) {
+    if (GetCell(CellSlot(table, bucket, c)).fingerprint != 0) ++load;
+  }
+  return load;
+}
+
+bool DleftCountingFilter::Insert(uint64_t key) {
+  const uint64_t fp = Fingerprint(key);
+  const uint64_t max_count = LowMask(counter_bits_);
+  // Pass 1: an existing cell with this fingerprint in any candidate bucket.
+  for (int t = 0; t < d_; ++t) {
+    const uint64_t b = BucketIndex(key, t);
+    for (int c = 0; c < cells_per_bucket_; ++c) {
+      const uint64_t slot = CellSlot(t, b, c);
+      Cell cell = GetCell(slot);
+      if (cell.fingerprint == fp) {
+        if (cell.count < max_count) {
+          ++cell.count;
+          PutCell(slot, cell);
+        } else {
+          ++overflow_[key];  // Counter saturated; spill the excess exactly.
+        }
+        ++num_keys_;
+        return true;
+      }
+    }
+  }
+  // Pass 2: d-left placement — least-loaded candidate bucket, leftmost wins.
+  int best_table = -1;
+  uint64_t best_bucket = 0;
+  int best_load = cells_per_bucket_;
+  for (int t = 0; t < d_; ++t) {
+    const uint64_t b = BucketIndex(key, t);
+    const int load = BucketLoad(t, b);
+    if (load < best_load) {
+      best_load = load;
+      best_table = t;
+      best_bucket = b;
+    }
+  }
+  if (best_table < 0) {
+    ++overflow_[key];
+    ++num_keys_;
+    return true;
+  }
+  for (int c = 0; c < cells_per_bucket_; ++c) {
+    const uint64_t slot = CellSlot(best_table, best_bucket, c);
+    if (GetCell(slot).fingerprint == 0) {
+      PutCell(slot, Cell{fp, 1});
+      ++num_keys_;
+      return true;
+    }
+  }
+  ++overflow_[key];
+  ++num_keys_;
+  return true;
+}
+
+bool DleftCountingFilter::Erase(uint64_t key) {
+  const auto it = overflow_.find(key);
+  if (it != overflow_.end()) {
+    if (--it->second == 0) overflow_.erase(it);
+    --num_keys_;
+    return true;
+  }
+  const uint64_t fp = Fingerprint(key);
+  for (int t = 0; t < d_; ++t) {
+    const uint64_t b = BucketIndex(key, t);
+    for (int c = 0; c < cells_per_bucket_; ++c) {
+      const uint64_t slot = CellSlot(t, b, c);
+      Cell cell = GetCell(slot);
+      if (cell.fingerprint == fp) {
+        if (--cell.count == 0) cell.fingerprint = 0;
+        PutCell(slot, cell);
+        --num_keys_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+uint64_t DleftCountingFilter::Count(uint64_t key) const {
+  uint64_t count = 0;
+  const auto it = overflow_.find(key);
+  if (it != overflow_.end()) count += it->second;
+  const uint64_t fp = Fingerprint(key);
+  // Sum over ALL matching cells: a colliding twin whose candidate buckets
+  // only partially overlap ours can create a second cell with our
+  // fingerprint, and our own increments may be split across both. Summing
+  // preserves the counting-filter upper-bound guarantee.
+  for (int t = 0; t < d_; ++t) {
+    const uint64_t b = BucketIndex(key, t);
+    for (int c = 0; c < cells_per_bucket_; ++c) {
+      const Cell cell = GetCell(CellSlot(t, b, c));
+      if (cell.fingerprint == fp) count += cell.count;
+    }
+  }
+  return count;
+}
+
+size_t DleftCountingFilter::SpaceBits() const {
+  return cells_.size() * cells_.width() +
+         overflow_.size() * (sizeof(uint64_t) * 2 * 8);
+}
+
+}  // namespace bbf

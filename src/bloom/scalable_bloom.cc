@@ -1,0 +1,51 @@
+#include "bloom/scalable_bloom.h"
+
+namespace bbf {
+
+ScalableBloomFilter::ScalableBloomFilter(uint64_t initial_capacity,
+                                         double target_fpr, double growth,
+                                         double tightening)
+    : target_fpr_(target_fpr),
+      growth_(growth),
+      tightening_(tightening),
+      next_capacity_(initial_capacity),
+      // First stage gets fpr0 = target * (1 - r) so the geometric series
+      // sums to the target.
+      next_fpr_(target_fpr * (1.0 - tightening)) {
+  AddStage();
+}
+
+void ScalableBloomFilter::AddStage() {
+  Stage stage;
+  stage.capacity = next_capacity_;
+  stage.filter = std::make_unique<BloomFilter>(BloomFilter::ForFpr(
+      next_capacity_, next_fpr_, /*hash_seed=*/0x5CA1 + stages_.size()));
+  stages_.push_back(std::move(stage));
+  next_capacity_ = static_cast<uint64_t>(next_capacity_ * growth_);
+  next_fpr_ *= tightening_;
+}
+
+bool ScalableBloomFilter::Insert(uint64_t key) {
+  Stage& last = stages_.back();
+  if (last.used >= last.capacity) AddStage();
+  Stage& target = stages_.back();
+  target.filter->Insert(key);
+  ++target.used;
+  ++num_keys_;
+  return true;
+}
+
+bool ScalableBloomFilter::Contains(uint64_t key) const {
+  for (const Stage& s : stages_) {
+    if (s.filter->Contains(key)) return true;
+  }
+  return false;
+}
+
+size_t ScalableBloomFilter::SpaceBits() const {
+  size_t bits = 0;
+  for (const Stage& s : stages_) bits += s.filter->SpaceBits();
+  return bits;
+}
+
+}  // namespace bbf

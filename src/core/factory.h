@@ -1,0 +1,33 @@
+#ifndef BBF_CORE_FACTORY_H_
+#define BBF_CORE_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/filter.h"
+
+namespace bbf {
+
+/// Creates a point filter by name, sized for `expected_keys` at roughly
+/// `fpr` — the tutorial's "modern filter API" as a one-liner, and the
+/// mechanism behind pluggable-filter configuration in the applications.
+///
+/// Names: bloom, blocked-bloom, counting-bloom, dleft, scalable-bloom,
+/// quotient, counting-quotient, rsqf, vector-quotient, prefix, cuckoo,
+/// adaptive-cuckoo, adaptive-quotient, taffy, chained-quotient,
+/// expanding-quotient, ring.
+///
+/// Returns nullptr for unknown names. Static filters (xor/ribbon) need
+/// the key set up front and therefore have no factory entry — construct
+/// them directly.
+std::unique_ptr<Filter> CreateFilter(std::string_view name,
+                                     uint64_t expected_keys, double fpr);
+
+/// Every name CreateFilter accepts.
+std::vector<std::string_view> KnownFilterNames();
+
+}  // namespace bbf
+
+#endif  // BBF_CORE_FACTORY_H_

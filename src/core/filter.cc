@@ -1,0 +1,9 @@
+#include "core/filter.h"
+
+namespace bbf {
+
+bool Filter::Erase(uint64_t /*key*/) { return false; }
+
+uint64_t Filter::Count(uint64_t key) const { return Contains(key) ? 1 : 0; }
+
+}  // namespace bbf

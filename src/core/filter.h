@@ -1,0 +1,80 @@
+#ifndef BBF_CORE_FILTER_H_
+#define BBF_CORE_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bbf {
+
+/// Taxonomy of §2 of the paper: static filters are built once from a known
+/// key set; semi-dynamic filters support inserts but not deletes; dynamic
+/// filters support both.
+enum class FilterClass {
+  kStatic,
+  kSemiDynamic,
+  kDynamic,
+};
+
+/// The "modern filter API" (§1, §1.1): a point-membership filter over
+/// 64-bit keys. String keys are hashed to 64 bits at the boundary with
+/// bbf::HashBytes; fingerprint filters re-hash internally, so feeding
+/// already-hashed keys is safe.
+///
+/// Implementations return `false` from Insert when the structure is full
+/// (fingerprint filters have a load-factor limit) and from Erase when
+/// deletion is unsupported or the key's fingerprint is absent. Contains is
+/// approximate in one direction only: no false negatives, false positives
+/// with probability <= epsilon.
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  /// Adds `key`. Returns false if the filter is full or insert-incapable.
+  virtual bool Insert(uint64_t key) = 0;
+
+  /// Membership query: always true for inserted keys; true with probability
+  /// <= epsilon for others.
+  virtual bool Contains(uint64_t key) const = 0;
+
+  /// Removes one occurrence of `key`. Only meaningful for dynamic filters;
+  /// default implementation reports lack of support.
+  virtual bool Erase(uint64_t key);
+
+  /// Multiplicity query (counting filters, §2.6). Default: 0/1 membership.
+  virtual uint64_t Count(uint64_t key) const;
+
+  /// Occupied-structure size in bits, for bits/key accounting.
+  virtual size_t SpaceBits() const = 0;
+
+  /// Number of keys currently represented (with multiplicity).
+  virtual uint64_t NumKeys() const = 0;
+
+  /// Static / semi-dynamic / dynamic, per the paper's taxonomy.
+  virtual FilterClass Class() const = 0;
+
+  /// Short human-readable name ("bloom", "quotient", ...).
+  virtual std::string_view Name() const = 0;
+
+  /// Bits per stored key at the current occupancy.
+  double BitsPerKey() const {
+    const uint64_t n = NumKeys();
+    return n == 0 ? 0.0 : static_cast<double>(SpaceBits()) / n;
+  }
+};
+
+/// Extension point for adaptive filters (§2.3): the fronted dictionary
+/// reports a confirmed false positive, and the filter restructures so the
+/// same query cannot trigger it again.
+class AdaptiveHook {
+ public:
+  virtual ~AdaptiveHook() = default;
+
+  /// Notifies the filter that `key` produced a false positive. Returns true
+  /// if the filter adapted (subsequent Contains(key) will be false).
+  virtual bool ReportFalsePositive(uint64_t key) = 0;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_CORE_FILTER_H_

@@ -1,0 +1,69 @@
+#include "core/sharded_filter.h"
+
+#include <mutex>
+
+#include "util/hash.h"
+
+namespace bbf {
+
+ShardedFilter::ShardedFilter(uint64_t expected_keys, int num_shards,
+                             ShardFactory factory) {
+  shards_.reserve(num_shards);
+  const uint64_t per_shard =
+      expected_keys / num_shards + expected_keys / (num_shards * 4) + 16;
+  for (int s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->filter = factory(per_shard);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+size_t ShardedFilter::ShardOf(uint64_t key) const {
+  // Shard selection uses hash bits disjoint from what the shard filters
+  // consume (they re-hash with their own seeds anyway).
+  return static_cast<size_t>(Hash64(key, 0x5A4D) % shards_.size());
+}
+
+bool ShardedFilter::Insert(uint64_t key) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::unique_lock lock(shard.mutex);
+  return shard.filter->Insert(key);
+}
+
+bool ShardedFilter::Contains(uint64_t key) const {
+  const Shard& shard = *shards_[ShardOf(key)];
+  std::shared_lock lock(shard.mutex);
+  return shard.filter->Contains(key);
+}
+
+bool ShardedFilter::Erase(uint64_t key) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::unique_lock lock(shard.mutex);
+  return shard.filter->Erase(key);
+}
+
+uint64_t ShardedFilter::Count(uint64_t key) const {
+  const Shard& shard = *shards_[ShardOf(key)];
+  std::shared_lock lock(shard.mutex);
+  return shard.filter->Count(key);
+}
+
+size_t ShardedFilter::SpaceBits() const {
+  size_t bits = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    bits += shard->filter->SpaceBits();
+  }
+  return bits;
+}
+
+uint64_t ShardedFilter::NumKeys() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    n += shard->filter->NumKeys();
+  }
+  return n;
+}
+
+}  // namespace bbf

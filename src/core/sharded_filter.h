@@ -1,0 +1,53 @@
+#ifndef BBF_CORE_SHARDED_FILTER_H_
+#define BBF_CORE_SHARDED_FILTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/filter.h"
+
+namespace bbf {
+
+/// Thread scaling (§1, feature 6): a hash-sharded wrapper that turns any
+/// dynamic filter into a concurrent one. Keys partition across S
+/// independent shards by high hash bits; each shard is guarded by its own
+/// reader-writer lock, so queries proceed fully in parallel and inserts
+/// contend only within a shard — the standard recipe behind concurrent
+/// CQF deployments.
+class ShardedFilter : public Filter {
+ public:
+  using ShardFactory =
+      std::function<std::unique_ptr<Filter>(uint64_t shard_capacity)>;
+
+  /// `num_shards` should be a power of two near the expected thread count;
+  /// `factory` builds one shard sized for `expected_keys / num_shards`.
+  ShardedFilter(uint64_t expected_keys, int num_shards, ShardFactory factory);
+
+  bool Insert(uint64_t key) override;
+  bool Contains(uint64_t key) const override;
+  bool Erase(uint64_t key) override;
+  uint64_t Count(uint64_t key) const override;
+  size_t SpaceBits() const override;
+  uint64_t NumKeys() const override;
+  FilterClass Class() const override { return FilterClass::kDynamic; }
+  std::string_view Name() const override { return "sharded"; }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unique_ptr<Filter> filter;
+  };
+
+  size_t ShardOf(uint64_t key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_CORE_SHARDED_FILTER_H_

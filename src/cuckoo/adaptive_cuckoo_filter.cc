@@ -1,0 +1,149 @@
+#include "cuckoo/adaptive_cuckoo_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bbf {
+
+AdaptiveCuckooFilter::AdaptiveCuckooFilter(uint64_t expected_keys,
+                                           int fingerprint_bits,
+                                           int selector_bits,
+                                           uint64_t hash_seed)
+    : fingerprint_bits_(fingerprint_bits),
+      selector_bits_(selector_bits),
+      hash_seed_(hash_seed),
+      kick_rng_(hash_seed * 31337 + 5) {
+  const uint64_t cells =
+      std::max<uint64_t>(kSlotsPerBucket * 2,
+                         static_cast<uint64_t>(expected_keys / 0.90));
+  num_buckets_ = NextPow2((cells + kSlotsPerBucket - 1) / kSlotsPerBucket);
+  fingerprints_ =
+      CompactVector(num_buckets_ * kSlotsPerBucket, fingerprint_bits);
+  selectors_ = CompactVector(num_buckets_ * kSlotsPerBucket, selector_bits);
+  remote_keys_.resize(num_buckets_ * kSlotsPerBucket, 0);
+}
+
+uint64_t AdaptiveCuckooFilter::FingerprintOf(uint64_t key,
+                                             uint64_t selector) const {
+  const uint64_t fp = Hash64(key, hash_seed_ + 11 + selector) &
+                      LowMask(fingerprint_bits_);
+  return fp == 0 ? 1 : fp;
+}
+
+uint64_t AdaptiveCuckooFilter::Index1(uint64_t key) const {
+  return Hash64(key, hash_seed_ + 1) & (num_buckets_ - 1);
+}
+
+uint64_t AdaptiveCuckooFilter::Index2(uint64_t key) const {
+  // Location hashes are key-based (not fingerprint-based): the remote
+  // store lets relocation rehash the original key, unlike a plain CF.
+  const uint64_t i2 = Hash64(key, hash_seed_ + 2) & (num_buckets_ - 1);
+  return i2 == Index1(key) ? (i2 ^ 1) & (num_buckets_ - 1) : i2;
+}
+
+bool AdaptiveCuckooFilter::SlotMatches(uint64_t bucket, int slot,
+                                       uint64_t key) const {
+  const uint64_t idx = CellIndex(bucket, slot);
+  const uint64_t fp = fingerprints_.Get(idx);
+  if (fp == 0) return false;
+  return fp == FingerprintOf(key, selectors_.Get(idx));
+}
+
+bool AdaptiveCuckooFilter::TryPlace(uint64_t bucket, uint64_t key) {
+  for (int s = 0; s < kSlotsPerBucket; ++s) {
+    const uint64_t idx = CellIndex(bucket, s);
+    if (fingerprints_.Get(idx) == 0) {
+      fingerprints_.Set(idx, FingerprintOf(key, 0));
+      selectors_.Set(idx, 0);
+      remote_keys_[idx] = key;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AdaptiveCuckooFilter::Insert(uint64_t key) {
+  if (TryPlace(Index1(key), key) || TryPlace(Index2(key), key)) {
+    ++num_keys_;
+    return true;
+  }
+  if (stash_.size() >= kMaxStash) return false;  // Never drop a victim.
+  // Cuckoo eviction on original keys via the remote store.
+  uint64_t cur = key;
+  uint64_t bucket = kick_rng_.NextBelow(2) ? Index1(key) : Index2(key);
+  for (int kick = 0; kick < kMaxKicks; ++kick) {
+    const int slot = static_cast<int>(kick_rng_.NextBelow(kSlotsPerBucket));
+    const uint64_t idx = CellIndex(bucket, slot);
+    const uint64_t victim = remote_keys_[idx];
+    fingerprints_.Set(idx, FingerprintOf(cur, 0));
+    selectors_.Set(idx, 0);
+    remote_keys_[idx] = cur;
+    cur = victim;
+    bucket = (bucket == Index1(cur)) ? Index2(cur) : Index1(cur);
+    if (TryPlace(bucket, cur)) {
+      ++num_keys_;
+      return true;
+    }
+  }
+  stash_.push_back(cur);  // Exact keys: the stash never false-positives.
+  ++num_keys_;
+  return true;
+}
+
+bool AdaptiveCuckooFilter::Contains(uint64_t key) const {
+  const uint64_t i1 = Index1(key);
+  const uint64_t i2 = Index2(key);
+  for (int s = 0; s < kSlotsPerBucket; ++s) {
+    if (SlotMatches(i1, s, key) || SlotMatches(i2, s, key)) return true;
+  }
+  for (uint64_t k : stash_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+bool AdaptiveCuckooFilter::Erase(uint64_t key) {
+  for (uint64_t bucket : {Index1(key), Index2(key)}) {
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      const uint64_t idx = CellIndex(bucket, s);
+      // Exact delete: the remote store disambiguates colliding twins.
+      if (fingerprints_.Get(idx) != 0 && remote_keys_[idx] == key) {
+        fingerprints_.Set(idx, 0);
+        selectors_.Set(idx, 0);
+        remote_keys_[idx] = 0;
+        --num_keys_;
+        return true;
+      }
+    }
+  }
+  for (size_t i = 0; i < stash_.size(); ++i) {
+    if (stash_[i] == key) {
+      stash_.erase(stash_.begin() + i);
+      --num_keys_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AdaptiveCuckooFilter::ReportFalsePositive(uint64_t key) {
+  const uint64_t max_selector = LowMask(selector_bits_);
+  for (uint64_t bucket : {Index1(key), Index2(key)}) {
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      const uint64_t idx = CellIndex(bucket, s);
+      if (!SlotMatches(bucket, s, key)) continue;
+      if (remote_keys_[idx] == key) continue;  // True positive, not an FP.
+      // Bump the selector and recompute from the resident's true key.
+      const uint64_t sel = (selectors_.Get(idx) + 1) & max_selector;
+      selectors_.Set(idx, sel);
+      fingerprints_.Set(idx, FingerprintOf(remote_keys_[idx], sel));
+      ++adaptations_;
+    }
+  }
+  return !Contains(key);
+}
+
+}  // namespace bbf

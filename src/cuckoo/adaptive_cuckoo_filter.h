@@ -1,0 +1,79 @@
+#ifndef BBF_CUCKOO_ADAPTIVE_CUCKOO_FILTER_H_
+#define BBF_CUCKOO_ADAPTIVE_CUCKOO_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/filter.h"
+#include "util/compact_vector.h"
+#include "util/random.h"
+
+namespace bbf {
+
+/// Adaptive cuckoo filter [Mitzenmacher, Pontarelli, Reviriego 2020]
+/// (§2.3): a cuckoo filter whose slots carry a small *selector*; the
+/// fingerprint stored in a slot is H_selector(key). When the fronted
+/// dictionary observes a false positive, the filter bumps the selector of
+/// every colliding slot and recomputes those slots' fingerprints from a
+/// remote store of the original keys, so the same negative query stops
+/// colliding (with high probability).
+///
+/// The remote key store stands in for the backing dictionary the filter
+/// fronts (the ACF always assumes one); its memory is *not* counted in
+/// SpaceBits, matching how the paper accounts filter space.
+class AdaptiveCuckooFilter : public Filter, public AdaptiveHook {
+ public:
+  AdaptiveCuckooFilter(uint64_t expected_keys, int fingerprint_bits,
+                       int selector_bits = 2, uint64_t hash_seed = 0xAC);
+
+  bool Insert(uint64_t key) override;
+  bool Contains(uint64_t key) const override;
+  bool Erase(uint64_t key) override;
+  size_t SpaceBits() const override {
+    return fingerprints_.size() * (fingerprints_.width() + selector_bits_);
+  }
+  uint64_t NumKeys() const override { return num_keys_; }
+  FilterClass Class() const override { return FilterClass::kDynamic; }
+  std::string_view Name() const override { return "adaptive-cuckoo"; }
+
+  /// Rehashes every slot that collides with `key` under its current
+  /// selector. Returns true if Contains(key) is now false.
+  bool ReportFalsePositive(uint64_t key) override;
+
+  uint64_t adaptations() const { return adaptations_; }
+
+  static constexpr int kSlotsPerBucket = 4;
+  static constexpr int kMaxKicks = 500;
+  static constexpr size_t kMaxStash = 8;
+
+ private:
+  struct SlotRef {
+    uint64_t bucket;
+    int slot;
+  };
+
+  uint64_t FingerprintOf(uint64_t key, uint64_t selector) const;
+  uint64_t Index1(uint64_t key) const;
+  uint64_t Index2(uint64_t key) const;
+  uint64_t CellIndex(uint64_t bucket, int slot) const {
+    return bucket * kSlotsPerBucket + slot;
+  }
+  bool TryPlace(uint64_t bucket, uint64_t key);
+  bool SlotMatches(uint64_t bucket, int slot, uint64_t key) const;
+
+  uint64_t num_buckets_;
+  int fingerprint_bits_;
+  int selector_bits_;
+  uint64_t hash_seed_;
+  CompactVector fingerprints_;        // 0 = empty cell.
+  CompactVector selectors_;
+  std::vector<uint64_t> remote_keys_;  // Original key per cell (dictionary).
+  std::vector<uint64_t> stash_;        // Exact homeless keys (rare).
+  SplitMix64 kick_rng_;
+  uint64_t num_keys_ = 0;
+  uint64_t adaptations_ = 0;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_CUCKOO_ADAPTIVE_CUCKOO_FILTER_H_

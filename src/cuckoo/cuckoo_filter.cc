@@ -1,0 +1,154 @@
+#include "cuckoo/cuckoo_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bbf {
+namespace {
+
+// Stash entries pack (bucket, fingerprint) so a stashed victim only
+// matches queries aimed at its own bucket pair.
+uint64_t PackStash(uint64_t bucket, uint64_t fp, int f_bits) {
+  return (bucket << f_bits) | fp;
+}
+
+}  // namespace
+
+CuckooFilter::CuckooFilter(uint64_t expected_keys, int fingerprint_bits,
+                           uint64_t hash_seed)
+    : fingerprint_bits_(fingerprint_bits),
+      hash_seed_(hash_seed),
+      kick_rng_(hash_seed * 7919 + 1) {
+  const uint64_t cells =
+      std::max<uint64_t>(kSlotsPerBucket * 2,
+                         static_cast<uint64_t>(expected_keys / 0.95));
+  num_buckets_ = NextPow2((cells + kSlotsPerBucket - 1) / kSlotsPerBucket);
+  cells_ = CompactVector(num_buckets_ * kSlotsPerBucket, fingerprint_bits);
+}
+
+CuckooFilter CuckooFilter::ForFpr(uint64_t expected_keys, double fpr) {
+  // FPR ~ 2 * slots-per-bucket / 2^f.
+  const int f = std::max(
+      2, static_cast<int>(std::ceil(std::log2(2.0 * kSlotsPerBucket / fpr))));
+  return CuckooFilter(expected_keys, f);
+}
+
+uint64_t CuckooFilter::FingerprintOf(uint64_t key) const {
+  const uint64_t fp =
+      Hash64(key, hash_seed_ + 1) & LowMask(fingerprint_bits_);
+  return fp == 0 ? 1 : fp;  // 0 marks an empty cell.
+}
+
+uint64_t CuckooFilter::IndexOf(uint64_t key) const {
+  return Hash64(key, hash_seed_) & (num_buckets_ - 1);
+}
+
+uint64_t CuckooFilter::AltIndex(uint64_t index, uint64_t fp) const {
+  // Partial-key cuckoo hashing: the pair relation is an involution.
+  return (index ^ Hash64(fp, hash_seed_ + 2)) & (num_buckets_ - 1);
+}
+
+bool CuckooFilter::TryPlace(uint64_t bucket, uint64_t fp) {
+  for (int s = 0; s < kSlotsPerBucket; ++s) {
+    if (CellAt(bucket, s) == 0) {
+      SetCell(bucket, s, fp);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::Insert(uint64_t key) {
+  uint64_t fp = FingerprintOf(key);
+  const uint64_t i1 = IndexOf(key);
+  const uint64_t i2 = AltIndex(i1, fp);
+  if (TryPlace(i1, fp) || TryPlace(i2, fp)) {
+    ++num_keys_;
+    return true;
+  }
+  // Kicking can leave a victim fingerprint homeless; the stash absorbs it.
+  // If the stash is already full, refuse up front — mutating the table and
+  // then dropping a victim would silently lose another key.
+  if (stash_.size() >= kMaxStash) return false;
+  // Kick a random resident back and forth between its two buckets.
+  uint64_t bucket = kick_rng_.NextBelow(2) ? i1 : i2;
+  for (int kick = 0; kick < kMaxKicks; ++kick) {
+    const int victim_slot =
+        static_cast<int>(kick_rng_.NextBelow(kSlotsPerBucket));
+    const uint64_t victim = CellAt(bucket, victim_slot);
+    SetCell(bucket, victim_slot, fp);
+    fp = victim;
+    bucket = AltIndex(bucket, fp);
+    if (TryPlace(bucket, fp)) {
+      ++num_keys_;
+      return true;
+    }
+  }
+  stash_.push_back(PackStash(bucket, fp, fingerprint_bits_));
+  ++num_keys_;
+  return true;
+}
+
+bool CuckooFilter::Contains(uint64_t key) const {
+  const uint64_t fp = FingerprintOf(key);
+  const uint64_t i1 = IndexOf(key);
+  const uint64_t i2 = AltIndex(i1, fp);
+  for (int s = 0; s < kSlotsPerBucket; ++s) {
+    if (CellAt(i1, s) == fp || CellAt(i2, s) == fp) return true;
+  }
+  for (uint64_t packed : stash_) {
+    if (packed == PackStash(i1, fp, fingerprint_bits_) ||
+        packed == PackStash(i2, fp, fingerprint_bits_)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t CuckooFilter::Count(uint64_t key) const {
+  const uint64_t fp = FingerprintOf(key);
+  const uint64_t i1 = IndexOf(key);
+  const uint64_t i2 = AltIndex(i1, fp);
+  uint64_t count = 0;
+  for (int s = 0; s < kSlotsPerBucket; ++s) {
+    count += CellAt(i1, s) == fp;
+    if (i2 != i1) count += CellAt(i2, s) == fp;
+  }
+  for (uint64_t packed : stash_) {
+    count += packed == PackStash(i1, fp, fingerprint_bits_);
+    if (i2 != i1) count += packed == PackStash(i2, fp, fingerprint_bits_);
+  }
+  return count;
+}
+
+bool CuckooFilter::Erase(uint64_t key) {
+  const uint64_t fp = FingerprintOf(key);
+  const uint64_t i1 = IndexOf(key);
+  const uint64_t i2 = AltIndex(i1, fp);
+  for (int s = 0; s < kSlotsPerBucket; ++s) {
+    if (CellAt(i1, s) == fp) {
+      SetCell(i1, s, 0);
+      --num_keys_;
+      return true;
+    }
+    if (CellAt(i2, s) == fp) {
+      SetCell(i2, s, 0);
+      --num_keys_;
+      return true;
+    }
+  }
+  for (size_t i = 0; i < stash_.size(); ++i) {
+    if (stash_[i] == PackStash(i1, fp, fingerprint_bits_) ||
+        stash_[i] == PackStash(i2, fp, fingerprint_bits_)) {
+      stash_.erase(stash_.begin() + i);
+      --num_keys_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace bbf

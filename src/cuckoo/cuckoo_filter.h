@@ -1,0 +1,72 @@
+#ifndef BBF_CUCKOO_CUCKOO_FILTER_H_
+#define BBF_CUCKOO_CUCKOO_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/filter.h"
+#include "util/compact_vector.h"
+#include "util/random.h"
+
+namespace bbf {
+
+/// Cuckoo filter [Fan et al. 2014] (§2.1): a 4-way-associative table of
+/// fingerprints with partial-key cuckoo hashing. Each key has two candidate
+/// buckets (the second derived by XORing the first with a hash of the
+/// fingerprint, so relocation never needs the original key); inserts kick
+/// resident fingerprints between their two buckets until something lands.
+/// Space is n lg(1/eps) + 3n bits at 95% load with 4-slot buckets.
+class CuckooFilter : public Filter {
+ public:
+  /// A table with >= `expected_keys` capacity at ~95% load and
+  /// `fingerprint_bits`-bit fingerprints (FPR ~ 8/2^f).
+  CuckooFilter(uint64_t expected_keys, int fingerprint_bits,
+               uint64_t hash_seed = 0xCF);
+
+  static CuckooFilter ForFpr(uint64_t expected_keys, double fpr);
+
+  bool Insert(uint64_t key) override;
+  bool Contains(uint64_t key) const override;
+  bool Erase(uint64_t key) override;
+  uint64_t Count(uint64_t key) const override;
+  size_t SpaceBits() const override {
+    return cells_.size() * cells_.width() + stash_.size() * 64;
+  }
+  uint64_t NumKeys() const override { return num_keys_; }
+  FilterClass Class() const override { return FilterClass::kDynamic; }
+  std::string_view Name() const override { return "cuckoo"; }
+
+  double LoadFactor() const {
+    return static_cast<double>(num_keys_) / cells_.size();
+  }
+  int fingerprint_bits() const { return fingerprint_bits_; }
+  size_t stash_size() const { return stash_.size(); }
+
+  static constexpr int kSlotsPerBucket = 4;
+  static constexpr int kMaxKicks = 500;
+  static constexpr size_t kMaxStash = 8;
+
+ private:
+  uint64_t FingerprintOf(uint64_t key) const;
+  uint64_t IndexOf(uint64_t key) const;
+  uint64_t AltIndex(uint64_t index, uint64_t fp) const;
+  uint64_t CellAt(uint64_t bucket, int slot) const {
+    return cells_.Get(bucket * kSlotsPerBucket + slot);
+  }
+  void SetCell(uint64_t bucket, int slot, uint64_t fp) {
+    cells_.Set(bucket * kSlotsPerBucket + slot, fp);
+  }
+  bool TryPlace(uint64_t bucket, uint64_t fp);
+
+  uint64_t num_buckets_;
+  int fingerprint_bits_;
+  uint64_t hash_seed_;
+  CompactVector cells_;  // num_buckets * 4 fingerprints; 0 = empty.
+  std::vector<uint64_t> stash_;  // Fingerprint-homeless victims (rare).
+  SplitMix64 kick_rng_;
+  uint64_t num_keys_ = 0;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_CUCKOO_CUCKOO_FILTER_H_

@@ -1,0 +1,131 @@
+#include "cuckoo/cuckoo_maplet.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bbf {
+
+CuckooMaplet::CuckooMaplet(uint64_t expected_keys, int fingerprint_bits,
+                           int value_bits, uint64_t hash_seed)
+    : fingerprint_bits_(fingerprint_bits),
+      hash_seed_(hash_seed),
+      kick_rng_(hash_seed * 104729 + 3) {
+  const uint64_t cells =
+      std::max<uint64_t>(kSlotsPerBucket * 2,
+                         static_cast<uint64_t>(expected_keys / 0.95));
+  num_buckets_ = NextPow2((cells + kSlotsPerBucket - 1) / kSlotsPerBucket);
+  fingerprints_ =
+      CompactVector(num_buckets_ * kSlotsPerBucket, fingerprint_bits);
+  values_ = CompactVector(num_buckets_ * kSlotsPerBucket, value_bits);
+}
+
+uint64_t CuckooMaplet::FingerprintOf(uint64_t key) const {
+  const uint64_t fp =
+      Hash64(key, hash_seed_ + 1) & LowMask(fingerprint_bits_);
+  return fp == 0 ? 1 : fp;
+}
+
+uint64_t CuckooMaplet::IndexOf(uint64_t key) const {
+  return Hash64(key, hash_seed_) & (num_buckets_ - 1);
+}
+
+uint64_t CuckooMaplet::AltIndex(uint64_t index, uint64_t fp) const {
+  return (index ^ Hash64(fp, hash_seed_ + 2)) & (num_buckets_ - 1);
+}
+
+bool CuckooMaplet::TryPlace(uint64_t bucket, uint64_t fp, uint64_t value) {
+  for (int s = 0; s < kSlotsPerBucket; ++s) {
+    const uint64_t idx = bucket * kSlotsPerBucket + s;
+    if (fingerprints_.Get(idx) == 0) {
+      fingerprints_.Set(idx, fp);
+      values_.Set(idx, value);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooMaplet::Insert(uint64_t key, uint64_t value) {
+  uint64_t fp = FingerprintOf(key);
+  uint64_t val = value;
+  const uint64_t i1 = IndexOf(key);
+  const uint64_t i2 = AltIndex(i1, fp);
+  if (TryPlace(i1, fp, val) || TryPlace(i2, fp, val)) {
+    ++num_entries_;
+    return true;
+  }
+  // Kicking may orphan a victim; the stash absorbs it. Refuse when full so
+  // no (fingerprint, value) pair is ever silently dropped.
+  if (stash_.size() >= kMaxStash) return false;
+  uint64_t bucket = kick_rng_.NextBelow(2) ? i1 : i2;
+  for (int kick = 0; kick < kMaxKicks; ++kick) {
+    const int slot = static_cast<int>(kick_rng_.NextBelow(kSlotsPerBucket));
+    const uint64_t idx = bucket * kSlotsPerBucket + slot;
+    const uint64_t vfp = fingerprints_.Get(idx);
+    const uint64_t vval = values_.Get(idx);
+    fingerprints_.Set(idx, fp);
+    values_.Set(idx, val);
+    fp = vfp;
+    val = vval;
+    bucket = AltIndex(bucket, fp);
+    if (TryPlace(bucket, fp, val)) {
+      ++num_entries_;
+      return true;
+    }
+  }
+  stash_.push_back(StashEntry{bucket, fp, val});
+  ++num_entries_;
+  return true;
+}
+
+std::vector<uint64_t> CuckooMaplet::Lookup(uint64_t key) const {
+  std::vector<uint64_t> out;
+  const uint64_t fp = FingerprintOf(key);
+  const uint64_t i1 = IndexOf(key);
+  const uint64_t i2 = AltIndex(i1, fp);
+  for (int s = 0; s < kSlotsPerBucket; ++s) {
+    if (fingerprints_.Get(i1 * kSlotsPerBucket + s) == fp) {
+      out.push_back(values_.Get(i1 * kSlotsPerBucket + s));
+    }
+    if (i2 != i1 && fingerprints_.Get(i2 * kSlotsPerBucket + s) == fp) {
+      out.push_back(values_.Get(i2 * kSlotsPerBucket + s));
+    }
+  }
+  for (const StashEntry& e : stash_) {
+    if (e.fp == fp && (e.bucket == i1 || e.bucket == i2)) {
+      out.push_back(e.value);
+    }
+  }
+  return out;
+}
+
+bool CuckooMaplet::Erase(uint64_t key, uint64_t value) {
+  const uint64_t fp = FingerprintOf(key);
+  const uint64_t i1 = IndexOf(key);
+  const uint64_t i2 = AltIndex(i1, fp);
+  for (uint64_t bucket : {i1, i2}) {
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      const uint64_t idx = bucket * kSlotsPerBucket + s;
+      if (fingerprints_.Get(idx) == fp && values_.Get(idx) == value) {
+        fingerprints_.Set(idx, 0);
+        values_.Set(idx, 0);
+        --num_entries_;
+        return true;
+      }
+    }
+    if (i2 == i1) break;
+  }
+  for (size_t i = 0; i < stash_.size(); ++i) {
+    if (stash_[i].fp == fp && stash_[i].value == value &&
+        (stash_[i].bucket == i1 || stash_[i].bucket == i2)) {
+      stash_.erase(stash_.begin() + i);
+      --num_entries_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace bbf

@@ -1,0 +1,64 @@
+#ifndef BBF_CUCKOO_CUCKOO_MAPLET_H_
+#define BBF_CUCKOO_CUCKOO_MAPLET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/compact_vector.h"
+#include "util/random.h"
+
+namespace bbf {
+
+/// Cuckoo-filter maplet (§2.4): each cell stores a small value next to the
+/// fingerprint; kicks move (fingerprint, value) pairs together. PRS is
+/// 1 + eps and NRS is eps, as for the quotient maplet.
+class CuckooMaplet {
+ public:
+  CuckooMaplet(uint64_t expected_keys, int fingerprint_bits, int value_bits,
+               uint64_t hash_seed = 0xCA);
+
+  /// Associates `value` with `key`; returns false if the table is full.
+  bool Insert(uint64_t key, uint64_t value);
+
+  /// All values stored under `key`'s fingerprint (possibly empty).
+  std::vector<uint64_t> Lookup(uint64_t key) const;
+
+  bool Contains(uint64_t key) const { return !Lookup(key).empty(); }
+
+  /// Removes one (key, value) association.
+  bool Erase(uint64_t key, uint64_t value);
+
+  size_t SpaceBits() const {
+    return fingerprints_.size() * (fingerprints_.width() + values_.width()) +
+           stash_.size() * 128;
+  }
+  uint64_t NumEntries() const { return num_entries_; }
+
+  static constexpr int kSlotsPerBucket = 4;
+  static constexpr int kMaxKicks = 500;
+  static constexpr size_t kMaxStash = 8;
+
+ private:
+  struct StashEntry {
+    uint64_t bucket;
+    uint64_t fp;
+    uint64_t value;
+  };
+  uint64_t FingerprintOf(uint64_t key) const;
+  uint64_t IndexOf(uint64_t key) const;
+  uint64_t AltIndex(uint64_t index, uint64_t fp) const;
+  bool TryPlace(uint64_t bucket, uint64_t fp, uint64_t value);
+
+  uint64_t num_buckets_;
+  int fingerprint_bits_;
+  uint64_t hash_seed_;
+  CompactVector fingerprints_;
+  CompactVector values_;
+  std::vector<StashEntry> stash_;  // Homeless kick victims (rare).
+  SplitMix64 kick_rng_;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_CUCKOO_CUCKOO_MAPLET_H_

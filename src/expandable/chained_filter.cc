@@ -1,0 +1,54 @@
+#include "expandable/chained_filter.h"
+
+namespace bbf {
+
+ChainedQuotientFilter::ChainedQuotientFilter(int q_bits, int r_bits,
+                                             uint64_t hash_seed)
+    : r_bits_(r_bits), next_q_bits_(q_bits), hash_seed_(hash_seed) {
+  links_.push_back(std::make_unique<QuotientFilter>(
+      next_q_bits_, r_bits_, hash_seed_ + links_.size()));
+  ++next_q_bits_;
+}
+
+bool ChainedQuotientFilter::Insert(uint64_t key) {
+  if (!links_.back()->Insert(key)) {
+    links_.push_back(std::make_unique<QuotientFilter>(
+        next_q_bits_, r_bits_, hash_seed_ + links_.size()));
+    ++next_q_bits_;
+    if (!links_.back()->Insert(key)) return false;
+  }
+  ++num_keys_;
+  return true;
+}
+
+bool ChainedQuotientFilter::Contains(uint64_t key) const {
+  for (const auto& link : links_) {
+    if (link->Contains(key)) return true;
+  }
+  return false;
+}
+
+bool ChainedQuotientFilter::Erase(uint64_t key) {
+  // Newest first: recently inserted keys are most likely there.
+  for (auto it = links_.rbegin(); it != links_.rend(); ++it) {
+    if ((*it)->Erase(key)) {
+      --num_keys_;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t ChainedQuotientFilter::Count(uint64_t key) const {
+  uint64_t count = 0;
+  for (const auto& link : links_) count += link->Count(key);
+  return count;
+}
+
+size_t ChainedQuotientFilter::SpaceBits() const {
+  size_t bits = 0;
+  for (const auto& link : links_) bits += link->SpaceBits();
+  return bits;
+}
+
+}  // namespace bbf

@@ -1,0 +1,116 @@
+#include "expandable/ring_filter.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bbf {
+
+RingFilter::RingFilter(int r_bits, uint64_t segment_capacity,
+                       uint64_t hash_seed)
+    : r_bits_(r_bits),
+      segment_capacity_(segment_capacity),
+      hash_seed_(hash_seed) {
+  ring_[0] = Segment{};  // One segment initially owns the whole ring.
+}
+
+void RingFilter::Locate(uint64_t key, uint32_t* bucket, uint16_t* fp) const {
+  const uint64_t h = Hash64(key, hash_seed_);
+  *bucket = static_cast<uint32_t>(h >> (64 - kBucketBits));
+  *fp = static_cast<uint16_t>(h & LowMask(r_bits_));
+}
+
+RingFilter::Segment& RingFilter::SegmentOf(uint32_t bucket) {
+  ++ring_searches_;
+  auto it = ring_.upper_bound(bucket);
+  --it;  // Largest mount <= bucket; ring_[0] always exists.
+  return it->second;
+}
+
+const RingFilter::Segment& RingFilter::SegmentOf(uint32_t bucket) const {
+  ++ring_searches_;
+  auto it = ring_.upper_bound(bucket);
+  --it;
+  return it->second;
+}
+
+bool RingFilter::Insert(uint64_t key) {
+  uint32_t bucket;
+  uint16_t fp;
+  Locate(key, &bucket, &fp);
+  Segment& segment = SegmentOf(bucket);
+  segment.buckets[bucket].push_back(fp);
+  ++segment.residents;
+  ++num_keys_;
+  if (segment.residents > segment_capacity_) {
+    auto it = ring_.upper_bound(bucket);
+    --it;
+    MaybeSplit(it->first);
+  }
+  return true;
+}
+
+void RingFilter::MaybeSplit(uint32_t mount) {
+  Segment& segment = ring_[mount];
+  if (segment.buckets.size() < 2) return;  // One bucket can't split.
+  // Mount a new segment at the median resident bucket; buckets at or
+  // above it migrate wholesale (fingerprints untouched).
+  uint64_t moved_target = segment.residents / 2;
+  uint64_t seen = 0;
+  uint32_t split_at = 0;
+  for (const auto& [b, fps] : segment.buckets) {
+    seen += fps.size();
+    if (seen >= moved_target && b != mount) {
+      split_at = b;
+      break;
+    }
+  }
+  if (split_at == 0) return;  // Everything is in the mount bucket.
+  Segment fresh;
+  auto first_moved = segment.buckets.lower_bound(split_at);
+  for (auto it = first_moved; it != segment.buckets.end(); ++it) {
+    fresh.residents += it->second.size();
+    fresh.buckets.insert(std::move(*it));
+  }
+  segment.buckets.erase(first_moved, segment.buckets.end());
+  segment.residents -= fresh.residents;
+  ring_[split_at] = std::move(fresh);
+}
+
+bool RingFilter::Contains(uint64_t key) const {
+  uint32_t bucket;
+  uint16_t fp;
+  Locate(key, &bucket, &fp);
+  const Segment& segment = SegmentOf(bucket);
+  const auto it = segment.buckets.find(bucket);
+  if (it == segment.buckets.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), fp) !=
+         it->second.end();
+}
+
+bool RingFilter::Erase(uint64_t key) {
+  uint32_t bucket;
+  uint16_t fp;
+  Locate(key, &bucket, &fp);
+  Segment& segment = SegmentOf(bucket);
+  const auto it = segment.buckets.find(bucket);
+  if (it == segment.buckets.end()) return false;
+  const auto pos = std::find(it->second.begin(), it->second.end(), fp);
+  if (pos == it->second.end()) return false;
+  it->second.erase(pos);
+  if (it->second.empty()) segment.buckets.erase(it);
+  --segment.residents;
+  --num_keys_;
+  return true;
+}
+
+size_t RingFilter::SpaceBits() const {
+  // Logical footprint: fingerprints + ring/bucket bookkeeping (one mount
+  // id per segment, one id + length per occupied bucket).
+  size_t bucket_count = 0;
+  for (const auto& [m, s] : ring_) bucket_count += s.buckets.size();
+  return num_keys_ * r_bits_ + ring_.size() * 64 + bucket_count * 32;
+}
+
+}  // namespace bbf

@@ -1,0 +1,127 @@
+#include "expandable/taffy_filter.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bbf {
+
+TaffyFilter::TaffyFilter(int q_bits, int fingerprint_bits, uint64_t hash_seed)
+    : table_(q_bits, fingerprint_bits + 1),  // +1 for the unary delimiter.
+      fingerprint_bits_(fingerprint_bits),
+      hash_seed_(hash_seed) {}
+
+int TaffyFilter::LengthOf(uint64_t encoded) {
+  return HighestSetBit(encoded);
+}
+
+uint64_t TaffyFilter::BitsOf(uint64_t encoded) {
+  return encoded ^ (uint64_t{1} << HighestSetBit(encoded));
+}
+
+void TaffyFilter::KeyParts(uint64_t key, uint64_t* fq, uint64_t* fp) const {
+  const uint64_t h = Hash64(key, hash_seed_);
+  *fq = h & (table_.num_slots() - 1);
+  *fp = h >> table_.q_bits();  // Fresh fingerprints take the next bits.
+}
+
+bool TaffyFilter::InsertEncoded(uint64_t fq, uint64_t encoded) {
+  if (table_.num_used_slots() + 1 >= table_.num_slots()) return false;
+  if (table_.SlotEmpty(fq) && !table_.occupied(fq)) {
+    table_.InsertSlotAt(fq, fq, encoded, /*continuation=*/false);
+    table_.set_occupied(fq, true);
+    return true;
+  }
+  const bool was_occupied = table_.occupied(fq);
+  table_.set_occupied(fq, true);
+  const uint64_t start = table_.FindRunStart(fq);
+  if (was_occupied) {
+    // Runs are unordered here (lengths vary); insert as the new head.
+    table_.set_continuation(start, true);
+  }
+  table_.InsertSlotAt(start, fq, encoded, /*continuation=*/false);
+  return true;
+}
+
+bool TaffyFilter::Insert(uint64_t key) {
+  if (table_.LoadFactor() >= kMaxLoadFactor) Expand();
+  uint64_t fq;
+  uint64_t fp;
+  KeyParts(key, &fq, &fp);
+  const int len = std::min(fingerprint_bits_, 64 - table_.q_bits());
+  if (!InsertEncoded(fq, Encode(fp & LowMask(len), len))) return false;
+  ++num_keys_;
+  return true;
+}
+
+bool TaffyFilter::Contains(uint64_t key) const {
+  uint64_t fq;
+  uint64_t fp;
+  KeyParts(key, &fq, &fp);
+  if (!table_.occupied(fq)) return false;
+  uint64_t s = table_.FindRunStart(fq);
+  do {
+    const uint64_t encoded = table_.remainder(s);
+    const int len = LengthOf(encoded);
+    // A stored fingerprint matches if it is a prefix (in low-order bits)
+    // of the query's fingerprint; void entries (len 0) match everything.
+    if ((fp & LowMask(len)) == BitsOf(encoded)) return true;
+    s = table_.Next(s);
+  } while (table_.continuation(s));
+  return false;
+}
+
+bool TaffyFilter::Erase(uint64_t key) {
+  uint64_t fq;
+  uint64_t fp;
+  KeyParts(key, &fq, &fp);
+  if (!table_.occupied(fq)) return false;
+  const uint64_t start = table_.FindRunStart(fq);
+  // Remove the longest matching fingerprint (most specific entry).
+  uint64_t best_pos = 0;
+  int best_len = -1;
+  uint64_t s = start;
+  do {
+    const uint64_t encoded = table_.remainder(s);
+    const int len = LengthOf(encoded);
+    if ((fp & LowMask(len)) == BitsOf(encoded) && len > best_len) {
+      best_len = len;
+      best_pos = s;
+    }
+    s = table_.Next(s);
+  } while (table_.continuation(s));
+  if (best_len < 0) return false;
+  table_.RemoveEntry(best_pos, start, fq);
+  --num_keys_;
+  return true;
+}
+
+void TaffyFilter::Expand() {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;  // (quotient, encoded).
+  entries.reserve(table_.num_used_slots());
+  table_.ForEachSlot([&](uint64_t q, uint64_t slot) {
+    entries.emplace_back(q, table_.remainder(slot));
+  });
+  const int old_q = table_.q_bits();
+  QuotientTable bigger(old_q + 1, table_.r_bits());
+  table_ = std::move(bigger);
+  for (const auto& [fq, encoded] : entries) {
+    const int len = LengthOf(encoded);
+    if (len == 0) {
+      // Void fingerprint: the donated bit is unknown, so the entry lives
+      // in both children (keeps the no-false-negative guarantee).
+      InsertEncoded(fq, encoded);
+      InsertEncoded(fq | (uint64_t{1} << old_q), encoded);
+    } else {
+      const uint64_t bits = BitsOf(encoded);
+      const uint64_t new_fq = fq | ((bits & 1) << old_q);
+      InsertEncoded(new_fq, Encode(bits >> 1, len - 1));
+    }
+  }
+  ++expansions_;
+}
+
+}  // namespace bbf

@@ -1,0 +1,60 @@
+#ifndef BBF_MAPLET_MAPLET_H_
+#define BBF_MAPLET_MAPLET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cuckoo/cuckoo_maplet.h"
+#include "quotient/quotient_maplet.h"
+#include "staticf/bloomier_filter.h"
+
+namespace bbf {
+
+/// The unified maplet API (§2.4): a key-value filter. Lookup returns the
+/// target key's value plus possibly a few arbitrary extras (positive
+/// result size, PRS) and may return arbitrary values for absent keys
+/// (negative result size, NRS); the application deals with the noise.
+class Maplet {
+ public:
+  virtual ~Maplet() = default;
+
+  /// Associates a value with a key. Static maplets return false.
+  virtual bool Insert(uint64_t key, uint64_t value) = 0;
+
+  /// Candidate values for `key` (PRS entries for members, NRS for others).
+  virtual std::vector<uint64_t> Lookup(uint64_t key) const = 0;
+
+  /// Removes one association. Unsupported on static maplets.
+  virtual bool Erase(uint64_t key, uint64_t value) = 0;
+
+  virtual size_t SpaceBits() const = 0;
+  virtual std::string_view Name() const = 0;
+};
+
+/// Adapters over the concrete maplets, for generic benchmarking (E8).
+std::unique_ptr<Maplet> MakeQuotientMaplet(uint64_t capacity, double fpr,
+                                           int value_bits);
+std::unique_ptr<Maplet> MakeCuckooMaplet(uint64_t capacity,
+                                         int fingerprint_bits,
+                                         int value_bits);
+/// Bloomier: static; built up-front from all entries, Insert/Erase fail.
+std::unique_ptr<Maplet> MakeBloomierMaplet(
+    const std::vector<std::pair<uint64_t, uint64_t>>& entries,
+    int value_bits);
+
+/// Measured expected positive / negative result sizes of a maplet.
+struct ResultSizes {
+  double prs;  // Mean Lookup size over present keys.
+  double nrs;  // Mean Lookup size over absent keys.
+};
+
+ResultSizes MeasureResultSizes(const Maplet& maplet,
+                               const std::vector<uint64_t>& present,
+                               const std::vector<uint64_t>& absent);
+
+}  // namespace bbf
+
+#endif  // BBF_MAPLET_MAPLET_H_

@@ -1,0 +1,71 @@
+#include "quotient/prefix_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bbf {
+
+PrefixFilter::PrefixFilter(uint64_t expected_keys, int fingerprint_bits,
+                           uint64_t hash_seed)
+    : fingerprint_bits_(fingerprint_bits), hash_seed_(hash_seed) {
+  num_buckets_ = std::max<uint64_t>(
+      2, expected_keys / (kBucketSize * 95 / 100));
+  cells_ = CompactVector(num_buckets_ * kBucketSize, fingerprint_bits_);
+  overflowed_.Resize(num_buckets_);
+  bucket_used_.resize(num_buckets_, 0);
+  // ~7% of keys land in overflowed buckets at this geometry; size the
+  // spare generously so it never becomes the bottleneck.
+  const uint64_t spare_capacity = std::max<uint64_t>(expected_keys / 6, 64);
+  const int q_bits = std::max(
+      6, BitWidth(NextPow2(static_cast<uint64_t>(
+             std::ceil(spare_capacity / QuotientFilter::kMaxLoadFactor))) -
+         1));
+  spare_ = std::make_unique<QuotientFilter>(q_bits, fingerprint_bits_,
+                                            hash_seed_ + 0x51);
+}
+
+uint64_t PrefixFilter::BucketOf(uint64_t key) const {
+  return FastRange64(Hash64(key, hash_seed_), num_buckets_);
+}
+
+uint64_t PrefixFilter::FingerprintOf(uint64_t key) const {
+  const uint64_t fp =
+      Hash64(key, hash_seed_ + 1) & LowMask(fingerprint_bits_);
+  return fp == 0 ? 1 : fp;
+}
+
+bool PrefixFilter::Insert(uint64_t key) {
+  const uint64_t bucket = BucketOf(key);
+  const uint64_t fp = FingerprintOf(key);
+  if (bucket_used_[bucket] < kBucketSize) {
+    cells_.Set(CellIndex(bucket, bucket_used_[bucket]++), fp);
+    ++num_keys_;
+    return true;
+  }
+  // Bucket full: mark it and spill to the spare (dynamic) filter.
+  overflowed_.Set(bucket);
+  if (!spare_->Insert(key)) return false;
+  ++num_keys_;
+  return true;
+}
+
+bool PrefixFilter::Contains(uint64_t key) const {
+  const uint64_t bucket = BucketOf(key);
+  const uint64_t fp = FingerprintOf(key);
+  for (int s = 0; s < bucket_used_[bucket]; ++s) {
+    if (cells_.Get(CellIndex(bucket, s)) == fp) return true;
+  }
+  // The spare only matters if this bucket ever spilled.
+  return overflowed_.Get(bucket) && spare_->Contains(key);
+}
+
+size_t PrefixFilter::SpaceBits() const {
+  return cells_.size() * cells_.width() + overflowed_.size() +
+         num_buckets_ * 5 +  // bucket_used_ counters (<= 24 fits in 5 bits).
+         spare_->SpaceBits();
+}
+
+}  // namespace bbf

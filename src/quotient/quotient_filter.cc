@@ -1,0 +1,339 @@
+#include "quotient/quotient_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/hash.h"
+#include "util/serialize.h"
+
+namespace bbf {
+namespace {
+
+// Shared by QF and CQF: sizing from capacity and target FPR.
+void SizeFor(uint64_t n, double fpr, int* q_bits, int* r_bits) {
+  uint64_t slots = NextPow2(static_cast<uint64_t>(
+      std::ceil(n / QuotientFilter::kMaxLoadFactor)));
+  *q_bits = std::max(6, BitWidth(slots - 1));
+  // FPR ~ load * 2^-r; solve r for the target at max load.
+  const double needed = -std::log2(fpr / QuotientFilter::kMaxLoadFactor);
+  *r_bits = std::max(1, static_cast<int>(std::ceil(needed)));
+}
+
+}  // namespace
+
+QuotientFilter::QuotientFilter(int q_bits, int r_bits, uint64_t hash_seed)
+    : table_(q_bits, r_bits), hash_seed_(hash_seed) {}
+
+QuotientFilter QuotientFilter::ForCapacity(uint64_t n, double fpr) {
+  int q_bits;
+  int r_bits;
+  SizeFor(n, fpr, &q_bits, &r_bits);
+  return QuotientFilter(q_bits, r_bits);
+}
+
+void QuotientFilter::Fingerprint(uint64_t key, uint64_t* fq,
+                                 uint64_t* fr) const {
+  const uint64_t h = Hash64(key, hash_seed_);
+  *fq = (h >> table_.r_bits()) & (table_.num_slots() - 1);
+  *fr = h & LowMask(table_.r_bits());
+}
+
+bool QuotientFilter::Insert(uint64_t key) {
+  if (table_.LoadFactor() >= kMaxLoadFactor ||
+      table_.num_used_slots() + 1 >= table_.num_slots()) {
+    return false;
+  }
+  uint64_t fq;
+  uint64_t fr;
+  Fingerprint(key, &fq, &fr);
+  if (!InsertFingerprint(fq, fr)) return false;
+  ++num_keys_;
+  return true;
+}
+
+bool QuotientFilter::InsertFingerprint(uint64_t fq, uint64_t fr) {
+  // One slot must always stay empty: clusters and scans rely on it.
+  if (table_.num_used_slots() + 1 >= table_.num_slots()) return false;
+  if (table_.SlotEmpty(fq) && !table_.occupied(fq)) {
+    table_.InsertSlotAt(fq, fq, fr, /*continuation=*/false);
+    table_.set_occupied(fq, true);
+    return true;
+  }
+  const bool was_occupied = table_.occupied(fq);
+  table_.set_occupied(fq, true);
+  const uint64_t start = table_.FindRunStart(fq);
+  if (!was_occupied) {
+    // New run: its head slides in at `start`, displacing later runs.
+    table_.InsertSlotAt(start, fq, fr, /*continuation=*/false);
+    return true;
+  }
+  // Existing run: keep remainders sorted.
+  uint64_t s = start;
+  do {
+    if (table_.remainder(s) >= fr) break;
+    s = table_.Next(s);
+  } while (table_.continuation(s));
+  if (s == start) {
+    // New minimum: the old head becomes a continuation as it shifts.
+    table_.set_continuation(start, true);
+    table_.InsertSlotAt(s, fq, fr, /*continuation=*/false);
+  } else {
+    table_.InsertSlotAt(s, fq, fr, /*continuation=*/true);
+  }
+  return true;
+}
+
+bool QuotientFilter::Contains(uint64_t key) const {
+  uint64_t fq;
+  uint64_t fr;
+  Fingerprint(key, &fq, &fr);
+  if (!table_.occupied(fq)) return false;
+  uint64_t s = table_.FindRunStart(fq);
+  do {
+    const uint64_t rem = table_.remainder(s);
+    if (rem == fr) return true;
+    if (rem > fr) return false;  // Runs are sorted.
+    s = table_.Next(s);
+  } while (table_.continuation(s));
+  return false;
+}
+
+uint64_t QuotientFilter::Count(uint64_t key) const {
+  uint64_t fq;
+  uint64_t fr;
+  Fingerprint(key, &fq, &fr);
+  if (!table_.occupied(fq)) return 0;
+  uint64_t count = 0;
+  uint64_t s = table_.FindRunStart(fq);
+  do {
+    const uint64_t rem = table_.remainder(s);
+    if (rem == fr) ++count;
+    if (rem > fr) break;
+    s = table_.Next(s);
+  } while (table_.continuation(s));
+  return count;
+}
+
+bool QuotientFilter::Erase(uint64_t key) {
+  uint64_t fq;
+  uint64_t fr;
+  Fingerprint(key, &fq, &fr);
+  if (!table_.occupied(fq)) return false;
+  const uint64_t start = table_.FindRunStart(fq);
+  uint64_t s = start;
+  bool found = false;
+  do {
+    const uint64_t rem = table_.remainder(s);
+    if (rem == fr) {
+      found = true;
+      break;
+    }
+    if (rem > fr) break;
+    s = table_.Next(s);
+  } while (table_.continuation(s));
+  if (!found) return false;
+
+  table_.RemoveEntry(s, start, fq);
+  --num_keys_;
+  return true;
+}
+
+void QuotientFilter::Save(std::ostream& os) const {
+  WriteU64(os, hash_seed_);
+  WriteU64(os, num_keys_);
+  table_.Save(os);
+}
+
+bool QuotientFilter::Load(std::istream& is) {
+  return ReadU64(is, &hash_seed_) && ReadU64(is, &num_keys_) &&
+         table_.Load(is);
+}
+
+void QuotientFilter::ForEachFingerprint(
+    const std::function<void(uint64_t, uint64_t)>& fn) const {
+  table_.ForEachSlot(
+      [&](uint64_t q, uint64_t slot) { fn(q, table_.remainder(slot)); });
+}
+
+// ---------------------------------------------------------------------------
+// CountingQuotientFilter
+// ---------------------------------------------------------------------------
+
+CountingQuotientFilter::CountingQuotientFilter(int q_bits, int r_bits,
+                                               uint64_t hash_seed)
+    : table_(q_bits, r_bits, /*has_tag=*/true), hash_seed_(hash_seed) {}
+
+CountingQuotientFilter CountingQuotientFilter::ForCapacity(uint64_t n,
+                                                           double fpr) {
+  int q_bits;
+  int r_bits;
+  SizeFor(n, fpr, &q_bits, &r_bits);
+  return CountingQuotientFilter(q_bits, r_bits);
+}
+
+void CountingQuotientFilter::Fingerprint(uint64_t key, uint64_t* fq,
+                                         uint64_t* fr) const {
+  const uint64_t h = Hash64(key, hash_seed_);
+  *fq = (h >> table_.r_bits()) & (table_.num_slots() - 1);
+  *fr = h & LowMask(table_.r_bits());
+}
+
+bool CountingQuotientFilter::FindRemainderSlot(uint64_t fq, uint64_t fr,
+                                               uint64_t* pos,
+                                               uint64_t* run_start) const {
+  if (!table_.occupied(fq)) return false;
+  const uint64_t start = table_.FindRunStart(fq);
+  *run_start = start;
+  uint64_t s = start;
+  do {
+    if (!table_.tag(s)) {  // Remainder slot (tag slots are counter digits).
+      const uint64_t rem = table_.remainder(s);
+      if (rem == fr) {
+        *pos = s;
+        return true;
+      }
+      if (rem > fr) return false;
+    }
+    s = table_.Next(s);
+  } while (table_.continuation(s));
+  return false;
+}
+
+uint64_t CountingQuotientFilter::ReadCount(
+    uint64_t pos, std::vector<uint64_t>* digits) const {
+  // Little-endian base-2^r digits of (count - 1) follow the remainder slot.
+  uint64_t count = 1;
+  uint64_t base = 1;
+  uint64_t s = table_.Next(pos);
+  while (table_.continuation(s) && table_.tag(s)) {
+    if (digits != nullptr) digits->push_back(s);
+    count += table_.remainder(s) * base;
+    base <<= table_.r_bits();
+    s = table_.Next(s);
+  }
+  return count;
+}
+
+bool CountingQuotientFilter::Insert(uint64_t key) {
+  if (table_.LoadFactor() >= QuotientFilter::kMaxLoadFactor ||
+      table_.num_used_slots() + 1 >= table_.num_slots()) {
+    return false;
+  }
+  uint64_t fq;
+  uint64_t fr;
+  Fingerprint(key, &fq, &fr);
+
+  uint64_t pos;
+  uint64_t run_start;
+  if (FindRemainderSlot(fq, fr, &pos, &run_start)) {
+    // Existing key: bump the variable-length counter.
+    std::vector<uint64_t> digits;
+    const uint64_t count = ReadCount(pos, &digits);
+    uint64_t c = count;  // New count - 1 == old count.
+    const uint64_t mask = LowMask(table_.r_bits());
+    for (uint64_t d : digits) {
+      table_.set_remainder(d, c & mask);
+      c >>= table_.r_bits();
+    }
+    if (c > 0) {
+      // Counter grew a digit: append the new most-significant digit after
+      // the last existing digit (or right after the remainder slot).
+      const uint64_t after = digits.empty() ? pos : digits.back();
+      table_.InsertSlotAt(table_.Next(after), fq, c & mask,
+                          /*continuation=*/true, /*tag=*/true);
+    }
+    ++num_keys_;
+    return true;
+  }
+
+  // New key: insert a remainder slot at its sorted position in the run.
+  if (table_.SlotEmpty(fq) && !table_.occupied(fq)) {
+    table_.InsertSlotAt(fq, fq, fr, /*continuation=*/false);
+    table_.set_occupied(fq, true);
+    ++num_keys_;
+    return true;
+  }
+  const bool was_occupied = table_.occupied(fq);
+  table_.set_occupied(fq, true);
+  const uint64_t start = table_.FindRunStart(fq);
+  if (!was_occupied) {
+    table_.InsertSlotAt(start, fq, fr, /*continuation=*/false);
+    ++num_keys_;
+    return true;
+  }
+  // Find the first remainder slot with rem > fr; insert before it (i.e.,
+  // after the previous remainder's digit block).
+  uint64_t s = start;
+  uint64_t insert_at = start;
+  bool placed = false;
+  do {
+    if (!table_.tag(s) && table_.remainder(s) > fr) {
+      insert_at = s;
+      placed = true;
+      break;
+    }
+    s = table_.Next(s);
+    insert_at = s;
+  } while (table_.continuation(s));
+  if (placed && insert_at == start) {
+    // New minimum remainder: old head becomes a continuation.
+    table_.set_continuation(start, true);
+    table_.InsertSlotAt(start, fq, fr, /*continuation=*/false);
+  } else {
+    table_.InsertSlotAt(insert_at, fq, fr, /*continuation=*/true);
+  }
+  ++num_keys_;
+  return true;
+}
+
+uint64_t CountingQuotientFilter::Count(uint64_t key) const {
+  uint64_t fq;
+  uint64_t fr;
+  Fingerprint(key, &fq, &fr);
+  uint64_t pos;
+  uint64_t run_start;
+  if (!FindRemainderSlot(fq, fr, &pos, &run_start)) return 0;
+  return ReadCount(pos, nullptr);
+}
+
+void CountingQuotientFilter::RemoveEntrySlot(uint64_t pos, uint64_t run_start,
+                                             uint64_t fq) {
+  table_.RemoveEntry(pos, run_start, fq);
+}
+
+bool CountingQuotientFilter::Erase(uint64_t key) {
+  uint64_t fq;
+  uint64_t fr;
+  Fingerprint(key, &fq, &fr);
+  uint64_t pos;
+  uint64_t run_start;
+  if (!FindRemainderSlot(fq, fr, &pos, &run_start)) return false;
+  std::vector<uint64_t> digits;
+  const uint64_t count = ReadCount(pos, &digits);
+  if (count == 1) {
+    // Remove the remainder slot itself (it has no digit slots).
+    RemoveEntrySlot(pos, run_start, fq);
+  } else {
+    // Rewrite digits for count - 2 == (count - 1) - 1; drop the last digit
+    // slot if the encoding shrank.
+    uint64_t c = count - 2;
+    const uint64_t mask = LowMask(table_.r_bits());
+    const int r = table_.r_bits();
+    // Number of digits needed for value c (0 -> none).
+    size_t needed = 0;
+    for (uint64_t v = c; v > 0; v >>= r) ++needed;
+    for (size_t i = 0; i < needed; ++i) {
+      table_.set_remainder(digits[i], c & mask);
+      c >>= r;
+    }
+    for (size_t i = digits.size(); i > needed; --i) {
+      // Digit slots are never run heads; plain removal suffices.
+      table_.RemoveSlotAt(digits[i - 1], fq);
+    }
+  }
+  --num_keys_;
+  return true;
+}
+
+}  // namespace bbf

@@ -1,0 +1,115 @@
+#ifndef BBF_QUOTIENT_QUOTIENT_FILTER_H_
+#define BBF_QUOTIENT_QUOTIENT_FILTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/filter.h"
+#include "quotient/quotient_table.h"
+
+namespace bbf {
+
+/// Quotient filter [Bender et al. 2012] (§2.1): a p-bit fingerprint is
+/// split into a q-bit quotient (the slot index, stored implicitly) and an
+/// r-bit remainder (stored explicitly); Robin-Hood hashing keeps runs of
+/// same-quotient remainders sorted and contiguous. Uses the original
+/// 3-metadata-bit scheme, i.e. n lg(1/eps) + 3n bits at full load.
+///
+/// Fully dynamic: inserts, deletes, and multiset semantics (duplicate
+/// inserts are stored as duplicate remainders; Count reports them).
+class QuotientFilter : public Filter {
+ public:
+  /// 2^q_bits slots, r_bits-bit remainders. FPR ~ load * 2^-r.
+  QuotientFilter(int q_bits, int r_bits, uint64_t hash_seed = 0xBB);
+
+  /// A filter sized for `n` keys at false-positive rate `fpr` (at the
+  /// default max load factor).
+  static QuotientFilter ForCapacity(uint64_t n, double fpr);
+
+  bool Insert(uint64_t key) override;
+  bool Contains(uint64_t key) const override;
+  bool Erase(uint64_t key) override;
+  uint64_t Count(uint64_t key) const override;
+  size_t SpaceBits() const override { return table_.SpaceBits(); }
+  uint64_t NumKeys() const override { return num_keys_; }
+  FilterClass Class() const override { return FilterClass::kDynamic; }
+  std::string_view Name() const override { return "quotient"; }
+
+  double LoadFactor() const { return table_.LoadFactor(); }
+  int q_bits() const { return table_.q_bits(); }
+  int r_bits() const { return table_.r_bits(); }
+
+  /// Splits the fingerprint of `key` into (quotient, remainder).
+  void Fingerprint(uint64_t key, uint64_t* fq, uint64_t* fr) const;
+
+  /// Inserts a raw (quotient, remainder) fingerprint. Exposed for the
+  /// expandable variants, which remap fingerprints across doublings.
+  bool InsertFingerprint(uint64_t fq, uint64_t fr);
+
+  /// Visits every stored fingerprint as (quotient, remainder).
+  void ForEachFingerprint(
+      const std::function<void(uint64_t fq, uint64_t fr)>& fn) const;
+
+  /// Read access to the physical table (tests, invariant checks).
+  const QuotientTable& table() const { return table_; }
+
+  /// Binary serialization; Load returns false on malformed input (the
+  /// filter is left unspecified on failure).
+  void Save(std::ostream& os) const;
+  bool Load(std::istream& is);
+
+  static constexpr double kMaxLoadFactor = 0.94;
+
+ private:
+  friend class CountingQuotientFilter;
+  friend class ExpandingQuotientFilter;
+
+  QuotientTable table_;
+  uint64_t hash_seed_;
+  uint64_t num_keys_ = 0;
+};
+
+/// Counting quotient filter (§2.6): multiset counts embedded *inside* the
+/// run as variable-length counters. We mark counter-digit slots with a
+/// fourth metadata bit (tag) instead of the paper's 2.125-bit
+/// rank-and-select encoding — see DESIGN.md §6.1. A key with count c uses
+/// its remainder slot plus ceil(log_{2^r}(c)) digit slots, so hot keys in
+/// a skewed multiset cost O(log c) slots instead of c slots.
+class CountingQuotientFilter : public Filter {
+ public:
+  CountingQuotientFilter(int q_bits, int r_bits, uint64_t hash_seed = 0xBC);
+
+  static CountingQuotientFilter ForCapacity(uint64_t n, double fpr);
+
+  bool Insert(uint64_t key) override;
+  bool Contains(uint64_t key) const override { return Count(key) > 0; }
+  bool Erase(uint64_t key) override;
+  uint64_t Count(uint64_t key) const override;
+  size_t SpaceBits() const override { return table_.SpaceBits(); }
+  uint64_t NumKeys() const override { return num_keys_; }
+  FilterClass Class() const override { return FilterClass::kDynamic; }
+  std::string_view Name() const override { return "counting-quotient"; }
+
+  double LoadFactor() const { return table_.LoadFactor(); }
+  uint64_t num_used_slots() const { return table_.num_used_slots(); }
+
+ private:
+  void Fingerprint(uint64_t key, uint64_t* fq, uint64_t* fr) const;
+  // Locates the remainder slot for (fq, fr). Returns false if absent;
+  // otherwise *pos is the slot and *run_start the head of the run.
+  bool FindRemainderSlot(uint64_t fq, uint64_t fr, uint64_t* pos,
+                         uint64_t* run_start) const;
+  // Reads the counter digits after `pos`; returns the count (>= 1) and the
+  // digit slot positions in *digits.
+  uint64_t ReadCount(uint64_t pos, std::vector<uint64_t>* digits) const;
+  void RemoveEntrySlot(uint64_t pos, uint64_t run_start, uint64_t fq);
+
+  QuotientTable table_;
+  uint64_t hash_seed_;
+  uint64_t num_keys_ = 0;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_QUOTIENT_QUOTIENT_FILTER_H_

@@ -1,0 +1,125 @@
+#include "quotient/quotient_maplet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quotient/quotient_filter.h"
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bbf {
+
+QuotientMaplet::QuotientMaplet(int q_bits, int r_bits, int value_bits,
+                               uint64_t hash_seed)
+    : table_(q_bits, r_bits, /*has_tag=*/false, value_bits),
+      hash_seed_(hash_seed) {}
+
+QuotientMaplet QuotientMaplet::ForCapacity(uint64_t n, double fpr,
+                                           int value_bits) {
+  uint64_t slots = NextPow2(static_cast<uint64_t>(
+      std::ceil(n / QuotientFilter::kMaxLoadFactor)));
+  const int q_bits = std::max(6, BitWidth(slots - 1));
+  const double needed = -std::log2(fpr / QuotientFilter::kMaxLoadFactor);
+  const int r_bits = std::max(1, static_cast<int>(std::ceil(needed)));
+  return QuotientMaplet(q_bits, r_bits, value_bits);
+}
+
+void QuotientMaplet::Fingerprint(uint64_t key, uint64_t* fq,
+                                 uint64_t* fr) const {
+  const uint64_t h = Hash64(key, hash_seed_);
+  *fq = (h >> table_.r_bits()) & (table_.num_slots() - 1);
+  *fr = h & LowMask(table_.r_bits());
+}
+
+bool QuotientMaplet::Insert(uint64_t key, uint64_t value) {
+  if (table_.LoadFactor() >= QuotientFilter::kMaxLoadFactor) return false;
+  uint64_t fq;
+  uint64_t fr;
+  Fingerprint(key, &fq, &fr);
+  return InsertFingerprint(fq, fr, value);
+}
+
+bool QuotientMaplet::InsertFingerprint(uint64_t fq, uint64_t fr,
+                                       uint64_t value) {
+  if (table_.num_used_slots() + 1 >= table_.num_slots()) return false;
+  if (table_.SlotEmpty(fq) && !table_.occupied(fq)) {
+    table_.InsertSlotAt(fq, fq, fr, /*continuation=*/false, /*tag=*/false,
+                        value);
+    table_.set_occupied(fq, true);
+    ++num_entries_;
+    return true;
+  }
+  const bool was_occupied = table_.occupied(fq);
+  table_.set_occupied(fq, true);
+  const uint64_t start = table_.FindRunStart(fq);
+  if (!was_occupied) {
+    table_.InsertSlotAt(start, fq, fr, /*continuation=*/false, /*tag=*/false,
+                        value);
+    ++num_entries_;
+    return true;
+  }
+  uint64_t s = start;
+  do {
+    if (table_.remainder(s) >= fr) break;
+    s = table_.Next(s);
+  } while (table_.continuation(s));
+  if (s == start) {
+    table_.set_continuation(start, true);
+    table_.InsertSlotAt(s, fq, fr, /*continuation=*/false, /*tag=*/false,
+                        value);
+  } else {
+    table_.InsertSlotAt(s, fq, fr, /*continuation=*/true, /*tag=*/false,
+                        value);
+  }
+  ++num_entries_;
+  return true;
+}
+
+void QuotientMaplet::ForEachEntry(
+    const std::function<void(uint64_t, uint64_t, uint64_t)>& fn) const {
+  table_.ForEachSlot([&](uint64_t q, uint64_t slot) {
+    fn(q, table_.remainder(slot), table_.value(slot));
+  });
+}
+
+std::vector<uint64_t> QuotientMaplet::Lookup(uint64_t key) const {
+  std::vector<uint64_t> values;
+  uint64_t fq;
+  uint64_t fr;
+  Fingerprint(key, &fq, &fr);
+  if (!table_.occupied(fq)) return values;
+  uint64_t s = table_.FindRunStart(fq);
+  do {
+    const uint64_t rem = table_.remainder(s);
+    if (rem == fr) values.push_back(table_.value(s));
+    if (rem > fr) break;
+    s = table_.Next(s);
+  } while (table_.continuation(s));
+  return values;
+}
+
+bool QuotientMaplet::Erase(uint64_t key, uint64_t value) {
+  uint64_t fq;
+  uint64_t fr;
+  Fingerprint(key, &fq, &fr);
+  if (!table_.occupied(fq)) return false;
+  const uint64_t start = table_.FindRunStart(fq);
+  uint64_t s = start;
+  bool found = false;
+  do {
+    const uint64_t rem = table_.remainder(s);
+    if (rem == fr && table_.value(s) == value) {
+      found = true;
+      break;
+    }
+    if (rem > fr) break;
+    s = table_.Next(s);
+  } while (table_.continuation(s));
+  if (!found) return false;
+
+  table_.RemoveEntry(s, start, fq);
+  --num_entries_;
+  return true;
+}
+
+}  // namespace bbf

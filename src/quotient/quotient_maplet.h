@@ -1,0 +1,66 @@
+#ifndef BBF_QUOTIENT_QUOTIENT_MAPLET_H_
+#define BBF_QUOTIENT_QUOTIENT_MAPLET_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "quotient/quotient_table.h"
+
+namespace bbf {
+
+/// Quotient-filter maplet (§2.4): each slot stores a small value alongside
+/// the remainder. A positive lookup returns the target key's value plus,
+/// with probability epsilon per colliding fingerprint, a few arbitrary
+/// extras (expected positive result size 1 + eps); a negative lookup
+/// returns eps extras in expectation. The application disambiguates — the
+/// SplinterDB/Chucky/Mantis pattern.
+///
+/// Multiple inserts of the same key accumulate multiple values (Mantis
+/// maps each k-mer to a *collection* of experiments this way).
+class QuotientMaplet {
+ public:
+  QuotientMaplet(int q_bits, int r_bits, int value_bits,
+                 uint64_t hash_seed = 0xBD);
+
+  static QuotientMaplet ForCapacity(uint64_t n, double fpr, int value_bits);
+
+  /// Associates `value` (low value_bits) with `key`.
+  /// Returns false when full.
+  bool Insert(uint64_t key, uint64_t value);
+
+  /// All values whose fingerprints match `key` (possibly empty).
+  std::vector<uint64_t> Lookup(uint64_t key) const;
+
+  bool Contains(uint64_t key) const { return !Lookup(key).empty(); }
+
+  /// Removes one (key, value) association; value must match exactly.
+  bool Erase(uint64_t key, uint64_t value);
+
+  /// Visits every stored entry as (quotient, remainder, value). Exposed
+  /// for the expandable variant, which remaps fingerprints on doubling.
+  void ForEachEntry(
+      const std::function<void(uint64_t fq, uint64_t fr, uint64_t value)>&
+          fn) const;
+
+  /// Inserts a raw (quotient, remainder, value) triple (expansion path).
+  bool InsertFingerprint(uint64_t fq, uint64_t fr, uint64_t value);
+
+  size_t SpaceBits() const { return table_.SpaceBits(); }
+  uint64_t NumEntries() const { return num_entries_; }
+  double LoadFactor() const { return table_.LoadFactor(); }
+  int value_bits() const { return table_.value_bits(); }
+
+ private:
+  friend class ExpandingQuotientMaplet;
+
+  void Fingerprint(uint64_t key, uint64_t* fq, uint64_t* fr) const;
+
+  QuotientTable table_;
+  uint64_t hash_seed_;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_QUOTIENT_QUOTIENT_MAPLET_H_

@@ -1,0 +1,259 @@
+#include "quotient/quotient_table.h"
+
+#include <cstdio>
+#include <deque>
+
+#include "util/serialize.h"
+
+namespace bbf {
+
+QuotientTable::QuotientTable(int q_bits, int r_bits, bool has_tag,
+                             int value_bits)
+    : q_bits_(q_bits),
+      r_bits_(r_bits),
+      value_bits_(value_bits),
+      has_tag_(has_tag),
+      num_slots_(uint64_t{1} << q_bits),
+      slot_mask_(num_slots_ - 1),
+      occupied_(num_slots_),
+      continuation_(num_slots_),
+      shifted_(num_slots_),
+      tag_(has_tag ? num_slots_ : 0),
+      remainders_(num_slots_, r_bits),
+      values_(value_bits ? num_slots_ : 0,
+              value_bits ? value_bits : 1) {}
+
+size_t QuotientTable::SpaceBits() const {
+  return num_slots_ * (3 + (has_tag_ ? 1 : 0) + r_bits_ + value_bits_);
+}
+
+uint64_t QuotientTable::FindRunStart(uint64_t q) const {
+  // Walk left to the cluster start, then replay runs forward.
+  uint64_t b = q;
+  while (shifted_.Get(b)) b = Prev(b);
+  uint64_t s = b;
+  while (b != q) {
+    do {
+      s = Next(s);
+    } while (continuation_.Get(s));  // Skip to the next run head.
+    do {
+      b = Next(b);
+    } while (!occupied_.Get(b));  // Next quotient with a run.
+  }
+  return s;
+}
+
+void QuotientTable::InsertSlotAt(uint64_t pos, uint64_t home,
+                                 uint64_t remainder, bool continuation,
+                                 bool tag, uint64_t value) {
+  uint64_t cur_rem = remainder;
+  uint64_t cur_val = value;
+  bool cur_cont = continuation;
+  bool cur_tag = tag;
+  bool cur_shift = pos != home;
+  uint64_t i = pos;
+  while (!SlotEmpty(i)) {
+    const uint64_t old_rem = remainders_.Get(i);
+    const uint64_t old_val = value_bits_ ? values_.Get(i) : 0;
+    const bool old_cont = continuation_.Get(i);
+    const bool old_tag = has_tag_ && tag_.Get(i);
+    remainders_.Set(i, cur_rem);
+    if (value_bits_) values_.Set(i, cur_val);
+    continuation_.Assign(i, cur_cont);
+    if (has_tag_) tag_.Assign(i, cur_tag);
+    shifted_.Assign(i, cur_shift);
+    cur_rem = old_rem;
+    cur_val = old_val;
+    cur_cont = old_cont;
+    cur_tag = old_tag;
+    cur_shift = true;  // Every displaced slot is (now) shifted.
+    i = Next(i);
+  }
+  remainders_.Set(i, cur_rem);
+  if (value_bits_) values_.Set(i, cur_val);
+  continuation_.Assign(i, cur_cont);
+  if (has_tag_) tag_.Assign(i, cur_tag);
+  shifted_.Assign(i, cur_shift);
+  ++used_slots_;
+}
+
+void QuotientTable::RemoveSlotAt(uint64_t pos, uint64_t run_quotient) {
+  uint64_t quot = run_quotient;
+  uint64_t curr = pos;
+  const uint64_t orig = pos;
+  while (true) {
+    const uint64_t next = Next(curr);
+    const bool next_cluster_start =
+        !continuation_.Get(next) && !shifted_.Get(next);
+    if (SlotEmpty(next) || next_cluster_start || next == orig) {
+      // Clear the vacated slot (occupied stays: it describes the index).
+      continuation_.Assign(curr, false);
+      shifted_.Assign(curr, false);
+      if (has_tag_) tag_.Assign(curr, false);
+      remainders_.Set(curr, 0);
+      if (value_bits_) values_.Set(curr, 0);
+      --used_slots_;
+      return;
+    }
+    // Slide `next` into `curr`, fixing heads that reach their home slot.
+    bool next_shifted = true;
+    if (!continuation_.Get(next)) {
+      do {
+        quot = Next(quot);
+      } while (!occupied_.Get(quot));
+      if (curr == quot) next_shifted = false;
+    }
+    remainders_.Set(curr, remainders_.Get(next));
+    if (value_bits_) values_.Set(curr, values_.Get(next));
+    continuation_.Assign(curr, continuation_.Get(next));
+    if (has_tag_) tag_.Assign(curr, has_tag_ && tag_.Get(next));
+    shifted_.Assign(curr, next_shifted);
+    curr = next;
+  }
+}
+
+void QuotientTable::RemoveEntry(uint64_t pos, uint64_t run_start,
+                                uint64_t fq) {
+  const bool was_head = (pos == run_start);
+  if (was_head) {
+    const uint64_t nxt = Next(pos);
+    const bool run_survives = !SlotEmpty(nxt) && continuation_.Get(nxt);
+    if (!run_survives) occupied_.Clear(fq);
+  }
+  RemoveSlotAt(pos, fq);
+  if (was_head && !SlotEmpty(pos) && continuation_.Get(pos)) {
+    // Promote the run's second element to head.
+    continuation_.Clear(pos);
+    if (pos == fq) shifted_.Clear(pos);
+  }
+}
+
+void QuotientTable::ForEachSlot(
+    const std::function<void(uint64_t, uint64_t)>& fn) const {
+  if (used_slots_ == 0) return;
+  // Start right after an empty slot so no cluster straddles the scan start.
+  uint64_t start = num_slots_;  // Sentinel: no empty slot found.
+  for (uint64_t i = 0; i < num_slots_; ++i) {
+    if (SlotEmpty(i)) {
+      start = i;
+      break;
+    }
+  }
+  // Load factor is capped below 1.0, so an empty slot always exists.
+  if (start == num_slots_) return;  // Defensive: full table, cannot scan.
+  std::deque<uint64_t> pending;
+  uint64_t cur_q = 0;
+  for (uint64_t k = 1; k <= num_slots_; ++k) {
+    const uint64_t i = (start + k) & slot_mask_;
+    if (occupied_.Get(i)) pending.push_back(i);
+    if (SlotEmpty(i)) continue;
+    if (!continuation_.Get(i)) {
+      cur_q = pending.front();
+      pending.pop_front();
+    }
+    fn(cur_q, i);
+  }
+}
+
+bool QuotientTable::CheckInvariants() const {
+  uint64_t start = num_slots_;
+  for (uint64_t i = 0; i < num_slots_; ++i) {
+    if (SlotEmpty(i)) {
+      if (occupied_.Get(i)) {
+        std::fprintf(stderr, "invariant: empty slot %llu has occupied bit\n",
+                     static_cast<unsigned long long>(i));
+        return false;
+      }
+      if (start == num_slots_) start = i;
+    }
+  }
+  if (used_slots_ == 0) return true;
+  if (start == num_slots_) return true;  // Full table: nothing to scan from.
+  std::deque<uint64_t> pending;
+  uint64_t runs_seen = 0;
+  uint64_t occupied_seen = 0;
+  for (uint64_t k = 1; k <= num_slots_; ++k) {
+    const uint64_t i = (start + k) & slot_mask_;
+    if (occupied_.Get(i)) {
+      pending.push_back(i);
+      ++occupied_seen;
+    }
+    if (SlotEmpty(i)) {
+      if (!pending.empty()) {
+        // A pending quotient's run must appear before its cluster ends.
+        std::fprintf(stderr,
+                     "invariant: cluster ended at %llu with pending run %llu\n",
+                     static_cast<unsigned long long>(i),
+                     static_cast<unsigned long long>(pending.front()));
+        return false;
+      }
+      continue;
+    }
+    if (!continuation_.Get(i)) {
+      if (pending.empty()) {
+        std::fprintf(stderr, "invariant: run head at %llu with no pending\n",
+                     static_cast<unsigned long long>(i));
+        return false;
+      }
+      const uint64_t q = pending.front();
+      pending.pop_front();
+      ++runs_seen;
+      const bool at_home = (i == q);
+      if (at_home != !shifted_.Get(i)) {
+        std::fprintf(stderr,
+                     "invariant: head at %llu quotient %llu shifted bit %d\n",
+                     static_cast<unsigned long long>(i),
+                     static_cast<unsigned long long>(q), (int)shifted_.Get(i));
+        return false;
+      }
+    } else if (!shifted_.Get(i)) {
+      std::fprintf(stderr, "invariant: continuation at %llu not shifted\n",
+                   static_cast<unsigned long long>(i));
+      return false;
+    }
+  }
+  if (runs_seen != occupied_seen) {
+    std::fprintf(stderr, "invariant: %llu runs vs %llu occupied bits\n",
+                 static_cast<unsigned long long>(runs_seen),
+                 static_cast<unsigned long long>(occupied_seen));
+    return false;
+  }
+  return true;
+}
+
+void QuotientTable::Save(std::ostream& os) const {
+  WriteI32(os, q_bits_);
+  WriteI32(os, r_bits_);
+  WriteI32(os, value_bits_);
+  WriteI32(os, has_tag_ ? 1 : 0);
+  WriteU64(os, used_slots_);
+  occupied_.Save(os);
+  continuation_.Save(os);
+  shifted_.Save(os);
+  tag_.Save(os);
+  remainders_.Save(os);
+  values_.Save(os);
+}
+
+bool QuotientTable::Load(std::istream& is) {
+  int32_t q;
+  int32_t r;
+  int32_t v;
+  int32_t tag;
+  if (!ReadI32(is, &q) || !ReadI32(is, &r) || !ReadI32(is, &v) ||
+      !ReadI32(is, &tag) || !ReadU64(is, &used_slots_)) {
+    return false;
+  }
+  if (q < 1 || q > 62 || r < 0 || r > 64) return false;
+  q_bits_ = q;
+  r_bits_ = r;
+  value_bits_ = v;
+  has_tag_ = tag != 0;
+  num_slots_ = uint64_t{1} << q_bits_;
+  slot_mask_ = num_slots_ - 1;
+  return occupied_.Load(is) && continuation_.Load(is) &&
+         shifted_.Load(is) && tag_.Load(is) && remainders_.Load(is) &&
+         values_.Load(is);
+}
+
+}  // namespace bbf

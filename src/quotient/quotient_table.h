@@ -1,0 +1,130 @@
+#ifndef BBF_QUOTIENT_QUOTIENT_TABLE_H_
+#define BBF_QUOTIENT_QUOTIENT_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <ostream>
+
+#include "util/bit_vector.h"
+#include "util/compact_vector.h"
+
+namespace bbf {
+
+/// Physical layer shared by every quotient-filter variant (§2.1): a table
+/// of 2^q slots, each holding an r-bit remainder plus the classic three
+/// metadata bits — is_occupied / is_continuation / is_shifted — stored as
+/// separate bit planes. Collisions are resolved Robin-Hood style: runs of
+/// remainders sharing a quotient are kept sorted and contiguous, shifted
+/// right as needed, with wraparound.
+///
+/// Two optional per-slot planes ride along with the remainders during
+/// shifts: a 1-bit *tag* (used by the counting variant to mark counter
+/// digits) and a v-bit *value* (used by the maplet variant).
+///
+/// This class only manages slots; fingerprint semantics live in the
+/// variant classes.
+class QuotientTable {
+ public:
+  QuotientTable() = default;
+
+  /// 2^q_bits slots of r_bits remainders; value_bits may be 0.
+  QuotientTable(int q_bits, int r_bits, bool has_tag = false,
+                int value_bits = 0);
+
+  int q_bits() const { return q_bits_; }
+  int r_bits() const { return r_bits_; }
+  int value_bits() const { return value_bits_; }
+  uint64_t num_slots() const { return num_slots_; }
+  uint64_t num_used_slots() const { return used_slots_; }
+  double LoadFactor() const {
+    return static_cast<double>(used_slots_) / num_slots_;
+  }
+
+  /// Total bits of all planes (remainders + metadata + tag + values).
+  size_t SpaceBits() const;
+
+  // --- Per-slot accessors -------------------------------------------------
+  bool occupied(uint64_t i) const { return occupied_.Get(i); }
+  bool continuation(uint64_t i) const { return continuation_.Get(i); }
+  bool shifted(uint64_t i) const { return shifted_.Get(i); }
+  bool tag(uint64_t i) const { return has_tag_ && tag_.Get(i); }
+  uint64_t remainder(uint64_t i) const { return remainders_.Get(i); }
+  uint64_t value(uint64_t i) const {
+    return value_bits_ ? values_.Get(i) : 0;
+  }
+  void set_occupied(uint64_t i, bool v) { occupied_.Assign(i, v); }
+  void set_continuation(uint64_t i, bool v) { continuation_.Assign(i, v); }
+  void set_shifted(uint64_t i, bool v) { shifted_.Assign(i, v); }
+  void set_tag(uint64_t i, bool v) {
+    if (has_tag_) tag_.Assign(i, v);
+  }
+  void set_remainder(uint64_t i, uint64_t r) { remainders_.Set(i, r); }
+  void set_value(uint64_t i, uint64_t v) {
+    if (value_bits_) values_.Set(i, v);
+  }
+
+  bool SlotEmpty(uint64_t i) const {
+    return !occupied_.Get(i) && !continuation_.Get(i) && !shifted_.Get(i);
+  }
+
+  uint64_t Next(uint64_t i) const { return (i + 1) & slot_mask_; }
+  uint64_t Prev(uint64_t i) const { return (i - 1) & slot_mask_; }
+
+  /// Start slot of the run for quotient `q`. Requires occupied(q).
+  uint64_t FindRunStart(uint64_t q) const;
+
+  /// Inserts a slot holding (`remainder`, `value`, `tag`) at position `pos`,
+  /// shifting the remaining cluster right. `continuation` is the bit for
+  /// the new slot; displaced slots keep their continuation/tag/value bits
+  /// and become shifted. `home` is the quotient of the inserted entry (used
+  /// to decide its shifted bit). The caller is responsible for occupied
+  /// bits and for clearing/setting the continuation bit of a displaced run
+  /// head when inserting in front of it.
+  void InsertSlotAt(uint64_t pos, uint64_t home, uint64_t remainder,
+                    bool continuation, bool tag = false, uint64_t value = 0);
+
+  /// Removes the slot at `pos`, left-shifting the rest of the cluster and
+  /// fixing shifted bits of run heads that slide into their home slots.
+  /// `run_quotient` is the quotient of the run containing `pos`. Does not
+  /// touch occupied bits (caller's job).
+  void RemoveSlotAt(uint64_t pos, uint64_t run_quotient);
+
+  /// Removes the entry at `pos` within the run of quotient `fq` starting
+  /// at `run_start`, maintaining occupied bits and promoting the run's
+  /// second element to head when the head is removed.
+  void RemoveEntry(uint64_t pos, uint64_t run_start, uint64_t fq);
+
+  /// Visits every stored slot as (quotient, slot_index). Slots of one run
+  /// are visited in order. Requires at least one empty slot.
+  void ForEachSlot(
+      const std::function<void(uint64_t quotient, uint64_t slot)>& fn) const;
+
+  /// Structural self-check (run/cluster/occupied-bit consistency). Used by
+  /// the test suite; returns false and prints the violation on corruption.
+  bool CheckInvariants() const;
+
+  /// Binary serialization of the full table state.
+  void Save(std::ostream& os) const;
+  bool Load(std::istream& is);
+
+ private:
+  int q_bits_ = 0;
+  int r_bits_ = 0;
+  int value_bits_ = 0;
+  bool has_tag_ = false;
+  uint64_t num_slots_ = 0;
+  uint64_t slot_mask_ = 0;
+  uint64_t used_slots_ = 0;
+
+  BitVector occupied_;
+  BitVector continuation_;
+  BitVector shifted_;
+  BitVector tag_;
+  CompactVector remainders_;
+  CompactVector values_;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_QUOTIENT_QUOTIENT_TABLE_H_

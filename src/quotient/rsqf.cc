@@ -1,0 +1,192 @@
+#include "quotient/rsqf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bbf {
+
+Rsqf::Rsqf(int q_bits, int r_bits, uint64_t hash_seed)
+    : q_bits_(q_bits),
+      r_bits_(r_bits),
+      hash_seed_(hash_seed),
+      num_quotients_(uint64_t{1} << q_bits),
+      total_slots_((uint64_t{1} << q_bits) + 2 * kBlockSlots),
+      occupieds_(total_slots_),
+      runends_(total_slots_),
+      remainders_(total_slots_, r_bits),
+      offsets_(total_slots_ / kBlockSlots + 1, 0) {}
+
+Rsqf Rsqf::ForCapacity(uint64_t n, double fpr) {
+  const uint64_t slots =
+      NextPow2(static_cast<uint64_t>(std::ceil(n / kMaxLoadFactor)));
+  const int q = std::max(6, BitWidth(slots - 1));
+  const double needed = -std::log2(fpr / kMaxLoadFactor);
+  const int r = std::max(1, static_cast<int>(std::ceil(needed)));
+  return Rsqf(q, r);
+}
+
+void Rsqf::Fingerprint(uint64_t key, uint64_t* fq, uint64_t* fr) const {
+  const uint64_t h = Hash64(key, hash_seed_);
+  *fq = (h >> r_bits_) & (num_quotients_ - 1);
+  *fr = h & LowMask(r_bits_);
+}
+
+uint64_t Rsqf::SelectRunendAfter(uint64_t from, uint64_t k) const {
+  // Position of the k-th (1-indexed) runend bit at position >= from.
+  uint64_t w = from / 64;
+  const uint64_t num_words = runends_.NumWords();
+  uint64_t word = w < num_words
+                      ? runends_.Word(w) & ~LowMask(static_cast<int>(from % 64))
+                      : 0;
+  while (w < num_words) {
+    const uint64_t count = Popcount(word);
+    if (count >= k) {
+      return w * 64 + SelectInWord(word, static_cast<int>(k - 1));
+    }
+    k -= count;
+    ++w;
+    if (w < num_words) word = runends_.Word(w);
+  }
+  return kNone;
+}
+
+uint64_t Rsqf::RunEndUpTo(uint64_t q) const {
+  const uint64_t b = q / kBlockSlots;
+  const int i = static_cast<int>(q % kBlockSlots);
+  const uint64_t occ_word = occupieds_.Word(b);
+  const uint64_t d = Popcount(occ_word & LowMask(i + 1));
+  const uint64_t offset = offsets_[b];
+  if (d == 0) {
+    if (offset == 0) return kNone;  // Every earlier run ends before 64b.
+    return b * kBlockSlots + offset - 1;  // Last prior run's end.
+  }
+  // The d-th runend at or after the prior runs' spill boundary belongs to
+  // the d-th occupied quotient of this block.
+  return SelectRunendAfter(b * kBlockSlots + offset, d);
+}
+
+uint64_t Rsqf::RunEndOf(uint64_t q) const { return RunEndUpTo(q); }
+
+bool Rsqf::Contains(uint64_t key) const {
+  uint64_t fq;
+  uint64_t fr;
+  Fingerprint(key, &fq, &fr);
+  if (!occupieds_.Get(fq)) return false;
+  uint64_t pos = RunEndOf(fq);
+  while (true) {
+    if (remainders_.Get(pos) == fr) return true;
+    if (pos <= fq) break;  // A run never starts before its quotient.
+    --pos;
+    if (runends_.Get(pos)) break;  // Crossed into the previous run.
+  }
+  return false;
+}
+
+bool Rsqf::Insert(uint64_t key) {
+  if (LoadFactor() >= kMaxLoadFactor) return false;
+  uint64_t fq;
+  uint64_t fr;
+  Fingerprint(key, &fq, &fr);
+  const bool was_occupied = occupieds_.Get(fq);
+
+  const uint64_t e = RunEndUpTo(fq);
+  uint64_t p = (e == kNone || e < fq) ? fq : e + 1;
+  // First unused slot at or after p, jumping run by run.
+  uint64_t u = p;
+  while (true) {
+    const uint64_t ru = RunEndUpTo(u);
+    if (ru == kNone || ru < u) break;
+    u = ru + 1;
+    if (u + 1 >= total_slots_) return false;  // Slack exhausted.
+  }
+  // Shift remainders and runend bits in [p, u) one slot right.
+  for (uint64_t j = u; j > p; --j) {
+    remainders_.Set(j, remainders_.Get(j - 1));
+    runends_.Assign(j, runends_.Get(j - 1));
+  }
+  remainders_.Set(p, fr);
+  if (was_occupied) {
+    // Append to the existing run: its old end (p - 1) is an end no more.
+    runends_.Clear(p - 1);
+    runends_.Set(p);
+  } else {
+    occupieds_.Set(fq);
+    runends_.Set(p);
+  }
+  // Offsets of block boundaries in (fq, u+1] may have changed: the
+  // inserted/extended run can spill across them and the shift moved every
+  // runend in [p, u) one right. Boundaries at or before fq are provably
+  // untouched (their controlling runend precedes p), so the recurrence
+  // can rebuild the window from the block containing fq.
+  RecomputeOffsets(fq / kBlockSlots + 1, (u + 1) / kBlockSlots);
+  ++num_keys_;
+  return true;
+}
+
+void Rsqf::RecomputeOffsets(uint64_t first_block, uint64_t last_block) {
+  last_block = std::min<uint64_t>(last_block, offsets_.size() - 1);
+  for (uint64_t b = std::max<uint64_t>(first_block, 1); b <= last_block;
+       ++b) {
+    const uint64_t prev_occ = Popcount(occupieds_.Word(b - 1));
+    uint64_t last_runend;
+    if (prev_occ == 0) {
+      // Block b-1 added no runs; inherit the previous spill (if any).
+      if (offsets_[b - 1] == 0) {
+        offsets_[b] = 0;
+        continue;
+      }
+      last_runend = (b - 1) * kBlockSlots + offsets_[b - 1] - 1;
+    } else {
+      last_runend = SelectRunendAfter(
+          (b - 1) * kBlockSlots + offsets_[b - 1], prev_occ);
+    }
+    const uint64_t boundary = b * kBlockSlots;
+    offsets_[b] = last_runend != kNone && last_runend + 1 > boundary
+                      ? static_cast<uint16_t>(last_runend + 1 - boundary)
+                      : 0;
+  }
+}
+
+size_t Rsqf::SpaceBits() const {
+  // 2 metadata bits + r remainder bits per slot, plus 16/64 bits of
+  // offset per block: the "2.125-ish" accounting of the paper.
+  return total_slots_ * (2 + r_bits_) + offsets_.size() * 16;
+}
+
+bool Rsqf::CheckInvariants() const {
+  // The occupieds/runends bijection: equal cardinality, and the i-th
+  // runend must sit at or after the i-th occupied quotient.
+  if (occupieds_.CountOnes() != runends_.CountOnes()) {
+    std::fprintf(stderr, "rsqf: %llu occupieds vs %llu runends\n",
+                 static_cast<unsigned long long>(occupieds_.CountOnes()),
+                 static_cast<unsigned long long>(runends_.CountOnes()));
+    return false;
+  }
+  uint64_t runend_pos = 0;
+  uint64_t seen = 0;
+  for (uint64_t q = 0; q < num_quotients_; ++q) {
+    if (!occupieds_.Get(q)) continue;
+    ++seen;
+    const uint64_t e = SelectRunendAfter(0, seen);
+    if (e == kNone || e < q) {
+      std::fprintf(stderr, "rsqf: runend %llu of quotient %llu before it\n",
+                   static_cast<unsigned long long>(e),
+                   static_cast<unsigned long long>(q));
+      return false;
+    }
+    runend_pos = e;
+  }
+  (void)runend_pos;
+  // Offsets must match a from-scratch recomputation.
+  std::vector<uint16_t> saved = offsets_;
+  const_cast<Rsqf*>(this)->RecomputeOffsets(1, offsets_.size() - 1);
+  const bool match = saved == offsets_;
+  if (!match) std::fprintf(stderr, "rsqf: stale offsets\n");
+  return match;
+}
+
+}  // namespace bbf

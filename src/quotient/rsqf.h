@@ -1,0 +1,79 @@
+#ifndef BBF_QUOTIENT_RSQF_H_
+#define BBF_QUOTIENT_RSQF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/filter.h"
+#include "util/bit_vector.h"
+#include "util/compact_vector.h"
+
+namespace bbf {
+
+/// Rank-and-Select Quotient Filter [Pandey et al. 2017] — the metadata
+/// scheme behind the paper's "quotient filter uses n lg(1/eps) + 2.125n
+/// bits" (§2). Instead of the original three bits per slot, each slot
+/// carries two: `occupieds` (some key has this quotient) and `runends`
+/// (this slot ends a run), tied together by a global bijection — the i-th
+/// occupied quotient's run ends at the i-th runend bit. Per-64-slot-block
+/// *offsets* make rank/select local, giving the 2 + 64/|block| ≈ 2.125
+/// metadata bits per slot.
+///
+/// This implementation keeps runs unsorted (append at run end), uses
+/// 16-bit offsets (2+0.25 metadata bits/slot), and avoids wraparound with
+/// a small slack region after the table — all documented in DESIGN.md.
+/// Supports inserts and lookups (membership); deletes live in the
+/// 3-bit QuotientFilter, counting in CountingQuotientFilter.
+class Rsqf : public Filter {
+ public:
+  Rsqf(int q_bits, int r_bits, uint64_t hash_seed = 0x45F);
+
+  static Rsqf ForCapacity(uint64_t n, double fpr);
+
+  bool Insert(uint64_t key) override;
+  bool Contains(uint64_t key) const override;
+  size_t SpaceBits() const override;
+  uint64_t NumKeys() const override { return num_keys_; }
+  FilterClass Class() const override { return FilterClass::kSemiDynamic; }
+  std::string_view Name() const override { return "rsqf"; }
+
+  double LoadFactor() const {
+    return static_cast<double>(num_keys_) / (uint64_t{1} << q_bits_);
+  }
+  int r_bits() const { return r_bits_; }
+
+  /// Structural self-check for the test suite.
+  bool CheckInvariants() const;
+
+  static constexpr double kMaxLoadFactor = 0.94;
+  static constexpr uint64_t kBlockSlots = 64;
+
+ private:
+  void Fingerprint(uint64_t key, uint64_t* fq, uint64_t* fr) const;
+  // Global position of the k-th (1-indexed) runend bit strictly after
+  // `from` (pass from = -1 via uint64 wrap guard below). Returns total
+  // slots if none.
+  uint64_t SelectRunendAfter(uint64_t from_plus_one, uint64_t k) const;
+  // Runend position of the run of occupied quotient q.
+  uint64_t RunEndOf(uint64_t q) const;
+  // Runend of the last occupied quotient <= q, or kNone if none.
+  uint64_t RunEndUpTo(uint64_t q) const;
+  void RecomputeOffsets(uint64_t first_block, uint64_t last_block);
+
+  static constexpr uint64_t kNone = ~uint64_t{0};
+
+  int q_bits_;
+  int r_bits_;
+  uint64_t hash_seed_;
+  uint64_t num_quotients_;
+  uint64_t total_slots_;  // num_quotients_ + slack (no wraparound).
+  BitVector occupieds_;
+  BitVector runends_;
+  CompactVector remainders_;
+  std::vector<uint16_t> offsets_;  // Per block of 64 quotient slots.
+  uint64_t num_keys_ = 0;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_QUOTIENT_RSQF_H_

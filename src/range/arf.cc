@@ -1,0 +1,63 @@
+#include "range/arf.h"
+
+namespace bbf {
+
+ArfRangeFilter::ArfRangeFilter(uint64_t max_nodes) : max_nodes_(max_nodes) {
+  nodes_.push_back(Node{});  // Occupied root covering the whole domain.
+}
+
+void ArfRangeFilter::Train(uint64_t lo, uint64_t hi, bool was_empty) {
+  if (!was_empty || hi < lo) return;  // Only verified emptiness teaches.
+  TrainNode(0, 0, ~uint64_t{0}, lo, hi);
+}
+
+void ArfRangeFilter::TrainNode(int32_t node, uint64_t node_lo,
+                               uint64_t node_hi, uint64_t lo, uint64_t hi) {
+  if (hi < node_lo || lo > node_hi) return;  // Disjoint.
+  Node& n = nodes_[node];
+  if (n.left < 0) {  // Leaf.
+    if (!n.occupied) return;  // Already known empty.
+    if (lo <= node_lo && node_hi <= hi) {
+      n.occupied = false;  // The whole region was verified empty.
+      return;
+    }
+    if (node_lo == node_hi || nodes_.size() + 2 > max_nodes_) {
+      return;  // Budget exhausted or indivisible: stay conservative.
+    }
+    // Split and recurse; children start occupied (no information).
+    const int32_t left = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+    nodes_.push_back(Node{});
+    nodes_[node].left = left;
+    nodes_[node].right = left + 1;
+  }
+  const uint64_t mid = node_lo + (node_hi - node_lo) / 2;
+  const int32_t left = nodes_[node].left;
+  const int32_t right = nodes_[node].right;
+  TrainNode(left, node_lo, mid, lo, hi);
+  TrainNode(right, mid + 1, node_hi, lo, hi);
+}
+
+bool ArfRangeFilter::QueryNode(int32_t node, uint64_t node_lo,
+                               uint64_t node_hi, uint64_t lo,
+                               uint64_t hi) const {
+  if (hi < node_lo || lo > node_hi) return false;
+  const Node& n = nodes_[node];
+  if (n.left < 0) return n.occupied;
+  const uint64_t mid = node_lo + (node_hi - node_lo) / 2;
+  return QueryNode(n.left, node_lo, mid, lo, hi) ||
+         QueryNode(n.right, mid + 1, node_hi, lo, hi);
+}
+
+bool ArfRangeFilter::MayContainRange(uint64_t lo, uint64_t hi) const {
+  return QueryNode(0, 0, ~uint64_t{0}, lo, hi);
+}
+
+size_t ArfRangeFilter::SpaceBits() const {
+  // A succinct encoding needs ~2 bits of shape + 1 occupancy bit per
+  // node; we charge that (our pointer representation is a constant factor
+  // fatter, as in the original paper's prototype).
+  return nodes_.size() * 3;
+}
+
+}  // namespace bbf

@@ -1,0 +1,55 @@
+#include "range/grafite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bbf {
+
+GrafiteRangeFilter::GrafiteRangeFilter(const std::vector<uint64_t>& keys,
+                                       int reduced_bits, int block_bits,
+                                       uint64_t seed)
+    : reduced_bits_(std::max(reduced_bits, block_bits + 1)),
+      block_bits_(block_bits),
+      seed_(seed) {
+  std::vector<uint64_t> codes;
+  codes.reserve(keys.size());
+  for (uint64_t k : keys) codes.push_back(CodeOf(k));
+  std::sort(codes.begin(), codes.end());
+  codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+  codes_ = EliasFano(codes, uint64_t{1} << reduced_bits_);
+}
+
+GrafiteRangeFilter GrafiteRangeFilter::ForBitsPerKey(
+    const std::vector<uint64_t>& keys, double bits_per_key, int block_bits) {
+  const double lg_n =
+      std::log2(static_cast<double>(std::max<size_t>(keys.size(), 2)));
+  int reduced = static_cast<int>(bits_per_key - 2.0 + lg_n);
+  reduced = std::clamp(reduced, block_bits + 1, 62);
+  return GrafiteRangeFilter(keys, reduced, block_bits);
+}
+
+uint64_t GrafiteRangeFilter::HashBlock(uint64_t block) const {
+  return Hash64(block, seed_) & LowMask(reduced_bits_ - block_bits_);
+}
+
+bool GrafiteRangeFilter::MayContainRange(uint64_t lo, uint64_t hi) const {
+  const uint64_t block_mask = LowMask(block_bits_);
+  const uint64_t first_block = lo >> block_bits_;
+  const uint64_t last_block = hi >> block_bits_;
+  if (last_block - first_block >= kMaxProbes) {
+    return true;  // Range spans too many blocks to probe economically.
+  }
+  for (uint64_t b = first_block;; ++b) {
+    const uint64_t off_lo = b == first_block ? (lo & block_mask) : 0;
+    const uint64_t off_hi = b == last_block ? (hi & block_mask) : block_mask;
+    const uint64_t base = HashBlock(b) << block_bits_;
+    if (codes_.ContainsInRange(base | off_lo, base | off_hi)) return true;
+    if (b == last_block) break;
+  }
+  return false;
+}
+
+}  // namespace bbf

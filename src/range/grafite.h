@@ -1,0 +1,68 @@
+#ifndef BBF_RANGE_GRAFITE_H_
+#define BBF_RANGE_GRAFITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "range/range_filter.h"
+#include "util/elias_fano.h"
+
+namespace bbf {
+
+/// Grafite [Costa, Ferragina, Vinciguerra 2023] (§2.5): the practical
+/// instantiation of the Goswami et al. space-optimal range filter.
+///
+/// Keys pass through a locality-preserving hash: split x into
+/// (block = x >> l, offset = low l bits), hash only the block with a
+/// random hash g into a reduced domain, and emit code = (g(block) << l) |
+/// offset. Inside a block locality is exact; distinct blocks collide
+/// uniformly. The sorted codes live in an Elias–Fano sequence, and a range
+/// query probes the (at most two, for ranges <= 2^l) reduced intervals its
+/// endpoints map to.
+///
+/// Collisions are independent of the key/query layout, so the FPR
+/// ~ n * 2^l / 2^reduced_bits holds even under the correlated workloads
+/// that break trie-based filters — the robustness §2.5 highlights.
+/// Integer keys only (Grafite "sacrifices the ability to handle
+/// non-integer keys").
+class GrafiteRangeFilter : public RangeFilter {
+ public:
+  /// 2^reduced_bits code universe; ranges up to 2^block_bits are answered
+  /// with two probes, longer ones with one probe per spanned block (up to
+  /// kMaxProbes, then the filter gives up and returns true).
+  GrafiteRangeFilter(const std::vector<uint64_t>& keys, int reduced_bits,
+                     int block_bits = 16, uint64_t seed = 0x60AF);
+
+  /// Sizes the reduced universe from a space budget: Elias–Fano costs
+  /// ~2 + reduced_bits - lg n bits per key.
+  static GrafiteRangeFilter ForBitsPerKey(const std::vector<uint64_t>& keys,
+                                          double bits_per_key,
+                                          int block_bits = 16);
+
+  bool MayContainRange(uint64_t lo, uint64_t hi) const override;
+  size_t SpaceBits() const override {
+    return codes_.MemoryUsageBytes() * 8;
+  }
+  std::string_view Name() const override { return "grafite"; }
+
+  int reduced_bits() const { return reduced_bits_; }
+  int block_bits() const { return block_bits_; }
+
+  static constexpr int kMaxProbes = 64;
+
+ private:
+  uint64_t HashBlock(uint64_t block) const;
+  uint64_t CodeOf(uint64_t x) const {
+    const uint64_t offset = x & ((uint64_t{1} << block_bits_) - 1);
+    return (HashBlock(x >> block_bits_) << block_bits_) | offset;
+  }
+
+  int reduced_bits_;
+  int block_bits_;
+  uint64_t seed_;
+  EliasFano codes_;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_RANGE_GRAFITE_H_

@@ -1,0 +1,38 @@
+#ifndef BBF_RANGE_PREFIX_BLOOM_RANGE_H_
+#define BBF_RANGE_PREFIX_BLOOM_RANGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "range/range_filter.h"
+
+namespace bbf {
+
+/// Fixed-prefix Bloom range filter — the folklore baseline (RocksDB's
+/// prefix_extractor approach, referenced in §2.5 via Proteus's prefix
+/// Bloom component). Stores every key's p-bit prefix in a Bloom filter; a
+/// range query probes each distinct prefix the interval covers, giving up
+/// (returning true) once the interval spans more prefixes than the probe
+/// budget. Great for short ranges aligned with the prefix granularity,
+/// useless beyond it — the weakness the purpose-built filters fix.
+class PrefixBloomRangeFilter : public RangeFilter {
+ public:
+  /// `prefix_bits` of each key (from the MSB side) go into the filter.
+  PrefixBloomRangeFilter(const std::vector<uint64_t>& keys, int prefix_bits,
+                         double bits_per_key, int max_probes = 64);
+
+  bool MayContainRange(uint64_t lo, uint64_t hi) const override;
+  size_t SpaceBits() const override { return bloom_->SpaceBits(); }
+  std::string_view Name() const override { return "prefix-bloom"; }
+
+ private:
+  int prefix_bits_;
+  int max_probes_;
+  std::unique_ptr<BloomFilter> bloom_;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_RANGE_PREFIX_BLOOM_RANGE_H_

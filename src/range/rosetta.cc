@@ -1,0 +1,71 @@
+#include "range/rosetta.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.h"
+
+namespace bbf {
+
+RosettaRangeFilter::RosettaRangeFilter(const std::vector<uint64_t>& keys,
+                                       int levels, double bits_per_key,
+                                       double decay)
+    : min_len_(64 - levels + 1) {
+  // Geometric split: weight(level at depth-distance d from the bottom)
+  // = decay^d, normalized so the weights sum to 1.
+  double norm = 0;
+  double w = 1;
+  for (int i = 0; i < levels; ++i) {
+    norm += w;
+    w *= decay;
+  }
+  for (int len = min_len_; len <= 64; ++len) {
+    const double weight = std::pow(decay, 64 - len) / norm;
+    // Never let a level drop below ~0.7 bits/key: a filter that is nearly
+    // always positive only burns probes without filtering.
+    const double level_bits = std::max(0.7, bits_per_key * weight);
+    auto filter = std::make_unique<BloomFilter>(
+        std::max<uint64_t>(keys.size(), 1), level_bits, 0,
+        /*hash_seed=*/0x2057 + len);
+    for (uint64_t k : keys) {
+      filter->Insert(len == 64 ? k : (k >> (64 - len)));
+    }
+    levels_.push_back(std::move(filter));
+  }
+}
+
+bool RosettaRangeFilter::Doubt(uint64_t prefix, int len) const {
+  if (len < min_len_) {
+    // A fully-covered node above the shallowest maintained level means
+    // the queried range exceeds the filter's reach: no filtering.
+    return true;
+  }
+  ++probes_;
+  if (!LevelFilter(len).Contains(prefix)) return false;
+  if (len == 64) return true;
+  return Doubt(prefix << 1, len + 1) || Doubt((prefix << 1) | 1, len + 1);
+}
+
+bool RosettaRangeFilter::Decompose(uint64_t lo, uint64_t hi, uint64_t prefix,
+                                   int len) const {
+  const uint64_t node_lo = len == 0 ? 0 : prefix << (64 - len);
+  const uint64_t node_hi = len == 0 ? ~uint64_t{0}
+                                    : node_lo | LowMask(64 - len);
+  if (hi < node_lo || lo > node_hi) return false;
+  if (lo <= node_lo && node_hi <= hi) return Doubt(prefix, len);
+  return Decompose(lo, hi, prefix << 1, len + 1) ||
+         Decompose(lo, hi, (prefix << 1) | 1, len + 1);
+}
+
+bool RosettaRangeFilter::MayContainRange(uint64_t lo, uint64_t hi) const {
+  probes_ = 0;
+  return Decompose(lo, hi, 0, 0);
+}
+
+size_t RosettaRangeFilter::SpaceBits() const {
+  size_t bits = 0;
+  for (const auto& f : levels_) bits += f->SpaceBits();
+  return bits;
+}
+
+}  // namespace bbf

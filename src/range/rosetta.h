@@ -1,0 +1,60 @@
+#ifndef BBF_RANGE_ROSETTA_H_
+#define BBF_RANGE_ROSETTA_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "range/range_filter.h"
+
+namespace bbf {
+
+/// Rosetta [Luo et al. 2020] (§2.5): a hierarchy of Bloom filters forming
+/// an implicit segment tree over the key domain. The Bloom filter at
+/// level l stores every key's l-bit prefix; a range query decomposes into
+/// dyadic intervals and probes each, recursing into children of doubted
+/// nodes down to full-length leaves.
+///
+/// Properties reproduced from the paper: robust for point and short-range
+/// queries (no trie-structure leakage to attack); FPR grows quickly with
+/// range length and provides no filtering beyond the deepest maintained
+/// level; CPU cost per query is high (many Bloom probes).
+class RosettaRangeFilter : public RangeFilter {
+ public:
+  /// Maintains Bloom levels for prefix lengths 64-levels+1 .. 64.
+  /// `bits_per_key` is split geometrically: each level gets `decay` times
+  /// the bits of the level below it, concentrating the budget at the
+  /// deepest levels exactly as Rosetta's memory optimization prescribes
+  /// (short ranges only consult deep levels). decay = 1 reproduces the
+  /// naive even split. Ranges longer than 2^levels cannot be filtered
+  /// (queries return true).
+  RosettaRangeFilter(const std::vector<uint64_t>& keys, int levels,
+                     double bits_per_key, double decay = 0.5);
+
+  bool MayContainRange(uint64_t lo, uint64_t hi) const override;
+  size_t SpaceBits() const override;
+  std::string_view Name() const override { return "rosetta"; }
+
+  /// Bloom probes issued by the last query (CPU-cost proxy, E7).
+  uint64_t last_query_probes() const { return probes_; }
+
+ private:
+  /// True if some key may lie under `prefix` (length `len` bits),
+  /// recursing to the leaf level.
+  bool Doubt(uint64_t prefix, int len) const;
+  /// Segment-tree descent over node [prefix << (64-len), ...].
+  bool Decompose(uint64_t lo, uint64_t hi, uint64_t prefix, int len) const;
+
+  const BloomFilter& LevelFilter(int len) const {
+    return *levels_[len - min_len_];
+  }
+
+  int min_len_;  // Shallowest maintained prefix length.
+  std::vector<std::unique_ptr<BloomFilter>> levels_;
+  mutable uint64_t probes_ = 0;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_RANGE_ROSETTA_H_

@@ -1,0 +1,58 @@
+#include "range/snarf.h"
+
+#include <algorithm>
+
+namespace bbf {
+
+SnarfRangeFilter::SnarfRangeFilter(const std::vector<uint64_t>& keys,
+                                   int cells_per_key_log2,
+                                   uint64_t knot_every)
+    : cells_per_key_log2_(cells_per_key_log2) {
+  std::vector<uint64_t> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  num_keys_ = sorted.size();
+  num_cells_ = num_keys_ << cells_per_key_log2_;
+  if (sorted.empty()) return;
+
+  // Spline knots: (key, rank) every knot_every keys plus both endpoints.
+  for (uint64_t i = 0; i < sorted.size(); i += knot_every) {
+    knots_.push_back(Knot{sorted[i], i});
+  }
+  knots_.push_back(Knot{sorted.back(), sorted.size() - 1});
+
+  // Map every key through the model; positions are monotone because the
+  // model is a monotone piecewise-linear function.
+  std::vector<uint64_t> cells;
+  cells.reserve(sorted.size());
+  for (uint64_t k : sorted) cells.push_back(MapToCell(k));
+  positions_ = EliasFano(cells, num_cells_ + 1);
+}
+
+uint64_t SnarfRangeFilter::MapToCell(uint64_t x) const {
+  if (knots_.empty()) return 0;
+  if (x <= knots_.front().key) return 0;
+  if (x >= knots_.back().key) return num_cells_;
+  // Find the spline segment containing x.
+  const auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), x,
+      [](uint64_t v, const Knot& k) { return v < k.key; });
+  const Knot& hi = *it;
+  const Knot& lo = *(it - 1);
+  const double span_keys = static_cast<double>(hi.key - lo.key);
+  const double frac =
+      span_keys == 0 ? 0.0 : static_cast<double>(x - lo.key) / span_keys;
+  const double rank_est =
+      static_cast<double>(lo.rank) +
+      frac * static_cast<double>(hi.rank - lo.rank);
+  const double cell = rank_est * static_cast<double>(num_cells_) /
+                      static_cast<double>(num_keys_);
+  return static_cast<uint64_t>(cell);
+}
+
+bool SnarfRangeFilter::MayContainRange(uint64_t lo, uint64_t hi) const {
+  if (num_keys_ == 0) return false;
+  return positions_.ContainsInRange(MapToCell(lo), MapToCell(hi));
+}
+
+}  // namespace bbf

@@ -1,0 +1,51 @@
+#ifndef BBF_RANGE_SNARF_H_
+#define BBF_RANGE_SNARF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "range/range_filter.h"
+#include "util/elias_fano.h"
+
+namespace bbf {
+
+/// SNARF [Vaidya et al. 2022] (§2.5): the "learned" range filter. A
+/// linear-spline model of the keys' CDF maps every key to a position in a
+/// sparse bit array of n * 2^b cells; set positions are stored compressed
+/// (Elias–Fano — the Golomb-coded variant of the paper has the same
+/// asymptotics). A range query maps its endpoints through the model and
+/// reports emptiness of the mapped interval. FPR ~ per-key cell slack
+/// 2^-b when the model is accurate; skewed or adversarial key sets degrade
+/// the model and hence the FPR — the "learned" trade-off.
+class SnarfRangeFilter : public RangeFilter {
+ public:
+  /// `cells_per_key_log2` = b: the bit array has n * 2^b cells. The spline
+  /// keeps one knot every `knot_every` keys (model granularity).
+  SnarfRangeFilter(const std::vector<uint64_t>& keys, int cells_per_key_log2,
+                   uint64_t knot_every = 128);
+
+  bool MayContainRange(uint64_t lo, uint64_t hi) const override;
+  size_t SpaceBits() const override {
+    return positions_.MemoryUsageBytes() * 8 + knots_.size() * 128;
+  }
+  std::string_view Name() const override { return "snarf"; }
+
+ private:
+  struct Knot {
+    uint64_t key;
+    uint64_t rank;  // Number of keys strictly below `key`.
+  };
+
+  /// Monotone model position of `x` in [0, num_cells_].
+  uint64_t MapToCell(uint64_t x) const;
+
+  std::vector<Knot> knots_;
+  uint64_t num_cells_ = 0;
+  uint64_t num_keys_ = 0;
+  int cells_per_key_log2_;
+  EliasFano positions_;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_RANGE_SNARF_H_

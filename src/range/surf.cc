@@ -1,0 +1,281 @@
+#include "range/surf.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bbf {
+namespace {
+
+std::string EncodeBigEndian(uint64_t v) {
+  std::string s(8, '\0');
+  for (int i = 0; i < 8; ++i) {
+    s[i] = static_cast<char>((v >> (56 - 8 * i)) & 0xFF);
+  }
+  return s;
+}
+
+size_t CommonPrefixLen(std::string_view a, std::string_view b) {
+  const size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+// `count` bits of `s` starting at bit offset pos*8, MSB-first, zero padded.
+uint64_t BitsAt(std::string_view s, size_t byte_pos, int count) {
+  uint64_t out = 0;
+  for (int b = 0; b < count; ++b) {
+    const size_t byte = byte_pos + static_cast<size_t>(b) / 8;
+    int bit = 0;
+    if (byte < s.size()) {
+      bit = (static_cast<uint8_t>(s[byte]) >> (7 - (b % 8))) & 1;
+    }
+    out = (out << 1) | static_cast<uint64_t>(bit);
+  }
+  return out;
+}
+
+}  // namespace
+
+SurfFilter::SurfFilter(const std::vector<std::string>& sorted_keys,
+                       SuffixMode mode, int suffix_bits) {
+  Build(sorted_keys, mode, suffix_bits);
+}
+
+SurfFilter::SurfFilter(const std::vector<uint64_t>& sorted_keys,
+                       SuffixMode mode, int suffix_bits) {
+  std::vector<std::string> encoded;
+  encoded.reserve(sorted_keys.size());
+  for (uint64_t k : sorted_keys) encoded.push_back(EncodeBigEndian(k));
+  Build(encoded, mode, suffix_bits);
+}
+
+void SurfFilter::Build(const std::vector<std::string>& keys, SuffixMode mode,
+                       int suffix_bits) {
+  mode_ = mode;
+  suffix_bits_ = mode == SuffixMode::kBase ? 0 : suffix_bits;
+  num_keys_ = keys.size();
+  if (keys.empty()) {
+    labels_ = CompactVector(0, 9);
+    has_child_ = RankSelect(BitVector(0));
+    louds_ = RankSelect(BitVector(0));
+    suffixes_ = CompactVector(0, std::max(1, suffix_bits_));
+    return;
+  }
+
+  // Minimal distinguishing prefix of each key (clamped to its length; a
+  // clamped key is a prefix of a neighbour and ends with a terminator).
+  std::vector<size_t> trunc_len(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    size_t lcp = 0;
+    if (i > 0) lcp = std::max(lcp, CommonPrefixLen(keys[i - 1], keys[i]));
+    if (i + 1 < keys.size()) {
+      lcp = std::max(lcp, CommonPrefixLen(keys[i], keys[i + 1]));
+    }
+    trunc_len[i] = std::min(keys[i].size(), lcp + 1);
+  }
+
+  // Breadth-first construction over (depth, key-range) nodes.
+  struct PendingNode {
+    size_t depth;
+    size_t begin;
+    size_t end;
+  };
+  std::vector<uint64_t> labels;
+  std::vector<bool> has_child_bits;
+  std::vector<bool> louds_bits;
+  std::vector<uint64_t> suffixes;
+
+  std::deque<PendingNode> queue;
+  queue.push_back(PendingNode{0, 0, keys.size()});
+  while (!queue.empty()) {
+    const PendingNode node = queue.front();
+    queue.pop_front();
+    bool first_edge = true;
+    size_t i = node.begin;
+    while (i < node.end) {
+      // Group keys sharing the edge symbol at this depth.
+      const bool ends_here = trunc_len[i] == node.depth;
+      const uint64_t symbol =
+          ends_here ? kTerminator
+                    : static_cast<uint64_t>(
+                          static_cast<uint8_t>(keys[i][node.depth])) +
+                          1;
+      size_t j = i + 1;
+      if (!ends_here) {
+        while (j < node.end && trunc_len[j] > node.depth &&
+               static_cast<uint64_t>(
+                   static_cast<uint8_t>(keys[j][node.depth])) +
+                       1 ==
+                   symbol) {
+          ++j;
+        }
+      }
+      labels.push_back(symbol);
+      louds_bits.push_back(first_edge);
+      first_edge = false;
+      const bool internal = (j - i) > 1;
+      has_child_bits.push_back(internal);
+      if (internal) {
+        queue.push_back(PendingNode{node.depth + 1, i, j});
+      } else {
+        // Leaf: remember the suffix of the single underlying key.
+        uint64_t suffix = 0;
+        if (mode == SuffixMode::kHash) {
+          suffix = HashBytes(keys[i]) & LowMask(suffix_bits_);
+        } else if (mode == SuffixMode::kReal) {
+          suffix = BitsAt(keys[i], trunc_len[i], suffix_bits_);
+        }
+        suffixes.push_back(suffix);
+      }
+      i = j;
+    }
+  }
+
+  labels_ = CompactVector(labels.size(), 9);
+  BitVector hc(labels.size());
+  BitVector ld(labels.size());
+  for (size_t e = 0; e < labels.size(); ++e) {
+    labels_.Set(e, labels[e]);
+    if (has_child_bits[e]) hc.Set(e);
+    if (louds_bits[e]) ld.Set(e);
+  }
+  has_child_ = RankSelect(std::move(hc));
+  louds_ = RankSelect(std::move(ld));
+  suffixes_ = CompactVector(suffixes.size(), std::max(1, suffix_bits_));
+  for (size_t l = 0; l < suffixes.size(); ++l) suffixes_.Set(l, suffixes[l]);
+}
+
+SurfFilter::NodeRange SurfFilter::Root() const {
+  if (labels_.size() == 0) return NodeRange{0, 0};
+  const uint64_t end =
+      louds_.num_ones() > 1 ? louds_.Select1(1) : labels_.size();
+  return NodeRange{0, end};
+}
+
+SurfFilter::NodeRange SurfFilter::ChildOf(uint64_t edge) const {
+  const uint64_t child = has_child_.Rank1(edge + 1);  // Node number.
+  const uint64_t begin = louds_.Select1(child);
+  const uint64_t end = child + 1 < louds_.num_ones()
+                           ? louds_.Select1(child + 1)
+                           : labels_.size();
+  return NodeRange{begin, end};
+}
+
+uint64_t SurfFilter::LeafIndexOf(uint64_t edge) const {
+  return has_child_.Rank0(edge + 1) - 1;
+}
+
+bool SurfFilter::CheckLeafSuffix(uint64_t edge, std::string_view key,
+                                 size_t trunc_end) const {
+  if (mode_ == SuffixMode::kBase) return true;
+  const uint64_t stored = suffixes_.Get(LeafIndexOf(edge));
+  if (mode_ == SuffixMode::kHash) {
+    return stored == (HashBytes(key) & LowMask(suffix_bits_));
+  }
+  return stored == BitsAt(key, trunc_end, suffix_bits_);
+}
+
+bool SurfFilter::MayContainKey(std::string_view key) const {
+  if (labels_.size() == 0) return false;
+  NodeRange node = Root();
+  size_t depth = 0;
+  while (true) {
+    const uint64_t symbol =
+        depth < key.size()
+            ? static_cast<uint64_t>(static_cast<uint8_t>(key[depth])) + 1
+            : kTerminator;
+    bool found = false;
+    for (uint64_t e = node.begin; e < node.end; ++e) {
+      const uint64_t label = labels_.Get(e);
+      if (label > symbol) break;  // Labels are sorted within a node.
+      if (label != symbol) continue;
+      found = true;
+      if (symbol == kTerminator || !has_child_.bits().Get(e)) {
+        // The stored key's distinguishing prefix ends here.
+        const size_t trunc_end =
+            symbol == kTerminator ? depth : depth + 1;
+        return CheckLeafSuffix(e, key, trunc_end);
+      }
+      node = ChildOf(e);
+      ++depth;
+      break;
+    }
+    if (!found) return false;
+  }
+}
+
+bool SurfFilter::RangeProbe(NodeRange node, std::string_view lo,
+                            std::string_view hi, size_t depth, bool lo_tight,
+                            bool hi_tight) const {
+  // Allowed label window at this depth given boundary tightness.
+  const uint64_t lo_sym =
+      !lo_tight ? 0
+      : depth < lo.size()
+          ? static_cast<uint64_t>(static_cast<uint8_t>(lo[depth])) + 1
+          : kTerminator;
+  const uint64_t hi_sym =
+      !hi_tight ? 257
+      : depth < hi.size()
+          ? static_cast<uint64_t>(static_cast<uint8_t>(hi[depth])) + 1
+          : kTerminator;
+  for (uint64_t e = node.begin; e < node.end; ++e) {
+    const uint64_t label = labels_.Get(e);
+    if (label < lo_sym) continue;
+    if (label > hi_sym) break;
+    const bool next_lo_tight = lo_tight && label == lo_sym;
+    const bool next_hi_tight = hi_tight && label == hi_sym;
+    if (label == kTerminator || !has_child_.bits().Get(e)) {
+      // Leaf edge: some key shares the path (+label). With real suffixes
+      // we can refute at a tight boundary; otherwise be conservative.
+      if (mode_ == SuffixMode::kReal &&
+          (next_lo_tight || next_hi_tight)) {
+        const size_t trunc_end =
+            label == kTerminator ? depth : depth + 1;
+        const uint64_t stored = suffixes_.Get(LeafIndexOf(e));
+        if (next_lo_tight && label != kTerminator &&
+            stored < BitsAt(lo, trunc_end, suffix_bits_)) {
+          continue;  // Whole leaf interval lies below lo.
+        }
+        if (next_hi_tight && label != kTerminator &&
+            stored > BitsAt(hi, trunc_end, suffix_bits_)) {
+          continue;  // Whole leaf interval lies above hi.
+        }
+      }
+      return true;
+    }
+    if (RangeProbe(ChildOf(e), lo, hi, depth + 1, next_lo_tight,
+                   next_hi_tight)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SurfFilter::MayContainStringRange(std::string_view lo,
+                                       std::string_view hi) const {
+  if (labels_.size() == 0) return false;
+  return RangeProbe(Root(), lo, hi, 0, /*lo_tight=*/true, /*hi_tight=*/true);
+}
+
+bool SurfFilter::MayContainRange(uint64_t lo, uint64_t hi) const {
+  const std::string lo_s = EncodeBigEndian(lo);
+  const std::string hi_s = EncodeBigEndian(hi);
+  return MayContainStringRange(lo_s, hi_s);
+}
+
+bool SurfFilter::MayContain(uint64_t key) const {
+  return MayContainKey(EncodeBigEndian(key));
+}
+
+size_t SurfFilter::SpaceBits() const {
+  return labels_.size() * 9 +                    // Labels.
+         labels_.size() * 2 +                    // has-child + LOUDS planes.
+         suffixes_.size() * suffix_bits_ +       // Suffixes.
+         128;                                    // Rank directories (approx).
+}
+
+}  // namespace bbf

@@ -1,0 +1,92 @@
+#ifndef BBF_RANGE_SURF_H_
+#define BBF_RANGE_SURF_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "range/range_filter.h"
+#include "util/compact_vector.h"
+#include "util/rank_select.h"
+
+namespace bbf {
+
+/// SuRF — the Succinct Range Filter [Zhang et al. 2018] (§2.5).
+///
+/// Stores the minimal distinguishing prefixes of the key set in a
+/// LOUDS-Sparse succinct trie (three parallel per-edge sequences: label,
+/// has-child flag, and a LOUDS bit marking each node's first edge, with
+/// rank/select directories for navigation). Optional per-leaf suffix bits
+/// trade space for false-positive rate:
+///   * kBase: no suffixes — smallest, highest FPR.
+///   * kHash: h hashed bits of the full key — sharpens point queries only.
+///   * kReal: the next h real key bits — sharpens point *and* range
+///     boundaries.
+///
+/// Keys are arbitrary byte strings; 64-bit integers are encoded big-endian
+/// so that integer order matches lexicographic order. The trie structure
+/// mirrors the key distribution, which is what makes SuRF compact on
+/// realistic data and *vulnerable to adversarial keys* (long shared
+/// prefixes blow up the trie) — reproduced deliberately, see experiment E7.
+class SurfFilter : public RangeFilter {
+ public:
+  enum class SuffixMode { kBase, kHash, kReal };
+
+  /// Builds from a *sorted, distinct* set of byte-string keys.
+  SurfFilter(const std::vector<std::string>& sorted_keys, SuffixMode mode,
+             int suffix_bits);
+
+  /// Convenience: builds over sorted distinct 64-bit keys (big-endian).
+  SurfFilter(const std::vector<uint64_t>& sorted_keys, SuffixMode mode,
+             int suffix_bits);
+
+  /// Point query for a byte-string key.
+  bool MayContainKey(std::string_view key) const;
+
+  /// Range emptiness over byte strings, inclusive bounds.
+  bool MayContainStringRange(std::string_view lo, std::string_view hi) const;
+
+  // RangeFilter interface over 64-bit integers.
+  bool MayContainRange(uint64_t lo, uint64_t hi) const override;
+  bool MayContain(uint64_t key) const override;
+  size_t SpaceBits() const override;
+  std::string_view Name() const override { return "surf"; }
+
+  uint64_t num_edges() const { return labels_.size(); }
+
+ private:
+  // Label encoding inside the 9-bit label plane: 0 is the terminator
+  // (a key ending at an internal node), byte b is stored as b + 1.
+  static constexpr uint64_t kTerminator = 0;
+
+  struct NodeRange {
+    uint64_t begin;
+    uint64_t end;  // Half-open edge range of one node.
+  };
+
+  void Build(const std::vector<std::string>& keys, SuffixMode mode,
+             int suffix_bits);
+  NodeRange Root() const;
+  NodeRange ChildOf(uint64_t edge) const;
+  uint64_t LeafIndexOf(uint64_t edge) const;
+  bool CheckLeafSuffix(uint64_t edge, std::string_view key,
+                       size_t depth) const;
+
+  // Recursive range probe; lo/hi are whole-query bounds, `depth` the
+  // current byte position, tight flags track boundary adherence.
+  bool RangeProbe(NodeRange node, std::string_view lo, std::string_view hi,
+                  size_t depth, bool lo_tight, bool hi_tight) const;
+
+  SuffixMode mode_ = SuffixMode::kBase;
+  int suffix_bits_ = 0;
+  CompactVector labels_;      // 9-bit encoded labels, edge order.
+  RankSelect has_child_;      // 1 = edge leads to an internal node.
+  RankSelect louds_;          // 1 = first edge of a node.
+  CompactVector suffixes_;    // Per leaf, in edge order.
+  uint64_t num_keys_ = 0;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_RANGE_SURF_H_

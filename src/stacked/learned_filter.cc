@@ -1,0 +1,57 @@
+#include "stacked/learned_filter.h"
+
+#include <algorithm>
+
+namespace bbf {
+
+LearnedFilter::LearnedFilter(const std::vector<uint64_t>& keys,
+                             uint64_t max_gap, uint64_t min_run,
+                             double backup_bits_per_key) {
+  std::vector<uint64_t> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  num_keys_ = sorted.size();
+
+  // "Train": find maximal dense runs.
+  std::vector<uint64_t> boundaries;
+  std::vector<uint64_t> leftover;
+  size_t run_start = 0;
+  auto flush_run = [&](size_t end) {  // Keys [run_start, end).
+    if (end - run_start >= min_run) {
+      boundaries.push_back(sorted[run_start]);
+      boundaries.push_back(sorted[end - 1]);
+      modeled_keys_ += end - run_start;
+      ++num_intervals_;
+    } else {
+      for (size_t i = run_start; i < end; ++i) leftover.push_back(sorted[i]);
+    }
+    run_start = end;
+  };
+  for (size_t i = 1; i <= sorted.size(); ++i) {
+    if (i == sorted.size() || sorted[i] - sorted[i - 1] > max_gap) {
+      flush_run(i);
+    }
+  }
+  boundaries_ = EliasFano(boundaries);
+  backup_ = std::make_unique<BloomFilter>(
+      std::max<uint64_t>(leftover.size(), 1), backup_bits_per_key, 0,
+      /*hash_seed=*/0x1EA2);
+  for (uint64_t k : leftover) backup_->Insert(k);
+}
+
+bool LearnedFilter::Contains(uint64_t key) const {
+  if (boundaries_.size() > 0) {
+    const auto idx = boundaries_.NextGeq(key);
+    if (idx.has_value()) {
+      if (*idx % 2 == 1) return true;  // Next boundary is an interval end.
+      if (boundaries_.Get(*idx) == key) return true;  // Exactly a start.
+    }
+  }
+  return backup_->Contains(key);
+}
+
+size_t LearnedFilter::SpaceBits() const {
+  return boundaries_.MemoryUsageBytes() * 8 + backup_->SpaceBits();
+}
+
+}  // namespace bbf

@@ -1,0 +1,59 @@
+#ifndef BBF_STACKED_LEARNED_FILTER_H_
+#define BBF_STACKED_LEARNED_FILTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "core/filter.h"
+#include "util/elias_fano.h"
+
+namespace bbf {
+
+/// Learned filter in the Kraska et al. mould (§2.8): a model trained on
+/// the key distribution predicts membership; keys the model misses go to
+/// a small backup Bloom filter, preserving the no-false-negative
+/// contract. Our model is the classic piecewise stand-in for the paper's
+/// neural classifier: dense key intervals (runs of keys with small gaps)
+/// predict positive for anything inside them.
+///
+/// Reproduced trade-off: on *clustered* key sets the model covers most
+/// keys with a handful of intervals, so the backup filter — and hence the
+/// total space — shrinks well below a plain Bloom filter; on uniform keys
+/// the model finds nothing and the filter degenerates to the backup
+/// Bloom. Negative queries that fall *inside* dense intervals are
+/// guaranteed false positives — the distribution-dependence §2.8 warns
+/// about.
+class LearnedFilter : public Filter {
+ public:
+  /// Builds over `keys`. A dense interval is a maximal run of >=
+  /// `min_run` keys with consecutive gaps <= `max_gap`; remaining keys go
+  /// to a Bloom filter with `backup_bits_per_key`.
+  LearnedFilter(const std::vector<uint64_t>& keys, uint64_t max_gap,
+                uint64_t min_run, double backup_bits_per_key);
+
+  bool Insert(uint64_t) override { return false; }  // Static (trained).
+  bool Contains(uint64_t key) const override;
+  size_t SpaceBits() const override;
+  uint64_t NumKeys() const override { return num_keys_; }
+  FilterClass Class() const override { return FilterClass::kStatic; }
+  std::string_view Name() const override { return "learned"; }
+
+  size_t num_intervals() const { return num_intervals_; }
+  uint64_t modeled_keys() const { return modeled_keys_; }
+
+ private:
+  // Interval ends/starts interleaved in one monotone sequence:
+  // [s0, e0, s1, e1, ...]; x is inside an interval iff the number of
+  // boundaries <= x is odd-indexed ... resolved via NextGeq.
+  EliasFano boundaries_;
+  size_t num_intervals_ = 0;
+  uint64_t modeled_keys_ = 0;
+  std::unique_ptr<BloomFilter> backup_;
+  uint64_t num_keys_ = 0;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_STACKED_LEARNED_FILTER_H_

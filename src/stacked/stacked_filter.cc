@@ -1,0 +1,46 @@
+#include "stacked/stacked_filter.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bbf {
+
+StackedFilter::StackedFilter(const std::vector<uint64_t>& positives,
+                             const std::vector<uint64_t>& hot_negatives,
+                             double bits_per_key, int layers) {
+  // side_a feeds the next layer; side_b is filtered through it.
+  std::vector<uint64_t> side_a = positives;
+  std::vector<uint64_t> side_b = hot_negatives;
+  for (int i = 0; i < layers; ++i) {
+    auto filter = std::make_unique<BloomFilter>(
+        std::max<uint64_t>(side_a.size(), 1), bits_per_key, 0,
+        /*hash_seed=*/0x57AC + i);
+    for (uint64_t k : side_a) filter->Insert(k);
+    std::vector<uint64_t> survivors;
+    for (uint64_t k : side_b) {
+      if (filter->Contains(k)) survivors.push_back(k);
+    }
+    layers_.push_back(std::move(filter));
+    side_b = std::move(side_a);
+    side_a = std::move(survivors);
+    if (side_a.empty()) break;
+  }
+}
+
+bool StackedFilter::Contains(uint64_t key) const {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (!layers_[i]->Contains(key)) {
+      return i % 2 == 1;  // Failing an even layer refutes membership.
+    }
+  }
+  // Survived all layers: the deepest layer's side wins.
+  return layers_.size() % 2 == 1;
+}
+
+size_t StackedFilter::SpaceBits() const {
+  size_t bits = 0;
+  for (const auto& f : layers_) bits += f->SpaceBits();
+  return bits;
+}
+
+}  // namespace bbf

@@ -1,0 +1,42 @@
+#ifndef BBF_STACKED_STACKED_FILTER_H_
+#define BBF_STACKED_STACKED_FILTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+
+namespace bbf {
+
+/// Stacked filter [Deeds, Hentschel, Idreos 2020] (§2.8): exploits a
+/// sample of frequently queried *non-existing* keys. Layer 1 holds the
+/// positives; layer 2 holds the hot negatives that pass layer 1; layer 3
+/// holds the positives that pass layer 2; and so on, alternating. A query
+/// walks down until some layer rejects it — failing an odd layer means
+/// "absent", failing an even layer means "present". Each extra layer pair
+/// multiplies the false-positive rate of the *hot* negatives by another
+/// Bloom factor: the "exponentially decrease the false positive rate when
+/// querying for them" effect the paper describes. Cold negatives still
+/// see roughly the layer-1 rate.
+class StackedFilter {
+ public:
+  /// `layers` is odd (so the last word belongs to the positive side);
+  /// each layer is a Bloom filter with `bits_per_key` bits per element of
+  /// the set it encodes.
+  StackedFilter(const std::vector<uint64_t>& positives,
+                const std::vector<uint64_t>& hot_negatives,
+                double bits_per_key, int layers = 3);
+
+  bool Contains(uint64_t key) const;
+
+  size_t SpaceBits() const;
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<BloomFilter>> layers_;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_STACKED_STACKED_FILTER_H_

@@ -1,0 +1,59 @@
+#ifndef BBF_STATICF_BLOOMIER_FILTER_H_
+#define BBF_STATICF_BLOOMIER_FILTER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/compact_vector.h"
+
+namespace bbf {
+
+/// Bloomier filter [Chazelle et al. 2004] (§2.4, §3.3): a *static maplet*.
+/// Built over a fixed key set, it returns each key's value exactly
+/// (PRS = 1) and an arbitrary value for non-keys (NRS = 1).
+///
+/// The mutable two-table construction: peeling assigns every key a private
+/// slot; an XOR-encoded tau table (2 bits per slot) tells each key which
+/// of its three hash slots it owns, and the values live in a direct-
+/// indexed table at the owned slot. Because owned slots form a perfect
+/// matching, values of existing keys can be updated in place without
+/// disturbing any other key — but the key *set* is immutable, exactly the
+/// "supports updates to values ... does not support insertions of new
+/// data entries" contract in §2.4.
+class BloomierFilter {
+ public:
+  /// Builds over (key, value) pairs with distinct keys; values are
+  /// truncated to `value_bits`.
+  BloomierFilter(const std::vector<std::pair<uint64_t, uint64_t>>& entries,
+                 int value_bits);
+
+  /// The value for `key`: exact for built keys, arbitrary otherwise.
+  uint64_t Get(uint64_t key) const;
+
+  /// Rewrites the value of an existing key in place. Calling this for a
+  /// key outside the build set overwrites some unrelated slot — the
+  /// classic Bloomier contract.
+  void Update(uint64_t key, uint64_t new_value);
+
+  size_t SpaceBits() const {
+    return tau_table_.size() * tau_table_.width() +
+           value_table_.size() * value_table_.width();
+  }
+  uint64_t NumKeys() const { return num_keys_; }
+  int value_bits() const { return value_table_.width(); }
+
+ private:
+  /// The slot this key privately owns (exact for built keys).
+  uint32_t OwnedSlot(uint64_t key) const;
+
+  CompactVector tau_table_;    // 2-bit XOR-encoded owned-slot index.
+  CompactVector value_table_;  // Direct-indexed values.
+  uint32_t segment_len_ = 0;
+  uint64_t seed_ = 0;
+  uint64_t num_keys_ = 0;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_STATICF_BLOOMIER_FILTER_H_

@@ -1,0 +1,64 @@
+#include "staticf/peeling.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bbf {
+
+uint32_t XorPeeler::CapacityFor(uint64_t n) {
+  const uint64_t c = static_cast<uint64_t>(1.23 * static_cast<double>(n)) + 32;
+  const uint32_t segment = static_cast<uint32_t>((c + 2) / 3);
+  return segment * 3;
+}
+
+void XorPeeler::Slots(uint64_t key, uint32_t segment_len, uint64_t seed,
+                      uint32_t out[3]) {
+  // One slot per segment, each from an independent hash (robust at any n).
+  for (int i = 0; i < 3; ++i) {
+    const uint64_t h = Hash64(key, seed + 0x9E37 * (i + 1));
+    out[i] = static_cast<uint32_t>(i) * segment_len +
+             static_cast<uint32_t>(FastRange64(h, segment_len));
+  }
+}
+
+bool XorPeeler::Peel(const std::vector<uint64_t>& keys, uint32_t capacity,
+                     uint64_t seed, std::vector<PeelEntry>* order) {
+  const uint32_t segment_len = capacity / 3;
+  // Per-slot key-count and XOR-of-keys: a count-1 slot's xor is its key.
+  std::vector<uint32_t> count(capacity, 0);
+  std::vector<uint64_t> xor_keys(capacity, 0);
+  for (uint64_t key : keys) {
+    uint32_t s[3];
+    Slots(key, segment_len, seed, s);
+    for (int i = 0; i < 3; ++i) {
+      ++count[s[i]];
+      xor_keys[s[i]] ^= key;
+    }
+  }
+  std::vector<uint32_t> queue;
+  queue.reserve(capacity);
+  for (uint32_t i = 0; i < capacity; ++i) {
+    if (count[i] == 1) queue.push_back(i);
+  }
+  order->clear();
+  order->reserve(keys.size());
+  while (!queue.empty()) {
+    const uint32_t slot = queue.back();
+    queue.pop_back();
+    if (count[slot] != 1) continue;  // Became 0 since enqueued.
+    const uint64_t key = xor_keys[slot];
+    order->push_back(PeelEntry{key, slot});
+    uint32_t s[3];
+    Slots(key, segment_len, seed, s);
+    for (int i = 0; i < 3; ++i) {
+      --count[s[i]];
+      xor_keys[s[i]] ^= key;
+      if (count[s[i]] == 1) queue.push_back(s[i]);
+    }
+  }
+  return order->size() == keys.size();
+}
+
+}  // namespace bbf

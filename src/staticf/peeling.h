@@ -1,0 +1,38 @@
+#ifndef BBF_STATICF_PEELING_H_
+#define BBF_STATICF_PEELING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bbf {
+
+/// Shared 3-hypergraph peeling used by the XOR and Bloomier filters
+/// (§2.7, §2.4). Each key maps to three slots, one per equal segment of a
+/// table of ~1.23n cells; peeling repeatedly extracts a slot referenced by
+/// exactly one remaining key, producing an order in which each key "owns"
+/// a private slot. Back-substitution in reverse order then satisfies
+/// key -> payload equations of the form
+///   payload(key) = T[h0] ^ T[h1] ^ T[h2].
+struct PeelEntry {
+  uint64_t key;
+  uint32_t slot;  // The slot this key uniquely owns.
+};
+
+class XorPeeler {
+ public:
+  /// Attempts to peel `keys` into `capacity` slots with hash `seed`.
+  /// Returns true and fills `order` (peel order) on success.
+  static bool Peel(const std::vector<uint64_t>& keys, uint32_t capacity,
+                   uint64_t seed, std::vector<PeelEntry>* order);
+
+  /// The three candidate slots of `key` for the given geometry.
+  static void Slots(uint64_t key, uint32_t segment_len, uint64_t seed,
+                    uint32_t out[3]);
+
+  /// Table capacity for n keys: 3 equal segments, ~1.23n total.
+  static uint32_t CapacityFor(uint64_t n);
+};
+
+}  // namespace bbf
+
+#endif  // BBF_STATICF_PEELING_H_

@@ -1,0 +1,108 @@
+#include "staticf/ribbon_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bbf {
+
+RibbonFilter::RibbonFilter(const std::vector<uint64_t>& keys,
+                           int fingerprint_bits)
+    : fingerprint_bits_(fingerprint_bits) {
+  std::vector<uint64_t> unique = keys;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  num_keys_ = unique.size();
+
+  // Start at 95% load; each failed attempt backs the load off by 3%.
+  // (The published ribbon instead "bumps" failed rows into an overflow
+  // layer; backing off trades a little space for a much simpler build.)
+  double load = 0.95;
+  uint64_t total_slots = 0;
+  std::vector<uint64_t> coeff;
+  std::vector<uint64_t> rhs;
+  for (seed_ = 0x5eed;; ++seed_, load = std::max(0.5, load - 0.03)) {
+    ++build_attempts_;
+    num_starts_ = std::max<uint64_t>(
+        1, static_cast<uint64_t>(unique.size() / load) + 1);
+    total_slots = num_starts_ + kRibbonWidth;
+    coeff.resize(total_slots);
+    rhs.resize(total_slots);
+    std::fill(coeff.begin(), coeff.end(), 0);
+    std::fill(rhs.begin(), rhs.end(), 0);
+    bool ok = true;
+    for (uint64_t key : unique) {
+      uint64_t pos = StartOf(key);
+      uint64_t c = CoeffOf(key);  // Bit 0 always set.
+      uint64_t r = FingerprintOf(key);
+      // Incremental Gaussian elimination within the band.
+      while (true) {
+        if (coeff[pos] == 0) {
+          coeff[pos] = c;
+          rhs[pos] = r;
+          break;
+        }
+        c ^= coeff[pos];
+        r ^= rhs[pos];
+        if (c == 0) {
+          ok = (r == 0);  // Redundant row is fine; contradiction is not.
+          break;
+        }
+        const int shift = CountTrailingZeros(c);
+        c >>= shift;
+        pos += shift;
+      }
+      if (!ok) break;
+    }
+    if (!ok) continue;
+    // Back-substitution, highest slot first.
+    solution_ = CompactVector(total_slots, fingerprint_bits);
+    for (uint64_t pos = total_slots; pos-- > 0;) {
+      if (coeff[pos] == 0) continue;
+      uint64_t acc = rhs[pos];
+      uint64_t c = coeff[pos] & ~uint64_t{1};
+      while (c != 0) {
+        const int j = CountTrailingZeros(c);
+        acc ^= solution_.Get(pos + j);
+        c &= c - 1;
+      }
+      solution_.Set(pos, acc);
+    }
+    return;
+  }
+}
+
+RibbonFilter RibbonFilter::ForFpr(const std::vector<uint64_t>& keys,
+                                  double fpr) {
+  const int bits =
+      std::max(2, static_cast<int>(std::ceil(-std::log2(fpr))));
+  return RibbonFilter(keys, bits);
+}
+
+uint64_t RibbonFilter::StartOf(uint64_t key) const {
+  return FastRange64(Hash64(key, seed_), num_starts_);
+}
+
+uint64_t RibbonFilter::CoeffOf(uint64_t key) const {
+  return Hash64(key, seed_ + 1) | 1;
+}
+
+uint64_t RibbonFilter::FingerprintOf(uint64_t key) const {
+  return Hash64(key, seed_ + 2) & LowMask(fingerprint_bits_);
+}
+
+bool RibbonFilter::Contains(uint64_t key) const {
+  const uint64_t start = StartOf(key);
+  uint64_t c = CoeffOf(key);
+  uint64_t acc = 0;
+  while (c != 0) {
+    const int j = CountTrailingZeros(c);
+    acc ^= solution_.Get(start + j);
+    c &= c - 1;
+  }
+  return acc == FingerprintOf(key);
+}
+
+}  // namespace bbf

@@ -1,0 +1,56 @@
+#ifndef BBF_STATICF_RIBBON_FILTER_H_
+#define BBF_STATICF_RIBBON_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/filter.h"
+#include "util/compact_vector.h"
+
+namespace bbf {
+
+/// Ribbon filter [Dillinger et al. 2022] (§2.7): a static filter that
+/// solves a banded linear system over GF(2). Each key contributes one
+/// equation whose 64 coefficient bits start at a hashed position; on-the-
+/// fly Gaussian elimination keeps the band upper-triangular, and back-
+/// substitution yields an r-bit solution column per slot. Space is
+/// ~1.05-1.15 n lg(1/eps) bits here (the paper's 1.005 needs the smash/
+/// bumping refinements; we back off the load factor on rare construction
+/// failures instead); queries XOR up to 64 solution entries — the "slower than
+/// the fastest competing filters" query cost the paper notes.
+class RibbonFilter : public Filter {
+ public:
+  /// Builds over distinct keys (duplicates removed internally).
+  RibbonFilter(const std::vector<uint64_t>& keys, int fingerprint_bits);
+
+  static RibbonFilter ForFpr(const std::vector<uint64_t>& keys, double fpr);
+
+  bool Insert(uint64_t) override { return false; }
+  bool Contains(uint64_t key) const override;
+  size_t SpaceBits() const override {
+    return solution_.size() * solution_.width();
+  }
+  uint64_t NumKeys() const override { return num_keys_; }
+  FilterClass Class() const override { return FilterClass::kStatic; }
+  std::string_view Name() const override { return "ribbon"; }
+
+  int build_attempts() const { return build_attempts_; }
+
+  static constexpr int kRibbonWidth = 64;
+
+ private:
+  uint64_t StartOf(uint64_t key) const;
+  uint64_t CoeffOf(uint64_t key) const;
+  uint64_t FingerprintOf(uint64_t key) const;
+
+  CompactVector solution_;  // One r-bit entry per slot (plus overhang).
+  int fingerprint_bits_ = 0;
+  uint64_t num_starts_ = 0;
+  uint64_t seed_ = 0;
+  uint64_t num_keys_ = 0;
+  int build_attempts_ = 0;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_STATICF_RIBBON_FILTER_H_

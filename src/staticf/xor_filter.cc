@@ -1,0 +1,76 @@
+#include "staticf/xor_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "staticf/peeling.h"
+#include "util/bits.h"
+#include "util/hash.h"
+#include "util/serialize.h"
+
+namespace bbf {
+
+XorFilter::XorFilter(const std::vector<uint64_t>& keys, int fingerprint_bits) {
+  std::vector<uint64_t> unique = keys;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  num_keys_ = unique.size();
+
+  const uint32_t capacity = XorPeeler::CapacityFor(unique.size());
+  segment_len_ = capacity / 3;
+  table_ = CompactVector(capacity, fingerprint_bits);
+
+  std::vector<PeelEntry> order;
+  for (seed_ = 1;; ++seed_) {
+    ++build_attempts_;
+    if (XorPeeler::Peel(unique, capacity, seed_, &order)) break;
+  }
+  // Back-substitute in reverse peel order: each key's owned slot is free
+  // to absorb whatever makes the 3-way XOR equal its fingerprint.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    uint32_t s[3];
+    XorPeeler::Slots(it->key, segment_len_, seed_, s);
+    uint64_t v = FingerprintOf(it->key);
+    for (int i = 0; i < 3; ++i) {
+      if (s[i] != it->slot) v ^= table_.Get(s[i]);
+    }
+    table_.Set(it->slot, v);
+  }
+}
+
+XorFilter XorFilter::ForFpr(const std::vector<uint64_t>& keys, double fpr) {
+  const int bits =
+      std::max(2, static_cast<int>(std::ceil(-std::log2(fpr))));
+  return XorFilter(keys, bits);
+}
+
+uint64_t XorFilter::FingerprintOf(uint64_t key) const {
+  return Hash64(key, seed_ + 0xF1A9) & LowMask(table_.width());
+}
+
+bool XorFilter::Contains(uint64_t key) const {
+  uint32_t s[3];
+  XorPeeler::Slots(key, segment_len_, seed_, s);
+  const uint64_t v =
+      table_.Get(s[0]) ^ table_.Get(s[1]) ^ table_.Get(s[2]);
+  return v == FingerprintOf(key);
+}
+
+void XorFilter::Save(std::ostream& os) const {
+  WriteU64(os, seed_);
+  WriteU64(os, segment_len_);
+  WriteU64(os, num_keys_);
+  table_.Save(os);
+}
+
+bool XorFilter::Load(std::istream& is) {
+  uint64_t seg;
+  if (!ReadU64(is, &seed_) || !ReadU64(is, &seg) ||
+      !ReadU64(is, &num_keys_)) {
+    return false;
+  }
+  segment_len_ = static_cast<uint32_t>(seg);
+  return table_.Load(is);
+}
+
+}  // namespace bbf

@@ -1,0 +1,72 @@
+#include "util/bit_vector.h"
+
+#include "util/bits.h"
+#include "util/serialize.h"
+
+namespace bbf {
+
+void BitVector::Resize(uint64_t n) {
+  size_ = n;
+  words_.resize((n + 63) / 64, 0);
+  // Clear any stale bits beyond the new size in the last word so that
+  // CountOnes and word-granularity scans stay exact.
+  if (n % 64 != 0 && !words_.empty()) {
+    words_.back() &= LowMask(static_cast<int>(n % 64));
+  }
+}
+
+uint64_t BitVector::GetBits(uint64_t pos, int width) const {
+  if (width == 0) return 0;
+  const uint64_t w = pos >> 6;
+  const int off = static_cast<int>(pos & 63);
+  uint64_t v = words_[w] >> off;
+  if (off + width > 64) {
+    v |= words_[w + 1] << (64 - off);
+  }
+  return v & LowMask(width);
+}
+
+void BitVector::SetBits(uint64_t pos, int width, uint64_t value) {
+  if (width == 0) return;
+  value &= LowMask(width);
+  const uint64_t w = pos >> 6;
+  const int off = static_cast<int>(pos & 63);
+  words_[w] = (words_[w] & ~(LowMask(width) << off)) | (value << off);
+  if (off + width > 64) {
+    const int spill = off + width - 64;
+    words_[w + 1] =
+        (words_[w + 1] & ~LowMask(spill)) | (value >> (width - spill));
+  }
+}
+
+uint64_t BitVector::CountOnes() const {
+  uint64_t total = 0;
+  for (uint64_t w : words_) total += Popcount(w);
+  return total;
+}
+
+void BitVector::Reset() {
+  for (uint64_t& w : words_) w = 0;
+}
+
+void BitVector::Save(std::ostream& os) const {
+  WriteU64(os, size_);
+  for (uint64_t w : words_) WriteU64(os, w);
+}
+
+bool BitVector::Load(std::istream& is) {
+  uint64_t n;
+  if (!ReadU64(is, &n)) return false;
+  Resize(0);
+  Resize(n);
+  for (uint64_t& w : words_) {
+    if (!ReadU64(is, &w)) return false;
+  }
+  // Reapply the stale-bit clearing invariant.
+  if (n % 64 != 0 && !words_.empty()) {
+    words_.back() &= LowMask(static_cast<int>(n % 64));
+  }
+  return true;
+}
+
+}  // namespace bbf

@@ -1,0 +1,78 @@
+#ifndef BBF_UTIL_BIT_VECTOR_H_
+#define BBF_UTIL_BIT_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace bbf {
+
+/// A resizable vector of bits with word-granularity access. Used as the
+/// backing store for Bloom filters, metadata planes of quotient filters,
+/// and the succinct structures in util/.
+class BitVector {
+ public:
+  BitVector() = default;
+  /// Creates a vector of `n` zero bits.
+  explicit BitVector(uint64_t n) { Resize(n); }
+
+  BitVector(const BitVector&) = default;
+  BitVector& operator=(const BitVector&) = default;
+  BitVector(BitVector&&) = default;
+  BitVector& operator=(BitVector&&) = default;
+
+  /// Number of bits.
+  uint64_t size() const { return size_; }
+
+  /// Resizes to `n` bits; new bits are zero.
+  void Resize(uint64_t n);
+
+  bool Get(uint64_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(uint64_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+
+  void Clear(uint64_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  void Assign(uint64_t i, bool v) {
+    if (v) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  /// Reads `width` (<= 64) bits starting at bit offset `pos`.
+  uint64_t GetBits(uint64_t pos, int width) const;
+
+  /// Writes the low `width` (<= 64) bits of `value` at bit offset `pos`.
+  void SetBits(uint64_t pos, int width, uint64_t value);
+
+  /// Raw 64-bit word `w` (bits [64w, 64w+63]).
+  uint64_t Word(uint64_t w) const { return words_[w]; }
+  uint64_t NumWords() const { return words_.size(); }
+
+  /// Total set bits.
+  uint64_t CountOnes() const;
+
+  /// Sets all bits to zero without changing the size.
+  void Reset();
+
+  /// Heap bytes used by the backing store.
+  size_t MemoryUsageBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Binary serialization (little-endian); Load returns false on bad input.
+  void Save(std::ostream& os) const;
+  bool Load(std::istream& is);
+
+ private:
+  uint64_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_UTIL_BIT_VECTOR_H_

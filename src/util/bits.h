@@ -1,0 +1,47 @@
+#ifndef BBF_UTIL_BITS_H_
+#define BBF_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace bbf {
+
+/// Number of set bits in `x`.
+inline int Popcount(uint64_t x) { return std::popcount(x); }
+
+/// Index of the lowest set bit; undefined for x == 0.
+inline int CountTrailingZeros(uint64_t x) { return std::countr_zero(x); }
+
+/// Index of the highest set bit; undefined for x == 0.
+inline int HighestSetBit(uint64_t x) { return 63 - std::countl_zero(x); }
+
+/// Number of bits needed to represent `x` (0 for x == 0).
+inline int BitWidth(uint64_t x) { return std::bit_width(x); }
+
+/// A mask with the low `n` bits set, for n in [0, 64].
+inline uint64_t LowMask(int n) {
+  return n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+}
+
+/// Position (0-based, from LSB) of the (k+1)-th set bit of `x`.
+/// Requires k < Popcount(x). Branch-free broadword select.
+inline int SelectInWord(uint64_t x, int k) {
+  for (int i = 0; i < k; ++i) x &= x - 1;  // Clear k lowest set bits.
+  return CountTrailingZeros(x);
+}
+
+/// Next power of two >= x (returns 1 for x == 0).
+inline uint64_t NextPow2(uint64_t x) { return x <= 1 ? 1 : std::bit_ceil(x); }
+
+/// True if x is a power of two (and nonzero).
+inline bool IsPow2(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Lemire's fast alternative to `h % n` for uniformly distributed h.
+inline uint64_t FastRange64(uint64_t h, uint64_t n) {
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(h) * static_cast<__uint128_t>(n)) >> 64);
+}
+
+}  // namespace bbf
+
+#endif  // BBF_UTIL_BITS_H_

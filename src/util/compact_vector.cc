@@ -1,0 +1,30 @@
+#include "util/compact_vector.h"
+
+#include "util/serialize.h"
+
+namespace bbf {
+
+CompactVector::CompactVector(uint64_t n, int width)
+    : size_(n), width_(width), bits_(n * width) {}
+
+void CompactVector::Resize(uint64_t n) {
+  size_ = n;
+  bits_.Resize(n * width_);
+}
+
+void CompactVector::Save(std::ostream& os) const {
+  WriteU64(os, size_);
+  WriteI32(os, width_);
+  bits_.Save(os);
+}
+
+bool CompactVector::Load(std::istream& is) {
+  uint64_t n;
+  int32_t w;
+  if (!ReadU64(is, &n) || !ReadI32(is, &w) || w < 0 || w > 64) return false;
+  size_ = n;
+  width_ = w;
+  return bits_.Load(is);
+}
+
+}  // namespace bbf

@@ -1,0 +1,46 @@
+#ifndef BBF_UTIL_COMPACT_VECTOR_H_
+#define BBF_UTIL_COMPACT_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bit_vector.h"
+
+namespace bbf {
+
+/// A vector of fixed-width integers packed into a bit vector. The width is
+/// chosen at construction (1..64 bits). This is the remainder/value store
+/// for every fingerprint-based filter in the library.
+class CompactVector {
+ public:
+  CompactVector() = default;
+  /// Creates `n` zero entries of `width` bits each.
+  CompactVector(uint64_t n, int width);
+
+  uint64_t size() const { return size_; }
+  int width() const { return width_; }
+
+  uint64_t Get(uint64_t i) const { return bits_.GetBits(i * width_, width_); }
+  void Set(uint64_t i, uint64_t v) { bits_.SetBits(i * width_, width_, v); }
+
+  /// Resizes to `n` entries, preserving existing values; new entries zero.
+  void Resize(uint64_t n);
+
+  /// Sets all entries to zero.
+  void Reset() { bits_.Reset(); }
+
+  size_t MemoryUsageBytes() const { return bits_.MemoryUsageBytes(); }
+
+  /// Binary serialization; Load returns false on bad input.
+  void Save(std::ostream& os) const;
+  bool Load(std::istream& is);
+
+ private:
+  uint64_t size_ = 0;
+  int width_ = 0;
+  BitVector bits_;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_UTIL_COMPACT_VECTOR_H_

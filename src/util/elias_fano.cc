@@ -1,0 +1,69 @@
+#include "util/elias_fano.h"
+
+#include "util/bits.h"
+
+namespace bbf {
+
+EliasFano::EliasFano(const std::vector<uint64_t>& sorted, uint64_t universe) {
+  n_ = sorted.size();
+  if (universe == 0) {
+    universe = sorted.empty() ? 1 : sorted.back() + 1;
+  }
+  universe_ = universe;
+  if (n_ == 0) return;
+  low_bits_ = (universe_ / n_) <= 1
+                  ? 0
+                  : HighestSetBit(universe_ / n_);
+  lower_ = CompactVector(n_, low_bits_ == 0 ? 1 : low_bits_);
+  const uint64_t max_high = (universe_ - 1) >> low_bits_;
+  BitVector upper(n_ + max_high + 1);
+  for (uint64_t i = 0; i < n_; ++i) {
+    const uint64_t v = sorted[i];
+    if (low_bits_ > 0) lower_.Set(i, v & LowMask(low_bits_));
+    upper.Set((v >> low_bits_) + i);
+  }
+  upper_ = RankSelect(std::move(upper));
+}
+
+uint64_t EliasFano::Get(uint64_t i) const {
+  const uint64_t high = upper_.Select1(i) - i;
+  const uint64_t low = low_bits_ > 0 ? lower_.Get(i) : 0;
+  return (high << low_bits_) | low;
+}
+
+std::optional<uint64_t> EliasFano::NextGeq(uint64_t x) const {
+  if (n_ == 0) return std::nullopt;
+  if (x >= universe_) return std::nullopt;
+  const uint64_t h = x >> low_bits_;
+  // Index of the first element whose high part is >= h, and its position in
+  // the unary stream. Elements with high <= j all precede zero #j, which
+  // sits at position j + (#elements with high <= j).
+  uint64_t idx;
+  uint64_t pos;
+  if (h == 0) {
+    idx = 0;
+    pos = 0;
+  } else {
+    if (h - 1 >= upper_.num_zeros()) return std::nullopt;
+    pos = upper_.Select0(h - 1) + 1;
+    idx = pos - h;
+  }
+  const uint64_t xlow = low_bits_ > 0 ? (x & LowMask(low_bits_)) : 0;
+  // Scan the stretch of elements whose high part equals h.
+  while (pos < upper_.size() && upper_.bits().Get(pos)) {
+    const uint64_t low = low_bits_ > 0 ? lower_.Get(idx) : 0;
+    if (low >= xlow) return idx;
+    ++idx;
+    ++pos;
+  }
+  // Any later element has high > h, hence value > x.
+  if (idx < n_) return idx;
+  return std::nullopt;
+}
+
+bool EliasFano::ContainsInRange(uint64_t lo, uint64_t hi) const {
+  const std::optional<uint64_t> i = NextGeq(lo);
+  return i.has_value() && Get(*i) <= hi;
+}
+
+}  // namespace bbf

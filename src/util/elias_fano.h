@@ -1,0 +1,53 @@
+#ifndef BBF_UTIL_ELIAS_FANO_H_
+#define BBF_UTIL_ELIAS_FANO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/compact_vector.h"
+#include "util/rank_select.h"
+
+namespace bbf {
+
+/// Elias–Fano encoding of a monotone non-decreasing sequence of 64-bit
+/// integers. Supports random access, successor (NextGeq) and predecessor
+/// queries. This is the storage layer of the Grafite and SNARF range
+/// filters (§2.5 of the paper) and takes ~n(2 + lg(u/n)) bits.
+class EliasFano {
+ public:
+  EliasFano() = default;
+
+  /// Builds from a sorted (non-decreasing) sequence. `universe` must be
+  /// strictly greater than the last element; pass 0 to derive it.
+  EliasFano(const std::vector<uint64_t>& sorted, uint64_t universe = 0);
+
+  uint64_t size() const { return n_; }
+  uint64_t universe() const { return universe_; }
+
+  /// The i-th element. Requires i < size().
+  uint64_t Get(uint64_t i) const;
+
+  /// Index of the first element >= x, or nullopt if none.
+  std::optional<uint64_t> NextGeq(uint64_t x) const;
+
+  /// True iff some element lies in [lo, hi] (inclusive).
+  bool ContainsInRange(uint64_t lo, uint64_t hi) const;
+
+  size_t MemoryUsageBytes() const {
+    return upper_.MemoryUsageBytes() + lower_.MemoryUsageBytes();
+  }
+
+ private:
+  uint64_t n_ = 0;
+  uint64_t universe_ = 0;
+  int low_bits_ = 0;
+  RankSelect upper_;     // Unary-coded high parts: element i -> bit at
+                         // (high_i + i).
+  CompactVector lower_;  // low_bits_ per element.
+};
+
+}  // namespace bbf
+
+#endif  // BBF_UTIL_ELIAS_FANO_H_

@@ -1,0 +1,55 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+namespace bbf {
+namespace {
+
+inline uint64_t Load64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t Mum(uint64_t a, uint64_t b) {
+  __uint128_t r = static_cast<__uint128_t>(a) * b;
+  return static_cast<uint64_t>(r) ^ static_cast<uint64_t>(r >> 64);
+}
+
+constexpr uint64_t kP0 = 0xa0761d6478bd642fULL;
+constexpr uint64_t kP1 = 0xe7037ed1a0b428dbULL;
+constexpr uint64_t kP2 = 0x8ebc6af09c88c6e3ULL;
+
+}  // namespace
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed ^ kP0;
+  size_t n = len;
+  while (n >= 16) {
+    h = Mum(Load64(p) ^ kP1, Load64(p + 8) ^ h);
+    p += 16;
+    n -= 16;
+  }
+  uint64_t a = 0;
+  uint64_t b = 0;
+  if (n >= 8) {
+    a = Load64(p);
+    if (n > 8) b = Load64(p + n - 8);
+  } else if (n >= 4) {
+    a = Load32(p);
+    b = Load32(p + n - 4);
+  } else if (n > 0) {
+    a = (static_cast<uint64_t>(p[0]) << 16) |
+        (static_cast<uint64_t>(p[n >> 1]) << 8) | p[n - 1];
+  }
+  return Mum(kP2 ^ len, Mum(a ^ kP1, b ^ h));
+}
+
+}  // namespace bbf

@@ -1,0 +1,37 @@
+#ifndef BBF_UTIL_HASH_H_
+#define BBF_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bbf {
+
+/// Strong 64-bit mixing of a 64-bit key (xxhash/splitmix-style finalizer).
+/// Bijective for a fixed seed, so it can also serve as an invertible
+/// scrambling permutation.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Seeded hash of a 64-bit key.
+inline uint64_t Hash64(uint64_t key, uint64_t seed = 0) {
+  return Mix64(key + 0x9e3779b97f4a7c15ULL * (seed + 1));
+}
+
+/// Seeded hash of an arbitrary byte string (wyhash-flavoured; see hash.cc).
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0);
+
+/// Convenience overload for string views.
+inline uint64_t HashBytes(std::string_view s, uint64_t seed = 0) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+}  // namespace bbf
+
+#endif  // BBF_UTIL_HASH_H_

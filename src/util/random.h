@@ -1,0 +1,40 @@
+#ifndef BBF_UTIL_RANDOM_H_
+#define BBF_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace bbf {
+
+/// SplitMix64: tiny, fast, statistically solid PRNG. Deterministic for a
+/// given seed, which all tests and benchmarks rely on.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed = 0x853c49e6748fea9bULL) : state_(seed) {}
+
+  /// Next 64 uniformly random bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    // Multiply-shift range reduction; bias is negligible for our use.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_UTIL_RANDOM_H_

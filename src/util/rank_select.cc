@@ -1,0 +1,85 @@
+#include "util/rank_select.h"
+
+#include <utility>
+
+#include "util/bits.h"
+
+namespace bbf {
+
+RankSelect::RankSelect(BitVector bits) : bits_(std::move(bits)) {
+  const uint64_t num_words = bits_.NumWords();
+  const uint64_t num_supers = num_words / kWordsPerSuper + 1;
+  super_rank_.resize(num_supers + 1, 0);
+  uint64_t acc = 0;
+  for (uint64_t w = 0; w < num_words; ++w) {
+    if (w % kWordsPerSuper == 0) super_rank_[w / kWordsPerSuper] = acc;
+    acc += Popcount(bits_.Word(w));
+  }
+  num_ones_ = acc;
+  for (uint64_t s = (num_words + kWordsPerSuper - 1) / kWordsPerSuper;
+       s < super_rank_.size(); ++s) {
+    super_rank_[s] = acc;
+  }
+}
+
+uint64_t RankSelect::Rank1(uint64_t i) const {
+  const uint64_t w = i >> 6;
+  uint64_t r = super_rank_[w / kWordsPerSuper];
+  for (uint64_t j = (w / kWordsPerSuper) * kWordsPerSuper; j < w; ++j) {
+    r += Popcount(bits_.Word(j));
+  }
+  if (i & 63) r += Popcount(bits_.Word(w) & LowMask(static_cast<int>(i & 63)));
+  return r;
+}
+
+uint64_t RankSelect::Select1(uint64_t k) const {
+  // Binary search the superblock whose cumulative rank covers k.
+  uint64_t lo = 0;
+  uint64_t hi = super_rank_.size() - 1;
+  while (lo < hi) {
+    const uint64_t mid = (lo + hi + 1) / 2;
+    if (super_rank_[mid] <= k) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  uint64_t remaining = k - super_rank_[lo];
+  uint64_t w = lo * kWordsPerSuper;
+  while (true) {
+    const uint64_t cnt = Popcount(bits_.Word(w));
+    if (remaining < cnt) break;
+    remaining -= cnt;
+    ++w;
+  }
+  return (w << 6) + SelectInWord(bits_.Word(w), static_cast<int>(remaining));
+}
+
+uint64_t RankSelect::Select0(uint64_t k) const {
+  // Zeros lack a directory; binary search Rank0 over superblock boundaries.
+  uint64_t lo = 0;
+  uint64_t hi = super_rank_.size() - 1;
+  while (lo < hi) {
+    const uint64_t mid = (lo + hi + 1) / 2;
+    const uint64_t bits_before = mid * kWordsPerSuper * 64;
+    const uint64_t zeros_before =
+        (bits_before > bits_.size() ? bits_.size() : bits_before) -
+        super_rank_[mid];
+    if (zeros_before <= k) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  uint64_t w = lo * kWordsPerSuper;
+  uint64_t remaining = k - (w * 64 - super_rank_[lo]);
+  while (true) {
+    const uint64_t cnt = Popcount(~bits_.Word(w));
+    if (remaining < cnt) break;
+    remaining -= cnt;
+    ++w;
+  }
+  return (w << 6) + SelectInWord(~bits_.Word(w), static_cast<int>(remaining));
+}
+
+}  // namespace bbf

@@ -1,0 +1,55 @@
+#ifndef BBF_UTIL_RANK_SELECT_H_
+#define BBF_UTIL_RANK_SELECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bit_vector.h"
+
+namespace bbf {
+
+/// Static rank/select directory over a BitVector. Construct once the bit
+/// vector is final; the directory keeps its own copy of the bits.
+///
+/// Rank uses cumulative counts per 512-bit superblock plus word popcounts;
+/// Select binary-searches the superblock directory and finishes in-word.
+class RankSelect {
+ public:
+  RankSelect() = default;
+  /// Builds the directory over a snapshot of `bits`.
+  explicit RankSelect(BitVector bits);
+
+  const BitVector& bits() const { return bits_; }
+  uint64_t size() const { return bits_.size(); }
+  /// Total number of 1-bits.
+  uint64_t num_ones() const { return num_ones_; }
+  /// Total number of 0-bits.
+  uint64_t num_zeros() const { return bits_.size() - num_ones_; }
+
+  /// Number of 1-bits in positions [0, i). Requires i <= size().
+  uint64_t Rank1(uint64_t i) const;
+  /// Number of 0-bits in positions [0, i). Requires i <= size().
+  uint64_t Rank0(uint64_t i) const { return i - Rank1(i); }
+
+  /// Position of the (k+1)-th 1-bit (0-indexed k). Requires k < num_ones().
+  uint64_t Select1(uint64_t k) const;
+  /// Position of the (k+1)-th 0-bit (0-indexed k). Requires k < num_zeros().
+  uint64_t Select0(uint64_t k) const;
+
+  size_t MemoryUsageBytes() const {
+    return bits_.MemoryUsageBytes() + super_rank_.size() * sizeof(uint64_t);
+  }
+
+ private:
+  static constexpr uint64_t kWordsPerSuper = 8;  // 512-bit superblocks.
+
+  BitVector bits_;
+  uint64_t num_ones_ = 0;
+  // super_rank_[s] = number of ones before superblock s.
+  std::vector<uint64_t> super_rank_;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_UTIL_RANK_SELECT_H_

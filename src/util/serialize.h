@@ -1,0 +1,44 @@
+#ifndef BBF_UTIL_SERIALIZE_H_
+#define BBF_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+namespace bbf {
+
+/// Little binary I/O helpers shared by every Save/Load implementation.
+/// All encodings are little-endian fixed-width; Load functions return
+/// false on truncated or malformed input instead of throwing.
+
+inline void WriteU64(std::ostream& os, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  os.write(buf, 8);
+}
+
+inline bool ReadU64(std::istream& is, uint64_t* v) {
+  char buf[8];
+  if (!is.read(buf, 8)) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(buf[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+inline void WriteI32(std::ostream& os, int32_t v) {
+  WriteU64(os, static_cast<uint64_t>(static_cast<uint32_t>(v)));
+}
+
+inline bool ReadI32(std::istream& is, int32_t* v) {
+  uint64_t tmp;
+  if (!ReadU64(is, &tmp)) return false;
+  *v = static_cast<int32_t>(static_cast<uint32_t>(tmp));
+  return true;
+}
+
+}  // namespace bbf
+
+#endif  // BBF_UTIL_SERIALIZE_H_

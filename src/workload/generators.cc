@@ -1,0 +1,101 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/random.h"
+#include "workload/zipf.h"
+
+namespace bbf {
+
+std::vector<uint64_t> GenerateDistinctKeys(uint64_t n, uint64_t seed) {
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(n * 2);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  SplitMix64 rng(seed);
+  while (keys.size() < n) {
+    const uint64_t k = rng.Next();
+    if (seen.insert(k).second) keys.push_back(k);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> GenerateNegativeKeys(const std::vector<uint64_t>& exclude,
+                                           uint64_t n, uint64_t seed) {
+  std::unordered_set<uint64_t> excluded(exclude.begin(), exclude.end());
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  SplitMix64 rng(seed);
+  while (keys.size() < n) {
+    const uint64_t k = rng.Next();
+    if (!excluded.contains(k)) keys.push_back(k);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> GenerateZipfStream(uint64_t universe, double theta,
+                                         uint64_t stream_len, uint64_t seed) {
+  const std::vector<uint64_t> keys = GenerateDistinctKeys(universe, seed);
+  ZipfGenerator zipf(universe, theta, seed + 1);
+  std::vector<uint64_t> stream;
+  stream.reserve(stream_len);
+  for (uint64_t i = 0; i < stream_len; ++i) stream.push_back(keys[zipf.Next()]);
+  return stream;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> GenerateRangeQueries(
+    const std::vector<uint64_t>& keys, uint64_t num_queries, uint64_t range_len,
+    bool correlated, uint64_t domain, uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<std::pair<uint64_t, uint64_t>> queries;
+  queries.reserve(num_queries);
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    uint64_t lo;
+    if (correlated && !keys.empty()) {
+      // Start just past an existing key: high key-query correlation.
+      lo = keys[rng.NextBelow(keys.size())] + 1;
+    } else {
+      lo = rng.NextBelow(domain);
+    }
+    uint64_t hi = lo + range_len - 1;
+    if (hi < lo) hi = ~uint64_t{0};  // Clamp on overflow.
+    queries.emplace_back(lo, hi);
+  }
+  return queries;
+}
+
+std::vector<std::string> GenerateUrls(uint64_t n, uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<std::string> urls;
+  urls.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    urls.push_back("http://host" + std::to_string(rng.NextBelow(1u << 20)) +
+                   ".example/path" + std::to_string(rng.Next()));
+  }
+  return urls;
+}
+
+std::string GenerateDna(uint64_t len, double repeat_frac, uint64_t seed) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  SplitMix64 rng(seed);
+  std::string s;
+  s.reserve(len);
+  while (s.size() < len) {
+    const bool repeat =
+        s.size() > 1000 && rng.NextDouble() < repeat_frac;
+    if (repeat) {
+      // Re-paste a segment from earlier in the sequence.
+      const uint64_t seg_len = 200 + rng.NextBelow(800);
+      const uint64_t start = rng.NextBelow(s.size() - std::min<uint64_t>(
+                                                          s.size() - 1, seg_len));
+      s.append(s, start, std::min<uint64_t>(seg_len, len - s.size()));
+    } else {
+      const uint64_t run = std::min<uint64_t>(1000, len - s.size());
+      for (uint64_t i = 0; i < run; ++i) s.push_back(kBases[rng.NextBelow(4)]);
+    }
+  }
+  return s;
+}
+
+}  // namespace bbf

@@ -1,0 +1,45 @@
+#ifndef BBF_WORKLOAD_GENERATORS_H_
+#define BBF_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bbf {
+
+/// `n` distinct pseudo-random 64-bit keys (deterministic for a seed).
+std::vector<uint64_t> GenerateDistinctKeys(uint64_t n, uint64_t seed = 42);
+
+/// `n` keys disjoint from `exclude` — negative-query material for FPR
+/// measurement. `exclude` must be the output of GenerateDistinctKeys with a
+/// different seed-space; disjointness is enforced with a hash set.
+std::vector<uint64_t> GenerateNegativeKeys(const std::vector<uint64_t>& exclude,
+                                           uint64_t n, uint64_t seed = 43);
+
+/// A Zipf-skewed multiset stream over `universe` distinct keys:
+/// returns `stream_len` keys where key ranks follow Zipf(theta). Used for
+/// counting-filter experiments (§2.6).
+std::vector<uint64_t> GenerateZipfStream(uint64_t universe, double theta,
+                                         uint64_t stream_len,
+                                         uint64_t seed = 44);
+
+/// Integer range queries [lo, lo+len-1]. If `correlated` is true, each
+/// query starts just above a randomly chosen key (the hard case Grafite is
+/// robust to, §2.5); otherwise starts are uniform over the key domain.
+std::vector<std::pair<uint64_t, uint64_t>> GenerateRangeQueries(
+    const std::vector<uint64_t>& keys, uint64_t num_queries, uint64_t range_len,
+    bool correlated, uint64_t domain, uint64_t seed = 45);
+
+/// Synthetic URL-like strings ("http://hostNNN.example/pathMMM").
+std::vector<std::string> GenerateUrls(uint64_t n, uint64_t seed = 46);
+
+/// Synthetic DNA string of length `len` over {A,C,G,T}; if `repeat_frac`
+/// > 0, that fraction of the sequence is composed of re-pasted earlier
+/// segments, yielding skewed k-mer multiplicities as in real genomes.
+std::string GenerateDna(uint64_t len, double repeat_frac = 0.2,
+                        uint64_t seed = 47);
+
+}  // namespace bbf
+
+#endif  // BBF_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,31 @@
+#ifndef BBF_WORKLOAD_ZIPF_H_
+#define BBF_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace bbf {
+
+/// Zipfian rank sampler over {0, ..., n-1}: rank r is drawn with
+/// probability proportional to 1/(r+1)^theta. Skewed multiset inputs
+/// (§2.6) and skewed query streams (§2.3) both come from this.
+class ZipfGenerator {
+ public:
+  /// Precomputes the CDF; O(n) space, O(log n) per sample.
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 1);
+
+  /// Draws a rank in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return cdf_.size(); }
+
+ private:
+  SplitMix64 rng_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r).
+};
+
+}  // namespace bbf
+
+#endif  // BBF_WORKLOAD_ZIPF_H_

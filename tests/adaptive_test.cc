@@ -1,0 +1,108 @@
+// Tests for the adaptive quotient filter (§2.3 / E5): adaptivity under
+// repeated, skewed, and adversarial negative queries.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/adaptive_quotient_filter.h"
+#include "workload/generators.h"
+#include "workload/zipf.h"
+
+namespace bbf {
+namespace {
+
+TEST(AdaptiveQuotientFilter, BasicMembership) {
+  AdaptiveQuotientFilter f(10, 8);
+  EXPECT_TRUE(f.Insert(1));
+  EXPECT_TRUE(f.Contains(1));
+  EXPECT_TRUE(f.Erase(1));
+  EXPECT_FALSE(f.Contains(1));
+  EXPECT_FALSE(f.Erase(1));
+}
+
+TEST(AdaptiveQuotientFilter, NoFalseNegativesAfterManyAdaptations) {
+  AdaptiveQuotientFilter f(13, 6);  // 6-bit remainders: plenty of FPs.
+  const auto keys = GenerateDistinctKeys(6000);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Insert(k));
+  const auto negatives = GenerateNegativeKeys(keys, 50000);
+  for (uint64_t k : negatives) {
+    if (f.Contains(k)) f.ReportFalsePositive(k);
+  }
+  EXPECT_GT(f.adaptations(), 100u);
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(f.Contains(k)) << "adaptation must never evict a member";
+  }
+}
+
+TEST(AdaptiveQuotientFilter, ReportedFalsePositiveNeverRepeats) {
+  AdaptiveQuotientFilter f(12, 6);
+  const auto keys = GenerateDistinctKeys(3500);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Insert(k));
+  const auto negatives = GenerateNegativeKeys(keys, 50000);
+  uint64_t first_pass_fps = 0;
+  for (uint64_t k : negatives) {
+    if (f.Contains(k)) {
+      ++first_pass_fps;
+      f.ReportFalsePositive(k);
+    }
+  }
+  ASSERT_GT(first_pass_fps, 50u);
+  // Second pass over the very same negatives: the adversarial repeat.
+  uint64_t second_pass_fps = 0;
+  for (uint64_t k : negatives) second_pass_fps += f.Contains(k);
+  EXPECT_EQ(second_pass_fps, 0u);
+}
+
+TEST(AdaptiveQuotientFilter, SustainedFprUnderZipfianNegatives) {
+  // Skewed query streams hammer the same negatives; a plain filter pays
+  // the same FPs forever, the adaptive filter amortizes them away.
+  AdaptiveQuotientFilter f(12, 7);
+  const auto keys = GenerateDistinctKeys(3500);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Insert(k));
+  const auto hot_negatives = GenerateNegativeKeys(keys, 2000);
+  ZipfGenerator zipf(hot_negatives.size(), 1.1, 5);
+  uint64_t fps = 0;
+  const int kQueries = 200000;
+  for (int i = 0; i < kQueries; ++i) {
+    const uint64_t k = hot_negatives[zipf.Next()];
+    if (f.Contains(k)) {
+      ++fps;
+      f.ReportFalsePositive(k);
+    }
+  }
+  // At most one FP per distinct hot negative: far below eps * queries.
+  EXPECT_LE(fps, hot_negatives.size());
+}
+
+TEST(AdaptiveQuotientFilter, InsertAfterAdaptationStaysConsistent) {
+  AdaptiveQuotientFilter f(10, 5);
+  const auto keys = GenerateDistinctKeys(600);
+  for (size_t i = 0; i < 300; ++i) ASSERT_TRUE(f.Insert(keys[i]));
+  // Adapt on everything that false-positives.
+  const auto negatives = GenerateNegativeKeys(keys, 20000);
+  for (uint64_t k : negatives) {
+    if (f.Contains(k)) f.ReportFalsePositive(k);
+  }
+  // Now insert more keys, some of which will share adapted fingerprints.
+  for (size_t i = 300; i < keys.size(); ++i) ASSERT_TRUE(f.Insert(keys[i]));
+  for (uint64_t k : keys) ASSERT_TRUE(f.Contains(k));
+}
+
+TEST(AdaptiveQuotientFilter, SpaceChargesExtensions) {
+  AdaptiveQuotientFilter f(12, 6);
+  const auto keys = GenerateDistinctKeys(3000);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Insert(k));
+  const size_t before = f.SpaceBits();
+  const auto negatives = GenerateNegativeKeys(keys, 30000);
+  for (uint64_t k : negatives) {
+    if (f.Contains(k)) f.ReportFalsePositive(k);
+  }
+  EXPECT_GT(f.SpaceBits(), before);
+  // Extensions must stay a small fraction of the base filter.
+  EXPECT_LT(f.SpaceBits(), before * 2);
+}
+
+}  // namespace
+}  // namespace bbf

@@ -1,0 +1,172 @@
+// Tests for the computational-biology substrate (§3.2 / E13): k-mer
+// packing, Squeakr-style counting, and the three de Bruijn representations.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "apps/bio/debruijn.h"
+#include "apps/bio/kmer.h"
+#include "apps/bio/kmer_counter.h"
+#include "workload/generators.h"
+
+namespace bbf::bio {
+namespace {
+
+TEST(Kmer, EncodeDecodeRoundTrip) {
+  const std::string s = "ACGTACGTTGCA";
+  const auto packed = EncodeKmer(s);
+  ASSERT_TRUE(packed.has_value());
+  EXPECT_EQ(DecodeKmer(*packed, s.size()), s);
+}
+
+TEST(Kmer, EncodeRejectsNonAcgt) {
+  EXPECT_FALSE(EncodeKmer("ACGN").has_value());
+}
+
+TEST(Kmer, ReverseComplement) {
+  const auto packed = EncodeKmer("ACGT");
+  // ACGT is its own reverse complement.
+  EXPECT_EQ(ReverseComplement(*packed, 4), *packed);
+  const auto aaaa = EncodeKmer("AAAA");
+  const auto tttt = EncodeKmer("TTTT");
+  EXPECT_EQ(ReverseComplement(*aaaa, 4), *tttt);
+}
+
+TEST(Kmer, CanonicalIsStrandIndependent) {
+  const auto fwd = EncodeKmer("ACCGTAG");
+  const auto rc = ReverseComplement(*fwd, 7);
+  EXPECT_EQ(Canonical(*fwd, 7), Canonical(rc, 7));
+}
+
+TEST(Kmer, ExtractSkipsInvalidWindows) {
+  const auto kmers = ExtractKmers("ACGTNACGT", 4, false);
+  EXPECT_EQ(kmers.size(), 2u);  // One window per clean side of the N.
+}
+
+TEST(Kmer, ExtractCountMatchesLength) {
+  const std::string dna = GenerateDna(10000, 0.0, 1);
+  const auto kmers = ExtractKmers(dna, 31);
+  EXPECT_EQ(kmers.size(), dna.size() - 30);
+}
+
+TEST(KmerCounter, CountsMatchExactDictionary) {
+  const std::string dna = GenerateDna(200000, 0.3, 2);
+  const int k = 21;
+  KmerCounter counter(k, 300000);
+  counter.AddSequence(dna);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (uint64_t km : ExtractKmers(dna, k)) ++truth[km];
+  uint64_t exact = 0;
+  for (const auto& [km, c] : truth) {
+    ASSERT_GE(counter.CountPacked(km), c) << "CQF may only overcount";
+    exact += counter.CountPacked(km) == c;
+  }
+  EXPECT_GT(static_cast<double>(exact) / truth.size(), 0.98);
+}
+
+TEST(KmerCounter, StringQueryCanonicalizes) {
+  KmerCounter counter(5, 1000);
+  counter.AddSequence("AACGTT");
+  // AACGT and its reverse complement ACGTT are the same canonical k-mer.
+  EXPECT_EQ(counter.Count("AACGT"), counter.Count("ACGTT"));
+  EXPECT_GE(counter.Count("AACGT"), 1u);
+}
+
+TEST(KmerCounter, RepeatRichSequenceSkewsCounts) {
+  const std::string dna = GenerateDna(200000, 0.5, 3);
+  const int k = 21;
+  KmerCounter counter(k, 300000);
+  counter.AddSequence(dna);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (uint64_t km : ExtractKmers(dna, k)) ++truth[km];
+  uint64_t max_count = 0;
+  for (const auto& [km, c] : truth) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 3u);  // Repeats create multiplicity.
+}
+
+class DeBruijnModes : public ::testing::TestWithParam<DeBruijnGraph::Mode> {};
+
+TEST_P(DeBruijnModes, TrueNodesAlwaysPresent) {
+  const std::string dna = GenerateDna(50000, 0.2, 4);
+  const int k = 21;
+  const auto kmers = ExtractKmers(dna, k);
+  DeBruijnGraph g(kmers, k, GetParam(), 10.0);
+  for (uint64_t km : kmers) {
+    ASSERT_TRUE(g.HasNode(km));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, DeBruijnModes,
+    ::testing::Values(DeBruijnGraph::Mode::kProbabilistic,
+                      DeBruijnGraph::Mode::kExactTable,
+                      DeBruijnGraph::Mode::kCascading),
+    [](const ::testing::TestParamInfo<DeBruijnGraph::Mode>& info) {
+      switch (info.param) {
+        case DeBruijnGraph::Mode::kProbabilistic: return "Probabilistic";
+        case DeBruijnGraph::Mode::kExactTable: return "ExactTable";
+        case DeBruijnGraph::Mode::kCascading: return "Cascading";
+      }
+      return "Unknown";
+    });
+
+TEST(DeBruijn, ExactModesNavigateWithoutFalseEdges) {
+  const std::string dna = GenerateDna(100000, 0.2, 5);
+  const int k = 21;
+  const auto kmers = ExtractKmers(dna, k);
+  const std::unordered_set<uint64_t> truth(kmers.begin(), kmers.end());
+  DeBruijnGraph exact(kmers, k, DeBruijnGraph::Mode::kExactTable, 10.0);
+  DeBruijnGraph cascade(kmers, k, DeBruijnGraph::Mode::kCascading, 10.0);
+  // From every true node, every reported neighbour must be a true k-mer.
+  size_t checked = 0;
+  for (uint64_t km : truth) {
+    for (const auto* g : {&exact, &cascade}) {
+      for (uint64_t nb : g->RightNeighbors(km)) {
+        ASSERT_TRUE(truth.contains(nb)) << "phantom edge";
+      }
+      for (uint64_t nb : g->LeftNeighbors(km)) {
+        ASSERT_TRUE(truth.contains(nb)) << "phantom edge";
+      }
+    }
+    if (++checked > 3000) break;
+  }
+}
+
+TEST(DeBruijn, ProbabilisticModeHasPhantomEdgesAtLowBits) {
+  const std::string dna = GenerateDna(100000, 0.2, 6);
+  const int k = 21;
+  const auto kmers = ExtractKmers(dna, k);
+  const std::unordered_set<uint64_t> truth(kmers.begin(), kmers.end());
+  // 4 bits/key Bloom -> ~15%+ FPR: structure visibly perturbed (Pell).
+  DeBruijnGraph g(kmers, k, DeBruijnGraph::Mode::kProbabilistic, 4.0);
+  uint64_t phantom = 0;
+  uint64_t edges = 0;
+  size_t checked = 0;
+  for (uint64_t km : truth) {
+    for (uint64_t nb : g.RightNeighbors(km)) {
+      ++edges;
+      phantom += !truth.contains(nb);
+    }
+    if (++checked > 5000) break;
+  }
+  EXPECT_GT(phantom, 0u);
+  EXPECT_GT(edges, phantom);  // Still mostly real structure.
+}
+
+TEST(DeBruijn, CascadingUsesLessSpaceThanExactTable) {
+  const std::string dna = GenerateDna(200000, 0.2, 7);
+  const int k = 21;
+  const auto kmers = ExtractKmers(dna, k);
+  // Low bits/key so critical FPs are plentiful and the table matters.
+  DeBruijnGraph exact(kmers, k, DeBruijnGraph::Mode::kExactTable, 6.0);
+  DeBruijnGraph cascade(kmers, k, DeBruijnGraph::Mode::kCascading, 6.0);
+  ASSERT_GT(exact.critical_fp_count(), 100u);
+  EXPECT_LT(cascade.SpaceBits(), exact.SpaceBits());
+}
+
+}  // namespace
+}  // namespace bbf::bio

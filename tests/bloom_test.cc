@@ -1,0 +1,218 @@
+// Tests for the Bloom-filter family: classic, blocked, counting, spectral,
+// d-left, scalable (chained expansion), and cascading (exactness).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/cascading_bloom.h"
+#include "bloom/counting_bloom.h"
+#include "bloom/dleft_filter.h"
+#include "bloom/scalable_bloom.h"
+#include "workload/generators.h"
+#include "workload/zipf.h"
+
+namespace bbf {
+namespace {
+
+constexpr uint64_t kN = 20000;
+
+// Shared property: any Filter must never report a false negative.
+template <typename F>
+void ExpectNoFalseNegatives(F& filter, const std::vector<uint64_t>& keys) {
+  for (uint64_t k : keys) filter.Insert(k);
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(filter.Contains(k)) << "false negative for " << k;
+  }
+}
+
+template <typename F>
+double MeasureFpr(const F& filter, const std::vector<uint64_t>& negatives) {
+  uint64_t fp = 0;
+  for (uint64_t k : negatives) fp += filter.Contains(k);
+  return static_cast<double>(fp) / negatives.size();
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter f(kN, 10.0);
+  ExpectNoFalseNegatives(f, GenerateDistinctKeys(kN));
+}
+
+TEST(BloomFilter, FprNearTheory) {
+  // 10 bits/key -> ~0.82% FPR at k = 7.
+  BloomFilter f(kN, 10.0);
+  const auto keys = GenerateDistinctKeys(kN);
+  for (uint64_t k : keys) f.Insert(k);
+  const double fpr = MeasureFpr(f, GenerateNegativeKeys(keys, 50000));
+  EXPECT_GT(fpr, 0.0005);
+  EXPECT_LT(fpr, 0.025);
+}
+
+TEST(BloomFilter, ForFprHitsTarget) {
+  for (double target : {0.05, 0.01, 0.001}) {
+    BloomFilter f = BloomFilter::ForFpr(kN, target);
+    const auto keys = GenerateDistinctKeys(kN);
+    for (uint64_t k : keys) f.Insert(k);
+    const double fpr = MeasureFpr(f, GenerateNegativeKeys(keys, 50000));
+    EXPECT_LT(fpr, target * 3) << "target " << target;
+  }
+}
+
+TEST(BloomFilter, SpaceAccounting) {
+  BloomFilter f(1000, 8.0);
+  EXPECT_GE(f.SpaceBits(), 8000u);
+  EXPECT_LT(f.SpaceBits(), 8100u);
+  EXPECT_EQ(f.Class(), FilterClass::kSemiDynamic);
+  EXPECT_FALSE(f.Erase(7));  // Semi-dynamic: no deletes.
+}
+
+TEST(BlockedBloomFilter, NoFalseNegativesAndReasonableFpr) {
+  BlockedBloomFilter f(kN, 10.0);
+  const auto keys = GenerateDistinctKeys(kN);
+  ExpectNoFalseNegatives(f, keys);
+  const double fpr = MeasureFpr(f, GenerateNegativeKeys(keys, 50000));
+  EXPECT_LT(fpr, 0.05);  // Blocked variants pay a small FPR penalty.
+}
+
+TEST(CountingBloom, InsertEraseRoundTrip) {
+  CountingBloomFilter f(kN, 16.0);
+  const auto keys = GenerateDistinctKeys(kN);
+  for (uint64_t k : keys) f.Insert(k);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Contains(k));
+  // Delete half; deleted keys should (almost always) disappear, while the
+  // other half must all remain.
+  for (uint64_t i = 0; i < kN / 2; ++i) ASSERT_TRUE(f.Erase(keys[i]));
+  for (uint64_t i = kN / 2; i < kN; ++i) {
+    ASSERT_TRUE(f.Contains(keys[i])) << "false negative after deletes";
+  }
+}
+
+TEST(CountingBloom, CountsAreUpperBounds) {
+  CountingBloomFilter f(5000, 16.0);
+  const auto stream = GenerateZipfStream(5000, 0.99, 50000);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (uint64_t k : stream) {
+    f.Insert(k);
+    ++truth[k];
+  }
+  for (const auto& [k, c] : truth) {
+    ASSERT_GE(f.Count(k), std::min<uint64_t>(c, 15))
+        << "count must be an upper bound (mod saturation)";
+  }
+}
+
+TEST(CountingBloom, SaturationIsSticky) {
+  CountingBloomFilter f(100, 16.0, /*counter_bits=*/2);
+  // Push one key far past the 2-bit counter max.
+  for (int i = 0; i < 10; ++i) f.Insert(42);
+  EXPECT_GT(f.saturated_counters(), 0u);
+  EXPECT_EQ(f.Count(42), 3u);  // Pinned at max.
+  for (int i = 0; i < 10; ++i) f.Erase(42);
+  // Sticky saturation: the counter never decrements, so no false negative
+  // can be introduced for other keys sharing it.
+  EXPECT_EQ(f.Count(42), 3u);
+}
+
+TEST(CountingBloom, RebuildWithWiderCounters) {
+  CountingBloomFilter f(1000, 8.0, 2);
+  const auto keys = GenerateDistinctKeys(1000);
+  for (uint64_t k : keys) f.Insert(k);
+  CountingBloomFilter wider = f.RebuiltWithWiderCounters();
+  EXPECT_EQ(wider.counter_bits(), 4);
+  for (uint64_t k : keys) wider.Insert(k);
+  for (uint64_t k : keys) ASSERT_TRUE(wider.Contains(k));
+}
+
+TEST(SpectralBloom, MinIncreaseTracksSkewedCounts) {
+  SpectralBloomFilter f(5000, 40.0);
+  const auto stream = GenerateZipfStream(5000, 1.2, 50000);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (uint64_t k : stream) {
+    f.Insert(k);
+    ++truth[k];
+  }
+  // Counts are upper bounds; for most keys they should be exact.
+  uint64_t exact = 0;
+  for (const auto& [k, c] : truth) {
+    const uint64_t est = f.Count(k);
+    ASSERT_GE(est, std::min<uint64_t>(c, 255));
+    exact += (est == c);
+  }
+  EXPECT_GT(static_cast<double>(exact) / truth.size(), 0.9);
+}
+
+TEST(DleftCounting, ExactCountsAtModerateLoad) {
+  DleftCountingFilter f(10000);
+  const auto stream = GenerateZipfStream(5000, 0.99, 30000);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (uint64_t k : stream) {
+    ASSERT_TRUE(f.Insert(k));
+    ++truth[k];
+  }
+  // Fingerprint collisions can inflate counts, but most should be exact.
+  uint64_t exact = 0;
+  for (const auto& [k, c] : truth) {
+    if (f.Count(k) == c) ++exact;
+    ASSERT_GE(f.Count(k), 1u);
+  }
+  EXPECT_GT(static_cast<double>(exact) / truth.size(), 0.95);
+  EXPECT_EQ(f.NumKeys(), stream.size());
+}
+
+TEST(DleftCounting, EraseRestores) {
+  DleftCountingFilter f(1000);
+  f.Insert(7);
+  f.Insert(7);
+  EXPECT_EQ(f.Count(7), 2u);
+  EXPECT_TRUE(f.Erase(7));
+  EXPECT_EQ(f.Count(7), 1u);
+  EXPECT_TRUE(f.Erase(7));
+  EXPECT_FALSE(f.Erase(999999));  // Never inserted (w.h.p. no collision).
+}
+
+TEST(DleftCounting, NoFalseNegativesUnderLoad) {
+  DleftCountingFilter f(kN);
+  ExpectNoFalseNegatives(f, GenerateDistinctKeys(kN));
+}
+
+TEST(ScalableBloom, GrowsChainAndKeepsFpr) {
+  ScalableBloomFilter f(1000, 0.01);
+  const auto keys = GenerateDistinctKeys(50000);
+  for (uint64_t k : keys) f.Insert(k);
+  EXPECT_GT(f.chain_length(), 3u);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Contains(k));
+  const double fpr = MeasureFpr(f, GenerateNegativeKeys(keys, 50000));
+  // The tightening series bounds total FPR near the target.
+  EXPECT_LT(fpr, 0.03);
+}
+
+TEST(CascadingBloom, ExactOverClosedUniverse) {
+  const auto members = GenerateDistinctKeys(5000, 1);
+  const auto candidates = GenerateNegativeKeys(members, 20000, 2);
+  CascadingBloomFilter f(members, candidates, 8.0, 3);
+  for (uint64_t k : members) ASSERT_TRUE(f.Contains(k)) << k;
+  for (uint64_t k : candidates) ASSERT_FALSE(f.Contains(k)) << k;
+}
+
+TEST(CascadingBloom, SmallerThanExactTable) {
+  const auto members = GenerateDistinctKeys(20000, 1);
+  const auto candidates = GenerateNegativeKeys(members, 100000, 2);
+  CascadingBloomFilter f(members, candidates, 10.0, 3);
+  // The cascade must be far below 64 bits per candidate (an exact table).
+  EXPECT_LT(f.SpaceBits(), candidates.size() * 64 / 4);
+  EXPECT_LT(f.exact_set_size(), 200u);
+}
+
+TEST(CascadingBloom, SingleLevelDegeneratesToBloomPlusExactList) {
+  const auto members = GenerateDistinctKeys(1000, 1);
+  const auto candidates = GenerateNegativeKeys(members, 5000, 2);
+  CascadingBloomFilter f(members, candidates, 8.0, 1);
+  for (uint64_t k : members) ASSERT_TRUE(f.Contains(k));
+  for (uint64_t k : candidates) ASSERT_FALSE(f.Contains(k));
+}
+
+}  // namespace
+}  // namespace bbf

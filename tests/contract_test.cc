@@ -1,0 +1,167 @@
+// Cross-filter contract tests: every point filter behind the Filter
+// interface must satisfy the same basic guarantees (no false negatives,
+// sane accounting, Class()-consistent Erase behaviour). One parameterized
+// driver covers the whole zoo.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/adaptive_quotient_filter.h"
+#include "bloom/bloom_filter.h"
+#include "bloom/counting_bloom.h"
+#include "bloom/dleft_filter.h"
+#include "bloom/scalable_bloom.h"
+#include "core/sharded_filter.h"
+#include "cuckoo/adaptive_cuckoo_filter.h"
+#include "cuckoo/cuckoo_filter.h"
+#include "expandable/chained_filter.h"
+#include "expandable/taffy_filter.h"
+#include "quotient/expanding_quotient_filter.h"
+#include "quotient/prefix_filter.h"
+#include "quotient/quotient_filter.h"
+#include "quotient/rsqf.h"
+#include "quotient/vector_quotient_filter.h"
+#include "workload/generators.h"
+
+namespace bbf {
+namespace {
+
+constexpr uint64_t kN = 8000;
+
+struct FilterCase {
+  std::string name;
+  std::function<std::unique_ptr<Filter>()> make;
+};
+
+std::vector<FilterCase> AllDynamicish() {
+  return {
+      {"bloom",
+       [] { return std::make_unique<BloomFilter>(kN, 12.0); }},
+      {"blocked-bloom",
+       [] { return std::make_unique<BlockedBloomFilter>(kN, 12.0); }},
+      {"counting-bloom",
+       [] { return std::make_unique<CountingBloomFilter>(kN, 20.0); }},
+      {"dleft",
+       [] { return std::make_unique<DleftCountingFilter>(kN); }},
+      {"scalable-bloom",
+       [] { return std::make_unique<ScalableBloomFilter>(1024, 0.01); }},
+      {"quotient",
+       [] {
+         return std::make_unique<QuotientFilter>(
+             QuotientFilter::ForCapacity(kN, 0.01));
+       }},
+      {"counting-quotient",
+       [] {
+         return std::make_unique<CountingQuotientFilter>(
+             CountingQuotientFilter::ForCapacity(kN, 0.01));
+       }},
+      {"rsqf",
+       [] { return std::make_unique<Rsqf>(Rsqf::ForCapacity(kN, 0.01)); }},
+      {"vector-quotient",
+       [] { return std::make_unique<VectorQuotientFilter>(kN, 12); }},
+      {"prefix",
+       [] { return std::make_unique<PrefixFilter>(kN, 12); }},
+      {"cuckoo",
+       [] { return std::make_unique<CuckooFilter>(kN, 12); }},
+      {"adaptive-cuckoo",
+       [] { return std::make_unique<AdaptiveCuckooFilter>(kN, 12); }},
+      {"adaptive-quotient",
+       [] {
+         return std::make_unique<AdaptiveQuotientFilter>(
+             AdaptiveQuotientFilter::ForCapacity(kN, 0.01));
+       }},
+      {"taffy",
+       [] { return std::make_unique<TaffyFilter>(8, 16); }},
+      {"chained-quotient",
+       [] { return std::make_unique<ChainedQuotientFilter>(8, 12); }},
+      {"expanding-quotient",
+       [] { return std::make_unique<ExpandingQuotientFilter>(8, 14); }},
+      {"sharded-cuckoo",
+       [] {
+         return std::make_unique<ShardedFilter>(
+             kN, 4, [](uint64_t capacity) {
+               return std::make_unique<CuckooFilter>(capacity, 12);
+             });
+       }},
+  };
+}
+
+class FilterContract : public ::testing::TestWithParam<size_t> {
+ protected:
+  FilterCase Case() const { return AllDynamicish()[GetParam()]; }
+};
+
+TEST_P(FilterContract, NoFalseNegatives) {
+  const auto filter = Case().make();
+  const auto keys = GenerateDistinctKeys(kN, 101);
+  for (uint64_t k : keys) ASSERT_TRUE(filter->Insert(k)) << Case().name;
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(filter->Contains(k)) << Case().name << " lost " << k;
+  }
+}
+
+TEST_P(FilterContract, NumKeysTracksInserts) {
+  const auto filter = Case().make();
+  const auto keys = GenerateDistinctKeys(1000, 102);
+  for (uint64_t k : keys) ASSERT_TRUE(filter->Insert(k));
+  EXPECT_EQ(filter->NumKeys(), keys.size()) << Case().name;
+}
+
+TEST_P(FilterContract, FprBelowTenPercent) {
+  const auto filter = Case().make();
+  const auto keys = GenerateDistinctKeys(kN, 103);
+  for (uint64_t k : keys) ASSERT_TRUE(filter->Insert(k));
+  const auto negatives = GenerateNegativeKeys(keys, 20000, 104);
+  uint64_t fp = 0;
+  for (uint64_t k : negatives) fp += filter->Contains(k);
+  EXPECT_LT(static_cast<double>(fp) / negatives.size(), 0.1) << Case().name;
+}
+
+TEST_P(FilterContract, SpaceAccountingIsPositiveAndFinite) {
+  const auto filter = Case().make();
+  filter->Insert(1);
+  EXPECT_GT(filter->SpaceBits(), 0u) << Case().name;
+  EXPECT_LT(filter->BitsPerKey(), 1e7) << Case().name;
+}
+
+TEST_P(FilterContract, EraseConsistentWithClass) {
+  const auto filter = Case().make();
+  const auto keys = GenerateDistinctKeys(500, 105);
+  for (uint64_t k : keys) ASSERT_TRUE(filter->Insert(k));
+  const bool erased = filter->Erase(keys[0]);
+  if (filter->Class() == FilterClass::kDynamic) {
+    EXPECT_TRUE(erased) << Case().name
+                        << ": dynamic filters must support Erase";
+    EXPECT_EQ(filter->NumKeys(), keys.size() - 1) << Case().name;
+  } else {
+    EXPECT_FALSE(erased) << Case().name
+                         << ": non-dynamic filters must refuse Erase";
+  }
+}
+
+TEST_P(FilterContract, CountIsAtLeastMultiplicity) {
+  const auto filter = Case().make();
+  uint64_t inserted = 0;
+  for (int i = 0; i < 5; ++i) inserted += filter->Insert(777);
+  EXPECT_GE(filter->Count(777), std::min<uint64_t>(inserted, 1))
+      << Case().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFilters, FilterContract,
+    ::testing::Range<size_t>(0, AllDynamicish().size()),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      std::string name = AllDynamicish()[info.param].name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace bbf

@@ -1,0 +1,119 @@
+// Tests for the expandable filters: Taffy/InfiniFilter-style variable-
+// length fingerprints and the chained-filter strategy (§2.2 / E4).
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "expandable/chained_filter.h"
+#include "expandable/taffy_filter.h"
+#include "quotient/expanding_quotient_filter.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace bbf {
+namespace {
+
+double MeasureFpr(const Filter& f, const std::vector<uint64_t>& negatives) {
+  uint64_t fp = 0;
+  for (uint64_t k : negatives) fp += f.Contains(k);
+  return static_cast<double>(fp) / negatives.size();
+}
+
+TEST(TaffyFilter, BasicRoundTrip) {
+  TaffyFilter f(8, 16);
+  EXPECT_FALSE(f.Contains(3));
+  EXPECT_TRUE(f.Insert(3));
+  EXPECT_TRUE(f.Contains(3));
+  EXPECT_TRUE(f.Erase(3));
+  EXPECT_FALSE(f.Contains(3));
+}
+
+TEST(TaffyFilter, NoFalseNegativesAcrossManyExpansions) {
+  TaffyFilter f(8, 16);
+  const auto keys = GenerateDistinctKeys(100000);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Insert(k));
+  EXPECT_GE(f.expansions(), 8);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Contains(k)) << k;
+  EXPECT_TRUE(f.table().CheckInvariants());
+}
+
+TEST(TaffyFilter, FprGrowsSlowlyWithExpansions) {
+  // InfiniFilter property: FPR grows ~linearly in the number of
+  // doublings, not exponentially as with bit sacrifice.
+  TaffyFilter taffy(10, 16);
+  ExpandingQuotientFilter sacrifice(10, 16);
+  const auto keys = GenerateDistinctKeys(200000);
+  const auto negatives = GenerateNegativeKeys(keys, 50000);
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(taffy.Insert(k));
+    ASSERT_TRUE(sacrifice.Insert(k));
+  }
+  ASSERT_GE(taffy.expansions(), 7);
+  const double taffy_fpr = MeasureFpr(taffy, negatives);
+  const double sacrifice_fpr = MeasureFpr(sacrifice, negatives);
+  // Bit sacrifice lost ~8 fingerprint bits (256x FPR); Taffy only pays a
+  // small linear factor. Insist on a big separation.
+  EXPECT_LT(taffy_fpr * 10, sacrifice_fpr);
+  EXPECT_LT(taffy_fpr, 0.01);
+}
+
+TEST(TaffyFilter, EraseAfterExpansionUsesShortenedFingerprint) {
+  TaffyFilter f(6, 12);
+  const auto keys = GenerateDistinctKeys(2000);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Insert(k));
+  ASSERT_GT(f.expansions(), 0);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Erase(k)) << k;
+  EXPECT_EQ(f.NumKeys(), 0u);
+}
+
+TEST(TaffyFilter, ChurnKeepsInvariants) {
+  TaffyFilter f(6, 10);
+  std::unordered_multiset<uint64_t> ref;
+  SplitMix64 rng(17);
+  for (int op = 0; op < 20000; ++op) {
+    const uint64_t key = rng.NextBelow(5000);
+    if (rng.NextDouble() < 0.6) {
+      if (f.Insert(key)) ref.insert(key);
+    } else if (ref.contains(key)) {
+      ASSERT_TRUE(f.Erase(key)) << op;
+      ref.erase(ref.find(key));
+    }
+    if (op % 1000 == 0) ASSERT_TRUE(f.table().CheckInvariants()) << op;
+  }
+  for (uint64_t k : std::unordered_set<uint64_t>(ref.begin(), ref.end())) {
+    ASSERT_TRUE(f.Contains(k));
+  }
+}
+
+TEST(ChainedQuotientFilter, GrowsChainWithoutFalseNegatives) {
+  ChainedQuotientFilter f(8, 10);
+  const auto keys = GenerateDistinctKeys(20000);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Insert(k));
+  EXPECT_GT(f.chain_length(), 3u);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Contains(k));
+}
+
+TEST(ChainedQuotientFilter, FprScalesWithChainLength) {
+  ChainedQuotientFilter f(8, 12);
+  const auto keys = GenerateDistinctKeys(30000);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Insert(k));
+  const auto negatives = GenerateNegativeKeys(keys, 50000);
+  const double fpr = MeasureFpr(f, negatives);
+  // Each link contributes ~2^-12; the chain multiplies that.
+  EXPECT_LT(fpr, f.chain_length() * (1.0 / 4096) * 3);
+}
+
+TEST(ChainedQuotientFilter, EraseSearchesAllLinks) {
+  ChainedQuotientFilter f(6, 12);
+  const auto keys = GenerateDistinctKeys(2000);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Insert(k));
+  ASSERT_GT(f.chain_length(), 1u);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Erase(k));
+  EXPECT_EQ(f.NumKeys(), 0u);
+}
+
+}  // namespace
+}  // namespace bbf

@@ -1,0 +1,96 @@
+// Tests for the URL yes/no-list substrate (§3.3 / E11): the plain Bloom
+// baseline, the FP-free integrated filter, and the adaptive solution.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/net/blocklist.h"
+#include "workload/generators.h"
+
+namespace bbf::net {
+namespace {
+
+struct Workload {
+  std::vector<std::string> malicious;
+  std::vector<std::string> benign_hot;   // The no list.
+  std::vector<std::string> benign_cold;
+};
+
+Workload MakeWorkload() {
+  Workload w;
+  auto urls = GenerateUrls(120000, 50);
+  w.malicious.assign(urls.begin(), urls.begin() + 100000);
+  w.benign_hot.assign(urls.begin() + 100000, urls.begin() + 110000);
+  w.benign_cold.assign(urls.begin() + 110000, urls.end());
+  return w;
+}
+
+TEST(Blocklist, AllVariantsBlockEveryMaliciousUrl) {
+  const Workload w = MakeWorkload();
+  const auto bloom = MakeBloomBlocklist(w.malicious, 10.0);
+  const auto integrated =
+      MakeIntegratedBlocklist(w.malicious, w.benign_hot, 10);
+  const auto adaptive = MakeAdaptiveBlocklist(w.malicious, 0.01);
+  for (const auto* b : {bloom.get(), integrated.get(), adaptive.get()}) {
+    for (size_t i = 0; i < w.malicious.size(); i += 13) {
+      ASSERT_TRUE(b->IsBlocked(w.malicious[i]))
+          << b->Name() << " failed to block a malicious URL";
+    }
+  }
+}
+
+TEST(Blocklist, IntegratedNoListIsFalsePositiveFree) {
+  const Workload w = MakeWorkload();
+  const auto integrated =
+      MakeIntegratedBlocklist(w.malicious, w.benign_hot, 10);
+  for (const auto& url : w.benign_hot) {
+    ASSERT_FALSE(integrated->IsBlocked(url))
+        << "no-list URL must never be blocked";
+  }
+}
+
+TEST(Blocklist, IntegratedUnknownUrlsSeeSmallFpr) {
+  const Workload w = MakeWorkload();
+  const auto integrated =
+      MakeIntegratedBlocklist(w.malicious, w.benign_hot, 10);
+  uint64_t blocked = 0;
+  for (const auto& url : w.benign_cold) blocked += integrated->IsBlocked(url);
+  EXPECT_LT(static_cast<double>(blocked) / w.benign_cold.size(), 0.01);
+}
+
+TEST(Blocklist, BloomBaselineKeepsBlockingHotBenignUrls) {
+  const Workload w = MakeWorkload();
+  const auto bloom = MakeBloomBlocklist(w.malicious, 10.0);
+  // Find hot benign URLs that collide; they collide on EVERY visit.
+  uint64_t first_pass = 0;
+  uint64_t second_pass = 0;
+  for (const auto& url : w.benign_hot) first_pass += bloom->IsBlocked(url);
+  for (const auto& url : w.benign_hot) second_pass += bloom->IsBlocked(url);
+  EXPECT_EQ(first_pass, second_pass);  // Deterministic repeat punishment.
+  EXPECT_FALSE(bloom->ReportFalseBlock(w.benign_hot[0]));  // Cannot adapt.
+}
+
+TEST(Blocklist, AdaptiveStopsBlockingAfterOneReport) {
+  const Workload w = MakeWorkload();
+  auto adaptive = MakeAdaptiveBlocklist(w.malicious, 0.02);
+  uint64_t first_pass = 0;
+  for (const auto& url : w.benign_hot) {
+    if (adaptive->IsBlocked(url)) {
+      ++first_pass;
+      adaptive->ReportFalseBlock(url);
+    }
+  }
+  ASSERT_GT(first_pass, 0u);  // 2% FPR over 10k hot URLs: some collide.
+  uint64_t second_pass = 0;
+  for (const auto& url : w.benign_hot) second_pass += adaptive->IsBlocked(url);
+  EXPECT_EQ(second_pass, 0u);
+  // Malicious URLs stay blocked after all the adaptation.
+  for (size_t i = 0; i < w.malicious.size(); i += 17) {
+    ASSERT_TRUE(adaptive->IsBlocked(w.malicious[i]));
+  }
+}
+
+}  // namespace
+}  // namespace bbf::net

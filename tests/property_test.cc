@@ -1,0 +1,197 @@
+// Additional property and failure-injection tests across modules:
+// boundary values, exhaustion paths, and differential checks against
+// reference implementations.
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "expandable/taffy_filter.h"
+#include "quotient/quotient_filter.h"
+#include "range/surf.h"
+#include "util/bit_vector.h"
+#include "util/elias_fano.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace bbf {
+namespace {
+
+// --- Elias-Fano extremes ----------------------------------------------------
+
+TEST(EliasFanoEdge, HandlesHugeValues) {
+  const std::vector<uint64_t> v = {0, 1, (uint64_t{1} << 62),
+                                   (uint64_t{1} << 62) + 1,
+                                   ~uint64_t{0} - 1};
+  EliasFano ef(v);
+  for (size_t i = 0; i < v.size(); ++i) ASSERT_EQ(ef.Get(i), v[i]);
+  EXPECT_EQ(*ef.NextGeq(2), 2u);  // Index of 1<<62.
+  EXPECT_EQ(ef.Get(*ef.NextGeq(~uint64_t{0} - 1)), ~uint64_t{0} - 1);
+  EXPECT_FALSE(ef.NextGeq(~uint64_t{0}).has_value());
+}
+
+TEST(EliasFanoEdge, AllEqualElements) {
+  const std::vector<uint64_t> v(100, 42);
+  EliasFano ef(v);
+  for (size_t i = 0; i < v.size(); ++i) ASSERT_EQ(ef.Get(i), 42u);
+  EXPECT_EQ(*ef.NextGeq(42), 0u);
+  EXPECT_EQ(*ef.NextGeq(0), 0u);
+  EXPECT_FALSE(ef.NextGeq(43).has_value());
+  EXPECT_TRUE(ef.ContainsInRange(42, 42));
+  EXPECT_FALSE(ef.ContainsInRange(43, 100));
+}
+
+TEST(BitVectorEdge, SixtyFourBitFieldAtWordBoundary) {
+  BitVector bv(256);
+  const uint64_t v = 0xDEADBEEFCAFEBABEull;
+  bv.SetBits(64, 64, v);
+  EXPECT_EQ(bv.GetBits(64, 64), v);
+  bv.SetBits(60, 64, v);  // Straddles two words.
+  EXPECT_EQ(bv.GetBits(60, 64), v);
+}
+
+// --- Taffy void-fingerprint exhaustion ---------------------------------------
+
+TEST(TaffyExhaustion, VoidFingerprintsNeverFalseNegative) {
+  // 4-bit fingerprints die after 4 doublings; entries become void and get
+  // duplicated into both children. Membership must survive regardless.
+  TaffyFilter f(4, 4);
+  const auto keys = GenerateDistinctKeys(4000, 111);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Insert(k));
+  EXPECT_GE(f.expansions(), 6);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Contains(k)) << k;
+  EXPECT_TRUE(f.table().CheckInvariants());
+}
+
+TEST(TaffyExhaustion, FprDegradesGracefullyNotCatastrophically) {
+  TaffyFilter f(4, 4);
+  const auto keys = GenerateDistinctKeys(4000, 112);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Insert(k));
+  const auto negatives = GenerateNegativeKeys(keys, 20000, 113);
+  uint64_t fp = 0;
+  for (uint64_t k : negatives) fp += f.Contains(k);
+  // Old generations are void (FPR ~ their density); fresh keys still have
+  // fingerprints, so the filter is degraded but not all-positive.
+  EXPECT_LT(static_cast<double>(fp) / negatives.size(), 0.9);
+}
+
+// --- Serialization fuzz -------------------------------------------------------
+
+TEST(SerializationFuzz, EveryTruncationPointRejectsOrRoundTrips) {
+  QuotientFilter f(8, 6);
+  for (uint64_t k = 0; k < 150; ++k) f.Insert(k * 977);
+  std::stringstream ss;
+  f.Save(ss);
+  const std::string data = ss.str();
+  // Truncate at many points: Load must fail cleanly (no crash, false).
+  for (size_t cut = 0; cut + 1 < data.size(); cut += 13) {
+    std::stringstream broken(data.substr(0, cut));
+    QuotientFilter g(6, 4);
+    EXPECT_FALSE(g.Load(broken)) << "cut at " << cut;
+  }
+  // And the intact stream still round-trips afterwards.
+  std::stringstream ok(data);
+  QuotientFilter g(6, 4);
+  ASSERT_TRUE(g.Load(ok));
+  for (uint64_t k = 0; k < 150; ++k) ASSERT_TRUE(g.Contains(k * 977));
+}
+
+// --- SuRF string ranges vs reference ----------------------------------------
+
+TEST(SurfStrings, RangeQueriesNeverMissAgainstReference) {
+  // Random variable-length strings, including prefix-of-each-other pairs.
+  SplitMix64 rng(114);
+  std::set<std::string> key_set;
+  while (key_set.size() < 3000) {
+    std::string s;
+    const int len = 1 + static_cast<int>(rng.NextBelow(10));
+    for (int i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + rng.NextBelow(6)));
+    }
+    key_set.insert(s);
+    if (rng.NextBelow(3) == 0 && s.size() > 1) {
+      key_set.insert(s.substr(0, s.size() - 1));  // Deliberate prefixes.
+    }
+  }
+  const std::vector<std::string> keys(key_set.begin(), key_set.end());
+  SurfFilter f(keys, SurfFilter::SuffixMode::kReal, 8);
+  // Point queries: every key present.
+  for (const auto& k : keys) ASSERT_TRUE(f.MayContainKey(k)) << k;
+  // Random ranges: no false negatives vs std::set.
+  for (int q = 0; q < 5000; ++q) {
+    std::string lo;
+    std::string hi;
+    const int len = 1 + static_cast<int>(rng.NextBelow(8));
+    for (int i = 0; i < len; ++i) {
+      lo.push_back(static_cast<char>('a' + rng.NextBelow(6)));
+      hi.push_back(static_cast<char>('a' + rng.NextBelow(6)));
+    }
+    if (hi < lo) std::swap(lo, hi);
+    const auto it = key_set.lower_bound(lo);
+    const bool truly_nonempty = it != key_set.end() && *it <= hi;
+    if (truly_nonempty) {
+      ASSERT_TRUE(f.MayContainStringRange(lo, hi))
+          << "[" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST(SurfStrings, EmptyRangesUsuallyRejected) {
+  SplitMix64 rng(115);
+  std::set<std::string> key_set;
+  while (key_set.size() < 3000) {
+    std::string s = "key";
+    for (int i = 0; i < 8; ++i) {
+      s.push_back(static_cast<char>('a' + rng.NextBelow(26)));
+    }
+    key_set.insert(s);
+  }
+  const std::vector<std::string> keys(key_set.begin(), key_set.end());
+  SurfFilter f(keys, SurfFilter::SuffixMode::kReal, 8);
+  uint64_t fp = 0;
+  uint64_t total = 0;
+  for (int q = 0; q < 5000; ++q) {
+    std::string lo = "key";
+    for (int i = 0; i < 8; ++i) {
+      lo.push_back(static_cast<char>('a' + rng.NextBelow(26)));
+    }
+    std::string hi = lo;
+    hi.back() = static_cast<char>(hi.back() + 1);
+    const auto it = key_set.lower_bound(lo);
+    if (it != key_set.end() && *it <= hi) continue;
+    ++total;
+    fp += f.MayContainStringRange(lo, hi);
+  }
+  ASSERT_GT(total, 4000u);
+  EXPECT_LT(static_cast<double>(fp) / total, 0.1);
+}
+
+// --- Quotient filter: full differential sweep at several loads ---------------
+
+class QfLoadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QfLoadSweep, MembershipExactUpToTargetLoad) {
+  const double target = GetParam();
+  QuotientFilter f(12, 10);
+  const auto keys = GenerateDistinctKeys(
+      static_cast<uint64_t>(target * (1u << 12)), 116);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Insert(k));
+  EXPECT_NEAR(f.LoadFactor(), target, 0.01);
+  for (uint64_t k : keys) ASSERT_TRUE(f.Contains(k));
+  ASSERT_TRUE(f.table().CheckInvariants());
+  // Delete everything; the table must return to pristine.
+  for (uint64_t k : keys) ASSERT_TRUE(f.Erase(k));
+  EXPECT_EQ(f.table().num_used_slots(), 0u);
+  ASSERT_TRUE(f.table().CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, QfLoadSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace bbf

@@ -1,0 +1,265 @@
+// Tests for the range filters (§2.5 / E7): SuRF, Rosetta, SNARF, Grafite,
+// and the prefix-Bloom baseline. The central property is shared: no range
+// query overlapping a stored key may return false.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "range/grafite.h"
+#include "range/prefix_bloom_range.h"
+#include "range/range_filter.h"
+#include "range/rosetta.h"
+#include "range/snarf.h"
+#include "range/surf.h"
+#include "util/bits.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace bbf {
+namespace {
+
+std::vector<uint64_t> SortedKeys(uint64_t n, uint64_t seed = 3) {
+  auto keys = GenerateDistinctKeys(n, seed);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// Factory so the no-false-negative property can run over every filter.
+enum class Kind { kPrefixBloom, kGrafite, kSnarf, kRosetta, kSurfBase,
+                  kSurfHash, kSurfReal };
+
+std::unique_ptr<RangeFilter> MakeFilter(Kind kind,
+                                        const std::vector<uint64_t>& keys) {
+  switch (kind) {
+    case Kind::kPrefixBloom:
+      return std::make_unique<PrefixBloomRangeFilter>(keys, 48, 12.0);
+    case Kind::kGrafite:
+      return std::make_unique<GrafiteRangeFilter>(keys, 36);
+    case Kind::kSnarf:
+      return std::make_unique<SnarfRangeFilter>(keys, 6);
+    case Kind::kRosetta:
+      // 5 levels cover dyadic nodes of ranges up to 16; ~5 bits/key/level.
+      return std::make_unique<RosettaRangeFilter>(keys, 5, 24.0);
+    case Kind::kSurfBase:
+      return std::make_unique<SurfFilter>(keys, SurfFilter::SuffixMode::kBase,
+                                          0);
+    case Kind::kSurfHash:
+      return std::make_unique<SurfFilter>(keys, SurfFilter::SuffixMode::kHash,
+                                          8);
+    case Kind::kSurfReal:
+      return std::make_unique<SurfFilter>(keys, SurfFilter::SuffixMode::kReal,
+                                          8);
+  }
+  return nullptr;
+}
+
+class RangeFilterProperty : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(RangeFilterProperty, NoFalseNegativesOnPoints) {
+  const auto keys = SortedKeys(5000);
+  const auto f = MakeFilter(GetParam(), keys);
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(f->MayContain(k)) << f->Name() << " missed " << k;
+  }
+}
+
+TEST_P(RangeFilterProperty, NoFalseNegativesOnRanges) {
+  const auto keys = SortedKeys(3000);
+  const auto f = MakeFilter(GetParam(), keys);
+  SplitMix64 rng(5);
+  // Ranges guaranteed to contain at least one key.
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t k = keys[rng.NextBelow(keys.size())];
+    const uint64_t span = rng.NextBelow(1u << 20);
+    const uint64_t lo = k - std::min(k, rng.NextBelow(span + 1));
+    uint64_t hi = lo + span;
+    if (hi < lo) hi = ~uint64_t{0};
+    if (k < lo || k > hi) continue;
+    ASSERT_TRUE(f->MayContainRange(lo, hi))
+        << f->Name() << " [" << lo << "," << hi << "] containing " << k;
+  }
+}
+
+TEST_P(RangeFilterProperty, EmptyRangesMostlyRejected) {
+  const auto keys = SortedKeys(3000);
+  const auto f = MakeFilter(GetParam(), keys);
+  // Probe short ranges just above each key; truly empty ones should be
+  // rejected most of the time by every filter at these budgets.
+  std::set<uint64_t> key_set(keys.begin(), keys.end());
+  SplitMix64 rng(6);
+  uint64_t fp = 0;
+  uint64_t total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t lo = rng.Next();
+    const uint64_t hi = lo + 15;
+    if (hi < lo) continue;
+    const auto it = key_set.lower_bound(lo);
+    if (it != key_set.end() && *it <= hi) continue;  // Not empty.
+    ++total;
+    fp += f->MayContainRange(lo, hi);
+  }
+  ASSERT_GT(total, 10000u);
+  EXPECT_LT(static_cast<double>(fp) / total, 0.15) << f->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFilters, RangeFilterProperty,
+    ::testing::Values(Kind::kPrefixBloom, Kind::kGrafite, Kind::kSnarf,
+                      Kind::kRosetta, Kind::kSurfBase, Kind::kSurfHash,
+                      Kind::kSurfReal),
+    [](const ::testing::TestParamInfo<Kind>& info) {
+      switch (info.param) {
+        case Kind::kPrefixBloom: return "PrefixBloom";
+        case Kind::kGrafite: return "Grafite";
+        case Kind::kSnarf: return "Snarf";
+        case Kind::kRosetta: return "Rosetta";
+        case Kind::kSurfBase: return "SurfBase";
+        case Kind::kSurfHash: return "SurfHash";
+        case Kind::kSurfReal: return "SurfReal";
+      }
+      return "Unknown";
+    });
+
+// --- Filter-specific behaviour --------------------------------------------
+
+TEST(Surf, PointQueriesWithHashSuffixSharpenFpr) {
+  const auto keys = SortedKeys(20000);
+  SurfFilter base(keys, SurfFilter::SuffixMode::kBase, 0);
+  SurfFilter hash(keys, SurfFilter::SuffixMode::kHash, 8);
+  const auto negatives = GenerateNegativeKeys(keys, 50000);
+  uint64_t fp_base = 0;
+  uint64_t fp_hash = 0;
+  for (uint64_t k : negatives) {
+    fp_base += base.MayContain(k);
+    fp_hash += hash.MayContain(k);
+  }
+  // 8 suffix bits must cut point FPs by roughly 2^8.
+  EXPECT_LT(fp_hash * 20, fp_base + 100);
+}
+
+TEST(Surf, StringKeysAndPrefixRelations) {
+  std::vector<std::string> keys = {"app", "apple", "applet", "banana",
+                                   "band", "bandit"};
+  std::sort(keys.begin(), keys.end());
+  SurfFilter f(keys, SurfFilter::SuffixMode::kReal, 8);
+  for (const auto& k : keys) {
+    EXPECT_TRUE(f.MayContainKey(k)) << k;
+  }
+  EXPECT_FALSE(f.MayContainKey("zebra"));
+  EXPECT_FALSE(f.MayContainKey("cherry"));
+  // Range over strings.
+  EXPECT_TRUE(f.MayContainStringRange("bana", "bandz"));
+  EXPECT_FALSE(f.MayContainStringRange("c", "z"));
+}
+
+TEST(Surf, AdversarialLongCommonPrefixesBlowUpSpace) {
+  // The paper: "an adversarial workload (each pair of keys produces a
+  // unique long prefix) can destroy SuRF's space efficiency."
+  std::vector<uint64_t> benign = SortedKeys(4000, 7);
+  // Adversarial: keys agreeing on high 48 bits pairwise chains.
+  std::vector<uint64_t> adversarial;
+  SplitMix64 rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t base = rng.Next() & ~LowMask(16);
+    adversarial.push_back(base);
+    adversarial.push_back(base | 1);  // Twin differing at the last bits.
+  }
+  std::sort(adversarial.begin(), adversarial.end());
+  adversarial.erase(std::unique(adversarial.begin(), adversarial.end()),
+                    adversarial.end());
+  SurfFilter fb(benign, SurfFilter::SuffixMode::kBase, 0);
+  SurfFilter fa(adversarial, SurfFilter::SuffixMode::kBase, 0);
+  const double benign_bpk =
+      static_cast<double>(fb.SpaceBits()) / benign.size();
+  const double adv_bpk =
+      static_cast<double>(fa.SpaceBits()) / adversarial.size();
+  EXPECT_GT(adv_bpk, benign_bpk * 2);
+}
+
+TEST(Grafite, RobustUnderCorrelatedQueries) {
+  // Queries starting right after existing keys — the workload that breaks
+  // trie-based filters — should not degrade Grafite beyond its bound.
+  const auto keys = SortedKeys(20000, 9);
+  GrafiteRangeFilter f(keys, 38);
+  std::set<uint64_t> key_set(keys.begin(), keys.end());
+  const auto queries =
+      GenerateRangeQueries(keys, 20000, 64, /*correlated=*/true,
+                           ~uint64_t{0});
+  uint64_t fp = 0;
+  uint64_t total = 0;
+  for (const auto& [lo, hi] : queries) {
+    const auto it = key_set.lower_bound(lo);
+    if (it != key_set.end() && *it <= hi) continue;
+    ++total;
+    fp += f.MayContainRange(lo, hi);
+  }
+  ASSERT_GT(total, 1000u);
+  EXPECT_LT(static_cast<double>(fp) / total, 0.05);
+}
+
+TEST(Rosetta, FprGrowsWithRangeLength) {
+  const auto keys = SortedKeys(5000, 11);
+  RosettaRangeFilter f(keys, 22, 22.0);
+  std::set<uint64_t> key_set(keys.begin(), keys.end());
+  SplitMix64 rng(12);
+  std::vector<double> fprs;
+  for (uint64_t len_log : {2, 10, 26}) {
+    uint64_t fp = 0;
+    uint64_t total = 0;
+    for (int i = 0; i < 4000; ++i) {
+      const uint64_t lo = rng.Next();
+      const uint64_t hi = lo + (uint64_t{1} << len_log) - 1;
+      if (hi < lo) continue;
+      const auto it = key_set.lower_bound(lo);
+      if (it != key_set.end() && *it <= hi) continue;
+      ++total;
+      fp += f.MayContainRange(lo, hi);
+    }
+    fprs.push_back(total ? static_cast<double>(fp) / total : 0);
+  }
+  EXPECT_LE(fprs[0], fprs[2]);
+  // Beyond the maintained levels Rosetta provides no filtering.
+  EXPECT_GT(fprs[2], 0.9);
+}
+
+TEST(Snarf, UniformKeysGiveTargetFpr) {
+  const auto keys = SortedKeys(30000, 13);
+  SnarfRangeFilter f(keys, 6);  // ~2^-6 per-point slack.
+  std::set<uint64_t> key_set(keys.begin(), keys.end());
+  SplitMix64 rng(14);
+  uint64_t fp = 0;
+  uint64_t total = 0;
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t lo = rng.Next();
+    const uint64_t hi = lo;  // Point queries.
+    const auto it = key_set.lower_bound(lo);
+    if (it != key_set.end() && *it <= hi) continue;
+    ++total;
+    fp += f.MayContainRange(lo, hi);
+  }
+  EXPECT_LT(static_cast<double>(fp) / total, 0.05);
+}
+
+TEST(PrefixBloom, GivesUpOnWideRanges) {
+  const auto keys = SortedKeys(1000, 15);
+  PrefixBloomRangeFilter f(keys, 48, 12.0, /*max_probes=*/16);
+  // A range spanning far more than 16 prefixes cannot be filtered.
+  EXPECT_TRUE(f.MayContainRange(0, ~uint64_t{0}));
+}
+
+TEST(EmptyFilters, HandleZeroKeys) {
+  const std::vector<uint64_t> none;
+  EXPECT_FALSE(SnarfRangeFilter(none, 6).MayContainRange(0, 100));
+  EXPECT_FALSE(
+      SurfFilter(none, SurfFilter::SuffixMode::kBase, 0).MayContain(7));
+  EXPECT_FALSE(GrafiteRangeFilter(none, 20).MayContainRange(0, 100));
+}
+
+}  // namespace
+}  // namespace bbf

@@ -1,0 +1,111 @@
+// Tests for the workload generators: the experiments lean on their
+// determinism and statistical shape.
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+#include "workload/zipf.h"
+
+namespace bbf {
+namespace {
+
+TEST(Generators, DistinctKeysAreDistinctAndDeterministic) {
+  const auto a = GenerateDistinctKeys(10000, 5);
+  const auto b = GenerateDistinctKeys(10000, 5);
+  EXPECT_EQ(a, b);
+  std::unordered_set<uint64_t> set(a.begin(), a.end());
+  EXPECT_EQ(set.size(), a.size());
+  const auto c = GenerateDistinctKeys(10000, 6);
+  EXPECT_NE(a, c);
+}
+
+TEST(Generators, NegativeKeysAvoidExcluded) {
+  const auto keys = GenerateDistinctKeys(5000, 7);
+  const auto negatives = GenerateNegativeKeys(keys, 5000, 8);
+  std::unordered_set<uint64_t> set(keys.begin(), keys.end());
+  for (uint64_t k : negatives) ASSERT_FALSE(set.contains(k));
+}
+
+TEST(Zipf, SkewConcentratesMassOnLowRanks) {
+  ZipfGenerator zipf(10000, 1.2, 3);
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next()];
+  // Rank 0 must dominate; the top-10 ranks should hold a large share.
+  uint64_t top10 = 0;
+  for (uint64_t r = 0; r < 10; ++r) top10 += counts[r];
+  EXPECT_GT(counts[0], counts[100] * 5);
+  EXPECT_GT(static_cast<double>(top10) / 100000, 0.4);
+}
+
+TEST(Zipf, ThetaZeroIsUniformish) {
+  ZipfGenerator zipf(100, 0.0, 4);
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next()];
+  for (uint64_t r = 0; r < 100; ++r) {
+    EXPECT_NEAR(counts[r] / 100000.0, 0.01, 0.005) << r;
+  }
+}
+
+TEST(Generators, ZipfStreamCoversUniverse) {
+  const auto stream = GenerateZipfStream(1000, 0.99, 50000, 9);
+  EXPECT_EQ(stream.size(), 50000u);
+  std::unordered_set<uint64_t> distinct(stream.begin(), stream.end());
+  EXPECT_GT(distinct.size(), 500u);  // Most of the universe appears.
+}
+
+TEST(Generators, CorrelatedRangeQueriesStartNearKeys) {
+  const auto keys = GenerateDistinctKeys(1000, 10);
+  const std::set<uint64_t> key_set(keys.begin(), keys.end());
+  const auto queries =
+      GenerateRangeQueries(keys, 1000, 100, /*correlated=*/true,
+                           ~uint64_t{0}, 11);
+  uint64_t adjacent = 0;
+  for (const auto& [lo, hi] : queries) {
+    EXPECT_EQ(hi - lo + 1, 100u);
+    adjacent += key_set.contains(lo - 1);
+  }
+  EXPECT_GT(adjacent, 900u);  // lo = key + 1 by construction.
+}
+
+TEST(Generators, UrlsAreDistinctish) {
+  const auto urls = GenerateUrls(10000, 12);
+  std::unordered_set<std::string> set(urls.begin(), urls.end());
+  EXPECT_GT(set.size(), 9990u);
+  for (const auto& u : urls) {
+    EXPECT_EQ(u.rfind("http://", 0), 0u);
+  }
+}
+
+TEST(Generators, DnaAlphabetAndLength) {
+  const auto dna = GenerateDna(50000, 0.3, 13);
+  EXPECT_EQ(dna.size(), 50000u);
+  for (char c : dna) {
+    ASSERT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T') << c;
+  }
+}
+
+TEST(Generators, DnaRepeatFractionCreatesDuplication) {
+  // With repeats, distinct 31-mers are noticeably fewer than positions.
+  const auto repetitive = GenerateDna(200000, 0.5, 14);
+  const auto fresh = GenerateDna(200000, 0.0, 15);
+  auto distinct31 = [](const std::string& s) {
+    std::unordered_set<uint64_t> set;
+    uint64_t window = 0;
+    int have = 0;
+    for (char c : s) {
+      window = (window << 2) | (static_cast<uint64_t>(c) & 6) >> 1;
+      if (++have >= 31) set.insert(window & ((uint64_t{1} << 62) - 1));
+    }
+    return set.size();
+  };
+  EXPECT_LT(distinct31(repetitive), distinct31(fresh) * 95 / 100);
+}
+
+}  // namespace
+}  // namespace bbf
