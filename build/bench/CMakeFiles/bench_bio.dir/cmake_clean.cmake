@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bio.dir/bench_bio.cc.o"
+  "CMakeFiles/bench_bio.dir/bench_bio.cc.o.d"
+  "bench_bio"
+  "bench_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

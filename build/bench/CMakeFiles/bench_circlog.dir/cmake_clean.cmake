@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_circlog.dir/bench_circlog.cc.o"
+  "CMakeFiles/bench_circlog.dir/bench_circlog.cc.o.d"
+  "bench_circlog"
+  "bench_circlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_circlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

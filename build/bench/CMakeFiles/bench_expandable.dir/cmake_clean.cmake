@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expandable.dir/bench_expandable.cc.o"
+  "CMakeFiles/bench_expandable.dir/bench_expandable.cc.o.d"
+  "bench_expandable"
+  "bench_expandable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expandable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fpr.dir/bench_fpr.cc.o"
+  "CMakeFiles/bench_fpr.dir/bench_fpr.cc.o.d"
+  "bench_fpr"
+  "bench_fpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

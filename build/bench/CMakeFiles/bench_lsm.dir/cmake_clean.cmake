@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lsm.dir/bench_lsm.cc.o"
+  "CMakeFiles/bench_lsm.dir/bench_lsm.cc.o.d"
+  "bench_lsm"
+  "bench_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maplet.dir/bench_maplet.cc.o"
+  "CMakeFiles/bench_maplet.dir/bench_maplet.cc.o.d"
+  "bench_maplet"
+  "bench_maplet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maplet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seqsearch.dir/bench_seqsearch.cc.o"
+  "CMakeFiles/bench_seqsearch.dir/bench_seqsearch.cc.o.d"
+  "bench_seqsearch"
+  "bench_seqsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seqsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_static.cc" "bench/CMakeFiles/bench_static.dir/bench_static.cc.o" "gcc" "bench/CMakeFiles/bench_static.dir/bench_static.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bbf_factory.dir/DependInfo.cmake"
+  "/root/repo/build/src/expandable/CMakeFiles/bbf_expandable.dir/DependInfo.cmake"
+  "/root/repo/build/src/stacked/CMakeFiles/bbf_stacked.dir/DependInfo.cmake"
+  "/root/repo/build/src/maplet/CMakeFiles/bbf_maplet.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/lsm/CMakeFiles/bbf_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuckoo/CMakeFiles/bbf_cuckoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/range/CMakeFiles/bbf_range.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/bio/CMakeFiles/bbf_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bbf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/net/CMakeFiles/bbf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/bbf_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/staticf/CMakeFiles/bbf_staticf.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/bbf_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/quotient/CMakeFiles/bbf_quotient.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bbf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_yesno.dir/bench_yesno.cc.o"
+  "CMakeFiles/bench_yesno.dir/bench_yesno.cc.o.d"
+  "bench_yesno"
+  "bench_yesno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yesno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

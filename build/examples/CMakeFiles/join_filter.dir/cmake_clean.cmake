@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_filter.dir/join_filter.cpp.o"
+  "CMakeFiles/join_filter.dir/join_filter.cpp.o.d"
+  "join_filter"
+  "join_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

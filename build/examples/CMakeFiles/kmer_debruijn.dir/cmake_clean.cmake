@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmer_debruijn.dir/kmer_debruijn.cpp.o"
+  "CMakeFiles/kmer_debruijn.dir/kmer_debruijn.cpp.o.d"
+  "kmer_debruijn"
+  "kmer_debruijn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmer_debruijn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

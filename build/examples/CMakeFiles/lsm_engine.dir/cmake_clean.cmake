@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_engine.dir/lsm_engine.cpp.o"
+  "CMakeFiles/lsm_engine.dir/lsm_engine.cpp.o.d"
+  "lsm_engine"
+  "lsm_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

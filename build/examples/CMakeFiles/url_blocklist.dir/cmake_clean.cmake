@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/url_blocklist.dir/url_blocklist.cpp.o"
+  "CMakeFiles/url_blocklist.dir/url_blocklist.cpp.o.d"
+  "url_blocklist"
+  "url_blocklist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/url_blocklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_adaptive.dir/adaptive_quotient_filter.cc.o"
+  "CMakeFiles/bbf_adaptive.dir/adaptive_quotient_filter.cc.o.d"
+  "libbbf_adaptive.a"
+  "libbbf_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bio/debruijn.cc" "src/apps/bio/CMakeFiles/bbf_bio.dir/debruijn.cc.o" "gcc" "src/apps/bio/CMakeFiles/bbf_bio.dir/debruijn.cc.o.d"
+  "/root/repo/src/apps/bio/kmer.cc" "src/apps/bio/CMakeFiles/bbf_bio.dir/kmer.cc.o" "gcc" "src/apps/bio/CMakeFiles/bbf_bio.dir/kmer.cc.o.d"
+  "/root/repo/src/apps/bio/kmer_counter.cc" "src/apps/bio/CMakeFiles/bbf_bio.dir/kmer_counter.cc.o" "gcc" "src/apps/bio/CMakeFiles/bbf_bio.dir/kmer_counter.cc.o.d"
+  "/root/repo/src/apps/bio/sequence_index.cc" "src/apps/bio/CMakeFiles/bbf_bio.dir/sequence_index.cc.o" "gcc" "src/apps/bio/CMakeFiles/bbf_bio.dir/sequence_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bloom/CMakeFiles/bbf_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bbf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quotient/CMakeFiles/bbf_quotient.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bbf_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

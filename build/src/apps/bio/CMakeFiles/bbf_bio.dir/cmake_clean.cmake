@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_bio.dir/debruijn.cc.o"
+  "CMakeFiles/bbf_bio.dir/debruijn.cc.o.d"
+  "CMakeFiles/bbf_bio.dir/kmer.cc.o"
+  "CMakeFiles/bbf_bio.dir/kmer.cc.o.d"
+  "CMakeFiles/bbf_bio.dir/kmer_counter.cc.o"
+  "CMakeFiles/bbf_bio.dir/kmer_counter.cc.o.d"
+  "CMakeFiles/bbf_bio.dir/sequence_index.cc.o"
+  "CMakeFiles/bbf_bio.dir/sequence_index.cc.o.d"
+  "libbbf_bio.a"
+  "libbbf_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

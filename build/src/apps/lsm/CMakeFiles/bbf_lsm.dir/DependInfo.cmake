@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/lsm/circular_log.cc" "src/apps/lsm/CMakeFiles/bbf_lsm.dir/circular_log.cc.o" "gcc" "src/apps/lsm/CMakeFiles/bbf_lsm.dir/circular_log.cc.o.d"
+  "/root/repo/src/apps/lsm/lsm_tree.cc" "src/apps/lsm/CMakeFiles/bbf_lsm.dir/lsm_tree.cc.o" "gcc" "src/apps/lsm/CMakeFiles/bbf_lsm.dir/lsm_tree.cc.o.d"
+  "/root/repo/src/apps/lsm/run.cc" "src/apps/lsm/CMakeFiles/bbf_lsm.dir/run.cc.o" "gcc" "src/apps/lsm/CMakeFiles/bbf_lsm.dir/run.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bloom/CMakeFiles/bbf_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bbf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuckoo/CMakeFiles/bbf_cuckoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/quotient/CMakeFiles/bbf_quotient.dir/DependInfo.cmake"
+  "/root/repo/build/src/range/CMakeFiles/bbf_range.dir/DependInfo.cmake"
+  "/root/repo/build/src/staticf/CMakeFiles/bbf_staticf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_lsm.dir/circular_log.cc.o"
+  "CMakeFiles/bbf_lsm.dir/circular_log.cc.o.d"
+  "CMakeFiles/bbf_lsm.dir/lsm_tree.cc.o"
+  "CMakeFiles/bbf_lsm.dir/lsm_tree.cc.o.d"
+  "CMakeFiles/bbf_lsm.dir/run.cc.o"
+  "CMakeFiles/bbf_lsm.dir/run.cc.o.d"
+  "libbbf_lsm.a"
+  "libbbf_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/net/blocklist.cc" "src/apps/net/CMakeFiles/bbf_net.dir/blocklist.cc.o" "gcc" "src/apps/net/CMakeFiles/bbf_net.dir/blocklist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adaptive/CMakeFiles/bbf_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/bbf_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bbf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/staticf/CMakeFiles/bbf_staticf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/quotient/CMakeFiles/bbf_quotient.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

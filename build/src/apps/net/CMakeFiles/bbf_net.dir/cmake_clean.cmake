@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_net.dir/blocklist.cc.o"
+  "CMakeFiles/bbf_net.dir/blocklist.cc.o.d"
+  "libbbf_net.a"
+  "libbbf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

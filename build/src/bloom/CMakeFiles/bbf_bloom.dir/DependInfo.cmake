@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bloom/bloom_filter.cc" "src/bloom/CMakeFiles/bbf_bloom.dir/bloom_filter.cc.o" "gcc" "src/bloom/CMakeFiles/bbf_bloom.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/bloom/cascading_bloom.cc" "src/bloom/CMakeFiles/bbf_bloom.dir/cascading_bloom.cc.o" "gcc" "src/bloom/CMakeFiles/bbf_bloom.dir/cascading_bloom.cc.o.d"
+  "/root/repo/src/bloom/counting_bloom.cc" "src/bloom/CMakeFiles/bbf_bloom.dir/counting_bloom.cc.o" "gcc" "src/bloom/CMakeFiles/bbf_bloom.dir/counting_bloom.cc.o.d"
+  "/root/repo/src/bloom/dleft_filter.cc" "src/bloom/CMakeFiles/bbf_bloom.dir/dleft_filter.cc.o" "gcc" "src/bloom/CMakeFiles/bbf_bloom.dir/dleft_filter.cc.o.d"
+  "/root/repo/src/bloom/scalable_bloom.cc" "src/bloom/CMakeFiles/bbf_bloom.dir/scalable_bloom.cc.o" "gcc" "src/bloom/CMakeFiles/bbf_bloom.dir/scalable_bloom.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bbf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_bloom.dir/bloom_filter.cc.o"
+  "CMakeFiles/bbf_bloom.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/bbf_bloom.dir/cascading_bloom.cc.o"
+  "CMakeFiles/bbf_bloom.dir/cascading_bloom.cc.o.d"
+  "CMakeFiles/bbf_bloom.dir/counting_bloom.cc.o"
+  "CMakeFiles/bbf_bloom.dir/counting_bloom.cc.o.d"
+  "CMakeFiles/bbf_bloom.dir/dleft_filter.cc.o"
+  "CMakeFiles/bbf_bloom.dir/dleft_filter.cc.o.d"
+  "CMakeFiles/bbf_bloom.dir/scalable_bloom.cc.o"
+  "CMakeFiles/bbf_bloom.dir/scalable_bloom.cc.o.d"
+  "libbbf_bloom.a"
+  "libbbf_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

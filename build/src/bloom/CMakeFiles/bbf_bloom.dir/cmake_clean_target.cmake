@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbbf_bloom.a"
+)

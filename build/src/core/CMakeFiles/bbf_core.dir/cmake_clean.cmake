@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_core.dir/filter.cc.o"
+  "CMakeFiles/bbf_core.dir/filter.cc.o.d"
+  "CMakeFiles/bbf_core.dir/sharded_filter.cc.o"
+  "CMakeFiles/bbf_core.dir/sharded_filter.cc.o.d"
+  "libbbf_core.a"
+  "libbbf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_factory.dir/factory.cc.o"
+  "CMakeFiles/bbf_factory.dir/factory.cc.o.d"
+  "libbbf_factory.a"
+  "libbbf_factory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_cuckoo.dir/adaptive_cuckoo_filter.cc.o"
+  "CMakeFiles/bbf_cuckoo.dir/adaptive_cuckoo_filter.cc.o.d"
+  "CMakeFiles/bbf_cuckoo.dir/cuckoo_filter.cc.o"
+  "CMakeFiles/bbf_cuckoo.dir/cuckoo_filter.cc.o.d"
+  "CMakeFiles/bbf_cuckoo.dir/cuckoo_maplet.cc.o"
+  "CMakeFiles/bbf_cuckoo.dir/cuckoo_maplet.cc.o.d"
+  "libbbf_cuckoo.a"
+  "libbbf_cuckoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_cuckoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expandable/chained_filter.cc" "src/expandable/CMakeFiles/bbf_expandable.dir/chained_filter.cc.o" "gcc" "src/expandable/CMakeFiles/bbf_expandable.dir/chained_filter.cc.o.d"
+  "/root/repo/src/expandable/ring_filter.cc" "src/expandable/CMakeFiles/bbf_expandable.dir/ring_filter.cc.o" "gcc" "src/expandable/CMakeFiles/bbf_expandable.dir/ring_filter.cc.o.d"
+  "/root/repo/src/expandable/taffy_filter.cc" "src/expandable/CMakeFiles/bbf_expandable.dir/taffy_filter.cc.o" "gcc" "src/expandable/CMakeFiles/bbf_expandable.dir/taffy_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bbf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quotient/CMakeFiles/bbf_quotient.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_expandable.dir/chained_filter.cc.o"
+  "CMakeFiles/bbf_expandable.dir/chained_filter.cc.o.d"
+  "CMakeFiles/bbf_expandable.dir/ring_filter.cc.o"
+  "CMakeFiles/bbf_expandable.dir/ring_filter.cc.o.d"
+  "CMakeFiles/bbf_expandable.dir/taffy_filter.cc.o"
+  "CMakeFiles/bbf_expandable.dir/taffy_filter.cc.o.d"
+  "libbbf_expandable.a"
+  "libbbf_expandable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_expandable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bbf_expandable.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_maplet.dir/maplet.cc.o"
+  "CMakeFiles/bbf_maplet.dir/maplet.cc.o.d"
+  "libbbf_maplet.a"
+  "libbbf_maplet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_maplet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quotient/expanding_quotient_filter.cc" "src/quotient/CMakeFiles/bbf_quotient.dir/expanding_quotient_filter.cc.o" "gcc" "src/quotient/CMakeFiles/bbf_quotient.dir/expanding_quotient_filter.cc.o.d"
+  "/root/repo/src/quotient/expanding_quotient_maplet.cc" "src/quotient/CMakeFiles/bbf_quotient.dir/expanding_quotient_maplet.cc.o" "gcc" "src/quotient/CMakeFiles/bbf_quotient.dir/expanding_quotient_maplet.cc.o.d"
+  "/root/repo/src/quotient/prefix_filter.cc" "src/quotient/CMakeFiles/bbf_quotient.dir/prefix_filter.cc.o" "gcc" "src/quotient/CMakeFiles/bbf_quotient.dir/prefix_filter.cc.o.d"
+  "/root/repo/src/quotient/quotient_filter.cc" "src/quotient/CMakeFiles/bbf_quotient.dir/quotient_filter.cc.o" "gcc" "src/quotient/CMakeFiles/bbf_quotient.dir/quotient_filter.cc.o.d"
+  "/root/repo/src/quotient/quotient_maplet.cc" "src/quotient/CMakeFiles/bbf_quotient.dir/quotient_maplet.cc.o" "gcc" "src/quotient/CMakeFiles/bbf_quotient.dir/quotient_maplet.cc.o.d"
+  "/root/repo/src/quotient/quotient_table.cc" "src/quotient/CMakeFiles/bbf_quotient.dir/quotient_table.cc.o" "gcc" "src/quotient/CMakeFiles/bbf_quotient.dir/quotient_table.cc.o.d"
+  "/root/repo/src/quotient/rsqf.cc" "src/quotient/CMakeFiles/bbf_quotient.dir/rsqf.cc.o" "gcc" "src/quotient/CMakeFiles/bbf_quotient.dir/rsqf.cc.o.d"
+  "/root/repo/src/quotient/vector_quotient_filter.cc" "src/quotient/CMakeFiles/bbf_quotient.dir/vector_quotient_filter.cc.o" "gcc" "src/quotient/CMakeFiles/bbf_quotient.dir/vector_quotient_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bbf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_quotient.dir/expanding_quotient_filter.cc.o"
+  "CMakeFiles/bbf_quotient.dir/expanding_quotient_filter.cc.o.d"
+  "CMakeFiles/bbf_quotient.dir/expanding_quotient_maplet.cc.o"
+  "CMakeFiles/bbf_quotient.dir/expanding_quotient_maplet.cc.o.d"
+  "CMakeFiles/bbf_quotient.dir/prefix_filter.cc.o"
+  "CMakeFiles/bbf_quotient.dir/prefix_filter.cc.o.d"
+  "CMakeFiles/bbf_quotient.dir/quotient_filter.cc.o"
+  "CMakeFiles/bbf_quotient.dir/quotient_filter.cc.o.d"
+  "CMakeFiles/bbf_quotient.dir/quotient_maplet.cc.o"
+  "CMakeFiles/bbf_quotient.dir/quotient_maplet.cc.o.d"
+  "CMakeFiles/bbf_quotient.dir/quotient_table.cc.o"
+  "CMakeFiles/bbf_quotient.dir/quotient_table.cc.o.d"
+  "CMakeFiles/bbf_quotient.dir/rsqf.cc.o"
+  "CMakeFiles/bbf_quotient.dir/rsqf.cc.o.d"
+  "CMakeFiles/bbf_quotient.dir/vector_quotient_filter.cc.o"
+  "CMakeFiles/bbf_quotient.dir/vector_quotient_filter.cc.o.d"
+  "libbbf_quotient.a"
+  "libbbf_quotient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_quotient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/range/arf.cc" "src/range/CMakeFiles/bbf_range.dir/arf.cc.o" "gcc" "src/range/CMakeFiles/bbf_range.dir/arf.cc.o.d"
+  "/root/repo/src/range/grafite.cc" "src/range/CMakeFiles/bbf_range.dir/grafite.cc.o" "gcc" "src/range/CMakeFiles/bbf_range.dir/grafite.cc.o.d"
+  "/root/repo/src/range/prefix_bloom_range.cc" "src/range/CMakeFiles/bbf_range.dir/prefix_bloom_range.cc.o" "gcc" "src/range/CMakeFiles/bbf_range.dir/prefix_bloom_range.cc.o.d"
+  "/root/repo/src/range/rosetta.cc" "src/range/CMakeFiles/bbf_range.dir/rosetta.cc.o" "gcc" "src/range/CMakeFiles/bbf_range.dir/rosetta.cc.o.d"
+  "/root/repo/src/range/snarf.cc" "src/range/CMakeFiles/bbf_range.dir/snarf.cc.o" "gcc" "src/range/CMakeFiles/bbf_range.dir/snarf.cc.o.d"
+  "/root/repo/src/range/surf.cc" "src/range/CMakeFiles/bbf_range.dir/surf.cc.o" "gcc" "src/range/CMakeFiles/bbf_range.dir/surf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bloom/CMakeFiles/bbf_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bbf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

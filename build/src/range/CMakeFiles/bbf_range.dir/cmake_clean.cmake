@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_range.dir/arf.cc.o"
+  "CMakeFiles/bbf_range.dir/arf.cc.o.d"
+  "CMakeFiles/bbf_range.dir/grafite.cc.o"
+  "CMakeFiles/bbf_range.dir/grafite.cc.o.d"
+  "CMakeFiles/bbf_range.dir/prefix_bloom_range.cc.o"
+  "CMakeFiles/bbf_range.dir/prefix_bloom_range.cc.o.d"
+  "CMakeFiles/bbf_range.dir/rosetta.cc.o"
+  "CMakeFiles/bbf_range.dir/rosetta.cc.o.d"
+  "CMakeFiles/bbf_range.dir/snarf.cc.o"
+  "CMakeFiles/bbf_range.dir/snarf.cc.o.d"
+  "CMakeFiles/bbf_range.dir/surf.cc.o"
+  "CMakeFiles/bbf_range.dir/surf.cc.o.d"
+  "libbbf_range.a"
+  "libbbf_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

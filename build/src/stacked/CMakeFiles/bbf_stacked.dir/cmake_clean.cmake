@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_stacked.dir/learned_filter.cc.o"
+  "CMakeFiles/bbf_stacked.dir/learned_filter.cc.o.d"
+  "CMakeFiles/bbf_stacked.dir/stacked_filter.cc.o"
+  "CMakeFiles/bbf_stacked.dir/stacked_filter.cc.o.d"
+  "libbbf_stacked.a"
+  "libbbf_stacked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_stacked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_staticf.dir/bloomier_filter.cc.o"
+  "CMakeFiles/bbf_staticf.dir/bloomier_filter.cc.o.d"
+  "CMakeFiles/bbf_staticf.dir/peeling.cc.o"
+  "CMakeFiles/bbf_staticf.dir/peeling.cc.o.d"
+  "CMakeFiles/bbf_staticf.dir/ribbon_filter.cc.o"
+  "CMakeFiles/bbf_staticf.dir/ribbon_filter.cc.o.d"
+  "CMakeFiles/bbf_staticf.dir/xor_filter.cc.o"
+  "CMakeFiles/bbf_staticf.dir/xor_filter.cc.o.d"
+  "libbbf_staticf.a"
+  "libbbf_staticf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_staticf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

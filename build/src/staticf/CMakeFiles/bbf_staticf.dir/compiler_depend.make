@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bbf_staticf.
+# This may be replaced when dependencies are built.

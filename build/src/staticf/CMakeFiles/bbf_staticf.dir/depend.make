@@ -1,0 +1,2 @@
+# Empty dependencies file for bbf_staticf.
+# This may be replaced when dependencies are built.

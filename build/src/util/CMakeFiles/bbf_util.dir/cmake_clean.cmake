@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_util.dir/bit_vector.cc.o"
+  "CMakeFiles/bbf_util.dir/bit_vector.cc.o.d"
+  "CMakeFiles/bbf_util.dir/compact_vector.cc.o"
+  "CMakeFiles/bbf_util.dir/compact_vector.cc.o.d"
+  "CMakeFiles/bbf_util.dir/elias_fano.cc.o"
+  "CMakeFiles/bbf_util.dir/elias_fano.cc.o.d"
+  "CMakeFiles/bbf_util.dir/hash.cc.o"
+  "CMakeFiles/bbf_util.dir/hash.cc.o.d"
+  "CMakeFiles/bbf_util.dir/rank_select.cc.o"
+  "CMakeFiles/bbf_util.dir/rank_select.cc.o.d"
+  "libbbf_util.a"
+  "libbbf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbf_workload.dir/generators.cc.o"
+  "CMakeFiles/bbf_workload.dir/generators.cc.o.d"
+  "CMakeFiles/bbf_workload.dir/zipf.cc.o"
+  "CMakeFiles/bbf_workload.dir/zipf.cc.o.d"
+  "libbbf_workload.a"
+  "libbbf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circular_log_test.dir/circular_log_test.cc.o"
+  "CMakeFiles/circular_log_test.dir/circular_log_test.cc.o.d"
+  "circular_log_test"
+  "circular_log_test.pdb"
+  "circular_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circular_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

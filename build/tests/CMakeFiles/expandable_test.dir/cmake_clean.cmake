@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expandable_test.dir/expandable_test.cc.o"
+  "CMakeFiles/expandable_test.dir/expandable_test.cc.o.d"
+  "expandable_test"
+  "expandable_test.pdb"
+  "expandable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expandable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

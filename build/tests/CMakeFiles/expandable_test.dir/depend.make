@@ -1,0 +1,2 @@
+# Empty dependencies file for expandable_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maplet_stacked_test.dir/maplet_stacked_test.cc.o"
+  "CMakeFiles/maplet_stacked_test.dir/maplet_stacked_test.cc.o.d"
+  "maplet_stacked_test"
+  "maplet_stacked_test.pdb"
+  "maplet_stacked_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maplet_stacked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

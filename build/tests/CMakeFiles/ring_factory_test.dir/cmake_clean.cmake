@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_factory_test.dir/ring_factory_test.cc.o"
+  "CMakeFiles/ring_factory_test.dir/ring_factory_test.cc.o.d"
+  "ring_factory_test"
+  "ring_factory_test.pdb"
+  "ring_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

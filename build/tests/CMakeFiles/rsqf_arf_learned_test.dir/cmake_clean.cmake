@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsqf_arf_learned_test.dir/rsqf_arf_learned_test.cc.o"
+  "CMakeFiles/rsqf_arf_learned_test.dir/rsqf_arf_learned_test.cc.o.d"
+  "rsqf_arf_learned_test"
+  "rsqf_arf_learned_test.pdb"
+  "rsqf_arf_learned_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsqf_arf_learned_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

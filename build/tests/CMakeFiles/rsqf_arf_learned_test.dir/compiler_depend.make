@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rsqf_arf_learned_test.
+# This may be replaced when dependencies are built.

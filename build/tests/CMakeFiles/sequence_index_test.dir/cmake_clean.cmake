@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_index_test.dir/sequence_index_test.cc.o"
+  "CMakeFiles/sequence_index_test.dir/sequence_index_test.cc.o.d"
+  "sequence_index_test"
+  "sequence_index_test.pdb"
+  "sequence_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staticf_test.dir/staticf_test.cc.o"
+  "CMakeFiles/staticf_test.dir/staticf_test.cc.o.d"
+  "staticf_test"
+  "staticf_test.pdb"
+  "staticf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staticf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

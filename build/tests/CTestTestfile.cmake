@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/bloom_test[1]_include.cmake")
+include("/root/repo/build/tests/quotient_test[1]_include.cmake")
+include("/root/repo/build/tests/cuckoo_test[1]_include.cmake")
+include("/root/repo/build/tests/staticf_test[1]_include.cmake")
+include("/root/repo/build/tests/expandable_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_test[1]_include.cmake")
+include("/root/repo/build/tests/range_test[1]_include.cmake")
+include("/root/repo/build/tests/maplet_stacked_test[1]_include.cmake")
+include("/root/repo/build/tests/lsm_test[1]_include.cmake")
+include("/root/repo/build/tests/bio_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/sequence_index_test[1]_include.cmake")
+include("/root/repo/build/tests/circular_log_test[1]_include.cmake")
+include("/root/repo/build/tests/extras_test[1]_include.cmake")
+include("/root/repo/build/tests/rsqf_arf_learned_test[1]_include.cmake")
+include("/root/repo/build/tests/contract_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/ring_factory_test[1]_include.cmake")
