@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds and runs the batch-throughput experiment, emitting BENCH_batch.json
+# at the repo root so successive PRs accumulate a perf trajectory.
+#
+# Usage: bench/run_bench.sh [--quick] [BUILD_DIR]
+#   --quick    1M-key size only (skips the ~16M-key out-of-LLC runs).
+#   BUILD_DIR  existing CMake build tree (default: build).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=""
+BUILD_DIR="build"
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target bench_batch -j "$(nproc)" >/dev/null
+
+"$BUILD_DIR"/bench/bench_batch $QUICK --json=BENCH_batch.json

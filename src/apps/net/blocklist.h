@@ -31,7 +31,7 @@ class Blocklist {
   /// Reports that a *benign* URL was wrongly blocked. Adaptive
   /// implementations restructure so the same URL passes next time;
   /// static ones ignore it and return false.
-  virtual bool ReportFalseBlock(std::string_view url) { return false; }
+  virtual bool ReportFalseBlock(std::string_view /*url*/) { return false; }
 
   virtual size_t SpaceBits() const = 0;
   virtual std::string_view Name() const = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numbers>
 
 #include "util/bits.h"
 #include "util/hash.h"
@@ -11,8 +12,15 @@ namespace bbf {
 namespace {
 
 int OptimalNumHashes(double bits_per_key) {
-  return std::max(1, static_cast<int>(std::lround(bits_per_key * 0.6931)));
+  // k = (m/n) ln 2.
+  return std::max(
+      1, static_cast<int>(std::lround(bits_per_key * std::numbers::ln2)));
 }
+
+// Batch tile for the two-pass (prefetch, then probe) paths: big enough to
+// keep a pipeline of cache misses in flight, small enough that per-key
+// hashes fit in registers/L1 scratch.
+constexpr size_t kBatchTile = 32;
 
 }  // namespace
 
@@ -27,7 +35,8 @@ BloomFilter::BloomFilter(uint64_t expected_keys, double bits_per_key,
 BloomFilter BloomFilter::ForFpr(uint64_t expected_keys, double fpr,
                                 uint64_t hash_seed) {
   // m/n = -ln(eps) / (ln 2)^2 = 1.44 lg(1/eps).
-  const double bits_per_key = -std::log(fpr) / (0.6931 * 0.6931);
+  const double bits_per_key =
+      -std::log(fpr) / (std::numbers::ln2 * std::numbers::ln2);
   return BloomFilter(expected_keys, bits_per_key, 0, hash_seed);
 }
 
@@ -53,6 +62,98 @@ bool BloomFilter::Contains(uint64_t key) const {
     h += h2;
   }
   return true;
+}
+
+void BloomFilter::ContainsMany(std::span<const uint64_t> keys,
+                               uint8_t* out) const {
+  const uint64_t m = bits_.size();
+  // Staged pipeline. A classic Bloom probe touches k scattered cache
+  // lines, but a negative key is rejected by the first clear bit — on
+  // average after ~1/(1-fpr^(1/k)) ≈ 2 probes. Prefetching all k lines up
+  // front would cost negatives k-2 extra line fetches that the scalar
+  // early-exit loop never pays, so instead: stage 1 prefetches and probes
+  // only the first two positions, and only the survivors (true positives
+  // plus a sliver of near-misses) fetch and probe the remaining k-2 —
+  // same memory traffic as scalar, with every fetch pipelined.
+  const int k0 = std::min(num_hashes_, 2);
+  uint64_t h1[kBatchTile];
+  uint64_t h2[kBatchTile];
+  size_t survivor[kBatchTile];
+  for (size_t base = 0; base < keys.size(); base += kBatchTile) {
+    const size_t n = std::min(kBatchTile, keys.size() - base);
+    // Stage 1a: hash the tile, request the first k0 target words.
+    for (size_t j = 0; j < n; ++j) {
+      h1[j] = Hash64(keys[base + j], hash_seed_ * 2 + 0x71);
+      h2[j] = Hash64(keys[base + j], hash_seed_ * 2 + 0x72) | 1;
+      uint64_t h = h1[j];
+      for (int i = 0; i < k0; ++i) {
+        bits_.PrefetchBit(FastRange64(h, m));
+        h += h2[j];
+      }
+    }
+    // Stage 1b: probe them (branchless — both lines are in flight) and
+    // collect survivors.
+    size_t num_survivors = 0;
+    for (size_t j = 0; j < n; ++j) {
+      uint64_t h = h1[j];
+      uint8_t hit = 1;
+      for (int i = 0; i < k0; ++i) {
+        hit &= static_cast<uint8_t>(bits_.Get(FastRange64(h, m)));
+        h += h2[j];
+      }
+      out[base + j] = hit;
+      survivor[num_survivors] = j;
+      num_survivors += hit;
+    }
+    if (num_hashes_ <= k0) continue;
+    // Stage 2a: survivors request their remaining target words.
+    for (size_t s = 0; s < num_survivors; ++s) {
+      const size_t j = survivor[s];
+      uint64_t h = h1[j] + static_cast<uint64_t>(k0) * h2[j];
+      for (int i = k0; i < num_hashes_; ++i) {
+        bits_.PrefetchBit(FastRange64(h, m));
+        h += h2[j];
+      }
+    }
+    // Stage 2b: finish the conjunction.
+    for (size_t s = 0; s < num_survivors; ++s) {
+      const size_t j = survivor[s];
+      uint64_t h = h1[j] + static_cast<uint64_t>(k0) * h2[j];
+      uint8_t hit = 1;
+      for (int i = k0; i < num_hashes_; ++i) {
+        hit &= static_cast<uint8_t>(bits_.Get(FastRange64(h, m)));
+        h += h2[j];
+      }
+      out[base + j] = hit;
+    }
+  }
+}
+
+size_t BloomFilter::InsertMany(std::span<const uint64_t> keys) {
+  const uint64_t m = bits_.size();
+  uint64_t h1[kBatchTile];
+  uint64_t h2[kBatchTile];
+  for (size_t base = 0; base < keys.size(); base += kBatchTile) {
+    const size_t n = std::min(kBatchTile, keys.size() - base);
+    for (size_t j = 0; j < n; ++j) {
+      h1[j] = Hash64(keys[base + j], hash_seed_ * 2 + 0x71);
+      h2[j] = Hash64(keys[base + j], hash_seed_ * 2 + 0x72) | 1;
+      uint64_t h = h1[j];
+      for (int i = 0; i < num_hashes_; ++i) {
+        bits_.PrefetchBit(FastRange64(h, m), /*for_write=*/true);
+        h += h2[j];
+      }
+    }
+    for (size_t j = 0; j < n; ++j) {
+      uint64_t h = h1[j];
+      for (int i = 0; i < num_hashes_; ++i) {
+        bits_.Set(FastRange64(h, m));
+        h += h2[j];
+      }
+    }
+  }
+  num_keys_ += keys.size();
+  return keys.size();
 }
 
 void BloomFilter::Save(std::ostream& os) const {
@@ -103,6 +204,70 @@ bool BlockedBloomFilter::Contains(uint64_t key) const {
     if (i % 6 == 5) h = Hash64(key, 0x75 + i);
   }
   return true;
+}
+
+void BlockedBloomFilter::ContainsMany(std::span<const uint64_t> keys,
+                                      uint8_t* out) const {
+  constexpr uint64_t kWordsPerBlock = kBlockBits / 64;
+  const bool needs_refresh = num_hashes_ > 6;
+  uint64_t block[kBatchTile];
+  uint64_t probe[kBatchTile];
+  uint64_t refresh[kBatchTile];
+  for (size_t base = 0; base < keys.size(); base += kBatchTile) {
+    const size_t n = std::min(kBatchTile, keys.size() - base);
+    // Pass 1: one block (= one or two cache lines) to fetch per key. The
+    // first hash refresh is also hoisted here, off pass 2's critical path.
+    for (size_t j = 0; j < n; ++j) {
+      block[j] = FastRange64(Hash64(keys[base + j], 0x73), num_blocks_);
+      probe[j] = Hash64(keys[base + j], 0x74);
+      if (needs_refresh) refresh[j] = Hash64(keys[base + j], 0x75 + 5);
+      const uint64_t w = block[j] * kWordsPerBlock;
+      bits_.PrefetchWord(w);
+      bits_.PrefetchWord(w + kWordsPerBlock - 1);
+    }
+    // Pass 2: all probes of a key hit the now-resident block; each probe
+    // is a single-word read, and the conjunction is branchless — the block
+    // is already in flight, so early exit would only buy mispredicts.
+    for (size_t j = 0; j < n; ++j) {
+      const uint64_t word0 = block[j] * kWordsPerBlock;
+      uint64_t h = probe[j];
+      uint64_t hit = 1;
+      for (int i = 0; i < num_hashes_; ++i) {
+        const uint64_t bit = h & (kBlockBits - 1);
+        hit &= bits_.Word(word0 + (bit >> 6)) >> (bit & 63);
+        h >>= 9;
+        if (i % 6 == 5) h = i == 5 ? refresh[j] : Hash64(keys[base + j], 0x75 + i);
+      }
+      out[base + j] = static_cast<uint8_t>(hit & 1);
+    }
+  }
+}
+
+size_t BlockedBloomFilter::InsertMany(std::span<const uint64_t> keys) {
+  constexpr uint64_t kWordsPerBlock = kBlockBits / 64;
+  uint64_t block[kBatchTile];
+  uint64_t probe[kBatchTile];
+  for (size_t base = 0; base < keys.size(); base += kBatchTile) {
+    const size_t n = std::min(kBatchTile, keys.size() - base);
+    for (size_t j = 0; j < n; ++j) {
+      block[j] = FastRange64(Hash64(keys[base + j], 0x73), num_blocks_);
+      probe[j] = Hash64(keys[base + j], 0x74);
+      const uint64_t w = block[j] * kWordsPerBlock;
+      bits_.PrefetchWord(w, /*for_write=*/true);
+      bits_.PrefetchWord(w + kWordsPerBlock - 1, /*for_write=*/true);
+    }
+    for (size_t j = 0; j < n; ++j) {
+      const uint64_t bit0 = block[j] * kBlockBits;
+      uint64_t h = probe[j];
+      for (int i = 0; i < num_hashes_; ++i) {
+        bits_.Set(bit0 + (h & (kBlockBits - 1)));
+        h >>= 9;
+        if (i % 6 == 5) h = Hash64(keys[base + j], 0x75 + i);
+      }
+    }
+  }
+  num_keys_ += keys.size();
+  return keys.size();
 }
 
 }  // namespace bbf

@@ -32,6 +32,11 @@ class BloomFilter : public Filter {
 
   bool Insert(uint64_t key) override;
   bool Contains(uint64_t key) const override;
+  /// Two-pass batch paths: hash every key in a tile, prefetch all k target
+  /// words, then probe. ~2x scalar lookup throughput out-of-LLC.
+  void ContainsMany(std::span<const uint64_t> keys,
+                    uint8_t* out) const override;
+  size_t InsertMany(std::span<const uint64_t> keys) override;
   size_t SpaceBits() const override { return bits_.size(); }
   uint64_t NumKeys() const override { return num_keys_; }
   FilterClass Class() const override { return FilterClass::kSemiDynamic; }
@@ -61,6 +66,11 @@ class BlockedBloomFilter : public Filter {
 
   bool Insert(uint64_t key) override;
   bool Contains(uint64_t key) const override;
+  /// Batch paths: one prefetch per 512-bit block, then a single-word-read
+  /// probe loop against BitVector::Word.
+  void ContainsMany(std::span<const uint64_t> keys,
+                    uint8_t* out) const override;
+  size_t InsertMany(std::span<const uint64_t> keys) override;
   size_t SpaceBits() const override { return bits_.size(); }
   uint64_t NumKeys() const override { return num_keys_; }
   FilterClass Class() const override { return FilterClass::kSemiDynamic; }

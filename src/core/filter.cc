@@ -2,6 +2,19 @@
 
 namespace bbf {
 
+void Filter::ContainsMany(std::span<const uint64_t> keys,
+                          uint8_t* out) const {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    out[i] = Contains(keys[i]) ? 1 : 0;
+  }
+}
+
+size_t Filter::InsertMany(std::span<const uint64_t> keys) {
+  size_t inserted = 0;
+  for (uint64_t key : keys) inserted += Insert(key);
+  return inserted;
+}
+
 bool Filter::Erase(uint64_t /*key*/) { return false; }
 
 uint64_t Filter::Count(uint64_t key) const { return Contains(key) ? 1 : 0; }

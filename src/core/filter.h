@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 namespace bbf {
@@ -36,6 +37,23 @@ class Filter {
   /// Membership query: always true for inserted keys; true with probability
   /// <= epsilon for others.
   virtual bool Contains(uint64_t key) const = 0;
+
+  /// Batched membership: writes 0/1 to `out[i]` for each `keys[i]`,
+  /// bit-for-bit identical to calling Contains in a loop. The base
+  /// implementation is that loop; hot families override it with a
+  /// prefetch-pipelined two-pass path (hash the whole batch, issue a
+  /// software prefetch for every target cache line, then probe), which
+  /// hides DRAM latency when the filter is larger than the LLC. Real
+  /// deployments (LSM compaction, join pre-filters, k-mer lookup) query in
+  /// batches, so this is the intended hot-path entry point.
+  virtual void ContainsMany(std::span<const uint64_t> keys,
+                            uint8_t* out) const;
+
+  /// Batched insert: attempts every key in order and returns the number
+  /// successfully inserted. Equivalent to summing Insert over the batch —
+  /// including the full-filter failure path, where individual inserts
+  /// return false but later keys are still attempted.
+  virtual size_t InsertMany(std::span<const uint64_t> keys);
 
   /// Removes one occurrence of `key`. Only meaningful for dynamic filters;
   /// default implementation reports lack of support.

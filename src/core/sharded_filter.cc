@@ -36,6 +36,65 @@ bool ShardedFilter::Contains(uint64_t key) const {
   return shard.filter->Contains(key);
 }
 
+void ShardedFilter::GroupByShard(
+    std::span<const uint64_t> keys,
+    std::vector<std::vector<uint64_t>>* group,
+    std::vector<std::vector<size_t>>* index) const {
+  group->assign(shards_.size(), {});
+  index->assign(shards_.size(), {});
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const size_t s = ShardOf(keys[i]);
+    (*group)[s].push_back(keys[i]);
+    (*index)[s].push_back(i);
+  }
+}
+
+void ShardedFilter::ContainsMany(std::span<const uint64_t> keys,
+                                 uint8_t* out) const {
+  // Grouping costs per-batch allocations and a gather/scatter; it pays
+  // only when each shard receives a sub-batch deep enough for its own
+  // prefetch pipeline. Shallow batches keep the per-key path.
+  if (keys.size() < shards_.size() * 32) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      out[i] = Contains(keys[i]) ? 1 : 0;
+    }
+    return;
+  }
+  std::vector<std::vector<uint64_t>> group;
+  std::vector<std::vector<size_t>> index;
+  GroupByShard(keys, &group, &index);
+  std::vector<uint8_t> shard_out;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (group[s].empty()) continue;
+    shard_out.resize(group[s].size());
+    {
+      std::shared_lock lock(shards_[s]->mutex);
+      shards_[s]->filter->ContainsMany(group[s], shard_out.data());
+    }
+    for (size_t j = 0; j < group[s].size(); ++j) {
+      out[index[s][j]] = shard_out[j];
+    }
+  }
+}
+
+size_t ShardedFilter::InsertMany(std::span<const uint64_t> keys) {
+  if (keys.size() < shards_.size() * 32) {
+    size_t inserted = 0;
+    for (uint64_t key : keys) inserted += Insert(key);
+    return inserted;
+  }
+  std::vector<std::vector<uint64_t>> group;
+  std::vector<std::vector<size_t>> index;
+  GroupByShard(keys, &group, &index);
+  size_t inserted = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (group[s].empty()) continue;
+    std::unique_lock lock(shards_[s]->mutex);
+    inserted += shards_[s]->filter->InsertMany(group[s]);
+  }
+  return inserted;
+}
+
 bool ShardedFilter::Erase(uint64_t key) {
   Shard& shard = *shards_[ShardOf(key)];
   std::unique_lock lock(shard.mutex);

@@ -28,6 +28,13 @@ class ShardedFilter : public Filter {
 
   bool Insert(uint64_t key) override;
   bool Contains(uint64_t key) const override;
+  /// Batch paths group keys by shard first, so a batch of B keys takes
+  /// each shard lock at most once (~num_shards acquisitions instead of B)
+  /// and hands every shard one contiguous sub-batch — which flows into the
+  /// shard filter's own prefetch-pipelined batch path.
+  void ContainsMany(std::span<const uint64_t> keys,
+                    uint8_t* out) const override;
+  size_t InsertMany(std::span<const uint64_t> keys) override;
   bool Erase(uint64_t key) override;
   uint64_t Count(uint64_t key) const override;
   size_t SpaceBits() const override;
@@ -44,6 +51,13 @@ class ShardedFilter : public Filter {
   };
 
   size_t ShardOf(uint64_t key) const;
+
+  // Counting-sorts `keys` by shard. On return, group[s] holds the keys of
+  // shard s in batch order and index[s][j] is the batch position of
+  // group[s][j] (for scattering results back).
+  void GroupByShard(std::span<const uint64_t> keys,
+                    std::vector<std::vector<uint64_t>>* group,
+                    std::vector<std::vector<size_t>>* index) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -62,9 +62,12 @@ bool CuckooFilter::TryPlace(uint64_t bucket, uint64_t fp) {
 }
 
 bool CuckooFilter::Insert(uint64_t key) {
-  uint64_t fp = FingerprintOf(key);
+  const uint64_t fp = FingerprintOf(key);
   const uint64_t i1 = IndexOf(key);
-  const uint64_t i2 = AltIndex(i1, fp);
+  return InsertPrepared(fp, i1, AltIndex(i1, fp));
+}
+
+bool CuckooFilter::InsertPrepared(uint64_t fp, uint64_t i1, uint64_t i2) {
   if (TryPlace(i1, fp) || TryPlace(i2, fp)) {
     ++num_keys_;
     return true;
@@ -106,6 +109,71 @@ bool CuckooFilter::Contains(uint64_t key) const {
     }
   }
   return false;
+}
+
+void CuckooFilter::ContainsMany(std::span<const uint64_t> keys,
+                                uint8_t* out) const {
+  constexpr size_t kTile = 32;
+  uint64_t fp[kTile];
+  uint64_t i1[kTile];
+  uint64_t i2[kTile];
+  for (size_t base = 0; base < keys.size(); base += kTile) {
+    const size_t n = std::min(kTile, keys.size() - base);
+    // Pass 1: hash and request both candidate buckets of every key.
+    for (size_t j = 0; j < n; ++j) {
+      fp[j] = FingerprintOf(keys[base + j]);
+      i1[j] = IndexOf(keys[base + j]);
+      i2[j] = AltIndex(i1[j], fp[j]);
+      cells_.Prefetch(i1[j] * kSlotsPerBucket, kSlotsPerBucket);
+      cells_.Prefetch(i2[j] * kSlotsPerBucket, kSlotsPerBucket);
+    }
+    // Pass 2: probe the now-resident buckets (and the tiny stash).
+    for (size_t j = 0; j < n; ++j) {
+      uint8_t hit = 0;
+      for (int s = 0; s < kSlotsPerBucket; ++s) {
+        if (CellAt(i1[j], s) == fp[j] || CellAt(i2[j], s) == fp[j]) {
+          hit = 1;
+          break;
+        }
+      }
+      if (!hit) {
+        for (uint64_t packed : stash_) {
+          if (packed == PackStash(i1[j], fp[j], fingerprint_bits_) ||
+              packed == PackStash(i2[j], fp[j], fingerprint_bits_)) {
+            hit = 1;
+            break;
+          }
+        }
+      }
+      out[base + j] = hit;
+    }
+  }
+}
+
+size_t CuckooFilter::InsertMany(std::span<const uint64_t> keys) {
+  constexpr size_t kTile = 32;
+  uint64_t fp[kTile];
+  uint64_t i1[kTile];
+  uint64_t i2[kTile];
+  size_t inserted = 0;
+  for (size_t base = 0; base < keys.size(); base += kTile) {
+    const size_t n = std::min(kTile, keys.size() - base);
+    for (size_t j = 0; j < n; ++j) {
+      fp[j] = FingerprintOf(keys[base + j]);
+      i1[j] = IndexOf(keys[base + j]);
+      i2[j] = AltIndex(i1[j], fp[j]);
+      cells_.Prefetch(i1[j] * kSlotsPerBucket, kSlotsPerBucket,
+                      /*for_write=*/true);
+      cells_.Prefetch(i2[j] * kSlotsPerBucket, kSlotsPerBucket,
+                      /*for_write=*/true);
+    }
+    // Placement stays sequential — kicking may touch arbitrary buckets —
+    // but the common no-kick case lands in prefetched lines.
+    for (size_t j = 0; j < n; ++j) {
+      inserted += InsertPrepared(fp[j], i1[j], i2[j]);
+    }
+  }
+  return inserted;
 }
 
 uint64_t CuckooFilter::Count(uint64_t key) const {

@@ -27,6 +27,12 @@ class CuckooFilter : public Filter {
 
   bool Insert(uint64_t key) override;
   bool Contains(uint64_t key) const override;
+  /// Batch paths: hash a tile of keys, prefetch both candidate buckets per
+  /// key, then probe/place — one pipeline of independent cache misses
+  /// instead of two dependent misses per key.
+  void ContainsMany(std::span<const uint64_t> keys,
+                    uint8_t* out) const override;
+  size_t InsertMany(std::span<const uint64_t> keys) override;
   bool Erase(uint64_t key) override;
   uint64_t Count(uint64_t key) const override;
   size_t SpaceBits() const override {
@@ -57,6 +63,8 @@ class CuckooFilter : public Filter {
     cells_.Set(bucket * kSlotsPerBucket + slot, fp);
   }
   bool TryPlace(uint64_t bucket, uint64_t fp);
+  // Insert body for a pre-hashed key; shared by Insert and InsertMany.
+  bool InsertPrepared(uint64_t fp, uint64_t i1, uint64_t i2);
 
   uint64_t num_buckets_;
   int fingerprint_bits_;

@@ -88,6 +88,10 @@ bool QuotientFilter::Contains(uint64_t key) const {
   uint64_t fq;
   uint64_t fr;
   Fingerprint(key, &fq, &fr);
+  return ContainsFingerprint(fq, fr);
+}
+
+bool QuotientFilter::ContainsFingerprint(uint64_t fq, uint64_t fr) const {
   if (!table_.occupied(fq)) return false;
   uint64_t s = table_.FindRunStart(fq);
   do {
@@ -97,6 +101,59 @@ bool QuotientFilter::Contains(uint64_t key) const {
     s = table_.Next(s);
   } while (table_.continuation(s));
   return false;
+}
+
+void QuotientFilter::ContainsMany(std::span<const uint64_t> keys,
+                                  uint8_t* out) const {
+  // Prefetching only pays once probes actually miss: a cache-resident
+  // table answers from L2/LLC and the two-pass bookkeeping is pure
+  // overhead, so small tables keep the scalar loop.
+  constexpr size_t kPrefetchMinBits = size_t{1} << 25;  // 4 MiB.
+  if (table_.SpaceBits() < kPrefetchMinBits) {
+    Filter::ContainsMany(keys, out);
+    return;
+  }
+  constexpr size_t kTile = 32;
+  uint64_t fq[kTile];
+  uint64_t fr[kTile];
+  for (size_t base = 0; base < keys.size(); base += kTile) {
+    const size_t n = std::min(kTile, keys.size() - base);
+    // Pass 1: fingerprint and request each home slot's four planes.
+    for (size_t j = 0; j < n; ++j) {
+      Fingerprint(keys[base + j], &fq[j], &fr[j]);
+      table_.PrefetchSlot(fq[j]);
+    }
+    // Pass 2: walk the runs; the home-slot lines are resident by now.
+    for (size_t j = 0; j < n; ++j) {
+      out[base + j] = ContainsFingerprint(fq[j], fr[j]) ? 1 : 0;
+    }
+  }
+}
+
+size_t QuotientFilter::InsertMany(std::span<const uint64_t> keys) {
+  constexpr size_t kTile = 32;
+  uint64_t fq[kTile];
+  uint64_t fr[kTile];
+  size_t inserted = 0;
+  for (size_t base = 0; base < keys.size(); base += kTile) {
+    const size_t n = std::min(kTile, keys.size() - base);
+    for (size_t j = 0; j < n; ++j) {
+      Fingerprint(keys[base + j], &fq[j], &fr[j]);
+      table_.PrefetchSlot(fq[j], /*for_write=*/true);
+    }
+    for (size_t j = 0; j < n; ++j) {
+      // Same per-key admission checks as Insert.
+      if (table_.LoadFactor() >= kMaxLoadFactor ||
+          table_.num_used_slots() + 1 >= table_.num_slots()) {
+        continue;
+      }
+      if (InsertFingerprint(fq[j], fr[j])) {
+        ++num_keys_;
+        ++inserted;
+      }
+    }
+  }
+  return inserted;
 }
 
 uint64_t QuotientFilter::Count(uint64_t key) const {

@@ -29,6 +29,11 @@ class QuotientFilter : public Filter {
 
   bool Insert(uint64_t key) override;
   bool Contains(uint64_t key) const override;
+  /// Batch paths: fingerprint a tile of keys, prefetch each home slot's
+  /// metadata/remainder words, then walk the runs.
+  void ContainsMany(std::span<const uint64_t> keys,
+                    uint8_t* out) const override;
+  size_t InsertMany(std::span<const uint64_t> keys) override;
   bool Erase(uint64_t key) override;
   uint64_t Count(uint64_t key) const override;
   size_t SpaceBits() const override { return table_.SpaceBits(); }
@@ -64,6 +69,10 @@ class QuotientFilter : public Filter {
  private:
   friend class CountingQuotientFilter;
   friend class ExpandingQuotientFilter;
+
+  // Contains body for a pre-split fingerprint; shared by Contains and
+  // ContainsMany.
+  bool ContainsFingerprint(uint64_t fq, uint64_t fr) const;
 
   QuotientTable table_;
   uint64_t hash_seed_;

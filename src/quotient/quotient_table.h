@@ -68,6 +68,16 @@ class QuotientTable {
     return !occupied_.Get(i) && !continuation_.Get(i) && !shifted_.Get(i);
   }
 
+  /// Hints the cache lines a probe of slot `i` touches first: the three
+  /// metadata planes and the remainder word. Cluster walks may run past
+  /// them, but the home-slot lines dominate at sane load factors.
+  void PrefetchSlot(uint64_t i, bool for_write = false) const {
+    occupied_.PrefetchBit(i, for_write);
+    continuation_.PrefetchBit(i, for_write);
+    shifted_.PrefetchBit(i, for_write);
+    remainders_.Prefetch(i, 1, for_write);
+  }
+
   uint64_t Next(uint64_t i) const { return (i + 1) & slot_mask_; }
   uint64_t Prev(uint64_t i) const { return (i - 1) & slot_mask_; }
 

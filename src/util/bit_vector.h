@@ -7,6 +7,8 @@
 #include <ostream>
 #include <vector>
 
+#include "util/bits.h"
+
 namespace bbf {
 
 /// A resizable vector of bits with word-granularity access. Used as the
@@ -54,6 +56,20 @@ class BitVector {
   /// Raw 64-bit word `w` (bits [64w, 64w+63]).
   uint64_t Word(uint64_t w) const { return words_[w]; }
   uint64_t NumWords() const { return words_.size(); }
+
+  /// Hints the cache line holding word `w` (resp. bit `i`) into cache.
+  /// Used by the batched filter paths: prefetch every target line for a
+  /// batch, then probe. `for_write` requests exclusive ownership (inserts).
+  void PrefetchWord(uint64_t w, bool for_write = false) const {
+    if (for_write) {
+      PrefetchWrite(&words_[w]);
+    } else {
+      PrefetchRead(&words_[w]);
+    }
+  }
+  void PrefetchBit(uint64_t i, bool for_write = false) const {
+    PrefetchWord(i >> 6, for_write);
+  }
 
   /// Total set bits.
   uint64_t CountOnes() const;

@@ -42,6 +42,26 @@ inline uint64_t FastRange64(uint64_t h, uint64_t n) {
       (static_cast<__uint128_t>(h) * static_cast<__uint128_t>(n)) >> 64);
 }
 
+/// Software prefetch hints for the batch query paths: hash a batch of keys
+/// up front, request every target cache line, then probe — hiding DRAM
+/// latency behind the remaining hash work. No-ops on compilers without
+/// `__builtin_prefetch`.
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+inline void PrefetchWrite(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/1, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
 }  // namespace bbf
 
 #endif  // BBF_UTIL_BITS_H_

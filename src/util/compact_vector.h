@@ -23,6 +23,15 @@ class CompactVector {
   uint64_t Get(uint64_t i) const { return bits_.GetBits(i * width_, width_); }
   void Set(uint64_t i, uint64_t v) { bits_.SetBits(i * width_, width_, v); }
 
+  /// Hints the cache lines holding entries [i, i + count) into cache; the
+  /// batched filter paths prefetch whole buckets before probing them.
+  void Prefetch(uint64_t i, uint64_t count = 1, bool for_write = false) const {
+    const uint64_t first = i * width_;
+    const uint64_t last = (i + count) * width_ - 1;
+    bits_.PrefetchBit(first, for_write);
+    if ((last >> 6) != (first >> 6)) bits_.PrefetchBit(last, for_write);
+  }
+
   /// Resizes to `n` entries, preserving existing values; new entries zero.
   void Resize(uint64_t n);
 

@@ -1,7 +1,9 @@
 // Tests for the Bloom-filter family: classic, blocked, counting, spectral,
 // d-left, scalable (chained expansion), and cascading (exactness).
 
+#include <cmath>
 #include <cstdint>
+#include <numbers>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +51,27 @@ TEST(BloomFilter, FprNearTheory) {
   const double fpr = MeasureFpr(f, GenerateNegativeKeys(keys, 50000));
   EXPECT_GT(fpr, 0.0005);
   EXPECT_LT(fpr, 0.025);
+}
+
+TEST(BloomFilter, NumHashesMatchesOptimalFormula) {
+  // k = round(b ln 2), with the untruncated ln 2 (not 0.6931).
+  for (double b : {2.0, 4.0, 6.5, 8.0, 10.0, 12.0, 13.0, 16.0, 20.0, 24.0}) {
+    BloomFilter f(1000, b);
+    const int expected = std::max(
+        1, static_cast<int>(std::lround(b * std::numbers::ln2)));
+    EXPECT_EQ(f.num_hashes(), expected) << "bits_per_key = " << b;
+  }
+  // ForFpr sizes m/n = -ln(eps) / (ln 2)^2 and then applies the same k
+  // formula, which collapses to round(lg(1/eps)).
+  for (double fpr : {0.1, 0.01, 0.001, 0.0001}) {
+    BloomFilter f = BloomFilter::ForFpr(1000, fpr);
+    const double bits_per_key =
+        -std::log(fpr) / (std::numbers::ln2 * std::numbers::ln2);
+    const int expected = std::max(
+        1, static_cast<int>(std::lround(bits_per_key * std::numbers::ln2)));
+    EXPECT_EQ(f.num_hashes(), expected) << "fpr = " << fpr;
+    EXPECT_EQ(f.num_hashes(), std::lround(-std::log2(fpr))) << "fpr = " << fpr;
+  }
 }
 
 TEST(BloomFilter, ForFprHitsTarget) {

@@ -81,7 +81,9 @@ TEST(TaffyFilter, ChurnKeepsInvariants) {
       ASSERT_TRUE(f.Erase(key)) << op;
       ref.erase(ref.find(key));
     }
-    if (op % 1000 == 0) ASSERT_TRUE(f.table().CheckInvariants()) << op;
+    if (op % 1000 == 0) {
+      ASSERT_TRUE(f.table().CheckInvariants()) << op;
+    }
   }
   for (uint64_t k : std::unordered_set<uint64_t>(ref.begin(), ref.end())) {
     ASSERT_TRUE(f.Contains(k));

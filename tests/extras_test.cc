@@ -197,7 +197,9 @@ TEST(Serialization, QuotientRoundTripIncludingDeletes) {
   EXPECT_TRUE(g.table().CheckInvariants());
   EXPECT_EQ(g.NumKeys(), f.NumKeys());
   for (size_t i = 0; i < keys.size(); ++i) {
-    if (i % 3 != 0) ASSERT_TRUE(g.Contains(keys[i]));
+    if (i % 3 != 0) {
+      ASSERT_TRUE(g.Contains(keys[i]));
+    }
   }
   // The deserialized filter remains fully functional.
   ASSERT_TRUE(g.Insert(999999));

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -11,6 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include "bloom/bloom_filter.h"
+#include "core/sharded_filter.h"
+#include "cuckoo/cuckoo_filter.h"
 #include "expandable/taffy_filter.h"
 #include "quotient/quotient_filter.h"
 #include "range/surf.h"
@@ -169,6 +174,129 @@ TEST(SurfStrings, EmptyRangesUsuallyRejected) {
   }
   ASSERT_GT(total, 4000u);
   EXPECT_LT(static_cast<double>(fp) / total, 0.1);
+}
+
+// --- Batch/scalar parity ------------------------------------------------------
+
+// Every family with a batch override must satisfy two contracts:
+//  * ContainsMany agrees bit-for-bit with a loop of Contains on mixed
+//    positive/negative queries (at any sub-batch size, including the
+//    tile-remainder path);
+//  * InsertMany leaves the filter in a state observationally equal to
+//    sequential Inserts and returns the same success count.
+void CheckBatchParity(
+    const std::function<std::unique_ptr<Filter>()>& make, uint64_t n,
+    uint64_t seed) {
+  const auto keys = GenerateDistinctKeys(n, seed);
+  const auto negatives = GenerateNegativeKeys(keys, n, seed + 1);
+  std::vector<uint64_t> queries;
+  queries.reserve(2 * n);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    queries.push_back(keys[i]);
+    queries.push_back(negatives[i]);
+  }
+
+  auto scalar = make();
+  size_t scalar_inserted = 0;
+  for (uint64_t k : keys) scalar_inserted += scalar->Insert(k);
+
+  auto batched = make();
+  EXPECT_EQ(batched->InsertMany(keys), scalar_inserted);
+  EXPECT_EQ(batched->NumKeys(), scalar->NumKeys());
+
+  // Bit-for-bit lookup parity on the sequentially built filter.
+  std::vector<uint8_t> out(queries.size(), 2);
+  scalar->ContainsMany(queries, out.data());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_LE(out[i], 1u);
+    ASSERT_EQ(out[i] == 1, scalar->Contains(queries[i])) << "query " << i;
+  }
+  // Odd sub-batch sizes exercise the partial-tile path.
+  for (size_t batch : {size_t{1}, size_t{7}, size_t{33}}) {
+    std::vector<uint8_t> chunked(queries.size(), 2);
+    for (size_t base = 0; base < queries.size(); base += batch) {
+      const size_t len = std::min(batch, queries.size() - base);
+      scalar->ContainsMany({queries.data() + base, len},
+                           chunked.data() + base);
+    }
+    ASSERT_EQ(chunked, out) << "batch size " << batch;
+  }
+  // Empty batches are a no-op.
+  scalar->ContainsMany({}, nullptr);
+  EXPECT_EQ(scalar->InsertMany({}), 0u);
+
+  // The batch-built filter answers exactly like the scalar-built one.
+  std::vector<uint8_t> out_batched(queries.size(), 2);
+  batched->ContainsMany(queries, out_batched.data());
+  ASSERT_EQ(out_batched, out);
+  // No false negatives through the batch path.
+  for (size_t i = 0; i < keys.size(); ++i) ASSERT_EQ(out[2 * i], 1u);
+}
+
+TEST(BatchParity, BloomFilter) {
+  CheckBatchParity([] { return std::make_unique<BloomFilter>(5000, 10.0); },
+                   5000, 300);
+}
+
+TEST(BatchParity, BlockedBloomFilter) {
+  CheckBatchParity(
+      [] { return std::make_unique<BlockedBloomFilter>(5000, 10.0); }, 5000,
+      310);
+}
+
+TEST(BatchParity, CuckooFilter) {
+  CheckBatchParity([] { return std::make_unique<CuckooFilter>(5000, 12); },
+                   5000, 320);
+}
+
+TEST(BatchParity, QuotientFilter) {
+  CheckBatchParity([] { return std::make_unique<QuotientFilter>(13, 9); },
+                   5000, 330);
+}
+
+TEST(BatchParity, ShardedFilter) {
+  CheckBatchParity(
+      [] {
+        return std::make_unique<ShardedFilter>(
+            5000, 8, [](uint64_t cap) -> std::unique_ptr<Filter> {
+              return std::make_unique<QuotientFilter>(
+                  QuotientFilter::ForCapacity(cap, 0.01));
+            });
+      },
+      5000, 340);
+}
+
+TEST(BatchParity, QuotientFullFilterReturnPath) {
+  // 2^6 slots at 0.94 max load: sequential Inserts start returning false
+  // partway through; InsertMany must report the identical count and state.
+  const auto keys = GenerateDistinctKeys(100, 350);
+  QuotientFilter scalar(6, 8);
+  size_t scalar_inserted = 0;
+  for (uint64_t k : keys) scalar_inserted += scalar.Insert(k);
+  ASSERT_LT(scalar_inserted, keys.size());  // The full path triggered.
+  ASSERT_GT(scalar_inserted, 0u);
+
+  QuotientFilter batched(6, 8);
+  EXPECT_EQ(batched.InsertMany(keys), scalar_inserted);
+  EXPECT_EQ(batched.NumKeys(), scalar.NumKeys());
+  for (uint64_t k : keys) ASSERT_EQ(batched.Contains(k), scalar.Contains(k));
+  ASSERT_TRUE(batched.table().CheckInvariants());
+}
+
+TEST(BatchParity, CuckooFullFilterReturnPath) {
+  // A tiny table driven far past capacity: kicks fail, the stash fills,
+  // and Insert starts refusing. Batch inserts replay the same sequence
+  // (same kick RNG), so counts and membership match exactly.
+  const auto keys = GenerateDistinctKeys(300, 360);
+  CuckooFilter scalar(64, 8);
+  size_t scalar_inserted = 0;
+  for (uint64_t k : keys) scalar_inserted += scalar.Insert(k);
+  ASSERT_LT(scalar_inserted, keys.size());
+
+  CuckooFilter batched(64, 8);
+  EXPECT_EQ(batched.InsertMany(keys), scalar_inserted);
+  EXPECT_EQ(batched.NumKeys(), scalar.NumKeys());
+  for (uint64_t k : keys) ASSERT_EQ(batched.Contains(k), scalar.Contains(k));
 }
 
 // --- Quotient filter: full differential sweep at several loads ---------------

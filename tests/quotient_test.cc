@@ -138,7 +138,9 @@ TEST(QuotientFilter, TableInvariantsHoldUnderChurn) {
       ASSERT_TRUE(f.Erase(key));
       ref.erase(ref.find(key));
     }
-    if (op % 500 == 0) ASSERT_TRUE(f.table().CheckInvariants()) << op;
+    if (op % 500 == 0) {
+      ASSERT_TRUE(f.table().CheckInvariants()) << op;
+    }
   }
   ASSERT_TRUE(f.table().CheckInvariants());
 }
