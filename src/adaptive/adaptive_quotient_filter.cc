@@ -1,9 +1,11 @@
 #include "adaptive/adaptive_quotient_filter.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/bits.h"
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace bbf {
 
@@ -113,6 +115,91 @@ size_t AdaptiveQuotientFilter::SpaceBits() const {
     for (const Extension& e : exts) ext_bits += e.len + 6;
   }
   return base_.SpaceBits() + ext_bits;
+}
+
+bool AdaptiveQuotientFilter::SavePayload(std::ostream& os) const {
+  WriteU64(os, hash_seed_);
+  WriteU64(os, adaptations_);
+  if (!base_.SavePayload(os)) return false;
+  WriteU64(os, remote_.size());
+  for (const auto& [f, keys] : remote_) {
+    WriteU64(os, f);
+    WriteU64(os, keys.size());
+    for (uint64_t k : keys) WriteU64(os, k);
+  }
+  WriteU64(os, extensions_.size());
+  for (const auto& [f, exts] : extensions_) {
+    WriteU64(os, f);
+    WriteU64(os, exts.size());
+    for (const Extension& e : exts) {
+      WriteU64(os, e.key);
+      WriteI32(os, e.len);
+      WriteU64(os, e.bits);
+    }
+  }
+  return os.good();
+}
+
+bool AdaptiveQuotientFilter::LoadPayload(std::istream& is) {
+  uint64_t seed;
+  uint64_t adaptations;
+  if (!ReadU64(is, &seed) || !ReadU64(is, &adaptations)) return false;
+  QuotientFilter base(6, 4, seed);
+  if (!base.LoadPayload(is)) return false;
+  uint64_t num_remote;
+  if (!ReadU64Capped(is, &num_remote, kMaxSnapshotElements)) return false;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> remote;
+  remote.reserve(std::min<uint64_t>(num_remote, 1 << 20));
+  for (uint64_t i = 0; i < num_remote; ++i) {
+    uint64_t f;
+    uint64_t count;
+    if (!ReadU64(is, &f) ||
+        !ReadU64Capped(is, &count, kMaxSnapshotElements) || count == 0 ||
+        remote.count(f) != 0) {
+      return false;
+    }
+    std::vector<uint64_t>& keys = remote[f];
+    keys.reserve(std::min<uint64_t>(count, 4096));
+    for (uint64_t k = 0; k < count; ++k) {
+      uint64_t key;
+      if (!ReadU64(is, &key)) return false;
+      keys.push_back(key);
+    }
+  }
+  uint64_t num_ext;
+  if (!ReadU64Capped(is, &num_ext, kMaxSnapshotElements)) return false;
+  std::unordered_map<uint64_t, std::vector<Extension>> extensions;
+  extensions.reserve(std::min<uint64_t>(num_ext, 1 << 20));
+  for (uint64_t i = 0; i < num_ext; ++i) {
+    uint64_t f;
+    uint64_t count;
+    if (!ReadU64(is, &f) ||
+        !ReadU64Capped(is, &count, kMaxSnapshotElements) || count == 0 ||
+        extensions.count(f) != 0) {
+      return false;
+    }
+    std::vector<Extension>& exts = extensions[f];
+    exts.reserve(std::min<uint64_t>(count, 4096));
+    for (uint64_t k = 0; k < count; ++k) {
+      uint64_t key;
+      int32_t len;
+      uint64_t bits;
+      if (!ReadU64(is, &key) || !ReadI32(is, &len) || len < 1 ||
+          len > kMaxExtensionBits || !ReadU64(is, &bits) ||
+          // Extensions are pure hash derivatives of the resident key;
+          // anything else is corruption.
+          bits != (Hash64(key, seed + 0xE47) & LowMask(len))) {
+        return false;
+      }
+      exts.push_back(Extension{key, len, bits});
+    }
+  }
+  hash_seed_ = seed;
+  adaptations_ = adaptations;
+  base_ = std::move(base);
+  remote_ = std::move(remote);
+  extensions_ = std::move(extensions);
+  return true;
 }
 
 }  // namespace bbf

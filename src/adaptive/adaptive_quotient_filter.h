@@ -47,6 +47,9 @@ class AdaptiveQuotientFilter : public Filter, public AdaptiveHook {
 
   static constexpr int kMaxExtensionBits = 32;
 
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
  private:
   struct Extension {
     uint64_t key;   // Resident (from the remote store / dictionary).

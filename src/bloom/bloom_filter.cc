@@ -156,19 +156,31 @@ size_t BloomFilter::InsertMany(std::span<const uint64_t> keys) {
   return keys.size();
 }
 
-void BloomFilter::Save(std::ostream& os) const {
+bool BloomFilter::SavePayload(std::ostream& os) const {
   WriteI32(os, num_hashes_);
   WriteU64(os, hash_seed_);
   WriteU64(os, num_keys_);
   bits_.Save(os);
+  return os.good();
 }
 
-bool BloomFilter::Load(std::istream& is) {
+bool BloomFilter::LoadPayload(std::istream& is) {
+  // Parse into locals and commit only on success, so a malformed payload
+  // leaves this filter untouched. An empty bit array would make
+  // FastRange64 index out of bounds, so it is rejected too.
   int32_t k;
-  if (!ReadI32(is, &k) || k < 1 || k > 64) return false;
+  uint64_t seed;
+  uint64_t n;
+  BitVector bits;
+  if (!ReadI32(is, &k) || k < 1 || k > 64 || !ReadU64(is, &seed) ||
+      !ReadU64(is, &n) || !bits.Load(is) || bits.size() == 0) {
+    return false;
+  }
   num_hashes_ = k;
-  return ReadU64(is, &hash_seed_) && ReadU64(is, &num_keys_) &&
-         bits_.Load(is);
+  hash_seed_ = seed;
+  num_keys_ = n;
+  bits_ = std::move(bits);
+  return true;
 }
 
 BlockedBloomFilter::BlockedBloomFilter(uint64_t expected_keys,
@@ -241,6 +253,32 @@ void BlockedBloomFilter::ContainsMany(std::span<const uint64_t> keys,
       out[base + j] = static_cast<uint8_t>(hit & 1);
     }
   }
+}
+
+bool BlockedBloomFilter::SavePayload(std::ostream& os) const {
+  WriteI32(os, num_hashes_);
+  WriteU64(os, num_blocks_);
+  WriteU64(os, num_keys_);
+  bits_.Save(os);
+  return os.good();
+}
+
+bool BlockedBloomFilter::LoadPayload(std::istream& is) {
+  int32_t k;
+  uint64_t blocks;
+  uint64_t n;
+  BitVector bits;
+  if (!ReadI32(is, &k) || k < 1 || k > 64 ||
+      !ReadU64Capped(is, &blocks, kMaxSnapshotElements / kBlockBits) ||
+      blocks == 0 || !ReadU64(is, &n) || !bits.Load(is) ||
+      bits.size() != blocks * kBlockBits) {
+    return false;
+  }
+  num_hashes_ = k;
+  num_blocks_ = blocks;
+  num_keys_ = n;
+  bits_ = std::move(bits);
+  return true;
 }
 
 size_t BlockedBloomFilter::InsertMany(std::span<const uint64_t> keys) {

@@ -44,9 +44,9 @@ class BloomFilter : public Filter {
 
   int num_hashes() const { return num_hashes_; }
 
-  /// Binary serialization; Load returns false on malformed input.
-  void Save(std::ostream& os) const;
-  bool Load(std::istream& is);
+  /// Snapshot payload (framed by Filter::Save/Load).
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
 
  private:
   BitVector bits_;
@@ -75,6 +75,9 @@ class BlockedBloomFilter : public Filter {
   uint64_t NumKeys() const override { return num_keys_; }
   FilterClass Class() const override { return FilterClass::kSemiDynamic; }
   std::string_view Name() const override { return "blocked-bloom"; }
+
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
 
  private:
   static constexpr uint64_t kBlockBits = 512;

@@ -5,6 +5,7 @@
 
 #include "util/bits.h"
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace bbf {
 namespace {
@@ -123,6 +124,74 @@ uint64_t SpectralBloomFilter::Count(uint64_t key) const {
     min_count = std::min(min_count, counters_.Get(CounterIndex(key, i)));
   }
   return min_count;
+}
+
+namespace {
+
+// Shared payload shape of the two counter-array filters.
+bool SaveCounterArray(std::ostream& os, const CompactVector& counters,
+                      int num_hashes, uint64_t num_keys, uint64_t extra) {
+  WriteI32(os, num_hashes);
+  WriteU64(os, num_keys);
+  WriteU64(os, extra);
+  counters.Save(os);
+  return os.good();
+}
+
+bool LoadCounterArray(std::istream& is, CompactVector* counters,
+                      int* num_hashes, uint64_t* num_keys, uint64_t* extra) {
+  int32_t k;
+  uint64_t n;
+  uint64_t x;
+  CompactVector fresh;
+  if (!ReadI32(is, &k) || k < 1 || k > 64 || !ReadU64(is, &n) ||
+      !ReadU64(is, &x) || !fresh.Load(is) || fresh.size() == 0 ||
+      fresh.width() < 1) {
+    return false;
+  }
+  *num_hashes = k;
+  *num_keys = n;
+  *extra = x;
+  *counters = std::move(fresh);
+  return true;
+}
+
+}  // namespace
+
+bool CountingBloomFilter::SavePayload(std::ostream& os) const {
+  return SaveCounterArray(os, counters_, num_hashes_, num_keys_, saturated_);
+}
+
+bool CountingBloomFilter::LoadPayload(std::istream& is) {
+  CompactVector counters;
+  int k;
+  uint64_t n;
+  uint64_t saturated;
+  if (!LoadCounterArray(is, &counters, &k, &n, &saturated) ||
+      saturated > counters.size()) {
+    return false;
+  }
+  counters_ = std::move(counters);
+  num_hashes_ = k;
+  num_keys_ = n;
+  saturated_ = saturated;
+  return true;
+}
+
+bool SpectralBloomFilter::SavePayload(std::ostream& os) const {
+  return SaveCounterArray(os, counters_, num_hashes_, num_keys_, 0);
+}
+
+bool SpectralBloomFilter::LoadPayload(std::istream& is) {
+  CompactVector counters;
+  int k;
+  uint64_t n;
+  uint64_t unused;
+  if (!LoadCounterArray(is, &counters, &k, &n, &unused)) return false;
+  counters_ = std::move(counters);
+  num_hashes_ = k;
+  num_keys_ = n;
+  return true;
 }
 
 }  // namespace bbf

@@ -41,6 +41,9 @@ class CountingBloomFilter : public Filter {
   /// A fresh filter with doubled counter width; the caller re-inserts keys.
   CountingBloomFilter RebuiltWithWiderCounters() const;
 
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
  private:
   uint64_t CounterIndex(uint64_t key, int i) const;
 
@@ -68,6 +71,9 @@ class SpectralBloomFilter : public Filter {
   uint64_t NumKeys() const override { return num_keys_; }
   FilterClass Class() const override { return FilterClass::kSemiDynamic; }
   std::string_view Name() const override { return "spectral-bloom"; }
+
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
 
  private:
   uint64_t CounterIndex(uint64_t key, int i) const;

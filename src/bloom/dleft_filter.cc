@@ -4,6 +4,7 @@
 
 #include "util/bits.h"
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace bbf {
 
@@ -150,6 +151,59 @@ uint64_t DleftCountingFilter::Count(uint64_t key) const {
 size_t DleftCountingFilter::SpaceBits() const {
   return cells_.size() * cells_.width() +
          overflow_.size() * (sizeof(uint64_t) * 2 * 8);
+}
+
+bool DleftCountingFilter::SavePayload(std::ostream& os) const {
+  WriteI32(os, d_);
+  WriteI32(os, cells_per_bucket_);
+  WriteI32(os, fingerprint_bits_);
+  WriteI32(os, counter_bits_);
+  WriteU64(os, buckets_per_table_);
+  WriteU64(os, num_keys_);
+  cells_.Save(os);
+  WriteU64(os, overflow_.size());
+  for (const auto& [key, count] : overflow_) {
+    WriteU64(os, key);
+    WriteU64(os, count);
+  }
+  return os.good();
+}
+
+bool DleftCountingFilter::LoadPayload(std::istream& is) {
+  int32_t d, cpb, fp_bits, ctr_bits;
+  uint64_t bpt, n;
+  if (!ReadI32(is, &d) || d < 1 || d > 16 || !ReadI32(is, &cpb) || cpb < 1 ||
+      cpb > 64 || !ReadI32(is, &fp_bits) || fp_bits < 1 ||
+      !ReadI32(is, &ctr_bits) || ctr_bits < 1 || fp_bits + ctr_bits > 64 ||
+      !ReadU64Capped(is, &bpt, kMaxSnapshotElements) || bpt == 0 ||
+      !ReadU64(is, &n)) {
+    return false;
+  }
+  CompactVector cells;
+  if (!cells.Load(is) ||
+      cells.size() != static_cast<uint64_t>(d) * bpt * cpb ||
+      cells.width() != fp_bits + ctr_bits) {
+    return false;
+  }
+  uint64_t overflow_count;
+  if (!ReadU64Capped(is, &overflow_count, kMaxSnapshotElements)) return false;
+  std::unordered_map<uint64_t, uint64_t> overflow;
+  for (uint64_t i = 0; i < overflow_count; ++i) {
+    uint64_t key, count;
+    if (!ReadU64(is, &key) || !ReadU64(is, &count) || count == 0) {
+      return false;
+    }
+    overflow[key] = count;
+  }
+  d_ = d;
+  cells_per_bucket_ = cpb;
+  fingerprint_bits_ = fp_bits;
+  counter_bits_ = ctr_bits;
+  buckets_per_table_ = bpt;
+  num_keys_ = n;
+  cells_ = std::move(cells);
+  overflow_ = std::move(overflow);
+  return true;
 }
 
 }  // namespace bbf

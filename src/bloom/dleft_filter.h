@@ -41,6 +41,9 @@ class DleftCountingFilter : public Filter {
 
   uint64_t overflow_size() const { return overflow_.size(); }
 
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
  private:
   struct Cell {
     uint64_t fingerprint = 0;  // 0 means empty.

@@ -1,5 +1,9 @@
 #include "bloom/scalable_bloom.h"
 
+#include <cmath>
+
+#include "util/serialize.h"
+
 namespace bbf {
 
 ScalableBloomFilter::ScalableBloomFilter(uint64_t initial_capacity,
@@ -46,6 +50,63 @@ size_t ScalableBloomFilter::SpaceBits() const {
   size_t bits = 0;
   for (const Stage& s : stages_) bits += s.filter->SpaceBits();
   return bits;
+}
+
+bool ScalableBloomFilter::SavePayload(std::ostream& os) const {
+  WriteDouble(os, target_fpr_);
+  WriteDouble(os, growth_);
+  WriteDouble(os, tightening_);
+  WriteU64(os, next_capacity_);
+  WriteDouble(os, next_fpr_);
+  WriteU64(os, num_keys_);
+  WriteU64(os, stages_.size());
+  for (const Stage& s : stages_) {
+    WriteU64(os, s.capacity);
+    WriteU64(os, s.used);
+    if (!s.filter->SavePayload(os)) return false;
+  }
+  return os.good();
+}
+
+bool ScalableBloomFilter::LoadPayload(std::istream& is) {
+  // A corrupt chain could claim absurd stage counts or non-finite growth
+  // parameters; both are rejected before any stage is parsed. 64 stages
+  // at the minimum growth factor already covers > 2^64 keys.
+  constexpr uint64_t kMaxStages = 64;
+  double target_fpr, growth, tightening, next_fpr;
+  uint64_t next_capacity, n, num_stages;
+  if (!ReadDouble(is, &target_fpr) || !ReadDouble(is, &growth) ||
+      !ReadDouble(is, &tightening) ||
+      !ReadU64Capped(is, &next_capacity, kMaxSnapshotElements) ||
+      !ReadDouble(is, &next_fpr) || !ReadU64(is, &n) ||
+      !ReadU64Capped(is, &num_stages, kMaxStages) || num_stages == 0) {
+    return false;
+  }
+  if (!std::isfinite(target_fpr) || target_fpr <= 0.0 || target_fpr >= 1.0 ||
+      !std::isfinite(growth) || growth < 1.0 || growth > 1024.0 ||
+      !std::isfinite(tightening) || tightening <= 0.0 || tightening >= 1.0 ||
+      !std::isfinite(next_fpr) || next_fpr <= 0.0 || next_fpr >= 1.0) {
+    return false;
+  }
+  std::vector<Stage> stages;
+  for (uint64_t i = 0; i < num_stages; ++i) {
+    Stage s;
+    if (!ReadU64Capped(is, &s.capacity, kMaxSnapshotElements) ||
+        !ReadU64(is, &s.used)) {
+      return false;
+    }
+    s.filter = std::make_unique<BloomFilter>(1, 8.0);
+    if (!s.filter->LoadPayload(is)) return false;
+    stages.push_back(std::move(s));
+  }
+  target_fpr_ = target_fpr;
+  growth_ = growth;
+  tightening_ = tightening;
+  next_capacity_ = next_capacity;
+  next_fpr_ = next_fpr;
+  num_keys_ = n;
+  stages_ = std::move(stages);
+  return true;
 }
 
 }  // namespace bbf

@@ -31,6 +31,9 @@ class ScalableBloomFilter : public Filter {
   /// Number of filters on the chain — the per-query probe cost multiplier.
   size_t chain_length() const { return stages_.size(); }
 
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
  private:
   struct Stage {
     std::unique_ptr<BloomFilter> filter;

@@ -1,5 +1,10 @@
 #include "core/filter.h"
 
+#include <sstream>
+#include <string>
+
+#include "util/serialize.h"
+
 namespace bbf {
 
 void Filter::ContainsMany(std::span<const uint64_t> keys,
@@ -18,5 +23,26 @@ size_t Filter::InsertMany(std::span<const uint64_t> keys) {
 bool Filter::Erase(uint64_t /*key*/) { return false; }
 
 uint64_t Filter::Count(uint64_t key) const { return Contains(key) ? 1 : 0; }
+
+bool Filter::Save(std::ostream& os) const {
+  // Buffer the payload so the frame can carry its exact length and
+  // checksum — the two fields the loader uses to detect torn writes.
+  std::ostringstream payload;
+  if (!SavePayload(payload) || !payload.good()) return false;
+  return WriteSnapshotFrame(os, Name(), payload.str());
+}
+
+bool Filter::Load(std::istream& is) {
+  std::string tag;
+  std::string payload;
+  if (!ReadSnapshotFrame(is, &tag, &payload)) return false;
+  if (tag != Name()) return false;
+  std::istringstream ps(payload);
+  return LoadPayload(ps);
+}
+
+bool Filter::SavePayload(std::ostream& /*os*/) const { return false; }
+
+bool Filter::LoadPayload(std::istream& /*is*/) { return false; }
 
 }  // namespace bbf

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <span>
 #include <string_view>
 
@@ -71,8 +73,30 @@ class Filter {
   /// Static / semi-dynamic / dynamic, per the paper's taxonomy.
   virtual FilterClass Class() const = 0;
 
-  /// Short human-readable name ("bloom", "quotient", ...).
+  /// Short human-readable name ("bloom", "quotient", ...). Doubles as the
+  /// snapshot frame tag, so it must be stable across versions.
   virtual std::string_view Name() const = 0;
+
+  /// Writes a crash-safe snapshot: a self-describing frame (magic, format
+  /// version, Name() tag, payload length, checksum — DESIGN.md §8) around
+  /// the class-specific payload. Returns false if this filter does not
+  /// support snapshots or the stream failed.
+  virtual bool Save(std::ostream& os) const;
+
+  /// Reads and verifies a frame written by Save. Any defect — bad magic,
+  /// wrong tag, truncation, bit flips, hostile length fields — returns
+  /// false and leaves the filter in its prior, fully usable state. A true
+  /// return restores the exact saved state (bit-for-bit Contains/Count
+  /// behaviour).
+  virtual bool Load(std::istream& is);
+
+  /// Payload hooks behind Save/Load: raw member serialization without
+  /// framing or integrity checks. LoadPayload reads from a checksum-
+  /// verified buffer but must still validate all structural fields (it
+  /// also runs on intact-but-foreign payloads) and must not modify *this
+  /// on failure. Defaults report "snapshots unsupported".
+  virtual bool SavePayload(std::ostream& os) const;
+  virtual bool LoadPayload(std::istream& is);
 
   /// Bits per stored key at the current occupancy.
   double BitsPerKey() const {

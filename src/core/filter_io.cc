@@ -1,0 +1,85 @@
+#include "core/filter_io.h"
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bloom/counting_bloom.h"
+#include "core/factory.h"
+#include "core/sharded_filter.h"
+#include "staticf/ribbon_filter.h"
+#include "staticf/xor_filter.h"
+#include "util/serialize.h"
+
+namespace bbf {
+
+bool SaveFilterSnapshot(const Filter& f, std::ostream& os) {
+  return f.Save(os);
+}
+
+std::unique_ptr<Filter> CreateFilterForTag(std::string_view tag,
+                                           uint64_t expected_keys) {
+  const uint64_t n = expected_keys == 0 ? 1 : expected_keys;
+  // Most tags equal their factory name; the rest either renamed
+  // ("dleft-counting" is the "dleft" factory entry) or have no factory
+  // entry at all (static filters want the key set up front, so an empty
+  // build stands in until Load replaces it).
+  if (tag == "dleft-counting") return CreateFilter("dleft", n, 0.01);
+  if (tag == "spectral-bloom") {
+    return std::make_unique<SpectralBloomFilter>(n, 8.0);
+  }
+  if (tag == "xor") {
+    return std::make_unique<XorFilter>(std::vector<uint64_t>{}, 8);
+  }
+  if (tag == "ribbon") {
+    return std::make_unique<RibbonFilter>(std::vector<uint64_t>{}, 8);
+  }
+  return CreateFilter(tag, n, 0.01);
+}
+
+namespace {
+
+std::unique_ptr<Filter> LoadShardedSnapshot(std::istream& is,
+                                            std::istream::pos_type start,
+                                            const std::string& directory) {
+  // The outer payload is only the shard directory; pull the inner family
+  // tag out of it so we can hand ShardedFilter a matching factory, then
+  // replay the whole snapshot through its own Load (which re-verifies the
+  // frame and quarantines corrupt shards).
+  std::istringstream dir(directory);
+  uint64_t capacity;
+  uint64_t tag_len;
+  std::string inner_tag;
+  if (!ReadU64Capped(dir, &capacity, kMaxSnapshotElements) ||
+      !ReadU64Capped(dir, &tag_len, kMaxSnapshotTagBytes) ||
+      !ReadBytes(dir, &inner_tag, tag_len)) {
+    return nullptr;
+  }
+  if (!CreateFilterForTag(inner_tag, capacity)) return nullptr;
+  auto sharded = std::make_unique<ShardedFilter>(
+      1, 1, [inner_tag](uint64_t shard_capacity) {
+        return CreateFilterForTag(inner_tag, shard_capacity);
+      });
+  is.clear();
+  if (!is.seekg(start)) return nullptr;
+  if (!sharded->Load(is)) return nullptr;
+  return sharded;
+}
+
+}  // namespace
+
+std::unique_ptr<Filter> LoadFilterSnapshot(std::istream& is) {
+  const std::istream::pos_type start = is.tellg();
+  std::string tag;
+  std::string payload;
+  if (!ReadSnapshotFrame(is, &tag, &payload)) return nullptr;
+  if (tag == "sharded") return LoadShardedSnapshot(is, start, payload);
+  std::unique_ptr<Filter> filter = CreateFilterForTag(tag);
+  if (!filter || filter->Name() != tag) return nullptr;
+  std::istringstream ps(payload);
+  if (!filter->LoadPayload(ps)) return nullptr;
+  return filter;
+}
+
+}  // namespace bbf

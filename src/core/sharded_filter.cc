@@ -1,19 +1,24 @@
 #include "core/sharded_filter.h"
 
 #include <mutex>
+#include <sstream>
+#include <string>
+#include <utility>
 
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace bbf {
 
 ShardedFilter::ShardedFilter(uint64_t expected_keys, int num_shards,
-                             ShardFactory factory) {
+                             ShardFactory factory)
+    : factory_(std::move(factory)) {
   shards_.reserve(num_shards);
-  const uint64_t per_shard =
+  per_shard_capacity_ =
       expected_keys / num_shards + expected_keys / (num_shards * 4) + 16;
   for (int s = 0; s < num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
-    shard->filter = factory(per_shard);
+    shard->filter = factory_(per_shard_capacity_);
     shards_.push_back(std::move(shard));
   }
 }
@@ -123,6 +128,98 @@ uint64_t ShardedFilter::NumKeys() const {
     n += shard->filter->NumKeys();
   }
   return n;
+}
+
+bool ShardedFilter::Save(std::ostream& os) const {
+  if (shards_.empty()) return false;
+  // Frame every shard independently first; the directory needs the blob
+  // lengths, and each blob keeps its own checksum so corruption stays
+  // contained to one shard.
+  std::vector<std::string> blobs;
+  blobs.reserve(shards_.size());
+  std::string inner_tag;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    std::ostringstream ss;
+    if (!shard->filter->Save(ss)) return false;
+    inner_tag = shard->filter->Name();
+    blobs.push_back(std::move(ss).str());
+  }
+  std::ostringstream dir;
+  WriteU64(dir, per_shard_capacity_);
+  WriteU64(dir, inner_tag.size());
+  dir.write(inner_tag.data(),
+            static_cast<std::streamsize>(inner_tag.size()));
+  WriteU64(dir, blobs.size());
+  for (const std::string& blob : blobs) WriteU64(dir, blob.size());
+  if (!WriteSnapshotFrame(os, Name(), std::move(dir).str())) return false;
+  for (const std::string& blob : blobs) {
+    os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+  return os.good();
+}
+
+bool ShardedFilter::Load(std::istream& is) {
+  LoadReport report;
+  return LoadWithReport(is, &report);
+}
+
+bool ShardedFilter::LoadWithReport(std::istream& is, LoadReport* report) {
+  *report = LoadReport{};
+  std::string tag;
+  std::string directory;
+  if (!ReadSnapshotFrame(is, &tag, &directory) || tag != Name()) {
+    return false;
+  }
+  std::istringstream dir(directory);
+  uint64_t capacity;
+  uint64_t tag_len;
+  std::string inner_tag;
+  uint64_t count;
+  if (!ReadU64Capped(dir, &capacity, kMaxSnapshotElements) ||
+      !ReadU64Capped(dir, &tag_len, kMaxSnapshotTagBytes) ||
+      !ReadBytes(dir, &inner_tag, tag_len) ||
+      !ReadU64Capped(dir, &count, uint64_t{1} << 20) || count == 0) {
+    return false;
+  }
+  std::vector<uint64_t> blob_lens(count);
+  for (uint64_t& len : blob_lens) {
+    if (!ReadU64Capped(dir, &len, kMaxSnapshotPayloadBytes)) return false;
+  }
+  // The factory must produce the filter family the snapshot was taken
+  // from; otherwise every shard frame's tag check would quarantine it and
+  // the caller would silently get an empty filter.
+  {
+    std::unique_ptr<Filter> probe = factory_(capacity);
+    if (!probe || probe->Name() != inner_tag) return false;
+  }
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(count);
+  for (uint64_t s = 0; s < count; ++s) {
+    std::string blob;
+    const bool have_blob = ReadBytes(is, &blob, blob_lens[s]);
+    auto shard = std::make_unique<Shard>();
+    shard->filter = factory_(capacity);
+    bool healthy = false;
+    if (have_blob) {
+      std::istringstream bs(blob);
+      healthy = shard->filter->Load(bs);
+    }
+    if (healthy) {
+      ++report->healthy_shards;
+    } else {
+      // Quarantine: keep the freshly built empty shard. A failed Load
+      // leaves the filter untouched, but rebuild anyway so a partially
+      // corrupt blob can never leak state.
+      shard->filter = factory_(capacity);
+      report->quarantined.push_back(static_cast<size_t>(s));
+    }
+    shards.push_back(std::move(shard));
+  }
+  report->total_shards = static_cast<size_t>(count);
+  per_shard_capacity_ = capacity;
+  shards_ = std::move(shards);
+  return true;
 }
 
 }  // namespace bbf

@@ -44,6 +44,29 @@ class ShardedFilter : public Filter {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
+  /// What happened to each shard during LoadWithReport.
+  struct LoadReport {
+    size_t total_shards = 0;
+    size_t healthy_shards = 0;
+    std::vector<size_t> quarantined;  // Shard indices rebuilt empty.
+    bool AllHealthy() const { return quarantined.empty(); }
+  };
+
+  /// Snapshot layout: one outer frame holding only the shard directory
+  /// (shard count, inner filter tag, per-shard blob lengths), followed by
+  /// each shard's own independent frame. Because every shard frame carries
+  /// its own checksum, one corrupt shard doesn't poison the rest.
+  bool Save(std::ostream& os) const override;
+
+  /// Loads a snapshot written by Save. A shard whose frame is corrupt or
+  /// truncated is *quarantined*: it is rebuilt empty via the shard factory
+  /// and listed in the report, while every healthy shard loads normally.
+  /// Returns false only when the directory frame itself is unusable (the
+  /// filter is left untouched in that case). Not thread-safe; callers
+  /// must quiesce concurrent readers first.
+  bool LoadWithReport(std::istream& is, LoadReport* report);
+  bool Load(std::istream& is) override;
+
  private:
   struct Shard {
     mutable std::shared_mutex mutex;
@@ -60,6 +83,8 @@ class ShardedFilter : public Filter {
                     std::vector<std::vector<size_t>>* index) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  ShardFactory factory_;          // Kept for quarantine rebuilds.
+  uint64_t per_shard_capacity_;   // Capacity each shard was built with.
 };
 
 }  // namespace bbf

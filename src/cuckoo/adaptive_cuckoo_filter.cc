@@ -5,6 +5,7 @@
 
 #include "util/bits.h"
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace bbf {
 
@@ -144,6 +145,67 @@ bool AdaptiveCuckooFilter::ReportFalsePositive(uint64_t key) {
     }
   }
   return !Contains(key);
+}
+
+bool AdaptiveCuckooFilter::SavePayload(std::ostream& os) const {
+  WriteI32(os, fingerprint_bits_);
+  WriteI32(os, selector_bits_);
+  WriteU64(os, hash_seed_);
+  WriteU64(os, num_buckets_);
+  WriteU64(os, num_keys_);
+  WriteU64(os, adaptations_);
+  fingerprints_.Save(os);
+  selectors_.Save(os);
+  for (uint64_t k : remote_keys_) WriteU64(os, k);
+  WriteU64(os, stash_.size());
+  for (uint64_t k : stash_) WriteU64(os, k);
+  return os.good();
+}
+
+bool AdaptiveCuckooFilter::LoadPayload(std::istream& is) {
+  int32_t f;
+  int32_t sel;
+  uint64_t seed;
+  uint64_t buckets;
+  uint64_t n;
+  uint64_t adaptations;
+  if (!ReadI32(is, &f) || f < 1 || f > 60 || !ReadI32(is, &sel) || sel < 1 ||
+      sel > 16 || !ReadU64(is, &seed) ||
+      !ReadU64Capped(is, &buckets, kMaxSnapshotElements / kSlotsPerBucket) ||
+      buckets == 0 || (buckets & (buckets - 1)) != 0 || !ReadU64(is, &n) ||
+      !ReadU64(is, &adaptations)) {
+    return false;
+  }
+  const uint64_t cells = buckets * kSlotsPerBucket;
+  CompactVector fingerprints;
+  CompactVector selectors;
+  if (!fingerprints.Load(is) || fingerprints.size() != cells ||
+      fingerprints.width() != f || !selectors.Load(is) ||
+      selectors.size() != cells || selectors.width() != sel) {
+    return false;
+  }
+  std::vector<uint64_t> remote(cells);
+  for (uint64_t& k : remote) {
+    if (!ReadU64(is, &k)) return false;
+  }
+  uint64_t stash_size;
+  if (!ReadU64Capped(is, &stash_size, kMaxStash)) return false;
+  std::vector<uint64_t> stash(stash_size);
+  for (uint64_t& k : stash) {
+    if (!ReadU64(is, &k)) return false;
+  }
+  fingerprint_bits_ = f;
+  selector_bits_ = sel;
+  hash_seed_ = seed;
+  num_buckets_ = buckets;
+  num_keys_ = n;
+  adaptations_ = adaptations;
+  fingerprints_ = std::move(fingerprints);
+  selectors_ = std::move(selectors);
+  remote_keys_ = std::move(remote);
+  stash_ = std::move(stash);
+  kick_rng_ = SplitMix64(seed * 31337 + 5);
+  return true;
 }
 
 }  // namespace bbf

@@ -46,6 +46,9 @@ class AdaptiveCuckooFilter : public Filter, public AdaptiveHook {
   static constexpr int kMaxKicks = 500;
   static constexpr size_t kMaxStash = 8;
 
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
  private:
   struct SlotRef {
     uint64_t bucket;

@@ -5,6 +5,7 @@
 
 #include "util/bits.h"
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace bbf {
 namespace {
@@ -217,6 +218,50 @@ bool CuckooFilter::Erase(uint64_t key) {
     }
   }
   return false;
+}
+
+bool CuckooFilter::SavePayload(std::ostream& os) const {
+  WriteI32(os, fingerprint_bits_);
+  WriteU64(os, hash_seed_);
+  WriteU64(os, num_buckets_);
+  WriteU64(os, num_keys_);
+  cells_.Save(os);
+  WriteU64(os, stash_.size());
+  for (uint64_t s : stash_) WriteU64(os, s);
+  return os.good();
+}
+
+bool CuckooFilter::LoadPayload(std::istream& is) {
+  int32_t f;
+  uint64_t seed;
+  uint64_t buckets;
+  uint64_t n;
+  if (!ReadI32(is, &f) || f < 1 || f > 60 || !ReadU64(is, &seed) ||
+      !ReadU64Capped(is, &buckets, kMaxSnapshotElements / kSlotsPerBucket) ||
+      buckets == 0 || (buckets & (buckets - 1)) != 0 || !ReadU64(is, &n)) {
+    return false;
+  }
+  CompactVector cells;
+  if (!cells.Load(is) || cells.size() != buckets * kSlotsPerBucket ||
+      cells.width() != f) {
+    return false;
+  }
+  uint64_t stash_size;
+  if (!ReadU64Capped(is, &stash_size, kMaxStash)) return false;
+  std::vector<uint64_t> stash(stash_size);
+  for (uint64_t& s : stash) {
+    if (!ReadU64(is, &s)) return false;
+  }
+  fingerprint_bits_ = f;
+  hash_seed_ = seed;
+  num_buckets_ = buckets;
+  num_keys_ = n;
+  cells_ = std::move(cells);
+  stash_ = std::move(stash);
+  // The kick RNG only drives future insert randomization; reseed it the
+  // way the constructor does.
+  kick_rng_ = SplitMix64(seed * 7919 + 1);
+  return true;
 }
 
 }  // namespace bbf

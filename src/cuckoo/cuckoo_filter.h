@@ -52,6 +52,9 @@ class CuckooFilter : public Filter {
   static constexpr int kMaxKicks = 500;
   static constexpr size_t kMaxStash = 8;
 
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
  private:
   uint64_t FingerprintOf(uint64_t key) const;
   uint64_t IndexOf(uint64_t key) const;

@@ -1,9 +1,11 @@
 #include "cuckoo/cuckoo_maplet.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/bits.h"
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace bbf {
 
@@ -126,6 +128,60 @@ bool CuckooMaplet::Erase(uint64_t key, uint64_t value) {
     }
   }
   return false;
+}
+
+bool CuckooMaplet::SavePayload(std::ostream& os) const {
+  WriteI32(os, fingerprint_bits_);
+  WriteU64(os, hash_seed_);
+  WriteU64(os, num_buckets_);
+  WriteU64(os, num_entries_);
+  fingerprints_.Save(os);
+  values_.Save(os);
+  WriteU64(os, stash_.size());
+  for (const StashEntry& e : stash_) {
+    WriteU64(os, e.bucket);
+    WriteU64(os, e.fp);
+    WriteU64(os, e.value);
+  }
+  return os.good();
+}
+
+bool CuckooMaplet::LoadPayload(std::istream& is) {
+  int32_t f;
+  uint64_t seed;
+  uint64_t buckets;
+  uint64_t n;
+  if (!ReadI32(is, &f) || f < 1 || f > 60 || !ReadU64(is, &seed) ||
+      !ReadU64Capped(is, &buckets, kMaxSnapshotElements / kSlotsPerBucket) ||
+      buckets == 0 || (buckets & (buckets - 1)) != 0 || !ReadU64(is, &n)) {
+    return false;
+  }
+  const uint64_t cells = buckets * kSlotsPerBucket;
+  CompactVector fingerprints;
+  CompactVector values;
+  if (!fingerprints.Load(is) || fingerprints.size() != cells ||
+      fingerprints.width() != f || !values.Load(is) ||
+      values.size() != cells || values.width() < 1) {
+    return false;
+  }
+  uint64_t stash_size;
+  if (!ReadU64Capped(is, &stash_size, kMaxStash)) return false;
+  std::vector<StashEntry> stash(stash_size);
+  for (StashEntry& e : stash) {
+    if (!ReadU64Capped(is, &e.bucket, buckets - 1) || !ReadU64(is, &e.fp) ||
+        !ReadU64(is, &e.value)) {
+      return false;
+    }
+  }
+  fingerprint_bits_ = f;
+  hash_seed_ = seed;
+  num_buckets_ = buckets;
+  num_entries_ = n;
+  fingerprints_ = std::move(fingerprints);
+  values_ = std::move(values);
+  stash_ = std::move(stash);
+  kick_rng_ = SplitMix64(seed * 104729 + 3);
+  return true;
 }
 
 }  // namespace bbf

@@ -38,6 +38,11 @@ class CuckooMaplet {
   static constexpr int kMaxKicks = 500;
   static constexpr size_t kMaxStash = 8;
 
+  /// Raw snapshot payload (framing is the caller's job; the Maplet
+  /// adapters wrap these in checksummed frames).
+  bool SavePayload(std::ostream& os) const;
+  bool LoadPayload(std::istream& is);
+
  private:
   struct StashEntry {
     uint64_t bucket;

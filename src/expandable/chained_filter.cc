@@ -1,5 +1,9 @@
 #include "expandable/chained_filter.h"
 
+#include <utility>
+
+#include "util/serialize.h"
+
 namespace bbf {
 
 ChainedQuotientFilter::ChainedQuotientFilter(int q_bits, int r_bits,
@@ -49,6 +53,44 @@ size_t ChainedQuotientFilter::SpaceBits() const {
   size_t bits = 0;
   for (const auto& link : links_) bits += link->SpaceBits();
   return bits;
+}
+
+bool ChainedQuotientFilter::SavePayload(std::ostream& os) const {
+  WriteI32(os, r_bits_);
+  WriteI32(os, next_q_bits_);
+  WriteU64(os, hash_seed_);
+  WriteU64(os, num_keys_);
+  WriteU64(os, links_.size());
+  for (const auto& link : links_) {
+    if (!link->SavePayload(os)) return false;
+  }
+  return os.good();
+}
+
+bool ChainedQuotientFilter::LoadPayload(std::istream& is) {
+  int32_t r;
+  int32_t next_q;
+  uint64_t seed;
+  uint64_t n;
+  uint64_t num_links;
+  if (!ReadI32(is, &r) || r < 1 || r > 64 || !ReadI32(is, &next_q) ||
+      next_q < 1 || next_q > 38 || !ReadU64(is, &seed) || !ReadU64(is, &n) ||
+      !ReadU64Capped(is, &num_links, 64) || num_links == 0) {
+    return false;
+  }
+  std::vector<std::unique_ptr<QuotientFilter>> links;
+  links.reserve(num_links);
+  for (uint64_t i = 0; i < num_links; ++i) {
+    auto link = std::make_unique<QuotientFilter>(6, r, seed + i);
+    if (!link->LoadPayload(is)) return false;
+    links.push_back(std::move(link));
+  }
+  r_bits_ = r;
+  next_q_bits_ = next_q;
+  hash_seed_ = seed;
+  num_keys_ = n;
+  links_ = std::move(links);
+  return true;
 }
 
 }  // namespace bbf

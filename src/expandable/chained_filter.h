@@ -33,6 +33,9 @@ class ChainedQuotientFilter : public Filter {
   /// Per-query probe multiplier.
   size_t chain_length() const { return links_.size(); }
 
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
  private:
   int r_bits_;
   int next_q_bits_;

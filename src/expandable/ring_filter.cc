@@ -1,9 +1,12 @@
 #include "expandable/ring_filter.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "util/bits.h"
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace bbf {
 
@@ -111,6 +114,96 @@ size_t RingFilter::SpaceBits() const {
   size_t bucket_count = 0;
   for (const auto& [m, s] : ring_) bucket_count += s.buckets.size();
   return num_keys_ * r_bits_ + ring_.size() * 64 + bucket_count * 32;
+}
+
+bool RingFilter::SavePayload(std::ostream& os) const {
+  WriteI32(os, r_bits_);
+  WriteU64(os, segment_capacity_);
+  WriteU64(os, hash_seed_);
+  WriteU64(os, num_keys_);
+  WriteU64(os, ring_.size());
+  for (const auto& [mount, segment] : ring_) {
+    WriteU64(os, mount);
+    WriteU64(os, segment.buckets.size());
+    for (const auto& [bucket, fps] : segment.buckets) {
+      WriteU64(os, bucket);
+      WriteU64(os, fps.size());
+      for (uint16_t fp : fps) WriteU64(os, fp);
+    }
+  }
+  return os.good();
+}
+
+bool RingFilter::LoadPayload(std::istream& is) {
+  constexpr uint64_t kNumBuckets = uint64_t{1} << kBucketBits;
+  int32_t r;
+  uint64_t capacity;
+  uint64_t seed;
+  uint64_t n;
+  uint64_t num_segments;
+  if (!ReadI32(is, &r) || r < 1 || r > 16 ||
+      !ReadU64Capped(is, &capacity, kMaxSnapshotElements) || capacity == 0 ||
+      !ReadU64(is, &seed) || !ReadU64(is, &n) ||
+      !ReadU64Capped(is, &num_segments, kNumBuckets) || num_segments == 0) {
+    return false;
+  }
+  std::vector<std::pair<uint32_t, Segment>> segments;
+  segments.reserve(num_segments);
+  uint64_t total_keys = 0;
+  for (uint64_t i = 0; i < num_segments; ++i) {
+    uint64_t mount;
+    uint64_t num_buckets;
+    // Mounts arrive in map order; the first segment must own bucket 0 so
+    // SegmentOf's "largest mount <= bucket" probe always finds a home.
+    if (!ReadU64Capped(is, &mount, kNumBuckets - 1) ||
+        (i == 0 ? mount != 0
+                : mount <= segments.back().first) ||
+        !ReadU64Capped(is, &num_buckets, kNumBuckets)) {
+      return false;
+    }
+    Segment segment;
+    uint64_t prev_bucket = 0;
+    for (uint64_t b = 0; b < num_buckets; ++b) {
+      uint64_t bucket;
+      uint64_t count;
+      if (!ReadU64Capped(is, &bucket, kNumBuckets - 1) || bucket < mount ||
+          (b > 0 && bucket <= prev_bucket) ||
+          !ReadU64Capped(is, &count, kMaxSnapshotElements) || count == 0) {
+        return false;
+      }
+      prev_bucket = bucket;
+      std::vector<uint16_t> fps;
+      fps.reserve(std::min<uint64_t>(count, 4096));
+      for (uint64_t k = 0; k < count; ++k) {
+        uint64_t fp;
+        if (!ReadU64Capped(is, &fp, LowMask(r))) return false;
+        fps.push_back(static_cast<uint16_t>(fp));
+      }
+      segment.residents += count;
+      segment.buckets.emplace(static_cast<uint32_t>(bucket), std::move(fps));
+    }
+    total_keys += segment.residents;
+    segments.emplace_back(static_cast<uint32_t>(mount), std::move(segment));
+  }
+  if (total_keys != n) return false;
+  // Every bucket must live inside its segment's arc.
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    const auto& buckets = segments[i].second.buckets;
+    if (!buckets.empty() && buckets.rbegin()->first >= segments[i + 1].first) {
+      return false;
+    }
+  }
+  std::map<uint32_t, Segment> ring;
+  for (auto& [mount, segment] : segments) {
+    ring.emplace(mount, std::move(segment));
+  }
+  r_bits_ = r;
+  segment_capacity_ = capacity;
+  hash_seed_ = seed;
+  num_keys_ = n;
+  ring_ = std::move(ring);
+  ring_searches_ = 0;  // Query-cost stat, not semantic state.
+  return true;
 }
 
 }  // namespace bbf

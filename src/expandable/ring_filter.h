@@ -44,6 +44,9 @@ class RingFilter : public Filter {
 
   static constexpr int kBucketBits = 22;  // 4M-bucket fixed universe.
 
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
  private:
   struct Segment {
     // Buckets of this arc, ordered by bucket id so splits are range

@@ -6,6 +6,7 @@
 
 #include "util/bits.h"
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace bbf {
 
@@ -122,6 +123,40 @@ void TaffyFilter::Expand() {
     }
   }
   ++expansions_;
+}
+
+bool TaffyFilter::SavePayload(std::ostream& os) const {
+  WriteI32(os, fingerprint_bits_);
+  WriteI32(os, expansions_);
+  WriteU64(os, hash_seed_);
+  WriteU64(os, num_keys_);
+  table_.Save(os);
+  return os.good();
+}
+
+bool TaffyFilter::LoadPayload(std::istream& is) {
+  int32_t f;
+  int32_t expansions;
+  uint64_t seed;
+  uint64_t n;
+  if (!ReadI32(is, &f) || f < 1 || f > 62 || !ReadI32(is, &expansions) ||
+      expansions < 0 || expansions > 64 || !ReadU64(is, &seed) ||
+      !ReadU64(is, &n)) {
+    return false;
+  }
+  QuotientTable table;
+  // Slot width is the fresh fingerprint length plus the unary delimiter;
+  // it never changes across expansions.
+  if (!table.Load(is) || table.r_bits() != f + 1 || table.has_tag() ||
+      table.value_bits() != 0) {
+    return false;
+  }
+  fingerprint_bits_ = f;
+  expansions_ = expansions;
+  hash_seed_ = seed;
+  num_keys_ = n;
+  table_ = std::move(table);
+  return true;
 }
 
 }  // namespace bbf

@@ -44,6 +44,9 @@ class TaffyFilter : public Filter {
 
   static constexpr double kMaxLoadFactor = 0.90;
 
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
  private:
   // Fingerprint encoding within a slot: (1 << len) | bits, so 0 never
   // appears and void entries (len 0) encode as 1.

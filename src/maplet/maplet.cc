@@ -19,6 +19,12 @@ class QuotientMapletAdapter : public Maplet {
   }
   size_t SpaceBits() const override { return impl_.SpaceBits(); }
   std::string_view Name() const override { return "quotient-maplet"; }
+  bool SavePayload(std::ostream& os) const override {
+    return impl_.SavePayload(os);
+  }
+  bool LoadPayload(std::istream& is) override {
+    return impl_.LoadPayload(is);
+  }
 
  private:
   QuotientMaplet impl_;
@@ -40,6 +46,12 @@ class CuckooMapletAdapter : public Maplet {
   }
   size_t SpaceBits() const override { return impl_.SpaceBits(); }
   std::string_view Name() const override { return "cuckoo-maplet"; }
+  bool SavePayload(std::ostream& os) const override {
+    return impl_.SavePayload(os);
+  }
+  bool LoadPayload(std::istream& is) override {
+    return impl_.LoadPayload(is);
+  }
 
  private:
   CuckooMaplet impl_;

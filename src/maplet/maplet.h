@@ -2,7 +2,11 @@
 #define BBF_MAPLET_MAPLET_H_
 
 #include <cstdint>
+#include <istream>
 #include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -10,6 +14,7 @@
 #include "cuckoo/cuckoo_maplet.h"
 #include "quotient/quotient_maplet.h"
 #include "staticf/bloomier_filter.h"
+#include "util/serialize.h"
 
 namespace bbf {
 
@@ -32,6 +37,25 @@ class Maplet {
 
   virtual size_t SpaceBits() const = 0;
   virtual std::string_view Name() const = 0;
+
+  /// Snapshot support, mirroring Filter (DESIGN.md §8): the same framed
+  /// format with Name() as the tag. Maplets without payload overrides
+  /// (e.g. the static Bloomier build) report failure instead.
+  virtual bool Save(std::ostream& os) const {
+    std::ostringstream payload;
+    if (!SavePayload(payload) || !payload.good()) return false;
+    return WriteSnapshotFrame(os, Name(), std::move(payload).str());
+  }
+  virtual bool Load(std::istream& is) {
+    std::string tag;
+    std::string payload;
+    if (!ReadSnapshotFrame(is, &tag, &payload)) return false;
+    if (tag != Name()) return false;
+    std::istringstream ps(payload);
+    return LoadPayload(ps);
+  }
+  virtual bool SavePayload(std::ostream&) const { return false; }
+  virtual bool LoadPayload(std::istream&) { return false; }
 };
 
 /// Adapters over the concrete maplets, for generic benchmarking (E8).

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "util/bits.h"
+#include "util/serialize.h"
 
 namespace bbf {
 
@@ -36,6 +37,27 @@ bool ExpandingQuotientFilter::Expand() {
   bigger.num_keys_ = filter_.num_keys_;
   filter_ = std::move(bigger);
   ++expansions_;
+  return true;
+}
+
+bool ExpandingQuotientFilter::SavePayload(std::ostream& os) const {
+  WriteU64(os, hash_seed_);
+  WriteI32(os, expansions_);
+  return filter_.SavePayload(os) && os.good();
+}
+
+bool ExpandingQuotientFilter::LoadPayload(std::istream& is) {
+  uint64_t seed;
+  int32_t expansions;
+  if (!ReadU64(is, &seed) || !ReadI32(is, &expansions) || expansions < 0 ||
+      expansions > 64) {
+    return false;
+  }
+  QuotientFilter fresh(6, 4, seed);
+  if (!fresh.LoadPayload(is)) return false;
+  hash_seed_ = seed;
+  expansions_ = expansions;
+  filter_ = std::move(fresh);
   return true;
 }
 

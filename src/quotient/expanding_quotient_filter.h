@@ -32,6 +32,9 @@ class ExpandingQuotientFilter : public Filter {
   int r_bits() const { return filter_.r_bits(); }
   double LoadFactor() const { return filter_.LoadFactor(); }
 
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
  private:
   /// Doubles capacity by moving every fingerprint's top remainder bit into
   /// the quotient. Returns false if remainders are exhausted.

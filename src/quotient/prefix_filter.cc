@@ -5,6 +5,7 @@
 
 #include "util/bits.h"
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace bbf {
 
@@ -66,6 +67,54 @@ size_t PrefixFilter::SpaceBits() const {
   return cells_.size() * cells_.width() + overflowed_.size() +
          num_buckets_ * 5 +  // bucket_used_ counters (<= 24 fits in 5 bits).
          spare_->SpaceBits();
+}
+
+bool PrefixFilter::SavePayload(std::ostream& os) const {
+  WriteI32(os, fingerprint_bits_);
+  WriteU64(os, hash_seed_);
+  WriteU64(os, num_buckets_);
+  WriteU64(os, num_keys_);
+  cells_.Save(os);
+  overflowed_.Save(os);
+  os.write(reinterpret_cast<const char*>(bucket_used_.data()),
+           static_cast<std::streamsize>(bucket_used_.size()));
+  return spare_->SavePayload(os) && os.good();
+}
+
+bool PrefixFilter::LoadPayload(std::istream& is) {
+  int32_t f;
+  uint64_t seed;
+  uint64_t buckets;
+  uint64_t n;
+  if (!ReadI32(is, &f) || f < 1 || f > 64 || !ReadU64(is, &seed) ||
+      !ReadU64Capped(is, &buckets, kMaxSnapshotElements / kBucketSize) ||
+      buckets < 2 || !ReadU64(is, &n)) {
+    return false;
+  }
+  CompactVector cells;
+  BitVector overflowed;
+  if (!cells.Load(is) || cells.size() != buckets * kBucketSize ||
+      cells.width() != f || !overflowed.Load(is) ||
+      overflowed.size() != buckets) {
+    return false;
+  }
+  std::string used_bytes;
+  if (!ReadBytes(is, &used_bytes, buckets)) return false;
+  std::vector<uint8_t> bucket_used(used_bytes.begin(), used_bytes.end());
+  for (uint8_t u : bucket_used) {
+    if (u > kBucketSize) return false;
+  }
+  auto spare = std::make_unique<QuotientFilter>(6, f, seed + 0x51);
+  if (!spare->LoadPayload(is)) return false;
+  fingerprint_bits_ = f;
+  hash_seed_ = seed;
+  num_buckets_ = buckets;
+  num_keys_ = n;
+  cells_ = std::move(cells);
+  overflowed_ = std::move(overflowed);
+  bucket_used_ = std::move(bucket_used);
+  spare_ = std::move(spare);
+  return true;
 }
 
 }  // namespace bbf

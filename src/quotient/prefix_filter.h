@@ -37,6 +37,9 @@ class PrefixFilter : public Filter {
 
   uint64_t spare_keys() const { return spare_->NumKeys(); }
 
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
   static constexpr int kBucketSize = 24;
 
  private:

@@ -196,15 +196,48 @@ bool QuotientFilter::Erase(uint64_t key) {
   return true;
 }
 
-void QuotientFilter::Save(std::ostream& os) const {
-  WriteU64(os, hash_seed_);
-  WriteU64(os, num_keys_);
-  table_.Save(os);
+namespace {
+
+// Shared payload shape of the plain and counting quotient filters: seed,
+// key count, full table state. The table loads into a local and is only
+// committed on success, so a corrupt payload cannot leave a half-written
+// filter behind.
+void SaveQfPayload(std::ostream& os, uint64_t hash_seed, uint64_t num_keys,
+                   const QuotientTable& table) {
+  WriteU64(os, hash_seed);
+  WriteU64(os, num_keys);
+  table.Save(os);
 }
 
-bool QuotientFilter::Load(std::istream& is) {
-  return ReadU64(is, &hash_seed_) && ReadU64(is, &num_keys_) &&
-         table_.Load(is);
+bool LoadQfPayload(std::istream& is, uint64_t* hash_seed, uint64_t* num_keys,
+                   QuotientTable* table, bool want_tag, int want_value_bits) {
+  uint64_t seed;
+  uint64_t n;
+  QuotientTable fresh;
+  if (!ReadU64(is, &seed) || !ReadU64(is, &n) || !fresh.Load(is)) {
+    return false;
+  }
+  // The table must match this variant's geometry (the counting variant
+  // needs the tag plane; the plain one must not carry values).
+  if (fresh.value_bits() != want_value_bits || fresh.has_tag() != want_tag) {
+    return false;
+  }
+  *hash_seed = seed;
+  *num_keys = n;
+  *table = std::move(fresh);
+  return true;
+}
+
+}  // namespace
+
+bool QuotientFilter::SavePayload(std::ostream& os) const {
+  SaveQfPayload(os, hash_seed_, num_keys_, table_);
+  return os.good();
+}
+
+bool QuotientFilter::LoadPayload(std::istream& is) {
+  return LoadQfPayload(is, &hash_seed_, &num_keys_, &table_,
+                       /*want_tag=*/false, /*want_value_bits=*/0);
 }
 
 void QuotientFilter::ForEachFingerprint(
@@ -391,6 +424,16 @@ bool CountingQuotientFilter::Erase(uint64_t key) {
   }
   --num_keys_;
   return true;
+}
+
+bool CountingQuotientFilter::SavePayload(std::ostream& os) const {
+  SaveQfPayload(os, hash_seed_, num_keys_, table_);
+  return os.good();
+}
+
+bool CountingQuotientFilter::LoadPayload(std::istream& is) {
+  return LoadQfPayload(is, &hash_seed_, &num_keys_, &table_,
+                       /*want_tag=*/true, /*want_value_bits=*/0);
 }
 
 }  // namespace bbf

@@ -59,10 +59,10 @@ class QuotientFilter : public Filter {
   /// Read access to the physical table (tests, invariant checks).
   const QuotientTable& table() const { return table_; }
 
-  /// Binary serialization; Load returns false on malformed input (the
-  /// filter is left unspecified on failure).
-  void Save(std::ostream& os) const;
-  bool Load(std::istream& is);
+  /// Snapshot payload (framed by Filter::Save/Load). A failed load leaves
+  /// the filter in its prior state.
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
 
   static constexpr double kMaxLoadFactor = 0.94;
 
@@ -102,6 +102,9 @@ class CountingQuotientFilter : public Filter {
 
   double LoadFactor() const { return table_.LoadFactor(); }
   uint64_t num_used_slots() const { return table_.num_used_slots(); }
+
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
 
  private:
   void Fingerprint(uint64_t key, uint64_t* fq, uint64_t* fr) const;

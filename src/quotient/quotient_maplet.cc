@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "quotient/quotient_filter.h"
 #include "util/bits.h"
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace bbf {
 
@@ -119,6 +121,28 @@ bool QuotientMaplet::Erase(uint64_t key, uint64_t value) {
 
   table_.RemoveEntry(s, start, fq);
   --num_entries_;
+  return true;
+}
+
+bool QuotientMaplet::SavePayload(std::ostream& os) const {
+  WriteU64(os, hash_seed_);
+  WriteU64(os, num_entries_);
+  table_.Save(os);
+  return os.good();
+}
+
+bool QuotientMaplet::LoadPayload(std::istream& is) {
+  uint64_t seed;
+  uint64_t n;
+  if (!ReadU64(is, &seed) || !ReadU64(is, &n)) return false;
+  QuotientTable table;
+  // A maplet table always carries values, never run-compaction tags.
+  if (!table.Load(is) || table.value_bits() == 0 || table.has_tag()) {
+    return false;
+  }
+  hash_seed_ = seed;
+  num_entries_ = n;
+  table_ = std::move(table);
   return true;
 }
 

@@ -51,6 +51,11 @@ class QuotientMaplet {
   double LoadFactor() const { return table_.LoadFactor(); }
   int value_bits() const { return table_.value_bits(); }
 
+  /// Raw snapshot payload (framing is the caller's job; the Maplet
+  /// adapters wrap these in checksummed frames).
+  bool SavePayload(std::ostream& os) const;
+  bool LoadPayload(std::istream& is);
+
  private:
   friend class ExpandingQuotientMaplet;
 

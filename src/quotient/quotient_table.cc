@@ -236,24 +236,46 @@ void QuotientTable::Save(std::ostream& os) const {
 }
 
 bool QuotientTable::Load(std::istream& is) {
+  // All fields come from an untrusted snapshot: parse into a fresh table,
+  // cross-check every plane against the declared geometry, and only then
+  // replace *this — a failed load leaves the table untouched.
   int32_t q;
   int32_t r;
   int32_t v;
   int32_t tag;
+  uint64_t used;
   if (!ReadI32(is, &q) || !ReadI32(is, &r) || !ReadI32(is, &v) ||
-      !ReadI32(is, &tag) || !ReadU64(is, &used_slots_)) {
+      !ReadI32(is, &tag) || !ReadU64(is, &used)) {
     return false;
   }
-  if (q < 1 || q > 62 || r < 0 || r > 64) return false;
-  q_bits_ = q;
-  r_bits_ = r;
-  value_bits_ = v;
-  has_tag_ = tag != 0;
-  num_slots_ = uint64_t{1} << q_bits_;
-  slot_mask_ = num_slots_ - 1;
-  return occupied_.Load(is) && continuation_.Load(is) &&
-         shifted_.Load(is) && tag_.Load(is) && remainders_.Load(is) &&
-         values_.Load(is);
+  if (q < 1 || q > 38 || r < 0 || r > 64 || v < 0 || v > 64) return false;
+  QuotientTable fresh;
+  fresh.q_bits_ = q;
+  fresh.r_bits_ = r;
+  fresh.value_bits_ = v;
+  fresh.has_tag_ = tag != 0;
+  fresh.num_slots_ = uint64_t{1} << q;
+  fresh.slot_mask_ = fresh.num_slots_ - 1;
+  fresh.used_slots_ = used;
+  if (used > fresh.num_slots_) return false;
+  if (!fresh.occupied_.Load(is) || !fresh.continuation_.Load(is) ||
+      !fresh.shifted_.Load(is) || !fresh.tag_.Load(is) ||
+      !fresh.remainders_.Load(is) || !fresh.values_.Load(is)) {
+    return false;
+  }
+  // Geometry consistency: every plane must cover exactly num_slots_.
+  if (fresh.occupied_.size() != fresh.num_slots_ ||
+      fresh.continuation_.size() != fresh.num_slots_ ||
+      fresh.shifted_.size() != fresh.num_slots_ ||
+      fresh.tag_.size() != (fresh.has_tag_ ? fresh.num_slots_ : 0) ||
+      fresh.remainders_.size() != fresh.num_slots_ ||
+      fresh.remainders_.width() != fresh.r_bits_ ||
+      fresh.values_.size() != (fresh.value_bits_ ? fresh.num_slots_ : 0) ||
+      (fresh.value_bits_ > 0 && fresh.values_.width() != fresh.value_bits_)) {
+    return false;
+  }
+  *this = std::move(fresh);
+  return true;
 }
 
 }  // namespace bbf

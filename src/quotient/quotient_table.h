@@ -35,6 +35,7 @@ class QuotientTable {
   int q_bits() const { return q_bits_; }
   int r_bits() const { return r_bits_; }
   int value_bits() const { return value_bits_; }
+  bool has_tag() const { return has_tag_; }
   uint64_t num_slots() const { return num_slots_; }
   uint64_t num_used_slots() const { return used_slots_; }
   double LoadFactor() const {

@@ -6,6 +6,7 @@
 
 #include "util/bits.h"
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace bbf {
 
@@ -187,6 +188,57 @@ bool Rsqf::CheckInvariants() const {
   const bool match = saved == offsets_;
   if (!match) std::fprintf(stderr, "rsqf: stale offsets\n");
   return match;
+}
+
+bool Rsqf::SavePayload(std::ostream& os) const {
+  WriteI32(os, q_bits_);
+  WriteI32(os, r_bits_);
+  WriteU64(os, hash_seed_);
+  WriteU64(os, num_keys_);
+  occupieds_.Save(os);
+  runends_.Save(os);
+  remainders_.Save(os);
+  for (uint16_t o : offsets_) WriteU64(os, o);
+  return os.good();
+}
+
+bool Rsqf::LoadPayload(std::istream& is) {
+  int32_t q;
+  int32_t r;
+  uint64_t seed;
+  uint64_t n;
+  if (!ReadI32(is, &q) || q < 1 || q > 38 || !ReadI32(is, &r) || r < 1 ||
+      r > 64 || !ReadU64(is, &seed) || !ReadU64(is, &n)) {
+    return false;
+  }
+  const uint64_t num_quotients = uint64_t{1} << q;
+  const uint64_t total_slots = num_quotients + 2 * kBlockSlots;
+  BitVector occupieds;
+  BitVector runends;
+  CompactVector remainders;
+  if (!occupieds.Load(is) || occupieds.size() != total_slots ||
+      !runends.Load(is) || runends.size() != total_slots ||
+      !remainders.Load(is) || remainders.size() != total_slots ||
+      remainders.width() != r) {
+    return false;
+  }
+  std::vector<uint16_t> offsets(total_slots / kBlockSlots + 1);
+  for (uint16_t& o : offsets) {
+    uint64_t v;
+    if (!ReadU64Capped(is, &v, 0xFFFF)) return false;
+    o = static_cast<uint16_t>(v);
+  }
+  q_bits_ = q;
+  r_bits_ = r;
+  hash_seed_ = seed;
+  num_keys_ = n;
+  num_quotients_ = num_quotients;
+  total_slots_ = total_slots;
+  occupieds_ = std::move(occupieds);
+  runends_ = std::move(runends);
+  remainders_ = std::move(remainders);
+  offsets_ = std::move(offsets);
+  return true;
 }
 
 }  // namespace bbf

@@ -45,6 +45,9 @@ class Rsqf : public Filter {
   /// Structural self-check for the test suite.
   bool CheckInvariants() const;
 
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
   static constexpr double kMaxLoadFactor = 0.94;
   static constexpr uint64_t kBlockSlots = 64;
 

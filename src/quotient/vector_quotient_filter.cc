@@ -4,6 +4,7 @@
 
 #include "util/bits.h"
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace bbf {
 
@@ -163,6 +164,52 @@ size_t VectorQuotientFilter::SpaceBits() const {
   // Metadata (buckets + slots bits) + remainder storage per block.
   return blocks_.size() * (kBucketsPerBlock + kSlotsPerBlock +
                            kSlotsPerBlock * remainder_bits_);
+}
+
+bool VectorQuotientFilter::SavePayload(std::ostream& os) const {
+  WriteI32(os, remainder_bits_);
+  WriteU64(os, hash_seed_);
+  WriteU64(os, num_keys_);
+  WriteU64(os, blocks_.size());
+  for (const Block& b : blocks_) {
+    WriteI32(os, b.used);
+    b.metadata.Save(os);
+    b.remainders.Save(os);
+  }
+  return os.good();
+}
+
+bool VectorQuotientFilter::LoadPayload(std::istream& is) {
+  int32_t r;
+  uint64_t seed;
+  uint64_t n;
+  uint64_t num_blocks;
+  if (!ReadI32(is, &r) || r < 1 || r > 64 || !ReadU64(is, &seed) ||
+      !ReadU64(is, &n) ||
+      !ReadU64Capped(is, &num_blocks,
+                     kMaxSnapshotElements / kSlotsPerBlock) ||
+      num_blocks < 2) {
+    return false;
+  }
+  std::vector<Block> blocks(num_blocks);
+  for (Block& b : blocks) {
+    int32_t used;
+    if (!ReadI32(is, &used) || used < 0 || used > kSlotsPerBlock ||
+        !b.metadata.Load(is) ||
+        b.metadata.size() !=
+            static_cast<uint64_t>(kBucketsPerBlock + kSlotsPerBlock) ||
+        !b.remainders.Load(is) ||
+        b.remainders.size() != static_cast<uint64_t>(kSlotsPerBlock) ||
+        b.remainders.width() != r) {
+      return false;
+    }
+    b.used = used;
+  }
+  remainder_bits_ = r;
+  hash_seed_ = seed;
+  num_keys_ = n;
+  blocks_ = std::move(blocks);
+  return true;
 }
 
 }  // namespace bbf

@@ -42,6 +42,9 @@ class VectorQuotientFilter : public Filter {
   static constexpr int kBucketsPerBlock = 40;
   static constexpr int kSlotsPerBlock = 48;
 
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
  private:
   struct Block {
     // Unary bucket-size encoding: kBucketsPerBlock ones (bucket markers),

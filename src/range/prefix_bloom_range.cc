@@ -1,5 +1,9 @@
 #include "range/prefix_bloom_range.h"
 
+#include <utility>
+
+#include "util/serialize.h"
+
 namespace bbf {
 
 PrefixBloomRangeFilter::PrefixBloomRangeFilter(
@@ -23,6 +27,28 @@ bool PrefixBloomRangeFilter::MayContainRange(uint64_t lo, uint64_t hi) const {
     if (p == last) break;  // Guard overflow at the domain edge.
   }
   return false;
+}
+
+bool PrefixBloomRangeFilter::SavePayload(std::ostream& os) const {
+  WriteI32(os, prefix_bits_);
+  WriteI32(os, max_probes_);
+  return bloom_->SavePayload(os) && os.good();
+}
+
+bool PrefixBloomRangeFilter::LoadPayload(std::istream& is) {
+  int32_t prefix_bits;
+  int32_t max_probes;
+  if (!ReadI32(is, &prefix_bits) || prefix_bits < 1 || prefix_bits > 64 ||
+      !ReadI32(is, &max_probes) || max_probes < 1 ||
+      max_probes > (1 << 20)) {
+    return false;
+  }
+  auto bloom = std::make_unique<BloomFilter>(1, 8.0);
+  if (!bloom->LoadPayload(is)) return false;
+  prefix_bits_ = prefix_bits;
+  max_probes_ = max_probes;
+  bloom_ = std::move(bloom);
+  return true;
 }
 
 }  // namespace bbf

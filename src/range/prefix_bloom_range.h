@@ -27,6 +27,9 @@ class PrefixBloomRangeFilter : public RangeFilter {
   size_t SpaceBits() const override { return bloom_->SpaceBits(); }
   std::string_view Name() const override { return "prefix-bloom"; }
 
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
  private:
   int prefix_bits_;
   int max_probes_;

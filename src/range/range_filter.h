@@ -3,7 +3,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
 #include <string_view>
+
+#include "util/serialize.h"
 
 namespace bbf {
 
@@ -29,6 +35,26 @@ class RangeFilter {
 
   virtual size_t SpaceBits() const = 0;
   virtual std::string_view Name() const = 0;
+
+  /// Snapshot support, mirroring Filter (DESIGN.md §8): the same framed
+  /// format with Name() as the tag. Families without SavePayload /
+  /// LoadPayload overrides report failure rather than writing partial
+  /// frames.
+  virtual bool Save(std::ostream& os) const {
+    std::ostringstream payload;
+    if (!SavePayload(payload) || !payload.good()) return false;
+    return WriteSnapshotFrame(os, Name(), std::move(payload).str());
+  }
+  virtual bool Load(std::istream& is) {
+    std::string tag;
+    std::string payload;
+    if (!ReadSnapshotFrame(is, &tag, &payload)) return false;
+    if (tag != Name()) return false;
+    std::istringstream ps(payload);
+    return LoadPayload(ps);
+  }
+  virtual bool SavePayload(std::ostream&) const { return false; }
+  virtual bool LoadPayload(std::istream&) { return false; }
 };
 
 }  // namespace bbf

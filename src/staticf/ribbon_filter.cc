@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/bits.h"
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace bbf {
 
@@ -103,6 +105,39 @@ bool RibbonFilter::Contains(uint64_t key) const {
     c &= c - 1;
   }
   return acc == FingerprintOf(key);
+}
+
+bool RibbonFilter::SavePayload(std::ostream& os) const {
+  WriteI32(os, fingerprint_bits_);
+  WriteU64(os, num_starts_);
+  WriteU64(os, seed_);
+  WriteU64(os, num_keys_);
+  solution_.Save(os);
+  return os.good();
+}
+
+bool RibbonFilter::LoadPayload(std::istream& is) {
+  int32_t f;
+  uint64_t starts;
+  uint64_t seed;
+  uint64_t n;
+  if (!ReadI32(is, &f) || f < 1 || f > 64 ||
+      !ReadU64Capped(is, &starts, kMaxSnapshotElements) || starts == 0 ||
+      !ReadU64(is, &seed) || !ReadU64(is, &n) || n > starts) {
+    return false;
+  }
+  CompactVector solution;
+  if (!solution.Load(is) || solution.size() != starts + kRibbonWidth ||
+      solution.width() != f) {
+    return false;
+  }
+  fingerprint_bits_ = f;
+  num_starts_ = starts;
+  seed_ = seed;
+  num_keys_ = n;
+  solution_ = std::move(solution);
+  build_attempts_ = 0;  // Build-time stat; unknown after a reload.
+  return true;
 }
 
 }  // namespace bbf

@@ -38,6 +38,9 @@ class RibbonFilter : public Filter {
 
   static constexpr int kRibbonWidth = 64;
 
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
  private:
   uint64_t StartOf(uint64_t key) const;
   uint64_t CoeffOf(uint64_t key) const;

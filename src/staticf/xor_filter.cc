@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "staticf/peeling.h"
 #include "util/bits.h"
@@ -56,21 +57,36 @@ bool XorFilter::Contains(uint64_t key) const {
   return v == FingerprintOf(key);
 }
 
-void XorFilter::Save(std::ostream& os) const {
+bool XorFilter::SavePayload(std::ostream& os) const {
   WriteU64(os, seed_);
   WriteU64(os, segment_len_);
   WriteU64(os, num_keys_);
   table_.Save(os);
+  return os.good();
 }
 
-bool XorFilter::Load(std::istream& is) {
+bool XorFilter::LoadPayload(std::istream& is) {
+  uint64_t seed;
   uint64_t seg;
-  if (!ReadU64(is, &seed_) || !ReadU64(is, &seg) ||
-      !ReadU64(is, &num_keys_)) {
+  uint64_t n;
+  if (!ReadU64(is, &seed) ||
+      !ReadU64Capped(is, &seg, uint64_t{0xFFFFFFFF} / 3) || seg == 0 ||
+      !ReadU64(is, &n)) {
     return false;
   }
+  CompactVector table;
+  // Construction always makes exactly three equal segments, and peeling
+  // needs capacity > n.
+  if (!table.Load(is) || table.size() != seg * 3 || table.width() < 1 ||
+      n > table.size()) {
+    return false;
+  }
+  seed_ = seed;
   segment_len_ = static_cast<uint32_t>(seg);
-  return table_.Load(is);
+  num_keys_ = n;
+  table_ = std::move(table);
+  build_attempts_ = 0;  // Build-time stat; unknown after a reload.
+  return true;
 }
 
 }  // namespace bbf

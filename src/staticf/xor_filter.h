@@ -36,9 +36,8 @@ class XorFilter : public Filter {
   int fingerprint_bits() const { return table_.width(); }
   int build_attempts() const { return build_attempts_; }
 
-  /// Binary serialization; Load returns false on malformed input.
-  void Save(std::ostream& os) const;
-  bool Load(std::istream& is);
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
 
  private:
   uint64_t FingerprintOf(uint64_t key) const;

@@ -55,17 +55,24 @@ void BitVector::Save(std::ostream& os) const {
 }
 
 bool BitVector::Load(std::istream& is) {
+  // Defensive: the size field is untrusted (snapshots survive torn writes
+  // and bit rot), so cap it and grow the word buffer incrementally — a
+  // hostile length can only make us allocate what the stream delivers.
   uint64_t n;
-  if (!ReadU64(is, &n)) return false;
-  Resize(0);
-  Resize(n);
-  for (uint64_t& w : words_) {
+  if (!ReadU64Capped(is, &n, kMaxSnapshotElements)) return false;
+  const uint64_t num_words = (n + 63) / 64;
+  std::vector<uint64_t> words;
+  for (uint64_t i = 0; i < num_words; ++i) {
+    uint64_t w;
     if (!ReadU64(is, &w)) return false;
+    words.push_back(w);
   }
   // Reapply the stale-bit clearing invariant.
-  if (n % 64 != 0 && !words_.empty()) {
-    words_.back() &= LowMask(static_cast<int>(n % 64));
+  if (n % 64 != 0 && !words.empty()) {
+    words.back() &= LowMask(static_cast<int>(n % 64));
   }
+  size_ = n;
+  words_ = std::move(words);
   return true;
 }
 

@@ -19,12 +19,24 @@ void CompactVector::Save(std::ostream& os) const {
 }
 
 bool CompactVector::Load(std::istream& is) {
+  // Untrusted input: cap the element count, bound the count*width product,
+  // and require the backing bit vector to match it exactly — a corrupt
+  // header cannot leave Get/Set reading out of bounds.
   uint64_t n;
   int32_t w;
-  if (!ReadU64(is, &n) || !ReadI32(is, &w) || w < 0 || w > 64) return false;
+  if (!ReadU64Capped(is, &n, kMaxSnapshotElements) || !ReadI32(is, &w) ||
+      w < 0 || w > 64) {
+    return false;
+  }
+  const uint64_t total_bits = n * static_cast<uint64_t>(w);
+  if (w > 0 && total_bits / static_cast<uint64_t>(w) != n) return false;
+  if (total_bits > kMaxSnapshotElements) return false;
+  BitVector bits;
+  if (!bits.Load(is) || bits.size() != total_bits) return false;
   size_ = n;
   width_ = w;
-  return bits_.Load(is);
+  bits_ = std::move(bits);
+  return true;
 }
 
 }  // namespace bbf

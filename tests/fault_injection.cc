@@ -1,0 +1,136 @@
+#include "fault_injection.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "util/random.h"
+#include "util/serialize.h"
+
+namespace bbf {
+namespace fault {
+namespace {
+
+std::string Label(const char* kind, uint64_t detail) {
+  return std::string(kind) + "@" + std::to_string(detail);
+}
+
+void PutU64(std::string* blob, size_t offset, uint64_t v) {
+  for (int i = 0; i < 8 && offset + i < blob->size(); ++i) {
+    (*blob)[offset + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+uint64_t GetU64(const std::string& blob, size_t offset) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8 && offset + i < blob.size(); ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(blob[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<Corruption> BitFlipCorruptions(const std::string& blob,
+                                           uint64_t seed, int count) {
+  std::vector<Corruption> out;
+  if (blob.empty()) return out;
+  SplitMix64 rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const uint64_t bit = rng.NextBelow(blob.size() * 8);
+    Corruption c{Label("bitflip", bit), blob};
+    c.blob[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<Corruption> TruncationCorruptions(const std::string& blob) {
+  std::vector<Corruption> out;
+  // Frame layout (DESIGN.md §8): magic(8) version(8) tag_len(8) tag
+  // payload_len(8) checksum(8) payload. Cut at every boundary, one byte
+  // around each, and a sample of payload interiors.
+  const uint64_t tag_len = std::min<uint64_t>(GetU64(blob, 16), blob.size());
+  std::vector<size_t> cuts = {0, 7, 8, 16, 23, 24};
+  const size_t tag_end = 24 + static_cast<size_t>(tag_len);
+  cuts.push_back(tag_end);
+  cuts.push_back(tag_end + 8);   // After payload_len.
+  cuts.push_back(tag_end + 16);  // After checksum = payload start.
+  for (int k = 1; k <= 8; ++k) {
+    cuts.push_back(tag_end + 16 + (blob.size() - tag_end) * k / 9);
+  }
+  if (!blob.empty()) cuts.push_back(blob.size() - 1);
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  for (size_t cut : cuts) {
+    if (cut >= blob.size()) continue;
+    out.push_back(Corruption{Label("truncate", cut), blob.substr(0, cut)});
+  }
+  return out;
+}
+
+std::vector<Corruption> TornWriteCorruptions(const std::string& blob,
+                                             uint64_t seed) {
+  std::vector<Corruption> out;
+  if (blob.size() < 2) return out;
+  SplitMix64 rng(seed);
+  for (int i = 0; i < 6; ++i) {
+    const size_t frontier = 1 + rng.NextBelow(blob.size() - 1);
+    Corruption zeros{Label("torn-zeros", frontier), blob};
+    std::fill(zeros.blob.begin() + frontier, zeros.blob.end(), '\0');
+    // A tail that was already zeros (or by chance regenerated itself)
+    // is not a corruption; replaying it would demand rejection of a
+    // byte-identical snapshot.
+    if (zeros.blob != blob) out.push_back(std::move(zeros));
+    Corruption garbage{Label("torn-garbage", frontier), blob};
+    for (size_t j = frontier; j < garbage.blob.size(); ++j) {
+      garbage.blob[j] = static_cast<char>(rng.Next());
+    }
+    if (garbage.blob != blob) out.push_back(std::move(garbage));
+  }
+  return out;
+}
+
+std::vector<Corruption> HostileLengthCorruptions(const std::string& blob) {
+  std::vector<Corruption> out;
+  if (blob.size() < 40) return out;
+  const uint64_t tag_len = std::min<uint64_t>(GetU64(blob, 16), blob.size());
+  const size_t payload_len_off = 24 + static_cast<size_t>(tag_len);
+  const uint64_t hostile[] = {~uint64_t{0}, kMaxSnapshotPayloadBytes + 1,
+                              uint64_t{1} << 62};
+  for (uint64_t v : hostile) {
+    Corruption tag_bomb{Label("hostile-tag-len", v), blob};
+    PutU64(&tag_bomb.blob, 16, v);
+    out.push_back(std::move(tag_bomb));
+    Corruption payload_bomb{Label("hostile-payload-len", v), blob};
+    PutU64(&payload_bomb.blob, payload_len_off, v);
+    out.push_back(std::move(payload_bomb));
+  }
+  return out;
+}
+
+std::vector<Corruption> AllCorruptions(const std::string& blob,
+                                       uint64_t seed) {
+  std::vector<Corruption> out = BitFlipCorruptions(blob, seed, 64);
+  for (auto* gen : {&TruncationCorruptions, &HostileLengthCorruptions}) {
+    auto more = (*gen)(blob);
+    std::move(more.begin(), more.end(), std::back_inserter(out));
+  }
+  auto torn = TornWriteCorruptions(blob, seed + 1);
+  std::move(torn.begin(), torn.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::string> ReplayExpectingRejection(
+    const std::vector<Corruption>& corruptions,
+    const std::function<bool(const std::string& blob)>& load) {
+  std::vector<std::string> accepted;
+  for (const Corruption& c : corruptions) {
+    if (load(c.blob)) accepted.push_back(c.name);
+  }
+  return accepted;
+}
+
+}  // namespace fault
+}  // namespace bbf

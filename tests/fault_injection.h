@@ -1,0 +1,56 @@
+#ifndef BBF_TESTS_FAULT_INJECTION_H_
+#define BBF_TESTS_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bbf {
+namespace fault {
+
+/// One corrupted copy of a snapshot blob, with a human-readable label so
+/// a failing replay names the exact fault that slipped through.
+struct Corruption {
+  std::string name;
+  std::string blob;
+};
+
+/// Single-bit flips at deterministically random positions. Every byte of
+/// the frame is checksummed or validated, so a correct loader must reject
+/// all of them.
+std::vector<Corruption> BitFlipCorruptions(const std::string& blob,
+                                           uint64_t seed, int count);
+
+/// Truncations at every header/frame boundary (magic, version, tag
+/// length, tag, payload length, checksum) plus sampled interior payload
+/// positions — the crash-mid-write family.
+std::vector<Corruption> TruncationCorruptions(const std::string& blob);
+
+/// Torn writes: an intact prefix followed by stale bytes (zeros or
+/// deterministic garbage), as when a crash leaves old sector contents
+/// behind the write frontier.
+std::vector<Corruption> TornWriteCorruptions(const std::string& blob,
+                                             uint64_t seed);
+
+/// Hostile length fields: the frame's tag-length and payload-length u64s
+/// overwritten with huge values. A loader that trusts them allocates
+/// unbounded memory before noticing anything is wrong.
+std::vector<Corruption> HostileLengthCorruptions(const std::string& blob);
+
+/// The whole battery above.
+std::vector<Corruption> AllCorruptions(const std::string& blob,
+                                       uint64_t seed);
+
+/// Replays every corruption through `load` (which should stream-parse the
+/// blob and return whether the load succeeded). Returns the names of
+/// corruptions that were *accepted* — expected to be empty for any filter
+/// whose snapshot is a single frame.
+std::vector<std::string> ReplayExpectingRejection(
+    const std::vector<Corruption>& corruptions,
+    const std::function<bool(const std::string& blob)>& load);
+
+}  // namespace fault
+}  // namespace bbf
+
+#endif  // BBF_TESTS_FAULT_INJECTION_H_

@@ -1,0 +1,261 @@
+// Fault-injection suite for the snapshot layer (DESIGN.md §8): replays
+// every snapshot under bit flips, truncations at frame boundaries, torn
+// writes, and hostile length fields, asserting Load always fails cleanly —
+// no crash, no unbounded allocation, no false negatives afterwards — and
+// that ShardedFilter quarantines corrupt shards instead of dying.
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "core/filter_io.h"
+#include "core/sharded_filter.h"
+#include "fault_injection.h"
+#include "staticf/ribbon_filter.h"
+#include "staticf/xor_filter.h"
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/serialize.h"
+
+namespace bbf {
+namespace {
+
+std::vector<std::string_view> DynamicSnapshotTags() {
+  std::vector<std::string_view> tags;
+  for (std::string_view name : KnownFilterNames()) {
+    // Factory names match frame tags except dleft.
+    tags.push_back(name == "dleft" ? "dleft-counting" : name);
+  }
+  tags.push_back("spectral-bloom");
+  return tags;
+}
+
+std::vector<uint64_t> InsertSome(Filter* f, uint64_t seed, int n) {
+  SplitMix64 rng(seed);
+  std::vector<uint64_t> inserted;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t key = rng.Next();
+    if (f->Insert(key)) inserted.push_back(key);
+  }
+  return inserted;
+}
+
+std::string SaveToString(const Filter& f) {
+  std::ostringstream ss;
+  EXPECT_TRUE(f.Save(ss));
+  return std::move(ss).str();
+}
+
+uint64_t ReadLittleU64(const std::string& blob, size_t offset) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(blob[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+// Byte offset one past the first frame in `blob` (where ShardedFilter's
+// per-shard frames begin).
+size_t FirstFrameEnd(const std::string& blob) {
+  const uint64_t tag_len = ReadLittleU64(blob, 16);
+  const size_t payload_len_off = 24 + static_cast<size_t>(tag_len);
+  const uint64_t payload_len = ReadLittleU64(blob, payload_len_off);
+  return payload_len_off + 16 + static_cast<size_t>(payload_len);
+}
+
+TEST(FaultInjection, EveryFamilyRejectsCorruptSnapshotsCleanly) {
+  uint64_t tag_index = 0;
+  for (std::string_view tag : DynamicSnapshotTags()) {
+    SCOPED_TRACE(std::string(tag));
+    std::unique_ptr<Filter> f = CreateFilterForTag(tag, 4000);
+    ASSERT_NE(f, nullptr);
+    const std::vector<uint64_t> keys = InsertSome(f.get(), 77 + tag_index, 1500);
+    ASSERT_FALSE(keys.empty());
+    const std::string blob = SaveToString(*f);
+    ASSERT_FALSE(blob.empty());
+
+    const auto corruptions = fault::AllCorruptions(blob, 0x5EED + tag_index);
+    const auto accepted = fault::ReplayExpectingRejection(
+        corruptions, [&f](const std::string& b) {
+          std::istringstream is(b);
+          return f->Load(is);
+        });
+    EXPECT_TRUE(accepted.empty())
+        << accepted.size() << " corruptions accepted, first: "
+        << (accepted.empty() ? "" : accepted.front());
+
+    // A rejected load must leave the filter untouched: every key inserted
+    // before the fault barrage is still present (no false negatives).
+    EXPECT_EQ(f->NumKeys(), keys.size());
+    for (uint64_t key : keys) ASSERT_TRUE(f->Contains(key)) << key;
+    ++tag_index;
+  }
+}
+
+TEST(FaultInjection, StaticFamiliesRejectCorruptSnapshots) {
+  SplitMix64 rng(0xABC);
+  std::vector<uint64_t> keys(1000);
+  for (uint64_t& k : keys) k = rng.Next();
+
+  const XorFilter xf(keys, 12);
+  const RibbonFilter rf(keys, 12);
+  const Filter* filters[] = {&xf, &rf};
+  for (const Filter* f : filters) {
+    SCOPED_TRACE(std::string(f->Name()));
+    const std::string blob = SaveToString(*f);
+    const auto accepted = fault::ReplayExpectingRejection(
+        fault::AllCorruptions(blob, 0x17), [&](const std::string& b) {
+          std::istringstream is(b);
+          return LoadFilterSnapshot(is) != nullptr;
+        });
+    EXPECT_TRUE(accepted.empty())
+        << accepted.size() << " corruptions accepted, first: "
+        << (accepted.empty() ? "" : accepted.front());
+  }
+}
+
+TEST(FaultInjection, GarbageAndEmptyStreamsAreRejected) {
+  for (const std::string& junk :
+       {std::string(), std::string("hello world"),
+        std::string(1000, '\0'), std::string(64, '\xFF')}) {
+    std::istringstream is(junk);
+    EXPECT_EQ(LoadFilterSnapshot(is), nullptr);
+    std::istringstream is2(junk);
+    auto bloom = CreateFilterForTag("bloom", 100);
+    EXPECT_FALSE(bloom->Load(is2));
+  }
+}
+
+TEST(FaultInjection, HostileLengthFieldsDontAllocate) {
+  // A frame whose payload_len claims 2^62 bytes: the loader must fail
+  // from the actual stream contents, not trust the field. Running under
+  // ASan, an eager allocation would abort the test.
+  std::ostringstream ss;
+  WriteU64(ss, kSnapshotMagic);
+  WriteU64(ss, kSnapshotVersion);
+  WriteU64(ss, 5);
+  ss.write("bloom", 5);
+  WriteU64(ss, uint64_t{1} << 62);  // Hostile payload length.
+  WriteU64(ss, 0);                  // Bogus checksum.
+  ss.write("xy", 2);                // Far less payload than claimed.
+  const std::string blob = std::move(ss).str();
+  std::istringstream is(blob);
+  EXPECT_EQ(LoadFilterSnapshot(is), nullptr);
+}
+
+TEST(FaultInjection, WrongFamilyTagIsRejected) {
+  auto bloom = CreateFilterForTag("bloom", 500);
+  InsertSome(bloom.get(), 1, 100);
+  const std::string blob = SaveToString(*bloom);
+  auto cuckoo = CreateFilterForTag("cuckoo", 500);
+  std::istringstream is(blob);
+  EXPECT_FALSE(cuckoo->Load(is));
+}
+
+class ShardedFaultTest : public ::testing::Test {
+ protected:
+  static std::unique_ptr<ShardedFilter> MakeSharded() {
+    return std::make_unique<ShardedFilter>(
+        4000, kShards,
+        [](uint64_t cap) { return CreateFilter("bloom", cap, 0.01); });
+  }
+
+  static size_t ShardOf(uint64_t key) {
+    return static_cast<size_t>(Hash64(key, 0x5A4D) % kShards);
+  }
+
+  static constexpr int kShards = 4;
+};
+
+TEST_F(ShardedFaultTest, CorruptShardIsQuarantinedOthersLoad) {
+  auto original = MakeSharded();
+  const std::vector<uint64_t> keys = InsertSome(original.get(), 9, 2000);
+  std::string blob = SaveToString(*original);
+
+  // Flip a bit inside the first per-shard frame (just past the outer
+  // directory frame).
+  const size_t shard0_start = FirstFrameEnd(blob);
+  ASSERT_LT(shard0_start + 40, blob.size());
+  blob[shard0_start + 40] ^= 0x10;
+
+  auto reloaded = MakeSharded();
+  ShardedFilter::LoadReport report;
+  std::istringstream is(blob);
+  ASSERT_TRUE(reloaded->LoadWithReport(is, &report));
+  EXPECT_EQ(report.total_shards, static_cast<size_t>(kShards));
+  EXPECT_EQ(report.healthy_shards, static_cast<size_t>(kShards - 1));
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0], 0u);
+
+  // Healthy shards answer exactly as before; the quarantined shard was
+  // rebuilt empty, so its keys are gone but nothing crashes or lies.
+  for (uint64_t key : keys) {
+    if (ShardOf(key) != 0) {
+      EXPECT_TRUE(reloaded->Contains(key)) << key;
+    }
+  }
+  EXPECT_LT(reloaded->NumKeys(), keys.size());
+}
+
+TEST_F(ShardedFaultTest, TruncationMidShardQuarantinesTail) {
+  auto original = MakeSharded();
+  const std::vector<uint64_t> keys = InsertSome(original.get(), 10, 2000);
+  const std::string blob = SaveToString(*original);
+  const size_t shards_start = FirstFrameEnd(blob);
+  // Cut halfway through the shard frames: a prefix of shards survives,
+  // the rest quarantine.
+  const std::string cut =
+      blob.substr(0, shards_start + (blob.size() - shards_start) / 2);
+
+  auto reloaded = MakeSharded();
+  ShardedFilter::LoadReport report;
+  std::istringstream is(cut);
+  ASSERT_TRUE(reloaded->LoadWithReport(is, &report));
+  EXPECT_EQ(report.total_shards, static_cast<size_t>(kShards));
+  EXPECT_FALSE(report.quarantined.empty());
+  EXPECT_LT(report.healthy_shards, static_cast<size_t>(kShards));
+  for (uint64_t key : keys) {
+    bool healthy = true;
+    for (size_t q : report.quarantined) healthy &= ShardOf(key) != q;
+    if (healthy) {
+      EXPECT_TRUE(reloaded->Contains(key)) << key;
+    }
+  }
+}
+
+TEST_F(ShardedFaultTest, CorruptDirectoryFailsWholeLoadAndPreservesState) {
+  auto original = MakeSharded();
+  InsertSome(original.get(), 11, 1000);
+  std::string blob = SaveToString(*original);
+  blob[30] ^= 0x01;  // Inside the outer directory frame header/payload.
+
+  auto target = MakeSharded();
+  const std::vector<uint64_t> target_keys = InsertSome(target.get(), 12, 500);
+  ShardedFilter::LoadReport report;
+  std::istringstream is(blob);
+  EXPECT_FALSE(target->LoadWithReport(is, &report));
+  // Failed directory load leaves the target exactly as it was.
+  EXPECT_EQ(target->NumKeys(), target_keys.size());
+  for (uint64_t key : target_keys) EXPECT_TRUE(target->Contains(key));
+}
+
+TEST_F(ShardedFaultTest, RoundTripsThroughFilterIo) {
+  auto original = MakeSharded();
+  const std::vector<uint64_t> keys = InsertSome(original.get(), 13, 2000);
+  const std::string blob = SaveToString(*original);
+  std::istringstream is(blob);
+  std::unique_ptr<Filter> reloaded = LoadFilterSnapshot(is);
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(reloaded->Name(), "sharded");
+  EXPECT_EQ(reloaded->NumKeys(), keys.size());
+  for (uint64_t key : keys) EXPECT_TRUE(reloaded->Contains(key));
+}
+
+}  // namespace
+}  // namespace bbf

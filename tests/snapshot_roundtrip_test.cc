@@ -1,0 +1,200 @@
+// Factory-driven save/load property test: every filter family with
+// snapshot support round-trips through the framed format (DESIGN.md §8)
+// and answers queries identically afterwards — scalar and batch paths,
+// point filters, static filters, range filters, and maplets.
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "core/filter_io.h"
+#include "maplet/maplet.h"
+#include "range/prefix_bloom_range.h"
+#include "staticf/ribbon_filter.h"
+#include "staticf/xor_filter.h"
+#include "util/random.h"
+
+namespace bbf {
+namespace {
+
+std::vector<std::string_view> DynamicSnapshotTags() {
+  std::vector<std::string_view> tags;
+  for (std::string_view name : KnownFilterNames()) {
+    tags.push_back(name == "dleft" ? "dleft-counting" : name);
+  }
+  tags.push_back("spectral-bloom");
+  return tags;
+}
+
+std::string SaveToString(const Filter& f) {
+  std::ostringstream ss;
+  EXPECT_TRUE(f.Save(ss));
+  return std::move(ss).str();
+}
+
+TEST(SnapshotRoundtrip, EveryFamilyAnswersIdenticallyAfterReload) {
+  uint64_t tag_index = 0;
+  for (std::string_view tag : DynamicSnapshotTags()) {
+    SCOPED_TRACE(std::string(tag));
+    std::unique_ptr<Filter> f = CreateFilterForTag(tag, 5000);
+    ASSERT_NE(f, nullptr);
+    SplitMix64 rng(0x90 + tag_index);
+    std::vector<uint64_t> inserted;
+    for (int i = 0; i < 2000; ++i) {
+      const uint64_t key = rng.Next();
+      if (f->Insert(key)) inserted.push_back(key);
+    }
+    ASSERT_FALSE(inserted.empty());
+
+    const std::string blob = SaveToString(*f);
+    std::istringstream is(blob);
+    std::unique_ptr<Filter> g = LoadFilterSnapshot(is);
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->Name(), tag);
+    EXPECT_EQ(g->NumKeys(), f->NumKeys());
+    EXPECT_EQ(g->SpaceBits(), f->SpaceBits());
+
+    // No false negatives across the round trip.
+    for (uint64_t key : inserted) ASSERT_TRUE(g->Contains(key)) << key;
+
+    // Exact answer parity — positives and negatives alike — on a mixed
+    // probe set, through both the scalar and the batch path.
+    std::vector<uint64_t> probes = inserted;
+    for (int i = 0; i < 2000; ++i) probes.push_back(rng.Next());
+    std::vector<uint8_t> batch_f(probes.size());
+    std::vector<uint8_t> batch_g(probes.size());
+    f->ContainsMany(probes, batch_f.data());
+    g->ContainsMany(probes, batch_g.data());
+    for (size_t i = 0; i < probes.size(); ++i) {
+      ASSERT_EQ(f->Contains(probes[i]), g->Contains(probes[i]))
+          << "probe " << i;
+      ASSERT_EQ(batch_f[i], batch_g[i]) << "batch probe " << i;
+      ASSERT_EQ(batch_g[i] != 0, g->Contains(probes[i]))
+          << "batch/scalar divergence " << i;
+    }
+    ++tag_index;
+  }
+}
+
+TEST(SnapshotRoundtrip, CountingFamiliesPreserveCounts) {
+  for (std::string_view tag :
+       {"counting-bloom", "counting-quotient", "spectral-bloom"}) {
+    SCOPED_TRACE(std::string(tag));
+    std::unique_ptr<Filter> f = CreateFilterForTag(tag, 2000);
+    ASSERT_NE(f, nullptr);
+    SplitMix64 rng(0x11);
+    std::vector<uint64_t> keys(300);
+    for (uint64_t& k : keys) k = rng.Next();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      for (size_t c = 0; c <= i % 4; ++c) f->Insert(keys[i]);
+    }
+    const std::string blob = SaveToString(*f);
+    std::istringstream is(blob);
+    std::unique_ptr<Filter> g = LoadFilterSnapshot(is);
+    ASSERT_NE(g, nullptr);
+    for (uint64_t k : keys) EXPECT_EQ(g->Count(k), f->Count(k));
+  }
+}
+
+TEST(SnapshotRoundtrip, StaticFamiliesRoundTrip) {
+  SplitMix64 rng(0x22);
+  std::vector<uint64_t> keys(1500);
+  for (uint64_t& k : keys) k = rng.Next();
+
+  const XorFilter xf(keys, 12);
+  const RibbonFilter rf(keys, 12);
+  const Filter* filters[] = {&xf, &rf};
+  for (const Filter* f : filters) {
+    SCOPED_TRACE(std::string(f->Name()));
+    const std::string blob = SaveToString(*f);
+    std::istringstream is(blob);
+    std::unique_ptr<Filter> g = LoadFilterSnapshot(is);
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->Name(), f->Name());
+    EXPECT_EQ(g->NumKeys(), f->NumKeys());
+    EXPECT_EQ(g->SpaceBits(), f->SpaceBits());
+    for (uint64_t k : keys) ASSERT_TRUE(g->Contains(k));
+    for (int i = 0; i < 2000; ++i) {
+      const uint64_t probe = rng.Next();
+      ASSERT_EQ(f->Contains(probe), g->Contains(probe));
+    }
+  }
+}
+
+TEST(SnapshotRoundtrip, RangeFilterRoundTrips) {
+  SplitMix64 rng(0x33);
+  std::vector<uint64_t> keys(1000);
+  for (uint64_t& k : keys) k = rng.Next();
+  const PrefixBloomRangeFilter f(keys, 16, 10.0);
+
+  std::ostringstream ss;
+  ASSERT_TRUE(f.Save(ss));
+  PrefixBloomRangeFilter g({}, 8, 8.0);
+  std::istringstream is(std::move(ss).str());
+  ASSERT_TRUE(g.Load(is));
+  EXPECT_EQ(g.SpaceBits(), f.SpaceBits());
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t lo = rng.Next();
+    const uint64_t span = rng.NextBelow(uint64_t{1} << 50);
+    const uint64_t hi = lo + span < lo ? ~uint64_t{0} : lo + span;
+    ASSERT_EQ(f.MayContainRange(lo, hi), g.MayContainRange(lo, hi));
+  }
+  for (uint64_t k : keys) ASSERT_TRUE(g.MayContain(k));
+}
+
+TEST(SnapshotRoundtrip, MapletsRoundTrip) {
+  struct Case {
+    std::unique_ptr<Maplet> original;
+    std::unique_ptr<Maplet> reloaded;
+  };
+  Case cases[] = {
+      {MakeQuotientMaplet(2000, 0.01, 8), MakeQuotientMaplet(16, 0.5, 4)},
+      {MakeCuckooMaplet(2000, 12, 8), MakeCuckooMaplet(16, 4, 4)},
+  };
+  for (Case& c : cases) {
+    SCOPED_TRACE(std::string(c.original->Name()));
+    SplitMix64 rng(0x44);
+    std::vector<uint64_t> keys(800);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      keys[i] = rng.Next();
+      ASSERT_TRUE(c.original->Insert(keys[i], i % 251));
+    }
+    std::ostringstream ss;
+    ASSERT_TRUE(c.original->Save(ss));
+    std::istringstream is(std::move(ss).str());
+    ASSERT_TRUE(c.reloaded->Load(is));
+    EXPECT_EQ(c.reloaded->SpaceBits(), c.original->SpaceBits());
+    for (uint64_t k : keys) {
+      EXPECT_EQ(c.reloaded->Lookup(k), c.original->Lookup(k));
+    }
+    for (int i = 0; i < 1000; ++i) {
+      const uint64_t probe = rng.Next();
+      EXPECT_EQ(c.reloaded->Lookup(probe), c.original->Lookup(probe));
+    }
+  }
+}
+
+TEST(SnapshotRoundtrip, MapletRejectsWrongFamily) {
+  auto qm = MakeQuotientMaplet(100, 0.01, 8);
+  qm->Insert(1, 2);
+  std::ostringstream ss;
+  ASSERT_TRUE(qm->Save(ss));
+  auto cm = MakeCuckooMaplet(100, 12, 8);
+  std::istringstream is(std::move(ss).str());
+  EXPECT_FALSE(cm->Load(is));
+}
+
+TEST(SnapshotRoundtrip, BloomierMapletReportsUnsupported) {
+  auto bloomier = MakeBloomierMaplet({{1, 2}, {3, 4}}, 8);
+  std::ostringstream ss;
+  EXPECT_FALSE(bloomier->Save(ss));
+  EXPECT_TRUE(ss.str().empty());  // No partial frame written.
+}
+
+}  // namespace
+}  // namespace bbf
