@@ -1,0 +1,210 @@
+// Experiment E20 (DESIGN.md §4): the serving layer under thread scaling —
+// ShardedFilter (cuckoo inner, chain policy) driven by 1/2/4/8 worker
+// threads in scalar and batch mode, for both inserts and lookups. Where
+// E16 (bench_concurrency) compares sharding against a global lock on a
+// mixed workload, this experiment measures the serving layer's pure
+// insert and lookup rates per mode, so the batch-vs-scalar gap and the
+// thread-scaling curve land in one table.
+//
+// Usage: bench_concurrent [--quick] [--json=PATH]
+//   --quick      256k keys instead of 1M (CI smoke run).
+//   --json=PATH  write machine-readable results (BENCH_concurrent.json).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/sharded_filter.h"
+#include "cuckoo/cuckoo_filter.h"
+#include "workload/generators.h"
+
+using namespace bbf;
+using namespace bbf::bench;
+
+namespace {
+
+constexpr size_t kBatch = 128;  // Sub-batch for the pipelined modes.
+
+struct Row {
+  int threads;
+  uint64_t n;
+  std::string op;    // "insert" | "lookup"
+  std::string mode;  // "scalar" | "batch"
+  double mops;
+  double speedup;  // vs the 1-thread scalar row of the same op.
+};
+
+std::vector<Row> g_rows;
+
+void Record(int threads, uint64_t n, const std::string& op,
+            const std::string& mode, double mops, double base_mops) {
+  const double speedup = base_mops > 0 ? mops / base_mops : 0.0;
+  g_rows.push_back({threads, n, op, mode, mops, speedup});
+  std::printf("  threads=%d n=%-9llu %-7s %-7s %9.2f Mops   %5.2fx\n",
+              threads, static_cast<unsigned long long>(n), op.c_str(),
+              mode.c_str(), mops, speedup);
+}
+
+std::unique_ptr<ShardedFilter> MakeFilter(uint64_t n) {
+  // 16 shards: enough lock striping for 8 threads; chain policy keeps the
+  // bench honest if a shard saturates early.
+  return std::make_unique<ShardedFilter>(
+      n, 16, [](uint64_t cap) -> std::unique_ptr<Filter> {
+        return std::make_unique<CuckooFilter>(cap, 12);
+      });
+}
+
+// Splits `keys` into `threads` contiguous chunks and times all threads
+// completing `fn(chunk, tid)`.
+template <typename Fn>
+double DriveChunks(const std::vector<uint64_t>& keys, int threads, Fn fn) {
+  return Seconds([&] {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const size_t per = keys.size() / threads;
+    for (int t = 0; t < threads; ++t) {
+      const size_t begin = t * per;
+      const size_t end = t + 1 == threads ? keys.size() : begin + per;
+      workers.emplace_back(
+          [&fn, &keys, begin, end, t] { fn(&keys[begin], end - begin, t); });
+    }
+    for (auto& w : workers) w.join();
+  });
+}
+
+void RunThreads(uint64_t n, int threads, const std::vector<uint64_t>& keys,
+                const std::vector<uint64_t>& queries, double base[2]) {
+  constexpr int kReps = 3;
+
+  // Insert, scalar: every thread loops Insert over its chunk.
+  double t_ins_scalar = 1e30;
+  std::unique_ptr<ShardedFilter> built;
+  for (int rep = 0; rep < kReps; ++rep) {
+    built = MakeFilter(n);
+    ShardedFilter& f = *built;
+    t_ins_scalar = std::min(
+        t_ins_scalar,
+        DriveChunks(keys, threads,
+                    [&f](const uint64_t* chunk, size_t len, int) {
+                      for (size_t i = 0; i < len; ++i) f.Insert(chunk[i]);
+                    }));
+  }
+  const double ins_scalar = Mops(keys.size(), t_ins_scalar);
+  if (threads == 1) base[0] = ins_scalar;
+  Record(threads, n, "insert", "scalar", ins_scalar, base[0]);
+
+  // Insert, batch: InsertMany over kBatch-key sub-batches (one shard-lock
+  // acquisition per shard per sub-batch instead of per key).
+  double t_ins_batch = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto f = MakeFilter(n);
+    t_ins_batch = std::min(
+        t_ins_batch,
+        DriveChunks(keys, threads,
+                    [&f](const uint64_t* chunk, size_t len, int) {
+                      for (size_t base_i = 0; base_i < len; base_i += kBatch) {
+                        const size_t m = std::min(kBatch, len - base_i);
+                        f->InsertMany({chunk + base_i, m});
+                      }
+                    }));
+  }
+  Record(threads, n, "insert", "batch", Mops(keys.size(), t_ins_batch),
+         base[0]);
+
+  // Lookups run against the scalar-built filter.
+  const ShardedFilter& f = *built;
+  double t_lk_scalar = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    t_lk_scalar = std::min(
+        t_lk_scalar,
+        DriveChunks(queries, threads,
+                    [&f](const uint64_t* chunk, size_t len, int) {
+                      uint64_t hits = 0;
+                      for (size_t i = 0; i < len; ++i) {
+                        hits += f.Contains(chunk[i]);
+                      }
+                      if (hits == ~uint64_t{0}) std::printf("!");
+                    }));
+  }
+  const double lk_scalar = Mops(queries.size(), t_lk_scalar);
+  if (threads == 1) base[1] = lk_scalar;
+  Record(threads, n, "lookup", "scalar", lk_scalar, base[1]);
+
+  double t_lk_batch = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    t_lk_batch = std::min(
+        t_lk_batch,
+        DriveChunks(queries, threads,
+                    [&f](const uint64_t* chunk, size_t len, int) {
+                      std::vector<uint8_t> out(kBatch);
+                      for (size_t base_i = 0; base_i < len; base_i += kBatch) {
+                        const size_t m = std::min(kBatch, len - base_i);
+                        f.ContainsMany({chunk + base_i, m}, out.data());
+                      }
+                    }));
+  }
+  Record(threads, n, "lookup", "batch", Mops(queries.size(), t_lk_batch),
+         base[1]);
+}
+
+void WriteJson(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"concurrent\",\n  \"results\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const Row& r = g_rows[i];
+    std::fprintf(
+        f,
+        "    {\"filter\": \"sharded-cuckoo\", \"threads\": %d, \"n\": %llu, "
+        "\"op\": \"%s\", \"mode\": \"%s\", \"mops\": %.3f, "
+        "\"speedup\": %.3f}%s\n",
+        r.threads, static_cast<unsigned long long>(r.n), r.op.c_str(),
+        r.mode.c_str(), r.mops, r.speedup,
+        i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  const uint64_t n = quick ? (uint64_t{1} << 18) : (uint64_t{1} << 20);
+  std::printf("sharded(cuckoo) n = %llu keys, 16 shards\n",
+              static_cast<unsigned long long>(n));
+  const auto keys = GenerateDistinctKeys(n, 79);
+  const auto negatives = GenerateNegativeKeys(keys, n, 80);
+  std::vector<uint64_t> queries;
+  queries.reserve(2 * n);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    queries.push_back(keys[i]);
+    queries.push_back(negatives[i]);
+  }
+  double base[2] = {0.0, 0.0};
+  for (int threads : {1, 2, 4, 8}) {
+    RunThreads(n, threads, keys, queries, base);
+  }
+  if (!json_path.empty()) WriteJson(json_path);
+  return 0;
+}

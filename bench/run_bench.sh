@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Builds and runs the batch-throughput experiment, emitting BENCH_batch.json
-# at the repo root so successive PRs accumulate a perf trajectory.
+# Builds and runs the throughput experiments, emitting BENCH_batch.json and
+# BENCH_concurrent.json at the repo root so successive PRs accumulate a
+# perf trajectory.
 #
 # Usage: bench/run_bench.sh [--quick] [BUILD_DIR]
-#   --quick    1M-key size only (skips the ~16M-key out-of-LLC runs).
+#   --quick    smaller key counts (skips the out-of-LLC batch runs and
+#              shrinks the concurrent run).
 #   BUILD_DIR  existing CMake build tree (default: build).
 set -euo pipefail
 
@@ -19,6 +21,8 @@ for arg in "$@"; do
 done
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" --target bench_batch -j "$(nproc)" >/dev/null
+cmake --build "$BUILD_DIR" --target bench_batch bench_concurrent \
+  -j "$(nproc)" >/dev/null
 
 "$BUILD_DIR"/bench/bench_batch $QUICK --json=BENCH_batch.json
+"$BUILD_DIR"/bench/bench_concurrent $QUICK --json=BENCH_concurrent.json

@@ -35,6 +35,7 @@ class AdaptiveQuotientFilter : public Filter, public AdaptiveHook {
   bool Erase(uint64_t key) override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return base_.NumKeys(); }
+  double LoadFactor() const override { return base_.LoadFactor(); }
   FilterClass Class() const override { return FilterClass::kDynamic; }
   std::string_view Name() const override { return "adaptive-quotient"; }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <istream>
+#include <numbers>
 #include <ostream>
 
 #include "core/filter.h"
@@ -39,6 +40,12 @@ class BloomFilter : public Filter {
   size_t InsertMany(std::span<const uint64_t> keys) override;
   size_t SpaceBits() const override { return bits_.size(); }
   uint64_t NumKeys() const override { return num_keys_; }
+  /// Keys over design capacity, recovered from stored fields: m bits at
+  /// the optimum k = b ln 2 means capacity n = m ln 2 / k.
+  double LoadFactor() const override {
+    return static_cast<double>(num_keys_) * num_hashes_ /
+           (std::numbers::ln2 * bits_.size());
+  }
   FilterClass Class() const override { return FilterClass::kSemiDynamic; }
   std::string_view Name() const override { return "bloom"; }
 
@@ -73,6 +80,10 @@ class BlockedBloomFilter : public Filter {
   size_t InsertMany(std::span<const uint64_t> keys) override;
   size_t SpaceBits() const override { return bits_.size(); }
   uint64_t NumKeys() const override { return num_keys_; }
+  double LoadFactor() const override {
+    return static_cast<double>(num_keys_) * num_hashes_ /
+           (std::numbers::ln2 * bits_.size());
+  }
   FilterClass Class() const override { return FilterClass::kSemiDynamic; }
   std::string_view Name() const override { return "blocked-bloom"; }
 

@@ -2,6 +2,7 @@
 #define BBF_BLOOM_COUNTING_BLOOM_H_
 
 #include <cstdint>
+#include <numbers>
 
 #include "core/filter.h"
 #include "util/compact_vector.h"
@@ -31,6 +32,11 @@ class CountingBloomFilter : public Filter {
     return counters_.size() * counters_.width();
   }
   uint64_t NumKeys() const override { return num_keys_; }
+  /// Same capacity recovery as BloomFilter: m counters at optimum k.
+  double LoadFactor() const override {
+    return static_cast<double>(num_keys_) * num_hashes_ /
+           (std::numbers::ln2 * counters_.size());
+  }
   FilterClass Class() const override { return FilterClass::kDynamic; }
   std::string_view Name() const override { return "counting-bloom"; }
 
@@ -69,6 +75,10 @@ class SpectralBloomFilter : public Filter {
     return counters_.size() * counters_.width();
   }
   uint64_t NumKeys() const override { return num_keys_; }
+  double LoadFactor() const override {
+    return static_cast<double>(num_keys_) * num_hashes_ /
+           (std::numbers::ln2 * counters_.size());
+  }
   FilterClass Class() const override { return FilterClass::kSemiDynamic; }
   std::string_view Name() const override { return "spectral-bloom"; }
 

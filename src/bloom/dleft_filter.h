@@ -36,6 +36,15 @@ class DleftCountingFilter : public Filter {
   uint64_t Count(uint64_t key) const override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return num_keys_; }
+  /// Insertions over total cells. Counts multiplicity (duplicates share a
+  /// cell), so this slightly overstates occupancy on multisets — the safe
+  /// direction for a saturation signal. Overflow-map pressure is the
+  /// other saturation symptom; callers can watch overflow_size().
+  double LoadFactor() const override {
+    return cells_.size() == 0
+               ? 1.0
+               : static_cast<double>(num_keys_) / cells_.size();
+  }
   FilterClass Class() const override { return FilterClass::kDynamic; }
   std::string_view Name() const override { return "dleft-counting"; }
 

@@ -25,6 +25,13 @@ class ScalableBloomFilter : public Filter {
   bool Contains(uint64_t key) const override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return num_keys_; }
+  /// Load of the newest stage only — it resets after each growth, so a
+  /// scalable filter never reports permanent saturation.
+  double LoadFactor() const override {
+    if (stages_.empty()) return 0.0;
+    const Stage& s = stages_.back();
+    return static_cast<double>(s.used) / s.capacity;
+  }
   FilterClass Class() const override { return FilterClass::kSemiDynamic; }
   std::string_view Name() const override { return "scalable-bloom"; }
 

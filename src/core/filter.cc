@@ -22,6 +22,8 @@ size_t Filter::InsertMany(std::span<const uint64_t> keys) {
 
 bool Filter::Erase(uint64_t /*key*/) { return false; }
 
+double Filter::LoadFactor() const { return 0.0; }
+
 uint64_t Filter::Count(uint64_t key) const { return Contains(key) ? 1 : 0; }
 
 bool Filter::Save(std::ostream& os) const {

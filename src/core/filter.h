@@ -19,6 +19,21 @@ enum class FilterClass {
   kDynamic,
 };
 
+/// Structured insert result for serving layers (DESIGN.md §9). A bare
+/// bool conflates "stored normally" with "stored, but the filter had to
+/// degrade itself to take it" — callers driving admission control and
+/// rebalancing need the distinction.
+enum class InsertOutcome : uint8_t {
+  kAccepted,      // Stored in the current structure, below saturation.
+  kExpanded,      // Stored, but only by expanding or chaining a generation.
+  kRejectedFull,  // Not stored; the key is NOT queryable. State unchanged.
+};
+
+/// True when the key was actually stored (and is therefore queryable).
+constexpr bool Accepted(InsertOutcome outcome) {
+  return outcome != InsertOutcome::kRejectedFull;
+}
+
 /// The "modern filter API" (§1, §1.1): a point-membership filter over
 /// 64-bit keys. String keys are hashed to 64 bits at the boundary with
 /// bbf::HashBytes; fingerprint filters re-hash internally, so feeding
@@ -69,6 +84,16 @@ class Filter {
 
   /// Number of keys currently represented (with multiplicity).
   virtual uint64_t NumKeys() const = 0;
+
+  /// Fraction of nominal capacity in use, the saturation signal behind
+  /// the overload policies of DESIGN.md §9. Conventions: fixed-capacity
+  /// families report keys / design capacity (>= 1.0 means Insert is at
+  /// or past its reliable range); self-expanding families report the
+  /// load of their *current* generation, which drops after each
+  /// expansion; static filters report 1.0 — they are full by
+  /// construction. The default, for wrappers with no meaningful bound,
+  /// is 0.0 ("never saturates").
+  virtual double LoadFactor() const;
 
   /// Static / semi-dynamic / dynamic, per the paper's taxonomy.
   virtual FilterClass Class() const = 0;

@@ -48,10 +48,12 @@ std::unique_ptr<Filter> LoadShardedSnapshot(std::istream& is,
   // replay the whole snapshot through its own Load (which re-verifies the
   // frame and quarantines corrupt shards).
   std::istringstream dir(directory);
+  uint64_t version;
   uint64_t capacity;
   uint64_t tag_len;
   std::string inner_tag;
-  if (!ReadU64Capped(dir, &capacity, kMaxSnapshotElements) ||
+  if (!ReadU64(dir, &version) ||
+      !ReadU64Capped(dir, &capacity, kMaxSnapshotElements) ||
       !ReadU64Capped(dir, &tag_len, kMaxSnapshotTagBytes) ||
       !ReadBytes(dir, &inner_tag, tag_len)) {
     return nullptr;

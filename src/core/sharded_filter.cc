@@ -1,5 +1,7 @@
 #include "core/sharded_filter.h"
 
+#include <algorithm>
+#include <cmath>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -9,17 +11,49 @@
 #include "util/serialize.h"
 
 namespace bbf {
+namespace {
+
+// Directory layout version for the sharded snapshot frame. v1 had no
+// generation chains; its first directory field was a capacity (always far
+// larger than any version number), so v1 streams fail the version check
+// cleanly instead of misparsing.
+constexpr uint64_t kShardedDirVersion = 2;
+
+// Sanity cap on per-shard generation counts in snapshots; real configs
+// stay in single digits.
+constexpr uint64_t kMaxSnapshotGenerations = 4096;
+
+}  // namespace
+
+int SaturationConfig::GenerationsForFprBudget(double per_generation_fpr,
+                                              double fpr_budget) {
+  if (per_generation_fpr <= 0 || fpr_budget <= 0) return 1;
+  return std::max(1, static_cast<int>(fpr_budget / per_generation_fpr));
+}
+
+std::unique_ptr<ShardedFilter::Shard> ShardedFilter::MakeShard() const {
+  auto shard = std::make_unique<Shard>();
+  shard->gens.push_back(factory_(per_shard_capacity_));
+  shard->newest_capacity = per_shard_capacity_;
+  shard->next_capacity = static_cast<uint64_t>(
+      std::max(1.0, per_shard_capacity_ * config_.growth));
+  return shard;
+}
 
 ShardedFilter::ShardedFilter(uint64_t expected_keys, int num_shards,
                              ShardFactory factory)
-    : factory_(std::move(factory)) {
+    : ShardedFilter(expected_keys, num_shards, std::move(factory),
+                    SaturationConfig{}) {}
+
+ShardedFilter::ShardedFilter(uint64_t expected_keys, int num_shards,
+                             ShardFactory factory,
+                             const SaturationConfig& config)
+    : factory_(std::move(factory)), config_(config) {
   shards_.reserve(num_shards);
   per_shard_capacity_ =
       expected_keys / num_shards + expected_keys / (num_shards * 4) + 16;
   for (int s = 0; s < num_shards; ++s) {
-    auto shard = std::make_unique<Shard>();
-    shard->filter = factory_(per_shard_capacity_);
-    shards_.push_back(std::move(shard));
+    shards_.push_back(MakeShard());
   }
 }
 
@@ -29,16 +63,78 @@ size_t ShardedFilter::ShardOf(uint64_t key) const {
   return static_cast<size_t>(Hash64(key, 0x5A4D) % shards_.size());
 }
 
-bool ShardedFilter::Insert(uint64_t key) {
+Filter& ShardedFilter::AddGenerationLocked(Shard& shard) {
+  shard.gens.push_back(factory_(shard.next_capacity));
+  shard.newest_capacity = shard.next_capacity;
+  shard.next_capacity = static_cast<uint64_t>(
+      std::max(1.0, shard.next_capacity * config_.growth));
+  return *shard.gens.back();
+}
+
+InsertOutcome ShardedFilter::InsertIntoShardLocked(Shard& shard,
+                                                   uint64_t key) {
+  Filter& cur = *shard.gens.back();
+  const bool saturated = cur.LoadFactor() >= config_.load_threshold;
+  if (!saturated && cur.Insert(key)) {
+    ++shard.accepted;
+    return InsertOutcome::kAccepted;
+  }
+  // Either the threshold tripped or the family refused early (e.g. a
+  // cuckoo kick failure below nominal load) — degrade per policy.
+  switch (config_.policy) {
+    case SaturationPolicy::kReject:
+      ++shard.rejected;
+      return InsertOutcome::kRejectedFull;
+    case SaturationPolicy::kChain:
+      if (static_cast<int>(shard.gens.size()) < config_.max_generations) {
+        if (AddGenerationLocked(shard).Insert(key)) {
+          ++shard.expanded;
+          return InsertOutcome::kExpanded;
+        }
+        ++shard.rejected;
+        return InsertOutcome::kRejectedFull;
+      }
+      // Generation budget exhausted: squeeze the newest generation past
+      // the threshold (its own hard limit still applies) rather than
+      // reject outright. Only worth attempting if we haven't already.
+      if (saturated && cur.Insert(key)) {
+        ++shard.accepted;
+        return InsertOutcome::kAccepted;
+      }
+      ++shard.rejected;
+      return InsertOutcome::kRejectedFull;
+    case SaturationPolicy::kExpandInPlace:
+      // Natively expanding families restructure inside Insert; all we add
+      // is the honest status. A second attempt after a sub-threshold
+      // failure is safe: a failed Insert left no trace of the key.
+      if (cur.Insert(key)) {
+        ++shard.expanded;
+        return InsertOutcome::kExpanded;
+      }
+      ++shard.rejected;
+      return InsertOutcome::kRejectedFull;
+  }
+  ++shard.rejected;
+  return InsertOutcome::kRejectedFull;  // Unreachable; placates compilers.
+}
+
+InsertOutcome ShardedFilter::InsertWithStatus(uint64_t key) {
   Shard& shard = *shards_[ShardOf(key)];
   std::unique_lock lock(shard.mutex);
-  return shard.filter->Insert(key);
+  return InsertIntoShardLocked(shard, key);
+}
+
+bool ShardedFilter::Insert(uint64_t key) {
+  return Accepted(InsertWithStatus(key));
 }
 
 bool ShardedFilter::Contains(uint64_t key) const {
   const Shard& shard = *shards_[ShardOf(key)];
   std::shared_lock lock(shard.mutex);
-  return shard.filter->Contains(key);
+  for (const auto& gen : shard.gens) {
+    if (gen->Contains(key)) return true;
+  }
+  return false;
 }
 
 void ShardedFilter::GroupByShard(
@@ -69,12 +165,25 @@ void ShardedFilter::ContainsMany(std::span<const uint64_t> keys,
   std::vector<std::vector<size_t>> index;
   GroupByShard(keys, &group, &index);
   std::vector<uint8_t> shard_out;
+  std::vector<uint8_t> gen_out;
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (group[s].empty()) continue;
-    shard_out.resize(group[s].size());
+    shard_out.assign(group[s].size(), 0);
     {
       std::shared_lock lock(shards_[s]->mutex);
-      shards_[s]->filter->ContainsMany(group[s], shard_out.data());
+      const auto& gens = shards_[s]->gens;
+      // Single generation (the common case) writes results directly;
+      // chained shards OR the per-generation answers together.
+      gens.front()->ContainsMany(group[s], shard_out.data());
+      if (gens.size() > 1) {
+        gen_out.resize(group[s].size());
+        for (size_t g = 1; g < gens.size(); ++g) {
+          gens[g]->ContainsMany(group[s], gen_out.data());
+          for (size_t j = 0; j < group[s].size(); ++j) {
+            shard_out[j] |= gen_out[j];
+          }
+        }
+      }
     }
     for (size_t j = 0; j < group[s].size(); ++j) {
       out[index[s][j]] = shard_out[j];
@@ -94,8 +203,28 @@ size_t ShardedFilter::InsertMany(std::span<const uint64_t> keys) {
   size_t inserted = 0;
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (group[s].empty()) continue;
-    std::unique_lock lock(shards_[s]->mutex);
-    inserted += shards_[s]->filter->InsertMany(group[s]);
+    Shard& shard = *shards_[s];
+    std::unique_lock lock(shard.mutex);
+    Filter& cur = *shard.gens.back();
+    // Fast path: if the whole sub-batch fits under the threshold, hand it
+    // to the newest generation's prefetch-pipelined InsertMany. The
+    // headroom estimate is conservative (batch over built capacity), so
+    // a family shouldn't hit its hard limit inside the batch; if it still
+    // refuses some keys the returned count stays truthful.
+    const double headroom =
+        config_.load_threshold - cur.LoadFactor() -
+        static_cast<double>(group[s].size()) / shard.newest_capacity;
+    if (headroom > 0) {
+      const size_t n = cur.InsertMany(group[s]);
+      shard.accepted += n;
+      shard.rejected += group[s].size() - n;
+      inserted += n;
+      continue;
+    }
+    // Near saturation: per-key policy path (chaining mid-batch is fine).
+    for (uint64_t key : group[s]) {
+      inserted += Accepted(InsertIntoShardLocked(shard, key));
+    }
   }
   return inserted;
 }
@@ -103,20 +232,26 @@ size_t ShardedFilter::InsertMany(std::span<const uint64_t> keys) {
 bool ShardedFilter::Erase(uint64_t key) {
   Shard& shard = *shards_[ShardOf(key)];
   std::unique_lock lock(shard.mutex);
-  return shard.filter->Erase(key);
+  // Newest first: recent inserts are the likeliest erase targets.
+  for (auto it = shard.gens.rbegin(); it != shard.gens.rend(); ++it) {
+    if ((*it)->Erase(key)) return true;
+  }
+  return false;
 }
 
 uint64_t ShardedFilter::Count(uint64_t key) const {
   const Shard& shard = *shards_[ShardOf(key)];
   std::shared_lock lock(shard.mutex);
-  return shard.filter->Count(key);
+  uint64_t count = 0;
+  for (const auto& gen : shard.gens) count += gen->Count(key);
+  return count;
 }
 
 size_t ShardedFilter::SpaceBits() const {
   size_t bits = 0;
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mutex);
-    bits += shard->filter->SpaceBits();
+    for (const auto& gen : shard->gens) bits += gen->SpaceBits();
   }
   return bits;
 }
@@ -125,36 +260,100 @@ uint64_t ShardedFilter::NumKeys() const {
   uint64_t n = 0;
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mutex);
-    n += shard->filter->NumKeys();
+    for (const auto& gen : shard->gens) n += gen->NumKeys();
   }
   return n;
 }
 
-bool ShardedFilter::Save(std::ostream& os) const {
-  if (shards_.empty()) return false;
-  // Frame every shard independently first; the directory needs the blob
-  // lengths, and each blob keeps its own checksum so corruption stays
-  // contained to one shard.
-  std::vector<std::string> blobs;
-  blobs.reserve(shards_.size());
-  std::string inner_tag;
+double ShardedFilter::LoadFactor() const {
+  double max_load = 0.0;
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mutex);
-    std::ostringstream ss;
-    if (!shard->filter->Save(ss)) return false;
-    inner_tag = shard->filter->Name();
-    blobs.push_back(std::move(ss).str());
+    max_load = std::max(max_load, shard->gens.back()->LoadFactor());
+  }
+  return max_load;
+}
+
+std::vector<ShardedFilter::ShardStats> ShardedFilter::Stats() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    ShardStats s;
+    for (const auto& gen : shard->gens) s.num_keys += gen->NumKeys();
+    s.load_factor = shard->gens.back()->LoadFactor();
+    s.generations = shard->gens.size();
+    s.accepted = shard->accepted;
+    s.expanded = shard->expanded;
+    s.rejected = shard->rejected;
+    const bool can_chain =
+        config_.policy == SaturationPolicy::kChain &&
+        static_cast<int>(shard->gens.size()) < config_.max_generations;
+    s.saturated = s.load_factor >= config_.load_threshold && !can_chain &&
+                  config_.policy != SaturationPolicy::kExpandInPlace;
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+size_t ShardedFilter::HottestShard() const {
+  size_t hottest = 0;
+  uint64_t hottest_keys = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::shared_lock lock(shards_[i]->mutex);
+    uint64_t n = 0;
+    for (const auto& gen : shards_[i]->gens) n += gen->NumKeys();
+    if (n > hottest_keys) {
+      hottest_keys = n;
+      hottest = i;
+    }
+  }
+  return hottest;
+}
+
+uint64_t ShardedFilter::TotalRejected() const {
+  uint64_t rejected = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    rejected += shard->rejected;
+  }
+  return rejected;
+}
+
+bool ShardedFilter::Save(std::ostream& os) const {
+  if (shards_.empty()) return false;
+  // Frame every generation independently first; the directory needs the
+  // blob lengths, and each blob keeps its own checksum so corruption
+  // stays contained. Serializing under per-shard reader locks makes Save
+  // safe against concurrent inserts: the result is a per-shard-consistent
+  // cut (shard i may be older than shard j, each internally intact).
+  std::vector<std::vector<std::string>> blobs(shards_.size());
+  std::string inner_tag;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::shared_lock lock(shards_[s]->mutex);
+    for (const auto& gen : shards_[s]->gens) {
+      std::ostringstream ss;
+      if (!gen->Save(ss)) return false;
+      inner_tag = gen->Name();
+      blobs[s].push_back(std::move(ss).str());
+    }
   }
   std::ostringstream dir;
+  WriteU64(dir, kShardedDirVersion);
   WriteU64(dir, per_shard_capacity_);
   WriteU64(dir, inner_tag.size());
   dir.write(inner_tag.data(),
             static_cast<std::streamsize>(inner_tag.size()));
   WriteU64(dir, blobs.size());
-  for (const std::string& blob : blobs) WriteU64(dir, blob.size());
+  for (const auto& shard_blobs : blobs) {
+    WriteU64(dir, shard_blobs.size());
+    for (const std::string& blob : shard_blobs) WriteU64(dir, blob.size());
+  }
   if (!WriteSnapshotFrame(os, Name(), std::move(dir).str())) return false;
-  for (const std::string& blob : blobs) {
-    os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  for (const auto& shard_blobs : blobs) {
+    for (const std::string& blob : shard_blobs) {
+      os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    }
   }
   return os.good();
 }
@@ -172,52 +371,78 @@ bool ShardedFilter::LoadWithReport(std::istream& is, LoadReport* report) {
     return false;
   }
   std::istringstream dir(directory);
+  uint64_t version;
   uint64_t capacity;
   uint64_t tag_len;
   std::string inner_tag;
   uint64_t count;
-  if (!ReadU64Capped(dir, &capacity, kMaxSnapshotElements) ||
+  if (!ReadU64(dir, &version) || version != kShardedDirVersion ||
+      !ReadU64Capped(dir, &capacity, kMaxSnapshotElements) ||
       !ReadU64Capped(dir, &tag_len, kMaxSnapshotTagBytes) ||
       !ReadBytes(dir, &inner_tag, tag_len) ||
       !ReadU64Capped(dir, &count, uint64_t{1} << 20) || count == 0) {
     return false;
   }
-  std::vector<uint64_t> blob_lens(count);
-  for (uint64_t& len : blob_lens) {
-    if (!ReadU64Capped(dir, &len, kMaxSnapshotPayloadBytes)) return false;
+  std::vector<std::vector<uint64_t>> blob_lens(count);
+  for (auto& shard_lens : blob_lens) {
+    uint64_t gens;
+    if (!ReadU64Capped(dir, &gens, kMaxSnapshotGenerations) || gens == 0) {
+      return false;
+    }
+    shard_lens.resize(gens);
+    for (uint64_t& len : shard_lens) {
+      if (!ReadU64Capped(dir, &len, kMaxSnapshotPayloadBytes)) return false;
+    }
   }
   // The factory must produce the filter family the snapshot was taken
-  // from; otherwise every shard frame's tag check would quarantine it and
-  // the caller would silently get an empty filter.
+  // from; otherwise every generation frame's tag check would quarantine
+  // it and the caller would silently get an empty filter.
   {
     std::unique_ptr<Filter> probe = factory_(capacity);
     if (!probe || probe->Name() != inner_tag) return false;
   }
+  // Directory verified — from here on every defect is per-shard and
+  // handled by quarantine, so committing the capacity now is safe.
+  per_shard_capacity_ = capacity;
   std::vector<std::unique_ptr<Shard>> shards;
   shards.reserve(count);
   for (uint64_t s = 0; s < count; ++s) {
-    std::string blob;
-    const bool have_blob = ReadBytes(is, &blob, blob_lens[s]);
-    auto shard = std::make_unique<Shard>();
-    shard->filter = factory_(capacity);
-    bool healthy = false;
-    if (have_blob) {
+    auto shard = MakeShard();
+    bool healthy = true;
+    for (size_t g = 0; g < blob_lens[s].size(); ++g) {
+      std::string blob;
+      // Keep consuming blobs even after a corrupt one so later shards
+      // stay aligned in the stream.
+      const bool have_blob = ReadBytes(is, &blob, blob_lens[s][g]);
+      if (!healthy) continue;
+      std::unique_ptr<Filter> gen =
+          g == 0 ? std::move(shard->gens.front())
+                 : factory_(shard->next_capacity);
       std::istringstream bs(blob);
-      healthy = shard->filter->Load(bs);
+      if (have_blob && gen->Load(bs)) {
+        if (g == 0) {
+          shard->gens.front() = std::move(gen);
+        } else {
+          shard->gens.push_back(std::move(gen));
+          shard->newest_capacity = shard->next_capacity;
+          shard->next_capacity = static_cast<uint64_t>(
+              std::max(1.0, shard->next_capacity * config_.growth));
+        }
+      } else {
+        healthy = false;
+      }
     }
     if (healthy) {
       ++report->healthy_shards;
     } else {
-      // Quarantine: keep the freshly built empty shard. A failed Load
-      // leaves the filter untouched, but rebuild anyway so a partially
-      // corrupt blob can never leak state.
-      shard->filter = factory_(capacity);
+      // Quarantine: any bad generation rebuilds the whole shard empty so
+      // a partially corrupt chain can never leak state.
+      shard = MakeShard();
       report->quarantined.push_back(static_cast<size_t>(s));
     }
     shards.push_back(std::move(shard));
   }
   report->total_shards = static_cast<size_t>(count);
-  per_shard_capacity_ = capacity;
   shards_ = std::move(shards);
   return true;
 }

@@ -11,12 +11,56 @@
 
 namespace bbf {
 
+/// What a shard does once its newest generation crosses the load
+/// threshold (DESIGN.md §9). The paper's §2.2 expansion strategies,
+/// recast as serving policies.
+enum class SaturationPolicy : uint8_t {
+  /// Stop admitting: Insert reports kRejectedFull, state is untouched.
+  /// For callers that would rather shed load than degrade FPR.
+  kReject,
+  /// Scalable-Bloom-style chaining: mount a fresh generation behind the
+  /// saturated one and insert there. Queries probe every generation, so
+  /// each extra generation adds one probe and one generation's FPR —
+  /// max_generations is the FPR/latency budget.
+  kChain,
+  /// Lean on the family's native expansion (taffy, scalable-bloom,
+  /// expanding-quotient, chained-quotient): keep inserting into the same
+  /// filter and let it restructure itself. Rejects only once the family
+  /// itself is exhausted.
+  kExpandInPlace,
+};
+
+/// Per-shard degradation knobs for ShardedFilter.
+struct SaturationConfig {
+  SaturationPolicy policy = SaturationPolicy::kChain;
+  /// Newest-generation LoadFactor at which the policy engages. Below the
+  /// family's own hard limit so degradation is deliberate, not forced.
+  double load_threshold = 0.85;
+  /// Capacity multiplier for each chained generation (kChain only).
+  double growth = 2.0;
+  /// Hard cap on generations per shard (kChain only). Total shard FPR is
+  /// bounded by max_generations * per-generation FPR.
+  int max_generations = 4;
+
+  /// Generations affordable under a total FPR budget when every chained
+  /// generation is built at `per_generation_fpr` (the additive union
+  /// bound on the chain's false-positive probability).
+  static int GenerationsForFprBudget(double per_generation_fpr,
+                                     double fpr_budget);
+};
+
 /// Thread scaling (§1, feature 6): a hash-sharded wrapper that turns any
 /// dynamic filter into a concurrent one. Keys partition across S
 /// independent shards by high hash bits; each shard is guarded by its own
 /// reader-writer lock, so queries proceed fully in parallel and inserts
 /// contend only within a shard — the standard recipe behind concurrent
 /// CQF deployments.
+///
+/// Overload behaviour: each shard is a chain of generations (usually one).
+/// When the newest generation crosses the configured load threshold the
+/// shard degrades per SaturationConfig instead of silently returning
+/// false; InsertWithStatus reports which path each key took, and Stats()
+/// exposes per-shard occupancy so callers can rebalance hot shards.
 class ShardedFilter : public Filter {
  public:
   using ShardFactory =
@@ -24,14 +68,26 @@ class ShardedFilter : public Filter {
 
   /// `num_shards` should be a power of two near the expected thread count;
   /// `factory` builds one shard sized for `expected_keys / num_shards`.
+  /// Default saturation policy is kChain — the filter keeps serving past
+  /// capacity at a bounded FPR cost.
   ShardedFilter(uint64_t expected_keys, int num_shards, ShardFactory factory);
+  ShardedFilter(uint64_t expected_keys, int num_shards, ShardFactory factory,
+                const SaturationConfig& config);
 
+  /// Structured insert: kAccepted below the threshold, kExpanded when the
+  /// key was only admitted by chaining/expanding a generation,
+  /// kRejectedFull when the policy refused it (key NOT queryable).
+  InsertOutcome InsertWithStatus(uint64_t key);
+
+  /// Accepted(InsertWithStatus(key)) — kept for the Filter contract.
   bool Insert(uint64_t key) override;
   bool Contains(uint64_t key) const override;
   /// Batch paths group keys by shard first, so a batch of B keys takes
   /// each shard lock at most once (~num_shards acquisitions instead of B)
   /// and hands every shard one contiguous sub-batch — which flows into the
-  /// shard filter's own prefetch-pipelined batch path.
+  /// shard filter's own prefetch-pipelined batch path. Sub-batches that
+  /// fit under the load threshold go straight to the newest generation's
+  /// InsertMany; near saturation the per-key policy path takes over.
   void ContainsMany(std::span<const uint64_t> keys,
                     uint8_t* out) const override;
   size_t InsertMany(std::span<const uint64_t> keys) override;
@@ -39,10 +95,33 @@ class ShardedFilter : public Filter {
   uint64_t Count(uint64_t key) const override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override;
+  /// Load of the hottest shard's newest generation — the binding
+  /// constraint for admission.
+  double LoadFactor() const override;
   FilterClass Class() const override { return FilterClass::kDynamic; }
   std::string_view Name() const override { return "sharded"; }
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  const SaturationConfig& saturation_config() const { return config_; }
+
+  /// Point-in-time occupancy and outcome counters for one shard. Counters
+  /// reset on Load (snapshots persist structure, not serving history).
+  struct ShardStats {
+    uint64_t num_keys = 0;
+    double load_factor = 0.0;  // Newest generation.
+    size_t generations = 1;
+    uint64_t accepted = 0;   // Inserts stored below the threshold.
+    uint64_t expanded = 0;   // Inserts that needed expansion/chaining.
+    uint64_t rejected = 0;   // Inserts refused (kRejectedFull).
+    bool saturated = false;  // At threshold with no expansion headroom.
+  };
+
+  /// One entry per shard, each read under that shard's lock.
+  std::vector<ShardStats> Stats() const;
+  /// Index of the shard holding the most keys — the rebalancing target.
+  size_t HottestShard() const;
+  /// Total inserts refused across all shards since construction/Load.
+  uint64_t TotalRejected() const;
 
   /// What happened to each shard during LoadWithReport.
   struct LoadReport {
@@ -52,28 +131,43 @@ class ShardedFilter : public Filter {
     bool AllHealthy() const { return quarantined.empty(); }
   };
 
-  /// Snapshot layout: one outer frame holding only the shard directory
-  /// (shard count, inner filter tag, per-shard blob lengths), followed by
-  /// each shard's own independent frame. Because every shard frame carries
-  /// its own checksum, one corrupt shard doesn't poison the rest.
+  /// Snapshot layout (v2): one outer frame holding only the shard
+  /// directory (layout version, shard count, inner filter tag, per-shard
+  /// generation counts, per-generation blob lengths), followed by every
+  /// generation's own independent frame, shard-major. Because every
+  /// generation frame carries its own checksum, one corrupt blob doesn't
+  /// poison the rest. Safe to call concurrently with inserts/queries:
+  /// each shard is serialized under its reader lock (the snapshot is a
+  /// per-shard-consistent cut, not a global point in time).
   bool Save(std::ostream& os) const override;
 
-  /// Loads a snapshot written by Save. A shard whose frame is corrupt or
-  /// truncated is *quarantined*: it is rebuilt empty via the shard factory
-  /// and listed in the report, while every healthy shard loads normally.
-  /// Returns false only when the directory frame itself is unusable (the
-  /// filter is left untouched in that case). Not thread-safe; callers
-  /// must quiesce concurrent readers first.
+  /// Loads a snapshot written by Save. A shard with any corrupt or
+  /// truncated generation frame is *quarantined*: it is rebuilt empty via
+  /// the shard factory and listed in the report, while every healthy
+  /// shard loads normally. Returns false only when the directory frame
+  /// itself is unusable (the filter is left untouched in that case). Not
+  /// thread-safe; callers must quiesce concurrent readers first.
   bool LoadWithReport(std::istream& is, LoadReport* report);
   bool Load(std::istream& is) override;
 
  private:
   struct Shard {
     mutable std::shared_mutex mutex;
-    std::unique_ptr<Filter> filter;
+    // Generations, oldest first; inserts target back(). Never empty.
+    std::vector<std::unique_ptr<Filter>> gens;
+    uint64_t newest_capacity;  // Capacity back() was built with.
+    uint64_t next_capacity;    // Capacity for the next chained generation.
+    uint64_t accepted = 0;
+    uint64_t expanded = 0;
+    uint64_t rejected = 0;
   };
 
   size_t ShardOf(uint64_t key) const;
+  // The policy-driven insert path; requires shard.mutex held exclusively.
+  InsertOutcome InsertIntoShardLocked(Shard& shard, uint64_t key);
+  // Chains a fresh generation onto `shard` (kChain). Requires the lock.
+  Filter& AddGenerationLocked(Shard& shard);
+  std::unique_ptr<Shard> MakeShard() const;
 
   // Counting-sorts `keys` by shard. On return, group[s] holds the keys of
   // shard s in batch order and index[s][j] is the batch position of
@@ -83,8 +177,9 @@ class ShardedFilter : public Filter {
                     std::vector<std::vector<size_t>>* index) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  ShardFactory factory_;          // Kept for quarantine rebuilds.
+  ShardFactory factory_;          // Kept for chaining + quarantine rebuilds.
   uint64_t per_shard_capacity_;   // Capacity each shard was built with.
+  SaturationConfig config_;
 };
 
 }  // namespace bbf

@@ -71,14 +71,28 @@ bool AdaptiveCuckooFilter::Insert(uint64_t key) {
     ++num_keys_;
     return true;
   }
-  if (stash_.size() >= kMaxStash) return false;  // Never drop a victim.
-  // Cuckoo eviction on original keys via the remote store.
+  // Cuckoo eviction on original keys via the remote store. With a full
+  // stash the chain may still land every key, so record each displaced
+  // slot's (fingerprint, selector) and unwind on failure — dropping a
+  // victim would manufacture a false negative, and the selector must come
+  // back too or an adapted slot would forget its adaptation.
+  struct KickRecord {
+    uint64_t idx;
+    uint64_t fp;
+    uint64_t selector;
+  };
+  const bool may_need_unwind = stash_.size() >= kMaxStash;
+  std::vector<KickRecord> path;
+  if (may_need_unwind) path.reserve(kMaxKicks);
   uint64_t cur = key;
   uint64_t bucket = kick_rng_.NextBelow(2) ? Index1(key) : Index2(key);
   for (int kick = 0; kick < kMaxKicks; ++kick) {
     const int slot = static_cast<int>(kick_rng_.NextBelow(kSlotsPerBucket));
     const uint64_t idx = CellIndex(bucket, slot);
     const uint64_t victim = remote_keys_[idx];
+    if (may_need_unwind) {
+      path.push_back({idx, fingerprints_.Get(idx), selectors_.Get(idx)});
+    }
     fingerprints_.Set(idx, FingerprintOf(cur, 0));
     selectors_.Set(idx, 0);
     remote_keys_[idx] = cur;
@@ -88,6 +102,19 @@ bool AdaptiveCuckooFilter::Insert(uint64_t key) {
       ++num_keys_;
       return true;
     }
+  }
+  if (may_need_unwind) {
+    // Reverse the chain: each touched slot holds the key placed into it;
+    // hand back the victim (left homeless one step later) with its
+    // original fingerprint/selector pair.
+    for (size_t i = path.size(); i-- > 0;) {
+      const uint64_t placed = remote_keys_[path[i].idx];
+      fingerprints_.Set(path[i].idx, path[i].fp);
+      selectors_.Set(path[i].idx, path[i].selector);
+      remote_keys_[path[i].idx] = cur;
+      cur = placed;
+    }
+    return false;  // State exactly as before the attempt.
   }
   stash_.push_back(cur);  // Exact keys: the stash never false-positives.
   ++num_keys_;

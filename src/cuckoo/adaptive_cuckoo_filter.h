@@ -33,6 +33,9 @@ class AdaptiveCuckooFilter : public Filter, public AdaptiveHook {
     return fingerprints_.size() * (fingerprints_.width() + selector_bits_);
   }
   uint64_t NumKeys() const override { return num_keys_; }
+  double LoadFactor() const override {
+    return static_cast<double>(num_keys_) / fingerprints_.size();
+  }
   FilterClass Class() const override { return FilterClass::kDynamic; }
   std::string_view Name() const override { return "adaptive-cuckoo"; }
 

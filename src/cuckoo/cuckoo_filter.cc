@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/bits.h"
 #include "util/hash.h"
@@ -73,10 +74,15 @@ bool CuckooFilter::InsertPrepared(uint64_t fp, uint64_t i1, uint64_t i2) {
     ++num_keys_;
     return true;
   }
-  // Kicking can leave a victim fingerprint homeless; the stash absorbs it.
-  // If the stash is already full, refuse up front — mutating the table and
-  // then dropping a victim would silently lose another key.
-  if (stash_.size() >= kMaxStash) return false;
+  // Kicking can leave a victim fingerprint homeless; the stash absorbs
+  // it. When the stash is already full the kick chain may still succeed
+  // without it, so record every displacement and, if the chain dead-ends,
+  // unwind it exactly — mutating the table and then dropping the last
+  // victim would manufacture a false negative for a previously-
+  // acknowledged key.
+  const bool may_need_unwind = stash_.size() >= kMaxStash;
+  std::vector<std::pair<uint64_t, int>> path;  // (bucket, slot) per kick.
+  if (may_need_unwind) path.reserve(kMaxKicks);
   // Kick a random resident back and forth between its two buckets.
   uint64_t bucket = kick_rng_.NextBelow(2) ? i1 : i2;
   for (int kick = 0; kick < kMaxKicks; ++kick) {
@@ -84,12 +90,24 @@ bool CuckooFilter::InsertPrepared(uint64_t fp, uint64_t i1, uint64_t i2) {
         static_cast<int>(kick_rng_.NextBelow(kSlotsPerBucket));
     const uint64_t victim = CellAt(bucket, victim_slot);
     SetCell(bucket, victim_slot, fp);
+    if (may_need_unwind) path.emplace_back(bucket, victim_slot);
     fp = victim;
     bucket = AltIndex(bucket, fp);
     if (TryPlace(bucket, fp)) {
       ++num_keys_;
       return true;
     }
+  }
+  if (may_need_unwind) {
+    // Walk the chain backwards: each touched cell currently holds the
+    // fingerprint placed into it, and must get back the victim it lost —
+    // which is exactly the fingerprint left homeless one step later.
+    for (size_t i = path.size(); i-- > 0;) {
+      const uint64_t placed = CellAt(path[i].first, path[i].second);
+      SetCell(path[i].first, path[i].second, fp);
+      fp = placed;
+    }
+    return false;  // Table bit-for-bit as before; the insert never happened.
   }
   stash_.push_back(PackStash(bucket, fp, fingerprint_bits_));
   ++num_keys_;

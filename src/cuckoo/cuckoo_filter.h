@@ -42,7 +42,7 @@ class CuckooFilter : public Filter {
   FilterClass Class() const override { return FilterClass::kDynamic; }
   std::string_view Name() const override { return "cuckoo"; }
 
-  double LoadFactor() const {
+  double LoadFactor() const override {
     return static_cast<double>(num_keys_) / cells_.size();
   }
   int fingerprint_bits() const { return fingerprint_bits_; }

@@ -58,9 +58,12 @@ bool CuckooMaplet::Insert(uint64_t key, uint64_t value) {
     ++num_entries_;
     return true;
   }
-  // Kicking may orphan a victim; the stash absorbs it. Refuse when full so
-  // no (fingerprint, value) pair is ever silently dropped.
-  if (stash_.size() >= kMaxStash) return false;
+  // Kicking may orphan a victim; the stash absorbs it. With a full stash
+  // the chain can still land every pair, so record each displaced slot and
+  // unwind on a dead end — no (fingerprint, value) pair is ever dropped.
+  const bool may_need_unwind = stash_.size() >= kMaxStash;
+  std::vector<uint64_t> path;  // Cell index per kick.
+  if (may_need_unwind) path.reserve(kMaxKicks);
   uint64_t bucket = kick_rng_.NextBelow(2) ? i1 : i2;
   for (int kick = 0; kick < kMaxKicks; ++kick) {
     const int slot = static_cast<int>(kick_rng_.NextBelow(kSlotsPerBucket));
@@ -69,6 +72,7 @@ bool CuckooMaplet::Insert(uint64_t key, uint64_t value) {
     const uint64_t vval = values_.Get(idx);
     fingerprints_.Set(idx, fp);
     values_.Set(idx, val);
+    if (may_need_unwind) path.push_back(idx);
     fp = vfp;
     val = vval;
     bucket = AltIndex(bucket, fp);
@@ -76,6 +80,19 @@ bool CuckooMaplet::Insert(uint64_t key, uint64_t value) {
       ++num_entries_;
       return true;
     }
+  }
+  if (may_need_unwind) {
+    // Reverse the chain: each touched cell holds the pair placed into it
+    // and gets back the victim left homeless one step later.
+    for (size_t i = path.size(); i-- > 0;) {
+      const uint64_t placed_fp = fingerprints_.Get(path[i]);
+      const uint64_t placed_val = values_.Get(path[i]);
+      fingerprints_.Set(path[i], fp);
+      values_.Set(path[i], val);
+      fp = placed_fp;
+      val = placed_val;
+    }
+    return false;  // Table exactly as before the attempt.
   }
   stash_.push_back(StashEntry{bucket, fp, val});
   ++num_entries_;

@@ -27,6 +27,10 @@ class ChainedQuotientFilter : public Filter {
   uint64_t Count(uint64_t key) const override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return num_keys_; }
+  /// Newest link only — a fresh link resets the load after each growth.
+  double LoadFactor() const override {
+    return links_.empty() ? 0.0 : links_.back()->LoadFactor();
+  }
   FilterClass Class() const override { return FilterClass::kDynamic; }
   std::string_view Name() const override { return "chained-quotient"; }
 

@@ -25,14 +25,14 @@ void RingFilter::Locate(uint64_t key, uint32_t* bucket, uint16_t* fp) const {
 }
 
 RingFilter::Segment& RingFilter::SegmentOf(uint32_t bucket) {
-  ++ring_searches_;
+  ring_searches_.fetch_add(1, std::memory_order_relaxed);
   auto it = ring_.upper_bound(bucket);
   --it;  // Largest mount <= bucket; ring_[0] always exists.
   return it->second;
 }
 
 const RingFilter::Segment& RingFilter::SegmentOf(uint32_t bucket) const {
-  ++ring_searches_;
+  ring_searches_.fetch_add(1, std::memory_order_relaxed);
   auto it = ring_.upper_bound(bucket);
   --it;
   return it->second;

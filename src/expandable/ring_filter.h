@@ -1,6 +1,7 @@
 #ifndef BBF_EXPANDABLE_RING_FILTER_H_
 #define BBF_EXPANDABLE_RING_FILTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -35,12 +36,21 @@ class RingFilter : public Filter {
   bool Erase(uint64_t key) override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return num_keys_; }
+  /// Mean residents per segment budget; splits keep this below 1.0, so a
+  /// ring filter saturates only transiently.
+  double LoadFactor() const override {
+    return ring_.empty() ? 0.0
+                         : static_cast<double>(num_keys_) /
+                               (ring_.size() * segment_capacity_);
+  }
   FilterClass Class() const override { return FilterClass::kDynamic; }
   std::string_view Name() const override { return "ring"; }
 
   size_t num_segments() const { return ring_.size(); }
   /// Ordered-map segment lookups so far — the logarithmic-cost proxy.
-  uint64_t ring_searches() const { return ring_searches_; }
+  uint64_t ring_searches() const {
+    return ring_searches_.load(std::memory_order_relaxed);
+  }
 
   static constexpr int kBucketBits = 22;  // 4M-bucket fixed universe.
 
@@ -65,7 +75,9 @@ class RingFilter : public Filter {
   uint64_t hash_seed_;
   std::map<uint32_t, Segment> ring_;  // Mount bucket-id -> segment.
   uint64_t num_keys_ = 0;
-  mutable uint64_t ring_searches_ = 0;
+  // Atomic so concurrent readers (Contains is const and lock-free under
+  // ShardedFilter's shared lock) can bump the stat without a data race.
+  mutable std::atomic<uint64_t> ring_searches_{0};
 };
 
 }  // namespace bbf

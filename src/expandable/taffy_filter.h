@@ -39,7 +39,7 @@ class TaffyFilter : public Filter {
 
   int expansions() const { return expansions_; }
   int q_bits() const { return table_.q_bits(); }
-  double LoadFactor() const { return table_.LoadFactor(); }
+  double LoadFactor() const override { return table_.LoadFactor(); }
   const QuotientTable& table() const { return table_; }
 
   static constexpr double kMaxLoadFactor = 0.90;

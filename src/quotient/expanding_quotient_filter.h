@@ -30,7 +30,7 @@ class ExpandingQuotientFilter : public Filter {
 
   int expansions() const { return expansions_; }
   int r_bits() const { return filter_.r_bits(); }
-  double LoadFactor() const { return filter_.LoadFactor(); }
+  double LoadFactor() const override { return filter_.LoadFactor(); }
 
   bool SavePayload(std::ostream& os) const override;
   bool LoadPayload(std::istream& is) override;

@@ -32,6 +32,10 @@ class PrefixFilter : public Filter {
   bool Contains(uint64_t key) const override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return num_keys_; }
+  /// Occupancy of the prefix-bucket table (the spare absorbs overflow).
+  double LoadFactor() const override {
+    return static_cast<double>(num_keys_) / cells_.size();
+  }
   FilterClass Class() const override { return FilterClass::kSemiDynamic; }
   std::string_view Name() const override { return "prefix"; }
 

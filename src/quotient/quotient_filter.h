@@ -41,7 +41,7 @@ class QuotientFilter : public Filter {
   FilterClass Class() const override { return FilterClass::kDynamic; }
   std::string_view Name() const override { return "quotient"; }
 
-  double LoadFactor() const { return table_.LoadFactor(); }
+  double LoadFactor() const override { return table_.LoadFactor(); }
   int q_bits() const { return table_.q_bits(); }
   int r_bits() const { return table_.r_bits(); }
 
@@ -100,7 +100,7 @@ class CountingQuotientFilter : public Filter {
   FilterClass Class() const override { return FilterClass::kDynamic; }
   std::string_view Name() const override { return "counting-quotient"; }
 
-  double LoadFactor() const { return table_.LoadFactor(); }
+  double LoadFactor() const override { return table_.LoadFactor(); }
   uint64_t num_used_slots() const { return table_.num_used_slots(); }
 
   bool SavePayload(std::ostream& os) const override;

@@ -37,7 +37,7 @@ class Rsqf : public Filter {
   FilterClass Class() const override { return FilterClass::kSemiDynamic; }
   std::string_view Name() const override { return "rsqf"; }
 
-  double LoadFactor() const {
+  double LoadFactor() const override {
     return static_cast<double>(num_keys_) / (uint64_t{1} << q_bits_);
   }
   int r_bits() const { return r_bits_; }

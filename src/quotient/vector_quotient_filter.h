@@ -34,7 +34,7 @@ class VectorQuotientFilter : public Filter {
   FilterClass Class() const override { return FilterClass::kDynamic; }
   std::string_view Name() const override { return "vector-quotient"; }
 
-  double LoadFactor() const {
+  double LoadFactor() const override {
     return static_cast<double>(num_keys_) /
            (static_cast<double>(blocks_.size()) * kSlotsPerBlock);
   }

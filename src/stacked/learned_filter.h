@@ -37,6 +37,8 @@ class LearnedFilter : public Filter {
   bool Contains(uint64_t key) const override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return num_keys_; }
+  /// Static: full by construction (trained over its whole key set).
+  double LoadFactor() const override { return 1.0; }
   FilterClass Class() const override { return FilterClass::kStatic; }
   std::string_view Name() const override { return "learned"; }
 

@@ -31,6 +31,8 @@ class RibbonFilter : public Filter {
     return solution_.size() * solution_.width();
   }
   uint64_t NumKeys() const override { return num_keys_; }
+  /// Static: full by construction.
+  double LoadFactor() const override { return 1.0; }
   FilterClass Class() const override { return FilterClass::kStatic; }
   std::string_view Name() const override { return "ribbon"; }
 

@@ -1,0 +1,329 @@
+// Concurrent torture harness for the overload-graceful serving layer
+// (DESIGN.md §9). Eight worker threads hammer one ShardedFilter with a
+// mixed Insert / Contains / Erase / InsertMany / Save workload while the
+// shards chain generations live. The invariants checked are the serving
+// contract itself:
+//   * a key whose insert was acknowledged is never a false negative;
+//   * NumKeys accounting is exact: acks + batch counts - erase successes;
+//   * a snapshot taken mid-storm always loads back fully healthy.
+// Run under ThreadSanitizer in CI (the `tsan` job); any lock-discipline
+// slip in ShardedFilter or a shard family shows up here first.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "core/sharded_filter.h"
+#include "cuckoo/cuckoo_filter.h"
+#include "quotient/quotient_filter.h"
+#include "test_seed.h"
+#include "util/random.h"
+
+namespace bbf {
+namespace {
+
+constexpr int kThreads = 8;  // Fixed, not hardware_concurrency: the
+                             // schedule interleaves via preemption even on
+                             // one core, and TSan needs the thread count.
+
+// Per-thread key partition: thread t owns keys (t+1)<<48 | counter, so no
+// two threads ever insert or erase the same key and erase-own-key is safe
+// under fingerprint multiset semantics.
+uint64_t PartitionKey(int tid, uint64_t i) {
+  return (static_cast<uint64_t>(tid + 1) << 48) | i;
+}
+
+// What one worker did, tallied locally and verified after the join (gtest
+// assertions are cheap enough here but failures are collected, not
+// asserted, inside the hot loop).
+struct WorkerLog {
+  std::vector<uint64_t> acked;    // Keys whose insert was acknowledged.
+  std::vector<uint64_t> erased;   // Own acked keys successfully erased.
+  uint64_t batch_accepted = 0;    // Sum of InsertMany return values.
+  uint64_t rejected = 0;          // kRejectedFull outcomes.
+  uint64_t expanded = 0;          // kExpanded outcomes.
+  uint64_t own_key_misses = 0;    // Contains(acked key) returned false.
+  uint64_t erase_failures = 0;    // Erase(own acked key) returned false.
+};
+
+// The chain-policy storm: per-shard capacity is tiny so the workload
+// drives every shard through live generation chaining while queries and
+// snapshots proceed concurrently.
+TEST(ConcurrentStress, ChainPolicyTortureKeepsEveryAcknowledgedKey) {
+  const uint64_t seed = TestSeed(2024);
+  BBF_ANNOUNCE_SEED(seed);
+
+  SaturationConfig config;
+  config.policy = SaturationPolicy::kChain;
+  config.load_threshold = 0.85;
+  config.growth = 2.0;
+  config.max_generations = 5;
+  ShardedFilter f(
+      512, 4,
+      [](uint64_t cap) -> std::unique_ptr<Filter> {
+        return std::make_unique<QuotientFilter>(
+            QuotientFilter::ForCapacity(cap, 0.01));
+      },
+      config);
+
+  std::vector<WorkerLog> logs(kThreads);
+  std::atomic<bool> done{false};
+
+  // Saver thread: snapshot mid-storm, then load the bytes into a fresh
+  // filter. Save runs under per-shard reader locks, so every snapshot
+  // must be a per-shard-consistent, fully healthy cut.
+  std::atomic<uint64_t> snapshots_taken{0};
+  std::atomic<uint64_t> snapshot_failures{0};
+  std::thread saver([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::stringstream ss;
+      if (!f.Save(ss)) {
+        snapshot_failures.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      ShardedFilter loaded(
+          512, 4, [](uint64_t cap) -> std::unique_ptr<Filter> {
+            return std::make_unique<QuotientFilter>(
+                QuotientFilter::ForCapacity(cap, 0.01));
+          });
+      ShardedFilter::LoadReport report;
+      if (!loaded.LoadWithReport(ss, &report) || !report.AllHealthy()) {
+        snapshot_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&f, &logs, t, seed] {
+      WorkerLog& log = logs[t];
+      SplitMix64 rng(seed + static_cast<uint64_t>(t) * 7919);
+      uint64_t next_key = 0;
+      for (int op = 0; op < 2000; ++op) {
+        const uint64_t dice = rng.NextBelow(10);
+        if (dice < 5) {
+          // Single insert of a fresh own key.
+          const uint64_t key = PartitionKey(t, next_key++);
+          const InsertOutcome outcome = f.InsertWithStatus(key);
+          if (Accepted(outcome)) {
+            log.acked.push_back(key);
+            log.expanded += outcome == InsertOutcome::kExpanded;
+          } else {
+            ++log.rejected;
+          }
+        } else if (dice == 5) {
+          // Batch insert of 32 fresh own keys; only the count is
+          // reported, so accounting uses the count and containment
+          // checks only cover fully-accepted batches.
+          std::vector<uint64_t> batch;
+          batch.reserve(32);
+          for (int j = 0; j < 32; ++j) {
+            batch.push_back(PartitionKey(t, next_key++));
+          }
+          const size_t n = f.InsertMany(batch);
+          log.batch_accepted += n;
+          if (n == batch.size()) {
+            log.acked.insert(log.acked.end(), batch.begin(), batch.end());
+            log.batch_accepted -= batch.size();  // Counted via acked.
+          }
+        } else if (dice < 9) {
+          // Membership probe on one of our own acknowledged keys: a miss
+          // is a false negative, the cardinal sin.
+          if (!log.acked.empty()) {
+            const uint64_t key = log.acked[rng.NextBelow(log.acked.size())];
+            if (!f.Contains(key)) ++log.own_key_misses;
+          }
+        } else {
+          // Random probe (usually negative); exercises the read path
+          // against other shards, result is unconstrained.
+          f.Contains(rng.Next());
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  done.store(true, std::memory_order_release);
+  saver.join();
+
+  uint64_t total_acked = 0;
+  uint64_t total_batch = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(logs[t].own_key_misses, 0u) << "thread " << t;
+    total_acked += logs[t].acked.size();
+    total_batch += logs[t].batch_accepted;
+    // Every acknowledged key is still a member after the storm.
+    uint64_t missing = 0;
+    for (uint64_t key : logs[t].acked) missing += !f.Contains(key);
+    EXPECT_EQ(missing, 0u) << "thread " << t << " lost acked keys";
+  }
+  // Exact accounting: every physical slot equals one acknowledgement.
+  EXPECT_EQ(f.NumKeys(), total_acked + total_batch);
+
+  // The tiny capacity forces the storm past generation one.
+  size_t total_generations = 0;
+  uint64_t stats_accepted = 0;
+  uint64_t stats_expanded = 0;
+  for (const auto& s : f.Stats()) {
+    total_generations += s.generations;
+    stats_accepted += s.accepted;
+    stats_expanded += s.expanded;
+  }
+  EXPECT_GT(total_generations, static_cast<size_t>(f.num_shards()))
+      << "workload never chained a generation";
+  EXPECT_EQ(stats_accepted + stats_expanded, total_acked + total_batch);
+
+  EXPECT_GT(snapshots_taken.load(), 0u);
+  EXPECT_EQ(snapshot_failures.load(), 0u);
+}
+
+// Erase torture on an uncrowded filter (kReject policy, ample capacity, so
+// shards stay single-generation and erase semantics are exact): each
+// thread erases half of its own acked keys; survivors must remain members
+// and NumKeys must balance to the key.
+TEST(ConcurrentStress, EraseTortureBalancesAccountingExactly) {
+  const uint64_t seed = TestSeed(2025);
+  BBF_ANNOUNCE_SEED(seed);
+
+  SaturationConfig config;
+  config.policy = SaturationPolicy::kReject;
+  config.load_threshold = 0.95;
+  ShardedFilter f(
+      64000, 8,
+      [](uint64_t cap) -> std::unique_ptr<Filter> {
+        return std::make_unique<CuckooFilter>(cap, 14);
+      },
+      config);
+
+  std::vector<WorkerLog> logs(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&f, &logs, t, seed] {
+      WorkerLog& log = logs[t];
+      SplitMix64 rng(seed + static_cast<uint64_t>(t) * 104729);
+      uint64_t next_key = 0;
+      for (int op = 0; op < 2000; ++op) {
+        const uint64_t dice = rng.NextBelow(10);
+        if (dice < 5) {
+          const uint64_t key = PartitionKey(t, next_key++);
+          if (f.Insert(key)) {
+            log.acked.push_back(key);
+          } else {
+            ++log.rejected;
+          }
+        } else if (dice < 7) {
+          // Erase the oldest not-yet-erased own key. Erasing a key this
+          // thread inserted exactly once must succeed.
+          if (log.erased.size() < log.acked.size()) {
+            const uint64_t key = log.acked[log.erased.size()];
+            if (f.Erase(key)) {
+              log.erased.push_back(key);
+            } else {
+              ++log.erase_failures;
+            }
+          }
+        } else if (dice < 9) {
+          // Probe a surviving own key.
+          if (log.erased.size() < log.acked.size()) {
+            const size_t live =
+                log.erased.size() +
+                rng.NextBelow(log.acked.size() - log.erased.size());
+            if (!f.Contains(log.acked[live])) ++log.own_key_misses;
+          }
+        } else {
+          f.Contains(rng.Next());
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  uint64_t total_acked = 0;
+  uint64_t total_erased = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(logs[t].own_key_misses, 0u) << "thread " << t;
+    EXPECT_EQ(logs[t].erase_failures, 0u) << "thread " << t;
+    total_acked += logs[t].acked.size();
+    total_erased += logs[t].erased.size();
+    uint64_t missing = 0;
+    for (size_t i = logs[t].erased.size(); i < logs[t].acked.size(); ++i) {
+      missing += !f.Contains(logs[t].acked[i]);
+    }
+    EXPECT_EQ(missing, 0u) << "thread " << t << " lost surviving keys";
+  }
+  EXPECT_EQ(f.NumKeys(), total_acked - total_erased);
+}
+
+// Native-expansion torture: taffy restructures itself inside Insert, so
+// kExpandInPlace must never reject, and the doubling machinery has to
+// stay correct while every other thread queries mid-expansion.
+TEST(ConcurrentStress, ExpandInPlaceTaffyNeverRejectsUnderStorm) {
+  const uint64_t seed = TestSeed(2026);
+  BBF_ANNOUNCE_SEED(seed);
+
+  SaturationConfig config;
+  config.policy = SaturationPolicy::kExpandInPlace;
+  config.load_threshold = 0.85;
+  ShardedFilter f(
+      256, 4,
+      [](uint64_t cap) -> std::unique_ptr<Filter> {
+        return CreateFilter("taffy", cap, 0.01);
+      },
+      config);
+
+  std::vector<WorkerLog> logs(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&f, &logs, t, seed] {
+      WorkerLog& log = logs[t];
+      SplitMix64 rng(seed + static_cast<uint64_t>(t) * 31337);
+      for (uint64_t i = 0; i < 2000; ++i) {
+        const uint64_t key = PartitionKey(t, i);
+        const InsertOutcome outcome = f.InsertWithStatus(key);
+        if (Accepted(outcome)) {
+          log.acked.push_back(key);
+          log.expanded += outcome == InsertOutcome::kExpanded;
+        } else {
+          ++log.rejected;
+        }
+        if (rng.NextBelow(4) == 0 && !log.acked.empty()) {
+          const uint64_t probe = log.acked[rng.NextBelow(log.acked.size())];
+          if (!f.Contains(probe)) ++log.own_key_misses;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  uint64_t total_acked = 0;
+  uint64_t total_expanded = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(logs[t].rejected, 0u)
+        << "thread " << t << ": kExpandInPlace on taffy must never reject";
+    EXPECT_EQ(logs[t].own_key_misses, 0u) << "thread " << t;
+    total_acked += logs[t].acked.size();
+    total_expanded += logs[t].expanded;
+    uint64_t missing = 0;
+    for (uint64_t key : logs[t].acked) missing += !f.Contains(key);
+    EXPECT_EQ(missing, 0u) << "thread " << t << " lost acked keys";
+  }
+  EXPECT_EQ(total_acked, static_cast<uint64_t>(kThreads) * 2000);
+  EXPECT_EQ(f.NumKeys(), total_acked);
+  // 16k keys into 256-key sizing: the threshold tripped, so expansion
+  // statuses must have been reported.
+  EXPECT_GT(total_expanded, 0u);
+}
+
+}  // namespace
+}  // namespace bbf

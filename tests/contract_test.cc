@@ -26,6 +26,7 @@
 #include "quotient/quotient_filter.h"
 #include "quotient/rsqf.h"
 #include "quotient/vector_quotient_filter.h"
+#include "test_seed.h"
 #include "workload/generators.h"
 
 namespace bbf {
@@ -162,6 +163,66 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+// --- InsertMany partial-failure contract at capacity -------------------------
+//
+// Each hot family, sized far below the key count so inserts start failing
+// mid-batch. The contract: InsertMany's returned count equals the count a
+// sequential-Insert twin reports (batch paths consume hashing and kick RNG
+// in the same per-filter order), and every key the twin acknowledged is
+// queryable in the batch-built filter — the count is never an overcount of
+// what the filter actually serves.
+std::vector<FilterCase> HotFamiliesAtCapacity() {
+  return {
+      // Bloom variants never refuse; their "capacity" is an FPR design
+      // point, so the contract degenerates to count == keys.size().
+      {"bloom", [] { return std::make_unique<BloomFilter>(64, 8.0); }},
+      {"blocked-bloom",
+       [] { return std::make_unique<BlockedBloomFilter>(64, 8.0); }},
+      {"cuckoo", [] { return std::make_unique<CuckooFilter>(64, 8); }},
+      {"quotient", [] { return std::make_unique<QuotientFilter>(6, 8); }},
+      {"sharded-cuckoo",
+       [] {
+         // Default chain policy with tiny shards: the batch path chains
+         // generations mid-batch and eventually rejects.
+         SaturationConfig config;
+         config.max_generations = 2;
+         return std::make_unique<ShardedFilter>(
+             64, 4,
+             [](uint64_t capacity) {
+               return std::make_unique<CuckooFilter>(capacity, 8);
+             },
+             config);
+       }},
+  };
+}
+
+TEST(InsertManyAtCapacity, CountMatchesSequentialTwinAndQueryability) {
+  const uint64_t seed = TestSeed(600);
+  BBF_ANNOUNCE_SEED(seed);
+  const auto keys = GenerateDistinctKeys(1000, seed);
+  for (const FilterCase& c : HotFamiliesAtCapacity()) {
+    SCOPED_TRACE(c.name);
+    auto twin = c.make();
+    std::vector<uint64_t> acked;
+    for (uint64_t k : keys) {
+      if (twin->Insert(k)) acked.push_back(k);
+    }
+    ASSERT_GT(acked.size(), 0u);
+    if (c.name != "bloom" && c.name != "blocked-bloom") {
+      ASSERT_LT(acked.size(), keys.size())
+          << "sizing must force partial failure";
+    }
+
+    auto batched = c.make();
+    EXPECT_EQ(batched->InsertMany(keys), acked.size());
+    EXPECT_EQ(batched->NumKeys(), twin->NumKeys());
+    // Every key the count claims is actually queryable afterward.
+    uint64_t missing = 0;
+    for (uint64_t k : acked) missing += !batched->Contains(k);
+    EXPECT_EQ(missing, 0u);
+  }
+}
 
 }  // namespace
 }  // namespace bbf

@@ -173,5 +173,81 @@ TEST(AdaptiveCuckoo, EraseIsExactViaRemoteStore) {
   EXPECT_EQ(f.NumKeys(), 1u);
 }
 
+// --- Eviction-loop unwind regressions -------------------------------------
+//
+// Saturate a deliberately tiny table far past capacity so the stash fills
+// and kick chains dead-end. A failed insert must leave the table exactly as
+// it was: every previously-acknowledged key stays queryable and NumKeys
+// matches the acknowledgement count. Before the unwind fix, a dead-ended
+// chain (or a chain refused only because the stash was full) could drop the
+// last evicted victim — a false negative for an acked key.
+
+TEST(CuckooFilter, SaturatingInsertsNeverDropAckedKeys) {
+  CuckooFilter f(64, 10);
+  const auto keys = GenerateDistinctKeys(4000, /*seed=*/77);
+  std::vector<uint64_t> acked;
+  uint64_t rejected = 0;
+  for (uint64_t k : keys) {
+    if (f.Insert(k)) {
+      acked.push_back(k);
+    } else {
+      ++rejected;
+    }
+  }
+  ASSERT_GT(rejected, 0u) << "test must actually saturate the table";
+  EXPECT_EQ(f.NumKeys(), acked.size());
+  for (uint64_t k : acked) {
+    ASSERT_TRUE(f.Contains(k)) << "acked key " << k << " went missing";
+  }
+}
+
+TEST(AdaptiveCuckoo, SaturatingInsertsNeverDropAckedKeys) {
+  AdaptiveCuckooFilter f(64, 10);
+  const auto keys = GenerateDistinctKeys(4000, /*seed=*/78);
+  std::vector<uint64_t> acked;
+  uint64_t rejected = 0;
+  for (uint64_t k : keys) {
+    if (f.Insert(k)) {
+      acked.push_back(k);
+    } else {
+      ++rejected;
+    }
+  }
+  ASSERT_GT(rejected, 0u) << "test must actually saturate the table";
+  EXPECT_EQ(f.NumKeys(), acked.size());
+  for (uint64_t k : acked) {
+    ASSERT_TRUE(f.Contains(k)) << "acked key " << k << " went missing";
+  }
+  // The remote store makes Contains exact for erase purposes, so every
+  // acked key must also still be erasable — a stronger "nothing was
+  // dropped" check than the fingerprint probe alone.
+  for (uint64_t k : acked) {
+    ASSERT_TRUE(f.Erase(k)) << "acked key " << k << " not erasable";
+  }
+  EXPECT_EQ(f.NumKeys(), 0u);
+}
+
+TEST(CuckooMaplet, SaturatingInsertsNeverDropAckedPairs) {
+  CuckooMaplet m(64, 12, 8);
+  const auto keys = GenerateDistinctKeys(4000, /*seed=*/79);
+  std::vector<uint64_t> acked;
+  uint64_t rejected = 0;
+  for (uint64_t k : keys) {
+    if (m.Insert(k, k & 0xFF)) {
+      acked.push_back(k);
+    } else {
+      ++rejected;
+    }
+  }
+  ASSERT_GT(rejected, 0u) << "test must actually saturate the table";
+  EXPECT_EQ(m.NumEntries(), acked.size());
+  for (uint64_t k : acked) {
+    const auto values = m.Lookup(k);
+    ASSERT_TRUE(std::find(values.begin(), values.end(), k & 0xFF) !=
+                values.end())
+        << "acked pair for key " << k << " went missing";
+  }
+}
+
 }  // namespace
 }  // namespace bbf

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "bloom/bloom_filter.h"
+#include "test_seed.h"
 #include "core/sharded_filter.h"
 #include "cuckoo/cuckoo_filter.h"
 #include "expandable/taffy_filter.h"
@@ -66,7 +67,9 @@ TEST(TaffyExhaustion, VoidFingerprintsNeverFalseNegative) {
   // 4-bit fingerprints die after 4 doublings; entries become void and get
   // duplicated into both children. Membership must survive regardless.
   TaffyFilter f(4, 4);
-  const auto keys = GenerateDistinctKeys(4000, 111);
+  const uint64_t seed = TestSeed(111);
+  BBF_ANNOUNCE_SEED(seed);
+  const auto keys = GenerateDistinctKeys(4000, seed);
   for (uint64_t k : keys) ASSERT_TRUE(f.Insert(k));
   EXPECT_GE(f.expansions(), 6);
   for (uint64_t k : keys) ASSERT_TRUE(f.Contains(k)) << k;
@@ -75,9 +78,11 @@ TEST(TaffyExhaustion, VoidFingerprintsNeverFalseNegative) {
 
 TEST(TaffyExhaustion, FprDegradesGracefullyNotCatastrophically) {
   TaffyFilter f(4, 4);
-  const auto keys = GenerateDistinctKeys(4000, 112);
+  const uint64_t seed = TestSeed(112);
+  BBF_ANNOUNCE_SEED(seed);
+  const auto keys = GenerateDistinctKeys(4000, seed);
   for (uint64_t k : keys) ASSERT_TRUE(f.Insert(k));
-  const auto negatives = GenerateNegativeKeys(keys, 20000, 113);
+  const auto negatives = GenerateNegativeKeys(keys, 20000, seed + 1);
   uint64_t fp = 0;
   for (uint64_t k : negatives) fp += f.Contains(k);
   // Old generations are void (FPR ~ their density); fresh keys still have
@@ -110,7 +115,9 @@ TEST(SerializationFuzz, EveryTruncationPointRejectsOrRoundTrips) {
 
 TEST(SurfStrings, RangeQueriesNeverMissAgainstReference) {
   // Random variable-length strings, including prefix-of-each-other pairs.
-  SplitMix64 rng(114);
+  const uint64_t seed = TestSeed(114);
+  BBF_ANNOUNCE_SEED(seed);
+  SplitMix64 rng(seed);
   std::set<std::string> key_set;
   while (key_set.size() < 3000) {
     std::string s;
@@ -147,7 +154,9 @@ TEST(SurfStrings, RangeQueriesNeverMissAgainstReference) {
 }
 
 TEST(SurfStrings, EmptyRangesUsuallyRejected) {
-  SplitMix64 rng(115);
+  const uint64_t seed = TestSeed(115);
+  BBF_ANNOUNCE_SEED(seed);
+  SplitMix64 rng(seed);
   std::set<std::string> key_set;
   while (key_set.size() < 3000) {
     std::string s = "key";
@@ -186,7 +195,9 @@ TEST(SurfStrings, EmptyRangesUsuallyRejected) {
 //    sequential Inserts and returns the same success count.
 void CheckBatchParity(
     const std::function<std::unique_ptr<Filter>()>& make, uint64_t n,
-    uint64_t seed) {
+    uint64_t default_seed) {
+  const uint64_t seed = TestSeed(default_seed);
+  BBF_ANNOUNCE_SEED(seed);
   const auto keys = GenerateDistinctKeys(n, seed);
   const auto negatives = GenerateNegativeKeys(keys, n, seed + 1);
   std::vector<uint64_t> queries;
@@ -269,7 +280,9 @@ TEST(BatchParity, ShardedFilter) {
 TEST(BatchParity, QuotientFullFilterReturnPath) {
   // 2^6 slots at 0.94 max load: sequential Inserts start returning false
   // partway through; InsertMany must report the identical count and state.
-  const auto keys = GenerateDistinctKeys(100, 350);
+  const uint64_t seed = TestSeed(350);
+  BBF_ANNOUNCE_SEED(seed);
+  const auto keys = GenerateDistinctKeys(100, seed);
   QuotientFilter scalar(6, 8);
   size_t scalar_inserted = 0;
   for (uint64_t k : keys) scalar_inserted += scalar.Insert(k);
@@ -287,7 +300,9 @@ TEST(BatchParity, CuckooFullFilterReturnPath) {
   // A tiny table driven far past capacity: kicks fail, the stash fills,
   // and Insert starts refusing. Batch inserts replay the same sequence
   // (same kick RNG), so counts and membership match exactly.
-  const auto keys = GenerateDistinctKeys(300, 360);
+  const uint64_t seed = TestSeed(360);
+  BBF_ANNOUNCE_SEED(seed);
+  const auto keys = GenerateDistinctKeys(300, seed);
   CuckooFilter scalar(64, 8);
   size_t scalar_inserted = 0;
   for (uint64_t k : keys) scalar_inserted += scalar.Insert(k);
@@ -306,8 +321,10 @@ class QfLoadSweep : public ::testing::TestWithParam<double> {};
 TEST_P(QfLoadSweep, MembershipExactUpToTargetLoad) {
   const double target = GetParam();
   QuotientFilter f(12, 10);
+  const uint64_t seed = TestSeed(116);
+  BBF_ANNOUNCE_SEED(seed);
   const auto keys = GenerateDistinctKeys(
-      static_cast<uint64_t>(target * (1u << 12)), 116);
+      static_cast<uint64_t>(target * (1u << 12)), seed);
   for (uint64_t k : keys) ASSERT_TRUE(f.Insert(k));
   EXPECT_NEAR(f.LoadFactor(), target, 0.01);
   for (uint64_t k : keys) ASSERT_TRUE(f.Contains(k));

@@ -1,0 +1,36 @@
+// Seed plumbing for randomized tests: every stress/property test draws its
+// RNG seed through TestSeed() so a failure is reproducible. The seed is
+// announced via SCOPED_TRACE on failure, and BBF_TEST_SEED=<n> in the
+// environment overrides every default — rerunning a flaky report is one
+// env var away.
+
+#ifndef BBF_TESTS_TEST_SEED_H_
+#define BBF_TESTS_TEST_SEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace bbf {
+
+/// The test's RNG seed: `default_seed` unless the BBF_TEST_SEED
+/// environment variable is set (parsed with strtoull, so decimal and 0x
+/// hex both work).
+inline uint64_t TestSeed(uint64_t default_seed) {
+  if (const char* env = std::getenv("BBF_TEST_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return default_seed;
+}
+
+}  // namespace bbf
+
+/// Prefixes every assertion failure in the enclosing scope with the seed
+/// and the command to replay it. Use right after drawing the seed:
+///   const uint64_t seed = TestSeed(42);
+///   BBF_ANNOUNCE_SEED(seed);
+#define BBF_ANNOUNCE_SEED(seed)                                      \
+  SCOPED_TRACE(::testing::Message()                                  \
+               << "rng seed " << (seed)                              \
+               << " (replay with BBF_TEST_SEED=" << (seed) << ")")
+
+#endif  // BBF_TESTS_TEST_SEED_H_
