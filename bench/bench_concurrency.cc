@@ -54,15 +54,20 @@ double DriveThreads(Filter& filter, const std::vector<uint64_t>& keys,
 class GlobalLockFilter : public Filter {
  public:
   explicit GlobalLockFilter(uint64_t capacity) : inner_(capacity * 4, 12) {}
-  bool Insert(uint64_t key) override {
+
+  using Filter::Contains;
+  using Filter::Erase;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override {
     std::lock_guard lock(mutex_);
     return inner_.Insert(key);
   }
-  bool Contains(uint64_t key) const override {
+  bool Contains(HashedKey key) const override {
     std::lock_guard lock(mutex_);
     return inner_.Contains(key);
   }
-  bool Erase(uint64_t key) override {
+  bool Erase(HashedKey key) override {
     std::lock_guard lock(mutex_);
     return inner_.Erase(key);
   }

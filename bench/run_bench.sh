@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Builds and runs the throughput experiments, emitting BENCH_batch.json and
-# BENCH_concurrent.json at the repo root so successive PRs accumulate a
-# perf trajectory.
+# Builds and runs the throughput experiments, emitting BENCH_batch.json,
+# BENCH_concurrent.json, and BENCH_hash.json at the repo root so successive
+# PRs accumulate a perf trajectory.
 #
 # Usage: bench/run_bench.sh [--quick] [BUILD_DIR]
 #   --quick    smaller key counts (skips the out-of-LLC batch runs and
@@ -21,8 +21,9 @@ for arg in "$@"; do
 done
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" --target bench_batch bench_concurrent \
+cmake --build "$BUILD_DIR" --target bench_batch bench_concurrent bench_hash \
   -j "$(nproc)" >/dev/null
 
 "$BUILD_DIR"/bench/bench_batch $QUICK --json=BENCH_batch.json
 "$BUILD_DIR"/bench/bench_concurrent $QUICK --json=BENCH_concurrent.json
+"$BUILD_DIR"/bench/bench_hash $QUICK --json=BENCH_hash.json

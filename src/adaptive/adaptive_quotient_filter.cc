@@ -19,24 +19,24 @@ AdaptiveQuotientFilter AdaptiveQuotientFilter::ForCapacity(uint64_t n,
   return AdaptiveQuotientFilter(sized.q_bits(), sized.r_bits());
 }
 
-uint64_t AdaptiveQuotientFilter::FingerprintKey(uint64_t key) const {
+uint64_t AdaptiveQuotientFilter::FingerprintKey(HashedKey key) const {
   uint64_t fq;
   uint64_t fr;
   base_.Fingerprint(key, &fq, &fr);
   return (fq << base_.r_bits()) | fr;
 }
 
-uint64_t AdaptiveQuotientFilter::ExtensionBitsOf(uint64_t key,
+uint64_t AdaptiveQuotientFilter::ExtensionBitsOf(HashedKey key,
                                                  int len) const {
-  // Extension bits come from an independent hash so they extend the
-  // fingerprint regardless of the base filter's geometry.
-  return Hash64(key, hash_seed_ + 0xE47) & LowMask(len);
+  // Extension bits come from an independent derived stream so they extend
+  // the fingerprint regardless of the base filter's geometry.
+  return key.Derive(hash_seed_ + 0xE47) & LowMask(len);
 }
 
-bool AdaptiveQuotientFilter::Insert(uint64_t key) {
+bool AdaptiveQuotientFilter::Insert(HashedKey key) {
   if (!base_.Insert(key)) return false;
   const uint64_t f = FingerprintKey(key);
-  remote_[f].push_back(key);
+  remote_[f].push_back(key.value());
   const auto it = extensions_.find(f);
   if (it != extensions_.end()) {
     // This fingerprint already adapted: give the new resident an extension
@@ -44,12 +44,13 @@ bool AdaptiveQuotientFilter::Insert(uint64_t key) {
     // consulting extensions consistently.
     int len = 1;
     for (const Extension& e : it->second) len = std::max(len, e.len);
-    it->second.push_back(Extension{key, len, ExtensionBitsOf(key, len)});
+    it->second.push_back(
+        Extension{key.value(), len, ExtensionBitsOf(key, len)});
   }
   return true;
 }
 
-bool AdaptiveQuotientFilter::Contains(uint64_t key) const {
+bool AdaptiveQuotientFilter::Contains(HashedKey key) const {
   if (!base_.Contains(key)) return false;
   const uint64_t f = FingerprintKey(key);
   const auto it = extensions_.find(f);
@@ -60,12 +61,12 @@ bool AdaptiveQuotientFilter::Contains(uint64_t key) const {
   return false;
 }
 
-bool AdaptiveQuotientFilter::Erase(uint64_t key) {
+bool AdaptiveQuotientFilter::Erase(HashedKey key) {
   const uint64_t f = FingerprintKey(key);
   const auto rit = remote_.find(f);
   if (rit == remote_.end()) return false;
   auto& keys = rit->second;
-  const auto kit = std::find(keys.begin(), keys.end(), key);
+  const auto kit = std::find(keys.begin(), keys.end(), key.value());
   if (kit == keys.end()) return false;  // Exact deletes via the dictionary.
   keys.erase(kit);
   if (keys.empty()) remote_.erase(rit);
@@ -73,7 +74,7 @@ bool AdaptiveQuotientFilter::Erase(uint64_t key) {
   if (eit != extensions_.end()) {
     auto& exts = eit->second;
     for (size_t i = 0; i < exts.size(); ++i) {
-      if (exts[i].key == key) {
+      if (exts[i].key == key.value()) {
         exts.erase(exts.begin() + i);
         break;
       }
@@ -83,7 +84,7 @@ bool AdaptiveQuotientFilter::Erase(uint64_t key) {
   return base_.Erase(key);
 }
 
-bool AdaptiveQuotientFilter::ReportFalsePositive(uint64_t key) {
+bool AdaptiveQuotientFilter::ReportFalsePositive(HashedKey key) {
   const uint64_t f = FingerprintKey(key);
   const auto rit = remote_.find(f);
   if (rit == remote_.end()) {
@@ -93,14 +94,15 @@ bool AdaptiveQuotientFilter::ReportFalsePositive(uint64_t key) {
   }
   std::vector<Extension> exts;
   exts.reserve(rit->second.size());
-  for (uint64_t resident : rit->second) {
+  for (uint64_t stored : rit->second) {
+    const HashedKey resident = HashedKey::FromMix(stored);
     // Grow this resident's extension until it no longer matches `key`.
     int len = 1;
     while (len < kMaxExtensionBits &&
            ExtensionBitsOf(resident, len) == ExtensionBitsOf(key, len)) {
       ++len;
     }
-    exts.push_back(Extension{resident, len, ExtensionBitsOf(resident, len)});
+    exts.push_back(Extension{stored, len, ExtensionBitsOf(resident, len)});
   }
   extensions_[f] = std::move(exts);
   ++adaptations_;
@@ -188,7 +190,8 @@ bool AdaptiveQuotientFilter::LoadPayload(std::istream& is) {
           len > kMaxExtensionBits || !ReadU64(is, &bits) ||
           // Extensions are pure hash derivatives of the resident key;
           // anything else is corruption.
-          bits != (Hash64(key, seed + 0xE47) & LowMask(len))) {
+          bits != (HashedKey::FromMix(key).Derive(seed + 0xE47) &
+                   LowMask(len))) {
         return false;
       }
       exts.push_back(Extension{key, len, bits});

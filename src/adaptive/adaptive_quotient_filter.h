@@ -30,18 +30,24 @@ class AdaptiveQuotientFilter : public Filter, public AdaptiveHook {
 
   static AdaptiveQuotientFilter ForCapacity(uint64_t n, double fpr);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override;
-  bool Erase(uint64_t key) override;
+  using Filter::Contains;
+  using Filter::Erase;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override;
+  bool Erase(HashedKey key) override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return base_.NumKeys(); }
   double LoadFactor() const override { return base_.LoadFactor(); }
   FilterClass Class() const override { return FilterClass::kDynamic; }
   std::string_view Name() const override { return "adaptive-quotient"; }
 
+  using AdaptiveHook::ReportFalsePositive;
+
   /// Extends colliding residents' fingerprints until `key` stops
   /// matching. Returns true if Contains(key) is now false.
-  bool ReportFalsePositive(uint64_t key) override;
+  bool ReportFalsePositive(HashedKey key) override;
 
   uint64_t adaptations() const { return adaptations_; }
   size_t extended_fingerprints() const { return extensions_.size(); }
@@ -53,20 +59,20 @@ class AdaptiveQuotientFilter : public Filter, public AdaptiveHook {
 
  private:
   struct Extension {
-    uint64_t key;   // Resident (from the remote store / dictionary).
+    uint64_t key;   // Canonical resident key (remote store / dictionary).
     int len;        // Extension bits in use.
     uint64_t bits;  // The resident's own hash extension of that length.
   };
 
-  uint64_t FingerprintKey(uint64_t key) const;  // (fq << r) | fr.
-  uint64_t ExtensionBitsOf(uint64_t key, int len) const;
+  uint64_t FingerprintKey(HashedKey key) const;  // (fq << r) | fr.
+  uint64_t ExtensionBitsOf(HashedKey key, int len) const;
 
   QuotientFilter base_;
   uint64_t hash_seed_;
   // fingerprint -> residents with extended fingerprints. Only populated
   // for fingerprints that have adapted at least once.
   std::unordered_map<uint64_t, std::vector<Extension>> extensions_;
-  // fingerprint -> resident keys (the dictionary's reverse index).
+  // fingerprint -> canonical resident keys (dictionary reverse index).
   std::unordered_map<uint64_t, std::vector<uint64_t>> remote_;
   uint64_t adaptations_ = 0;
 };

@@ -2,14 +2,16 @@
 
 #include <utility>
 
+#include "core/key.h"
 #include "staticf/peeling.h"
 #include "util/bits.h"
-#include "util/hash.h"
 
 namespace bbf::net {
 namespace {
 
-uint64_t UrlKey(std::string_view url) { return HashBytes(url, 0xB10C); }
+// Hash-once boundary for the app layer: each URL is hashed exactly once
+// into a canonical HashedKey; every filter probe below derives from it.
+HashedKey UrlKey(std::string_view url) { return HashedKey(url); }
 
 class BloomBlocklist : public Blocklist {
  public:
@@ -40,9 +42,9 @@ class IntegratedBlocklist : public Blocklist {
       : fingerprint_bits_(fingerprint_bits) {
     std::vector<uint64_t> keys;
     std::unordered_set<uint64_t> no_keys;
-    for (const auto& url : malicious) keys.push_back(UrlKey(url));
+    for (const auto& url : malicious) keys.push_back(UrlKey(url).value());
     for (const auto& url : benign_no_list) {
-      const uint64_t k = UrlKey(url);
+      const uint64_t k = UrlKey(url).value();
       keys.push_back(k);
       no_keys.insert(k);
     }
@@ -56,7 +58,7 @@ class IntegratedBlocklist : public Blocklist {
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       uint32_t s[3];
       XorPeeler::Slots(it->key, segment_len_, seed_, s);
-      uint64_t v = Fingerprint(it->key);
+      uint64_t v = Fingerprint(HashedKey::FromMix(it->key));
       if (no_keys.contains(it->key)) v ^= 1;  // Deliberate mismatch.
       for (int i = 0; i < 3; ++i) {
         if (s[i] != it->slot) v ^= table_.Get(s[i]);
@@ -66,9 +68,9 @@ class IntegratedBlocklist : public Blocklist {
   }
 
   bool IsBlocked(std::string_view url) const override {
-    const uint64_t key = UrlKey(url);
+    const HashedKey key = UrlKey(url);
     uint32_t s[3];
-    XorPeeler::Slots(key, segment_len_, seed_, s);
+    XorPeeler::Slots(key.value(), segment_len_, seed_, s);
     const uint64_t v =
         table_.Get(s[0]) ^ table_.Get(s[1]) ^ table_.Get(s[2]);
     return v == Fingerprint(key);
@@ -79,8 +81,8 @@ class IntegratedBlocklist : public Blocklist {
   std::string_view Name() const override { return "integrated"; }
 
  private:
-  uint64_t Fingerprint(uint64_t key) const {
-    return Hash64(key, seed_ + 0x1F) & LowMask(fingerprint_bits_);
+  uint64_t Fingerprint(HashedKey key) const {
+    return key.Derive(seed_ + 0x1F) & LowMask(fingerprint_bits_);
   }
 
   int fingerprint_bits_;

@@ -4,18 +4,13 @@
 #include <cmath>
 #include <numbers>
 
+#include "core/sizing.h"
 #include "util/bits.h"
 #include "util/hash.h"
 #include "util/serialize.h"
 
 namespace bbf {
 namespace {
-
-int OptimalNumHashes(double bits_per_key) {
-  // k = (m/n) ln 2.
-  return std::max(
-      1, static_cast<int>(std::lround(bits_per_key * std::numbers::ln2)));
-}
 
 // Batch tile for the two-pass (prefetch, then probe) paths: big enough to
 // keep a pipeline of cache misses in flight, small enough that per-key
@@ -29,21 +24,19 @@ BloomFilter::BloomFilter(uint64_t expected_keys, double bits_per_key,
     : bits_(std::max<uint64_t>(
           64, static_cast<uint64_t>(expected_keys * bits_per_key))),
       num_hashes_(num_hashes > 0 ? num_hashes
-                                 : OptimalNumHashes(bits_per_key)),
+                                 : OptimalBloomHashes(bits_per_key)),
       hash_seed_(hash_seed) {}
 
 BloomFilter BloomFilter::ForFpr(uint64_t expected_keys, double fpr,
                                 uint64_t hash_seed) {
   // m/n = -ln(eps) / (ln 2)^2 = 1.44 lg(1/eps).
-  const double bits_per_key =
-      -std::log(fpr) / (std::numbers::ln2 * std::numbers::ln2);
-  return BloomFilter(expected_keys, bits_per_key, 0, hash_seed);
+  return BloomFilter(expected_keys, BloomBitsFor(fpr), 0, hash_seed);
 }
 
-bool BloomFilter::Insert(uint64_t key) {
+bool BloomFilter::Insert(HashedKey key) {
   // Kirsch–Mitzenmacher double hashing: h_i = h1 + i * h2.
-  const uint64_t h1 = Hash64(key, hash_seed_ * 2 + 0x71);
-  const uint64_t h2 = Hash64(key, hash_seed_ * 2 + 0x72) | 1;
+  const uint64_t h1 = key.Derive(hash_seed_ * 2 + 0x71);
+  const uint64_t h2 = key.Derive(hash_seed_ * 2 + 0x72) | 1;
   uint64_t h = h1;
   for (int i = 0; i < num_hashes_; ++i) {
     bits_.Set(FastRange64(h, bits_.size()));
@@ -53,9 +46,9 @@ bool BloomFilter::Insert(uint64_t key) {
   return true;
 }
 
-bool BloomFilter::Contains(uint64_t key) const {
-  const uint64_t h1 = Hash64(key, hash_seed_ * 2 + 0x71);
-  const uint64_t h2 = Hash64(key, hash_seed_ * 2 + 0x72) | 1;
+bool BloomFilter::Contains(HashedKey key) const {
+  const uint64_t h1 = key.Derive(hash_seed_ * 2 + 0x71);
+  const uint64_t h2 = key.Derive(hash_seed_ * 2 + 0x72) | 1;
   uint64_t h = h1;
   for (int i = 0; i < num_hashes_; ++i) {
     if (!bits_.Get(FastRange64(h, bits_.size()))) return false;
@@ -64,7 +57,7 @@ bool BloomFilter::Contains(uint64_t key) const {
   return true;
 }
 
-void BloomFilter::ContainsMany(std::span<const uint64_t> keys,
+void BloomFilter::ContainsMany(std::span<const HashedKey> keys,
                                uint8_t* out) const {
   const uint64_t m = bits_.size();
   // Staged pipeline. A classic Bloom probe touches k scattered cache
@@ -83,8 +76,8 @@ void BloomFilter::ContainsMany(std::span<const uint64_t> keys,
     const size_t n = std::min(kBatchTile, keys.size() - base);
     // Stage 1a: hash the tile, request the first k0 target words.
     for (size_t j = 0; j < n; ++j) {
-      h1[j] = Hash64(keys[base + j], hash_seed_ * 2 + 0x71);
-      h2[j] = Hash64(keys[base + j], hash_seed_ * 2 + 0x72) | 1;
+      h1[j] = keys[base + j].Derive(hash_seed_ * 2 + 0x71);
+      h2[j] = keys[base + j].Derive(hash_seed_ * 2 + 0x72) | 1;
       uint64_t h = h1[j];
       for (int i = 0; i < k0; ++i) {
         bits_.PrefetchBit(FastRange64(h, m));
@@ -129,15 +122,15 @@ void BloomFilter::ContainsMany(std::span<const uint64_t> keys,
   }
 }
 
-size_t BloomFilter::InsertMany(std::span<const uint64_t> keys) {
+size_t BloomFilter::InsertMany(std::span<const HashedKey> keys) {
   const uint64_t m = bits_.size();
   uint64_t h1[kBatchTile];
   uint64_t h2[kBatchTile];
   for (size_t base = 0; base < keys.size(); base += kBatchTile) {
     const size_t n = std::min(kBatchTile, keys.size() - base);
     for (size_t j = 0; j < n; ++j) {
-      h1[j] = Hash64(keys[base + j], hash_seed_ * 2 + 0x71);
-      h2[j] = Hash64(keys[base + j], hash_seed_ * 2 + 0x72) | 1;
+      h1[j] = keys[base + j].Derive(hash_seed_ * 2 + 0x71);
+      h2[j] = keys[base + j].Derive(hash_seed_ * 2 + 0x72) | 1;
       uint64_t h = h1[j];
       for (int i = 0; i < num_hashes_; ++i) {
         bits_.PrefetchBit(FastRange64(h, m), /*for_write=*/true);
@@ -186,39 +179,39 @@ bool BloomFilter::LoadPayload(std::istream& is) {
 BlockedBloomFilter::BlockedBloomFilter(uint64_t expected_keys,
                                        double bits_per_key, int num_hashes)
     : num_hashes_(num_hashes > 0 ? num_hashes
-                                 : OptimalNumHashes(bits_per_key)) {
+                                 : OptimalBloomHashes(bits_per_key)) {
   const uint64_t total_bits = std::max<uint64_t>(
       kBlockBits, static_cast<uint64_t>(expected_keys * bits_per_key));
   num_blocks_ = (total_bits + kBlockBits - 1) / kBlockBits;
   bits_.Resize(num_blocks_ * kBlockBits);
 }
 
-bool BlockedBloomFilter::Insert(uint64_t key) {
-  const uint64_t block = FastRange64(Hash64(key, 0x73), num_blocks_);
+bool BlockedBloomFilter::Insert(HashedKey key) {
+  const uint64_t block = FastRange64(key.Derive(0x73), num_blocks_);
   const uint64_t base = block * kBlockBits;
-  uint64_t h = Hash64(key, 0x74);
+  uint64_t h = key.Derive(0x74);
   for (int i = 0; i < num_hashes_; ++i) {
     bits_.Set(base + (h & (kBlockBits - 1)));
     h >>= 9;  // 9 bits per in-block probe; 512-bit blocks need 9 bits each.
-    if (i % 6 == 5) h = Hash64(key, 0x75 + i);  // Refresh hash bits.
+    if (i % 6 == 5) h = key.Derive(0x75 + i);  // Refresh hash bits.
   }
   ++num_keys_;
   return true;
 }
 
-bool BlockedBloomFilter::Contains(uint64_t key) const {
-  const uint64_t block = FastRange64(Hash64(key, 0x73), num_blocks_);
+bool BlockedBloomFilter::Contains(HashedKey key) const {
+  const uint64_t block = FastRange64(key.Derive(0x73), num_blocks_);
   const uint64_t base = block * kBlockBits;
-  uint64_t h = Hash64(key, 0x74);
+  uint64_t h = key.Derive(0x74);
   for (int i = 0; i < num_hashes_; ++i) {
     if (!bits_.Get(base + (h & (kBlockBits - 1)))) return false;
     h >>= 9;
-    if (i % 6 == 5) h = Hash64(key, 0x75 + i);
+    if (i % 6 == 5) h = key.Derive(0x75 + i);
   }
   return true;
 }
 
-void BlockedBloomFilter::ContainsMany(std::span<const uint64_t> keys,
+void BlockedBloomFilter::ContainsMany(std::span<const HashedKey> keys,
                                       uint8_t* out) const {
   constexpr uint64_t kWordsPerBlock = kBlockBits / 64;
   const bool needs_refresh = num_hashes_ > 6;
@@ -230,9 +223,9 @@ void BlockedBloomFilter::ContainsMany(std::span<const uint64_t> keys,
     // Pass 1: one block (= one or two cache lines) to fetch per key. The
     // first hash refresh is also hoisted here, off pass 2's critical path.
     for (size_t j = 0; j < n; ++j) {
-      block[j] = FastRange64(Hash64(keys[base + j], 0x73), num_blocks_);
-      probe[j] = Hash64(keys[base + j], 0x74);
-      if (needs_refresh) refresh[j] = Hash64(keys[base + j], 0x75 + 5);
+      block[j] = FastRange64(keys[base + j].Derive(0x73), num_blocks_);
+      probe[j] = keys[base + j].Derive(0x74);
+      if (needs_refresh) refresh[j] = keys[base + j].Derive(0x75 + 5);
       const uint64_t w = block[j] * kWordsPerBlock;
       bits_.PrefetchWord(w);
       bits_.PrefetchWord(w + kWordsPerBlock - 1);
@@ -248,7 +241,7 @@ void BlockedBloomFilter::ContainsMany(std::span<const uint64_t> keys,
         const uint64_t bit = h & (kBlockBits - 1);
         hit &= bits_.Word(word0 + (bit >> 6)) >> (bit & 63);
         h >>= 9;
-        if (i % 6 == 5) h = i == 5 ? refresh[j] : Hash64(keys[base + j], 0x75 + i);
+        if (i % 6 == 5) h = i == 5 ? refresh[j] : keys[base + j].Derive(0x75 + i);
       }
       out[base + j] = static_cast<uint8_t>(hit & 1);
     }
@@ -281,15 +274,15 @@ bool BlockedBloomFilter::LoadPayload(std::istream& is) {
   return true;
 }
 
-size_t BlockedBloomFilter::InsertMany(std::span<const uint64_t> keys) {
+size_t BlockedBloomFilter::InsertMany(std::span<const HashedKey> keys) {
   constexpr uint64_t kWordsPerBlock = kBlockBits / 64;
   uint64_t block[kBatchTile];
   uint64_t probe[kBatchTile];
   for (size_t base = 0; base < keys.size(); base += kBatchTile) {
     const size_t n = std::min(kBatchTile, keys.size() - base);
     for (size_t j = 0; j < n; ++j) {
-      block[j] = FastRange64(Hash64(keys[base + j], 0x73), num_blocks_);
-      probe[j] = Hash64(keys[base + j], 0x74);
+      block[j] = FastRange64(keys[base + j].Derive(0x73), num_blocks_);
+      probe[j] = keys[base + j].Derive(0x74);
       const uint64_t w = block[j] * kWordsPerBlock;
       bits_.PrefetchWord(w, /*for_write=*/true);
       bits_.PrefetchWord(w + kWordsPerBlock - 1, /*for_write=*/true);
@@ -300,7 +293,7 @@ size_t BlockedBloomFilter::InsertMany(std::span<const uint64_t> keys) {
       for (int i = 0; i < num_hashes_; ++i) {
         bits_.Set(bit0 + (h & (kBlockBits - 1)));
         h >>= 9;
-        if (i % 6 == 5) h = Hash64(keys[base + j], 0x75 + i);
+        if (i % 6 == 5) h = keys[base + j].Derive(0x75 + i);
       }
     }
   }

@@ -31,13 +31,19 @@ class BloomFilter : public Filter {
   static BloomFilter ForFpr(uint64_t expected_keys, double fpr,
                             uint64_t hash_seed = 0);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override;
-  /// Two-pass batch paths: hash every key in a tile, prefetch all k target
-  /// words, then probe. ~2x scalar lookup throughput out-of-LLC.
-  void ContainsMany(std::span<const uint64_t> keys,
+  using Filter::Contains;
+  using Filter::ContainsMany;
+  using Filter::Insert;
+  using Filter::InsertMany;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override;
+  /// Two-pass batch paths: derive every key's probes in a tile, prefetch
+  /// all k target words, then probe. ~2x scalar lookup throughput
+  /// out-of-LLC.
+  void ContainsMany(std::span<const HashedKey> keys,
                     uint8_t* out) const override;
-  size_t InsertMany(std::span<const uint64_t> keys) override;
+  size_t InsertMany(std::span<const HashedKey> keys) override;
   size_t SpaceBits() const override { return bits_.size(); }
   uint64_t NumKeys() const override { return num_keys_; }
   /// Keys over design capacity, recovered from stored fields: m bits at
@@ -71,13 +77,18 @@ class BlockedBloomFilter : public Filter {
   BlockedBloomFilter(uint64_t expected_keys, double bits_per_key,
                      int num_hashes = 0);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override;
+  using Filter::Contains;
+  using Filter::ContainsMany;
+  using Filter::Insert;
+  using Filter::InsertMany;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override;
   /// Batch paths: one prefetch per 512-bit block, then a single-word-read
   /// probe loop against BitVector::Word.
-  void ContainsMany(std::span<const uint64_t> keys,
+  void ContainsMany(std::span<const HashedKey> keys,
                     uint8_t* out) const override;
-  size_t InsertMany(std::span<const uint64_t> keys) override;
+  size_t InsertMany(std::span<const HashedKey> keys) override;
   size_t SpaceBits() const override { return bits_.size(); }
   uint64_t NumKeys() const override { return num_keys_; }
   double LoadFactor() const override {

@@ -8,17 +8,22 @@ namespace bbf {
 CascadingBloomFilter::CascadingBloomFilter(
     const std::vector<uint64_t>& members,
     const std::vector<uint64_t>& candidates, double bits_per_key, int levels) {
+  // Hash every key once up front; all levels consume the same mixes.
   // side_a is the set the next filter is built over; side_b is filtered
   // through it, keeping only its false positives. Sides swap every level.
-  std::vector<uint64_t> side_a = members;
-  std::vector<uint64_t> side_b = candidates;
+  std::vector<HashedKey> side_a;
+  side_a.reserve(members.size());
+  for (uint64_t k : members) side_a.emplace_back(k);
+  std::vector<HashedKey> side_b;
+  side_b.reserve(candidates.size());
+  for (uint64_t k : candidates) side_b.emplace_back(k);
   for (int i = 0; i < levels; ++i) {
     auto filter = std::make_unique<BloomFilter>(
         std::max<uint64_t>(side_a.size(), 1), bits_per_key, 0,
         /*hash_seed=*/0xCA5C + i);
-    for (uint64_t k : side_a) filter->Insert(k);
-    std::vector<uint64_t> survivors;
-    for (uint64_t k : side_b) {
+    for (HashedKey k : side_a) filter->Insert(k);
+    std::vector<HashedKey> survivors;
+    for (HashedKey k : side_b) {
       if (filter->Contains(k)) survivors.push_back(k);
     }
     levels_.push_back(std::move(filter));
@@ -26,12 +31,12 @@ CascadingBloomFilter::CascadingBloomFilter(
     side_a = std::move(survivors);
     if (side_a.empty()) break;  // Cascade already exact.
   }
-  exact_.insert(side_a.begin(), side_a.end());
+  for (HashedKey k : side_a) exact_.insert(k.value());
   // After k levels the survivor side holds members iff k is even.
   exact_holds_members_ = (levels_.size() % 2 == 0);
 }
 
-bool CascadingBloomFilter::Contains(uint64_t key) const {
+bool CascadingBloomFilter::Contains(HashedKey key) const {
   for (size_t i = 0; i < levels_.size(); ++i) {
     if (!levels_[i]->Contains(key)) {
       // Failing an even-indexed filter refutes membership; failing an
@@ -39,7 +44,7 @@ bool CascadingBloomFilter::Contains(uint64_t key) const {
       return i % 2 == 1;
     }
   }
-  return exact_.contains(key) == exact_holds_members_;
+  return exact_.contains(key.value()) == exact_holds_members_;
 }
 
 size_t CascadingBloomFilter::SpaceBits() const {

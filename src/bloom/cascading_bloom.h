@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bloom/bloom_filter.h"
+#include "core/key.h"
 
 namespace bbf {
 
@@ -30,8 +31,10 @@ class CascadingBloomFilter {
                        double bits_per_key, int levels = 3);
 
   /// Exact membership for any key in members ∪ candidates; best-effort
-  /// (standard Bloom semantics) for anything else.
-  bool Contains(uint64_t key) const;
+  /// (standard Bloom semantics) for anything else. Hashes once and probes
+  /// every level of the cascade from the same HashedKey.
+  bool Contains(uint64_t key) const { return Contains(HashedKey(key)); }
+  bool Contains(HashedKey key) const;
 
   size_t SpaceBits() const;
   size_t num_levels() const { return levels_.size(); }
@@ -39,7 +42,8 @@ class CascadingBloomFilter {
 
  private:
   std::vector<std::unique_ptr<BloomFilter>> levels_;
-  std::unordered_set<uint64_t> exact_;  // Truth for survivors of the cascade.
+  // Truth for survivors of the cascade, keyed by canonical mix.
+  std::unordered_set<uint64_t> exact_;
   bool exact_holds_members_ = false;    // Parity of the final level.
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numbers>
 
 #include "util/bits.h"
 #include "util/hash.h"
@@ -14,7 +15,7 @@ int OptimalNumHashes(double bits_per_key, int counter_bits) {
   // bits_per_key budgets total space; the counter array has
   // bits_per_key / counter_bits counters per key.
   const double counters_per_key = bits_per_key / counter_bits;
-  return std::max(1, static_cast<int>(std::lround(counters_per_key * 0.6931)));
+  return std::max(1, static_cast<int>(std::lround(counters_per_key * std::numbers::ln2)));
 }
 
 uint64_t NumCounters(uint64_t expected_keys, double bits_per_key,
@@ -34,13 +35,13 @@ CountingBloomFilter::CountingBloomFilter(uint64_t expected_keys,
                       ? num_hashes
                       : OptimalNumHashes(bits_per_key, counter_bits)) {}
 
-uint64_t CountingBloomFilter::CounterIndex(uint64_t key, int i) const {
-  const uint64_t h1 = Hash64(key, 0x81);
-  const uint64_t h2 = Hash64(key, 0x82) | 1;
+uint64_t CountingBloomFilter::CounterIndex(HashedKey key, int i) const {
+  const uint64_t h1 = key.Derive(0x81);
+  const uint64_t h2 = key.Derive(0x82) | 1;
   return FastRange64(h1 + static_cast<uint64_t>(i) * h2, counters_.size());
 }
 
-bool CountingBloomFilter::Insert(uint64_t key) {
+bool CountingBloomFilter::Insert(HashedKey key) {
   const uint64_t max = LowMask(counters_.width());
   for (int i = 0; i < num_hashes_; ++i) {
     const uint64_t idx = CounterIndex(key, i);
@@ -54,7 +55,7 @@ bool CountingBloomFilter::Insert(uint64_t key) {
   return true;
 }
 
-bool CountingBloomFilter::Erase(uint64_t key) {
+bool CountingBloomFilter::Erase(HashedKey key) {
   if (Count(key) == 0) return false;
   const uint64_t max = LowMask(counters_.width());
   for (int i = 0; i < num_hashes_; ++i) {
@@ -68,7 +69,7 @@ bool CountingBloomFilter::Erase(uint64_t key) {
   return true;
 }
 
-uint64_t CountingBloomFilter::Count(uint64_t key) const {
+uint64_t CountingBloomFilter::Count(HashedKey key) const {
   uint64_t min_count = ~uint64_t{0};
   for (int i = 0; i < num_hashes_; ++i) {
     min_count = std::min(min_count, counters_.Get(CounterIndex(key, i)));
@@ -96,13 +97,13 @@ SpectralBloomFilter::SpectralBloomFilter(uint64_t expected_keys,
                       ? num_hashes
                       : OptimalNumHashes(bits_per_key, counter_bits)) {}
 
-uint64_t SpectralBloomFilter::CounterIndex(uint64_t key, int i) const {
-  const uint64_t h1 = Hash64(key, 0x83);
-  const uint64_t h2 = Hash64(key, 0x84) | 1;
+uint64_t SpectralBloomFilter::CounterIndex(HashedKey key, int i) const {
+  const uint64_t h1 = key.Derive(0x83);
+  const uint64_t h2 = key.Derive(0x84) | 1;
   return FastRange64(h1 + static_cast<uint64_t>(i) * h2, counters_.size());
 }
 
-bool SpectralBloomFilter::Insert(uint64_t key) {
+bool SpectralBloomFilter::Insert(HashedKey key) {
   // Minimum increase: only bump the counters that hold the current minimum.
   uint64_t min_count = ~uint64_t{0};
   for (int i = 0; i < num_hashes_; ++i) {
@@ -118,7 +119,7 @@ bool SpectralBloomFilter::Insert(uint64_t key) {
   return true;
 }
 
-uint64_t SpectralBloomFilter::Count(uint64_t key) const {
+uint64_t SpectralBloomFilter::Count(HashedKey key) const {
   uint64_t min_count = ~uint64_t{0};
   for (int i = 0; i < num_hashes_; ++i) {
     min_count = std::min(min_count, counters_.Get(CounterIndex(key, i)));

@@ -24,10 +24,15 @@ class CountingBloomFilter : public Filter {
   CountingBloomFilter(uint64_t expected_keys, double bits_per_key,
                       int counter_bits = 4, int num_hashes = 0);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override { return Count(key) > 0; }
-  bool Erase(uint64_t key) override;
-  uint64_t Count(uint64_t key) const override;
+  using Filter::Contains;
+  using Filter::Count;
+  using Filter::Erase;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override { return Count(key) > 0; }
+  bool Erase(HashedKey key) override;
+  uint64_t Count(HashedKey key) const override;
   size_t SpaceBits() const override {
     return counters_.size() * counters_.width();
   }
@@ -51,7 +56,7 @@ class CountingBloomFilter : public Filter {
   bool LoadPayload(std::istream& is) override;
 
  private:
-  uint64_t CounterIndex(uint64_t key, int i) const;
+  uint64_t CounterIndex(HashedKey key, int i) const;
 
   CompactVector counters_;
   int num_hashes_;
@@ -68,9 +73,13 @@ class SpectralBloomFilter : public Filter {
   SpectralBloomFilter(uint64_t expected_keys, double bits_per_key,
                       int counter_bits = 8, int num_hashes = 0);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override { return Count(key) > 0; }
-  uint64_t Count(uint64_t key) const override;
+  using Filter::Contains;
+  using Filter::Count;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override { return Count(key) > 0; }
+  uint64_t Count(HashedKey key) const override;
   size_t SpaceBits() const override {
     return counters_.size() * counters_.width();
   }
@@ -86,7 +95,7 @@ class SpectralBloomFilter : public Filter {
   bool LoadPayload(std::istream& is) override;
 
  private:
-  uint64_t CounterIndex(uint64_t key, int i) const;
+  uint64_t CounterIndex(HashedKey key, int i) const;
 
   CompactVector counters_;
   int num_hashes_;

@@ -26,13 +26,13 @@ DleftCountingFilter::DleftCountingFilter(uint64_t expected_keys, int d,
       fingerprint_bits_ + counter_bits_);
 }
 
-uint64_t DleftCountingFilter::Fingerprint(uint64_t key) const {
-  const uint64_t fp = Hash64(key, 0x91) & LowMask(fingerprint_bits_);
+uint64_t DleftCountingFilter::Fingerprint(HashedKey key) const {
+  const uint64_t fp = key.Derive(0x91) & LowMask(fingerprint_bits_);
   return fp == 0 ? 1 : fp;  // 0 is the empty-cell marker.
 }
 
-uint64_t DleftCountingFilter::BucketIndex(uint64_t key, int table) const {
-  return FastRange64(Hash64(key, 0xA0 + table), buckets_per_table_);
+uint64_t DleftCountingFilter::BucketIndex(HashedKey key, int table) const {
+  return FastRange64(key.Derive(0xA0 + table), buckets_per_table_);
 }
 
 DleftCountingFilter::Cell DleftCountingFilter::GetCell(uint64_t slot) const {
@@ -53,7 +53,7 @@ int DleftCountingFilter::BucketLoad(int table, uint64_t bucket) const {
   return load;
 }
 
-bool DleftCountingFilter::Insert(uint64_t key) {
+bool DleftCountingFilter::Insert(HashedKey key) {
   const uint64_t fp = Fingerprint(key);
   const uint64_t max_count = LowMask(counter_bits_);
   // Pass 1: an existing cell with this fingerprint in any candidate bucket.
@@ -67,7 +67,7 @@ bool DleftCountingFilter::Insert(uint64_t key) {
           ++cell.count;
           PutCell(slot, cell);
         } else {
-          ++overflow_[key];  // Counter saturated; spill the excess exactly.
+          ++overflow_[key.value()];  // Counter saturated; spill the excess exactly.
         }
         ++num_keys_;
         return true;
@@ -88,7 +88,7 @@ bool DleftCountingFilter::Insert(uint64_t key) {
     }
   }
   if (best_table < 0) {
-    ++overflow_[key];
+    ++overflow_[key.value()];
     ++num_keys_;
     return true;
   }
@@ -100,13 +100,13 @@ bool DleftCountingFilter::Insert(uint64_t key) {
       return true;
     }
   }
-  ++overflow_[key];
+  ++overflow_[key.value()];
   ++num_keys_;
   return true;
 }
 
-bool DleftCountingFilter::Erase(uint64_t key) {
-  const auto it = overflow_.find(key);
+bool DleftCountingFilter::Erase(HashedKey key) {
+  const auto it = overflow_.find(key.value());
   if (it != overflow_.end()) {
     if (--it->second == 0) overflow_.erase(it);
     --num_keys_;
@@ -129,9 +129,9 @@ bool DleftCountingFilter::Erase(uint64_t key) {
   return false;
 }
 
-uint64_t DleftCountingFilter::Count(uint64_t key) const {
+uint64_t DleftCountingFilter::Count(HashedKey key) const {
   uint64_t count = 0;
-  const auto it = overflow_.find(key);
+  const auto it = overflow_.find(key.value());
   if (it != overflow_.end()) count += it->second;
   const uint64_t fp = Fingerprint(key);
   // Sum over ALL matching cells: a colliding twin whose candidate buckets

@@ -30,10 +30,15 @@ class DleftCountingFilter : public Filter {
                                int fingerprint_bits = 12,
                                int counter_bits = 4);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override { return Count(key) > 0; }
-  bool Erase(uint64_t key) override;
-  uint64_t Count(uint64_t key) const override;
+  using Filter::Contains;
+  using Filter::Count;
+  using Filter::Erase;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override { return Count(key) > 0; }
+  bool Erase(HashedKey key) override;
+  uint64_t Count(HashedKey key) const override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return num_keys_; }
   /// Insertions over total cells. Counts multiplicity (duplicates share a
@@ -59,8 +64,8 @@ class DleftCountingFilter : public Filter {
     uint64_t count = 0;
   };
 
-  uint64_t Fingerprint(uint64_t key) const;
-  uint64_t BucketIndex(uint64_t key, int table) const;
+  uint64_t Fingerprint(HashedKey key) const;
+  uint64_t BucketIndex(HashedKey key, int table) const;
   uint64_t CellSlot(int table, uint64_t bucket, int cell) const {
     return (static_cast<uint64_t>(table) * buckets_per_table_ + bucket) *
                cells_per_bucket_ +
@@ -76,7 +81,9 @@ class DleftCountingFilter : public Filter {
   int counter_bits_;
   uint64_t buckets_per_table_;
   CompactVector cells_;  // (fingerprint | counter) packed per cell.
-  std::unordered_map<uint64_t, uint64_t> overflow_;  // key -> count.
+  // Canonical key mix (HashedKey::value) -> count. Exact because the
+  // canonical mix is the key identity everywhere past the boundary.
+  std::unordered_map<uint64_t, uint64_t> overflow_;
   uint64_t num_keys_ = 0;
 };
 

@@ -29,7 +29,7 @@ void ScalableBloomFilter::AddStage() {
   next_fpr_ *= tightening_;
 }
 
-bool ScalableBloomFilter::Insert(uint64_t key) {
+bool ScalableBloomFilter::Insert(HashedKey key) {
   Stage& last = stages_.back();
   if (last.used >= last.capacity) AddStage();
   Stage& target = stages_.back();
@@ -39,7 +39,7 @@ bool ScalableBloomFilter::Insert(uint64_t key) {
   return true;
 }
 
-bool ScalableBloomFilter::Contains(uint64_t key) const {
+bool ScalableBloomFilter::Contains(HashedKey key) const {
   for (const Stage& s : stages_) {
     if (s.filter->Contains(key)) return true;
   }

@@ -21,8 +21,11 @@ class ScalableBloomFilter : public Filter {
   ScalableBloomFilter(uint64_t initial_capacity, double target_fpr,
                       double growth = 2.0, double tightening = 0.5);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override;
+  using Filter::Contains;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return num_keys_; }
   /// Load of the newest stage only — it resets after each growth, so a

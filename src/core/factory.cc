@@ -1,112 +1,18 @@
 #include "core/factory.h"
 
-#include <cmath>
-
-#include "adaptive/adaptive_quotient_filter.h"
-#include "bloom/bloom_filter.h"
-#include "bloom/counting_bloom.h"
-#include "bloom/dleft_filter.h"
-#include "bloom/scalable_bloom.h"
-#include "cuckoo/adaptive_cuckoo_filter.h"
-#include "cuckoo/cuckoo_filter.h"
-#include "expandable/chained_filter.h"
-#include "expandable/ring_filter.h"
-#include "expandable/taffy_filter.h"
-#include "quotient/expanding_quotient_filter.h"
-#include "quotient/prefix_filter.h"
-#include "quotient/quotient_filter.h"
-#include "quotient/rsqf.h"
-#include "quotient/vector_quotient_filter.h"
-#include "util/bits.h"
+#include "core/registry.h"
 
 namespace bbf {
-namespace {
-
-int FingerprintBitsFor(double fpr, double probes) {
-  return std::max(2, static_cast<int>(std::ceil(std::log2(probes / fpr))));
-}
-
-double BloomBitsFor(double fpr) {
-  return -std::log(fpr) / (0.6931 * 0.6931);
-}
-
-}  // namespace
 
 std::unique_ptr<Filter> CreateFilter(std::string_view name,
                                      uint64_t expected_keys, double fpr) {
-  const uint64_t n = expected_keys == 0 ? 1 : expected_keys;
-  if (name == "bloom") {
-    return std::make_unique<BloomFilter>(n, BloomBitsFor(fpr));
-  }
-  if (name == "blocked-bloom") {
-    return std::make_unique<BlockedBloomFilter>(n, BloomBitsFor(fpr) + 2);
-  }
-  if (name == "counting-bloom") {
-    return std::make_unique<CountingBloomFilter>(n, 4 * BloomBitsFor(fpr));
-  }
-  if (name == "dleft") {
-    return std::make_unique<DleftCountingFilter>(
-        n, 4, 8, FingerprintBitsFor(fpr, 8.0));
-  }
-  if (name == "scalable-bloom") {
-    return std::make_unique<ScalableBloomFilter>(std::max<uint64_t>(n, 64),
-                                                 fpr);
-  }
-  if (name == "quotient") {
-    return std::make_unique<QuotientFilter>(
-        QuotientFilter::ForCapacity(n, fpr));
-  }
-  if (name == "counting-quotient") {
-    return std::make_unique<CountingQuotientFilter>(
-        CountingQuotientFilter::ForCapacity(n, fpr));
-  }
-  if (name == "rsqf") {
-    return std::make_unique<Rsqf>(Rsqf::ForCapacity(n, fpr));
-  }
-  if (name == "vector-quotient") {
-    return std::make_unique<VectorQuotientFilter>(
-        n, FingerprintBitsFor(fpr, 2.2));
-  }
-  if (name == "prefix") {
-    return std::make_unique<PrefixFilter>(n, FingerprintBitsFor(fpr, 24.0));
-  }
-  if (name == "cuckoo") {
-    return std::make_unique<CuckooFilter>(CuckooFilter::ForFpr(n, fpr));
-  }
-  if (name == "adaptive-cuckoo") {
-    return std::make_unique<AdaptiveCuckooFilter>(
-        n, FingerprintBitsFor(fpr, 8.0));
-  }
-  if (name == "adaptive-quotient") {
-    return std::make_unique<AdaptiveQuotientFilter>(
-        AdaptiveQuotientFilter::ForCapacity(n, fpr));
-  }
-  if (name == "taffy") {
-    return std::make_unique<TaffyFilter>(
-        10, FingerprintBitsFor(fpr, 1.0) + 4);
-  }
-  if (name == "chained-quotient") {
-    return std::make_unique<ChainedQuotientFilter>(
-        10, FingerprintBitsFor(fpr, 1.0) + 3);
-  }
-  if (name == "expanding-quotient") {
-    return std::make_unique<ExpandingQuotientFilter>(
-        10, FingerprintBitsFor(fpr, 1.0) + 4);
-  }
-  if (name == "ring") {
-    return std::make_unique<RingFilter>(
-        std::min(16, FingerprintBitsFor(fpr, 4.0)));
-  }
-  return nullptr;
+  const FilterEntry* entry = FindFilterEntry(name);
+  if (entry == nullptr || !entry->in_factory) return nullptr;
+  return entry->make(expected_keys == 0 ? 1 : expected_keys, fpr);
 }
 
 std::vector<std::string_view> KnownFilterNames() {
-  return {"bloom",          "blocked-bloom",   "counting-bloom",
-          "dleft",          "scalable-bloom",  "quotient",
-          "counting-quotient", "rsqf",         "vector-quotient",
-          "prefix",         "cuckoo",          "adaptive-cuckoo",
-          "adaptive-quotient", "taffy",        "chained-quotient",
-          "expanding-quotient", "ring"};
+  return FactoryFilterNames();
 }
 
 }  // namespace bbf

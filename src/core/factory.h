@@ -13,19 +13,21 @@ namespace bbf {
 /// Creates a point filter by name, sized for `expected_keys` at roughly
 /// `fpr` — the tutorial's "modern filter API" as a one-liner, and the
 /// mechanism behind pluggable-filter configuration in the applications.
+/// Backed by the self-registering registry (core/registry.h), which is
+/// the single source of truth shared with snapshot tag dispatch.
 ///
-/// Names: bloom, blocked-bloom, counting-bloom, dleft, scalable-bloom,
-/// quotient, counting-quotient, rsqf, vector-quotient, prefix, cuckoo,
-/// adaptive-cuckoo, adaptive-quotient, taffy, chained-quotient,
-/// expanding-quotient, ring.
+/// Names: bloom, blocked-bloom, counting-bloom, dleft (alias of
+/// dleft-counting), scalable-bloom, quotient, counting-quotient, rsqf,
+/// vector-quotient, prefix, cuckoo, adaptive-cuckoo, adaptive-quotient,
+/// taffy, chained-quotient, expanding-quotient, ring.
 ///
 /// Returns nullptr for unknown names. Static filters (xor/ribbon) need
 /// the key set up front and therefore have no factory entry — construct
-/// them directly.
+/// them directly (their tags are still loadable from snapshots).
 std::unique_ptr<Filter> CreateFilter(std::string_view name,
                                      uint64_t expected_keys, double fpr);
 
-/// Every name CreateFilter accepts.
+/// Every name CreateFilter accepts, sorted.
 std::vector<std::string_view> KnownFilterNames();
 
 }  // namespace bbf

@@ -8,6 +8,8 @@
 #include <span>
 #include <string_view>
 
+#include "core/key.h"
+
 namespace bbf {
 
 /// Taxonomy of §2 of the paper: static filters are built once from a known
@@ -35,9 +37,15 @@ constexpr bool Accepted(InsertOutcome outcome) {
 }
 
 /// The "modern filter API" (§1, §1.1): a point-membership filter over
-/// 64-bit keys. String keys are hashed to 64 bits at the boundary with
-/// bbf::HashBytes; fingerprint filters re-hash internally, so feeding
-/// already-hashed keys is safe.
+/// keys hashed exactly once at the boundary (DESIGN.md §10).
+///
+/// The primitive operations are the HashedKey virtuals: families consume
+/// the canonical mix (via HashedKey::Derive streams) and never see — or
+/// re-hash — the raw key. The `uint64_t` and `std::string_view` overloads
+/// are thin non-virtual wrappers that perform the one canonical mix and
+/// forward. Subclasses override the HashedKey virtuals and pull the
+/// wrappers back into scope with `using Filter::Insert;` etc. (C++ name
+/// hiding would otherwise shadow them).
 ///
 /// Implementations return `false` from Insert when the structure is full
 /// (fingerprint filters have a load-factor limit) and from Erase when
@@ -48,36 +56,59 @@ class Filter {
  public:
   virtual ~Filter() = default;
 
+  // ----- Boundary wrappers: mix once, forward. Non-virtual on purpose.
+
+  bool Insert(uint64_t key) { return Insert(HashedKey(key)); }
+  bool Insert(std::string_view key) { return Insert(HashedKey(key)); }
+  bool Contains(uint64_t key) const { return Contains(HashedKey(key)); }
+  bool Contains(std::string_view key) const {
+    return Contains(HashedKey(key));
+  }
+  bool Erase(uint64_t key) { return Erase(HashedKey(key)); }
+  bool Erase(std::string_view key) { return Erase(HashedKey(key)); }
+  uint64_t Count(uint64_t key) const { return Count(HashedKey(key)); }
+  uint64_t Count(std::string_view key) const {
+    return Count(HashedKey(key));
+  }
+
+  /// Batched wrappers: hash the whole tile once into a stack scratch
+  /// buffer, then run the HashedKey batch primitive — so shard grouping
+  /// and prefetch pipelines downstream reuse the same mixes.
+  void ContainsMany(std::span<const uint64_t> keys, uint8_t* out) const;
+  size_t InsertMany(std::span<const uint64_t> keys);
+
+  // ----- Primitive virtuals (families implement these).
+
   /// Adds `key`. Returns false if the filter is full or insert-incapable.
-  virtual bool Insert(uint64_t key) = 0;
+  virtual bool Insert(HashedKey key) = 0;
 
   /// Membership query: always true for inserted keys; true with probability
   /// <= epsilon for others.
-  virtual bool Contains(uint64_t key) const = 0;
+  virtual bool Contains(HashedKey key) const = 0;
 
   /// Batched membership: writes 0/1 to `out[i]` for each `keys[i]`,
   /// bit-for-bit identical to calling Contains in a loop. The base
   /// implementation is that loop; hot families override it with a
-  /// prefetch-pipelined two-pass path (hash the whole batch, issue a
+  /// prefetch-pipelined two-pass path (derive the whole batch, issue a
   /// software prefetch for every target cache line, then probe), which
   /// hides DRAM latency when the filter is larger than the LLC. Real
   /// deployments (LSM compaction, join pre-filters, k-mer lookup) query in
   /// batches, so this is the intended hot-path entry point.
-  virtual void ContainsMany(std::span<const uint64_t> keys,
+  virtual void ContainsMany(std::span<const HashedKey> keys,
                             uint8_t* out) const;
 
   /// Batched insert: attempts every key in order and returns the number
   /// successfully inserted. Equivalent to summing Insert over the batch —
   /// including the full-filter failure path, where individual inserts
   /// return false but later keys are still attempted.
-  virtual size_t InsertMany(std::span<const uint64_t> keys);
+  virtual size_t InsertMany(std::span<const HashedKey> keys);
 
   /// Removes one occurrence of `key`. Only meaningful for dynamic filters;
   /// default implementation reports lack of support.
-  virtual bool Erase(uint64_t key);
+  virtual bool Erase(HashedKey key);
 
   /// Multiplicity query (counting filters, §2.6). Default: 0/1 membership.
-  virtual uint64_t Count(uint64_t key) const;
+  virtual uint64_t Count(HashedKey key) const;
 
   /// Occupied-structure size in bits, for bits/key accounting.
   virtual size_t SpaceBits() const = 0;
@@ -137,9 +168,17 @@ class AdaptiveHook {
  public:
   virtual ~AdaptiveHook() = default;
 
+  /// Boundary wrappers, mirroring Filter's: mix once and forward.
+  bool ReportFalsePositive(uint64_t key) {
+    return ReportFalsePositive(HashedKey(key));
+  }
+  bool ReportFalsePositive(std::string_view key) {
+    return ReportFalsePositive(HashedKey(key));
+  }
+
   /// Notifies the filter that `key` produced a false positive. Returns true
   /// if the filter adapted (subsequent Contains(key) will be false).
-  virtual bool ReportFalsePositive(uint64_t key) = 0;
+  virtual bool ReportFalsePositive(HashedKey key) = 0;
 };
 
 }  // namespace bbf

@@ -5,11 +5,8 @@
 #include <utility>
 #include <vector>
 
-#include "bloom/counting_bloom.h"
-#include "core/factory.h"
+#include "core/registry.h"
 #include "core/sharded_filter.h"
-#include "staticf/ribbon_filter.h"
-#include "staticf/xor_filter.h"
 #include "util/serialize.h"
 
 namespace bbf {
@@ -20,22 +17,12 @@ bool SaveFilterSnapshot(const Filter& f, std::ostream& os) {
 
 std::unique_ptr<Filter> CreateFilterForTag(std::string_view tag,
                                            uint64_t expected_keys) {
-  const uint64_t n = expected_keys == 0 ? 1 : expected_keys;
-  // Most tags equal their factory name; the rest either renamed
-  // ("dleft-counting" is the "dleft" factory entry) or have no factory
-  // entry at all (static filters want the key set up front, so an empty
-  // build stands in until Load replaces it).
-  if (tag == "dleft-counting") return CreateFilter("dleft", n, 0.01);
-  if (tag == "spectral-bloom") {
-    return std::make_unique<SpectralBloomFilter>(n, 8.0);
-  }
-  if (tag == "xor") {
-    return std::make_unique<XorFilter>(std::vector<uint64_t>{}, 8);
-  }
-  if (tag == "ribbon") {
-    return std::make_unique<RibbonFilter>(std::vector<uint64_t>{}, 8);
-  }
-  return CreateFilter(tag, n, 0.01);
+  // Snapshot tags and factory names share one registry; tag dispatch
+  // additionally accepts the snapshot-only entries (static filters, whose
+  // empty build stands in until Load replaces it).
+  const FilterEntry* entry = FindFilterEntry(tag);
+  if (entry == nullptr) return nullptr;
+  return entry->make(expected_keys == 0 ? 1 : expected_keys, 0.01);
 }
 
 namespace {

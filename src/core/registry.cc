@@ -1,0 +1,213 @@
+#include "core/registry.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adaptive/adaptive_quotient_filter.h"
+#include "bloom/bloom_filter.h"
+#include "bloom/counting_bloom.h"
+#include "bloom/dleft_filter.h"
+#include "bloom/scalable_bloom.h"
+#include "core/sizing.h"
+#include "cuckoo/adaptive_cuckoo_filter.h"
+#include "cuckoo/cuckoo_filter.h"
+#include "expandable/chained_filter.h"
+#include "expandable/ring_filter.h"
+#include "expandable/taffy_filter.h"
+#include "quotient/expanding_quotient_filter.h"
+#include "quotient/prefix_filter.h"
+#include "quotient/quotient_filter.h"
+#include "quotient/rsqf.h"
+#include "quotient/vector_quotient_filter.h"
+#include "staticf/ribbon_filter.h"
+#include "staticf/xor_filter.h"
+
+namespace bbf {
+namespace {
+
+struct AliasTarget {
+  std::string tag;
+};
+
+struct Registry {
+  // Transparent comparator so string_view lookups avoid a temporary.
+  std::map<std::string, FilterEntry, std::less<>> entries;
+  std::map<std::string, AliasTarget, std::less<>> aliases;
+};
+
+Registry& GlobalRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace
+
+void RegisterFilter(std::string_view tag, FilterBuilder make,
+                    bool in_factory) {
+  Registry& r = GlobalRegistry();
+  auto [it, inserted] = r.entries.insert_or_assign(
+      std::string(tag), FilterEntry{{}, std::move(make), in_factory});
+  (void)inserted;
+  it->second.tag = it->first;  // Point at the stable map-owned string.
+}
+
+void RegisterFilterAlias(std::string_view alias, std::string_view tag) {
+  GlobalRegistry().aliases.insert_or_assign(std::string(alias),
+                                            AliasTarget{std::string(tag)});
+}
+
+const FilterEntry* FindFilterEntry(std::string_view name_or_alias) {
+  Registry& r = GlobalRegistry();
+  auto it = r.entries.find(name_or_alias);
+  if (it != r.entries.end()) return &it->second;
+  auto alias = r.aliases.find(name_or_alias);
+  if (alias == r.aliases.end()) return nullptr;
+  it = r.entries.find(alias->second.tag);
+  return it == r.entries.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string_view> RegisteredFilterTags() {
+  std::vector<std::string_view> tags;
+  for (const auto& [tag, entry] : GlobalRegistry().entries) {
+    tags.push_back(entry.tag);
+  }
+  return tags;  // std::map iteration is already sorted.
+}
+
+std::vector<std::string_view> FactoryFilterNames() {
+  Registry& r = GlobalRegistry();
+  std::vector<std::string_view> names;
+  for (const auto& [tag, entry] : r.entries) {
+    if (entry.in_factory) names.push_back(entry.tag);
+  }
+  for (const auto& [alias, target] : r.aliases) {
+    auto it = r.entries.find(target.tag);
+    if (it != r.entries.end() && it->second.in_factory) {
+      names.push_back(alias);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// ----- Builtin families. These registrars live in the registry's own
+// translation unit on purpose: with per-subsystem static libraries, a
+// registrar parked in a family's TU would be dead-stripped from any
+// binary that only references the factory. Anything that links the
+// registry gets every builtin.
+
+namespace {
+
+std::unique_ptr<Filter> MakeSharedBloom(uint64_t n, double fpr) {
+  return std::make_unique<BloomFilter>(n, BloomBitsFor(fpr));
+}
+
+const FilterRegistrar kBloom("bloom", MakeSharedBloom);
+const FilterRegistrar kBlockedBloom(
+    "blocked-bloom", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<BlockedBloomFilter>(n, BloomBitsFor(fpr) + 2);
+    });
+const FilterRegistrar kCountingBloom(
+    "counting-bloom", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<CountingBloomFilter>(n, 4 * BloomBitsFor(fpr));
+    });
+// Spectral's parameter is a bits-per-key budget, not an fpr target, so it
+// is snapshot-only: the tag must load, but CreateFilter rejects it.
+const FilterRegistrar kSpectralBloom(
+    "spectral-bloom",
+    [](uint64_t n, double /*fpr*/) -> std::unique_ptr<Filter> {
+      return std::make_unique<SpectralBloomFilter>(n, 8.0);
+    },
+    /*in_factory=*/false);
+const FilterRegistrar kDleft(
+    "dleft-counting", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<DleftCountingFilter>(
+          n, 4, 8, FingerprintBitsFor(fpr, 8.0));
+    });
+// Historical factory name for the d-left family.
+const FilterRegistrar kDleftAlias("dleft", std::string_view("dleft-counting"));
+const FilterRegistrar kScalableBloom(
+    "scalable-bloom", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<ScalableBloomFilter>(std::max<uint64_t>(n, 64),
+                                                   fpr);
+    });
+const FilterRegistrar kQuotient(
+    "quotient", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<QuotientFilter>(
+          QuotientFilter::ForCapacity(n, fpr));
+    });
+const FilterRegistrar kCountingQuotient(
+    "counting-quotient",
+    [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<CountingQuotientFilter>(
+          CountingQuotientFilter::ForCapacity(n, fpr));
+    });
+const FilterRegistrar kRsqf(
+    "rsqf", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<Rsqf>(Rsqf::ForCapacity(n, fpr));
+    });
+const FilterRegistrar kVectorQuotient(
+    "vector-quotient", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<VectorQuotientFilter>(
+          n, FingerprintBitsFor(fpr, 2.2));
+    });
+const FilterRegistrar kPrefix(
+    "prefix", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<PrefixFilter>(n, FingerprintBitsFor(fpr, 24.0));
+    });
+const FilterRegistrar kCuckoo(
+    "cuckoo", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<CuckooFilter>(CuckooFilter::ForFpr(n, fpr));
+    });
+const FilterRegistrar kAdaptiveCuckoo(
+    "adaptive-cuckoo", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<AdaptiveCuckooFilter>(
+          n, FingerprintBitsFor(fpr, 8.0));
+    });
+const FilterRegistrar kAdaptiveQuotient(
+    "adaptive-quotient",
+    [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<AdaptiveQuotientFilter>(
+          AdaptiveQuotientFilter::ForCapacity(n, fpr));
+    });
+const FilterRegistrar kTaffy(
+    "taffy", [](uint64_t /*n*/, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<TaffyFilter>(10,
+                                           FingerprintBitsFor(fpr, 1.0) + 4);
+    });
+const FilterRegistrar kChainedQuotient(
+    "chained-quotient",
+    [](uint64_t /*n*/, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<ChainedQuotientFilter>(
+          10, FingerprintBitsFor(fpr, 1.0) + 3);
+    });
+const FilterRegistrar kExpandingQuotient(
+    "expanding-quotient",
+    [](uint64_t /*n*/, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<ExpandingQuotientFilter>(
+          10, FingerprintBitsFor(fpr, 1.0) + 4);
+    });
+const FilterRegistrar kRing(
+    "ring", [](uint64_t /*n*/, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<RingFilter>(
+          std::min(16, FingerprintBitsFor(fpr, 4.0)));
+    });
+// Static filters want the key set up front; an empty build stands in
+// until LoadPayload replaces it — snapshot-only, like spectral.
+const FilterRegistrar kXor(
+    "xor", [](uint64_t /*n*/, double /*fpr*/) -> std::unique_ptr<Filter> {
+      return std::make_unique<XorFilter>(std::vector<uint64_t>{}, 8);
+    },
+    /*in_factory=*/false);
+const FilterRegistrar kRibbon(
+    "ribbon", [](uint64_t /*n*/, double /*fpr*/) -> std::unique_ptr<Filter> {
+      return std::make_unique<RibbonFilter>(std::vector<uint64_t>{}, 8);
+    },
+    /*in_factory=*/false);
+
+}  // namespace
+
+}  // namespace bbf

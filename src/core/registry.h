@@ -1,0 +1,76 @@
+#ifndef BBF_CORE_REGISTRY_H_
+#define BBF_CORE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/filter.h"
+
+namespace bbf {
+
+/// Builds an empty filter of one family, sized for `expected_keys` at
+/// roughly `fpr`. Builders registered for snapshot-only tags (static
+/// filters, spectral-bloom) may ignore `fpr`.
+using FilterBuilder =
+    std::function<std::unique_ptr<Filter>(uint64_t expected_keys, double fpr)>;
+
+/// One row of the filter registry — the single source of truth consulted
+/// by CreateFilter (factory construction), CreateFilterForTag (snapshot
+/// tag dispatch), and sharded snapshot recovery.
+struct FilterEntry {
+  /// The stable snapshot tag: must equal Name() of every filter `make`
+  /// produces, because LoadFilterSnapshot routes frames by it.
+  std::string_view tag;
+  FilterBuilder make;
+  /// Whether CreateFilter/KnownFilterNames expose this entry. Tags that
+  /// need their key set up front (xor, ribbon) or a non-fpr parameter
+  /// (spectral-bloom) are snapshot-only: loadable, not factory-built.
+  bool in_factory = true;
+};
+
+/// Registers a family under its stable Name() tag. Later registrations of
+/// the same tag win, so tests can shadow a builtin. Thread-compatible:
+/// registration is expected at static-init or test-setup time, not
+/// concurrently with lookups.
+void RegisterFilter(std::string_view tag, FilterBuilder make,
+                    bool in_factory = true);
+
+/// Registers `alias` as an alternate factory-visible name for `tag`
+/// ("dleft" builds the "dleft-counting" family). The alias participates
+/// in CreateFilter and KnownFilterNames; snapshot frames always carry the
+/// canonical tag.
+void RegisterFilterAlias(std::string_view alias, std::string_view tag);
+
+/// Looks up a name or alias. Returns nullptr when unknown.
+const FilterEntry* FindFilterEntry(std::string_view name_or_alias);
+
+/// Every canonical tag with a registered builder (no aliases), sorted.
+std::vector<std::string_view> RegisteredFilterTags();
+
+/// Every name CreateFilter accepts (factory-visible tags plus aliases),
+/// sorted.
+std::vector<std::string_view> FactoryFilterNames();
+
+/// RAII registrar for namespace-scope self-registration:
+///   static const FilterRegistrar kReg("mine", [](uint64_t n, double fpr) {
+///     return std::make_unique<MyFilter>(n, fpr);
+///   });
+/// The builtin families register exactly this way inside registry.cc —
+/// deliberately in the same translation unit as the registry storage, so
+/// static-lib dead-stripping can never drop a builtin.
+struct FilterRegistrar {
+  FilterRegistrar(std::string_view tag, FilterBuilder make,
+                  bool in_factory = true) {
+    RegisterFilter(tag, std::move(make), in_factory);
+  }
+  FilterRegistrar(std::string_view alias, std::string_view tag) {
+    RegisterFilterAlias(alias, tag);
+  }
+};
+
+}  // namespace bbf
+
+#endif  // BBF_CORE_REGISTRY_H_

@@ -7,7 +7,6 @@
 #include <string>
 #include <utility>
 
-#include "util/hash.h"
 #include "util/serialize.h"
 
 namespace bbf {
@@ -57,10 +56,12 @@ ShardedFilter::ShardedFilter(uint64_t expected_keys, int num_shards,
   }
 }
 
-size_t ShardedFilter::ShardOf(uint64_t key) const {
-  // Shard selection uses hash bits disjoint from what the shard filters
-  // consume (they re-hash with their own seeds anyway).
-  return static_cast<size_t>(Hash64(key, 0x5A4D) % shards_.size());
+size_t ShardedFilter::ShardOf(HashedKey key) const {
+  // Routing slices the canonical mix directly — zero extra hashing. The
+  // bit-usage contract (core/key.h) keeps this sound: families only ever
+  // consume Derive(stream) values, never value() itself, so shard
+  // selection cannot bias any family's fingerprint distribution.
+  return static_cast<size_t>(key.value() % shards_.size());
 }
 
 Filter& ShardedFilter::AddGenerationLocked(Shard& shard) {
@@ -72,7 +73,7 @@ Filter& ShardedFilter::AddGenerationLocked(Shard& shard) {
 }
 
 InsertOutcome ShardedFilter::InsertIntoShardLocked(Shard& shard,
-                                                   uint64_t key) {
+                                                   HashedKey key) {
   Filter& cur = *shard.gens.back();
   const bool saturated = cur.LoadFactor() >= config_.load_threshold;
   if (!saturated && cur.Insert(key)) {
@@ -118,17 +119,17 @@ InsertOutcome ShardedFilter::InsertIntoShardLocked(Shard& shard,
   return InsertOutcome::kRejectedFull;  // Unreachable; placates compilers.
 }
 
-InsertOutcome ShardedFilter::InsertWithStatus(uint64_t key) {
+InsertOutcome ShardedFilter::InsertWithStatus(HashedKey key) {
   Shard& shard = *shards_[ShardOf(key)];
   std::unique_lock lock(shard.mutex);
   return InsertIntoShardLocked(shard, key);
 }
 
-bool ShardedFilter::Insert(uint64_t key) {
+bool ShardedFilter::Insert(HashedKey key) {
   return Accepted(InsertWithStatus(key));
 }
 
-bool ShardedFilter::Contains(uint64_t key) const {
+bool ShardedFilter::Contains(HashedKey key) const {
   const Shard& shard = *shards_[ShardOf(key)];
   std::shared_lock lock(shard.mutex);
   for (const auto& gen : shard.gens) {
@@ -138,8 +139,8 @@ bool ShardedFilter::Contains(uint64_t key) const {
 }
 
 void ShardedFilter::GroupByShard(
-    std::span<const uint64_t> keys,
-    std::vector<std::vector<uint64_t>>* group,
+    std::span<const HashedKey> keys,
+    std::vector<std::vector<HashedKey>>* group,
     std::vector<std::vector<size_t>>* index) const {
   group->assign(shards_.size(), {});
   index->assign(shards_.size(), {});
@@ -150,7 +151,7 @@ void ShardedFilter::GroupByShard(
   }
 }
 
-void ShardedFilter::ContainsMany(std::span<const uint64_t> keys,
+void ShardedFilter::ContainsMany(std::span<const HashedKey> keys,
                                  uint8_t* out) const {
   // Grouping costs per-batch allocations and a gather/scatter; it pays
   // only when each shard receives a sub-batch deep enough for its own
@@ -161,7 +162,7 @@ void ShardedFilter::ContainsMany(std::span<const uint64_t> keys,
     }
     return;
   }
-  std::vector<std::vector<uint64_t>> group;
+  std::vector<std::vector<HashedKey>> group;
   std::vector<std::vector<size_t>> index;
   GroupByShard(keys, &group, &index);
   std::vector<uint8_t> shard_out;
@@ -191,13 +192,13 @@ void ShardedFilter::ContainsMany(std::span<const uint64_t> keys,
   }
 }
 
-size_t ShardedFilter::InsertMany(std::span<const uint64_t> keys) {
+size_t ShardedFilter::InsertMany(std::span<const HashedKey> keys) {
   if (keys.size() < shards_.size() * 32) {
     size_t inserted = 0;
-    for (uint64_t key : keys) inserted += Insert(key);
+    for (HashedKey key : keys) inserted += Insert(key);
     return inserted;
   }
-  std::vector<std::vector<uint64_t>> group;
+  std::vector<std::vector<HashedKey>> group;
   std::vector<std::vector<size_t>> index;
   GroupByShard(keys, &group, &index);
   size_t inserted = 0;
@@ -222,14 +223,14 @@ size_t ShardedFilter::InsertMany(std::span<const uint64_t> keys) {
       continue;
     }
     // Near saturation: per-key policy path (chaining mid-batch is fine).
-    for (uint64_t key : group[s]) {
+    for (HashedKey key : group[s]) {
       inserted += Accepted(InsertIntoShardLocked(shard, key));
     }
   }
   return inserted;
 }
 
-bool ShardedFilter::Erase(uint64_t key) {
+bool ShardedFilter::Erase(HashedKey key) {
   Shard& shard = *shards_[ShardOf(key)];
   std::unique_lock lock(shard.mutex);
   // Newest first: recent inserts are the likeliest erase targets.
@@ -239,7 +240,7 @@ bool ShardedFilter::Erase(uint64_t key) {
   return false;
 }
 
-uint64_t ShardedFilter::Count(uint64_t key) const {
+uint64_t ShardedFilter::Count(HashedKey key) const {
   const Shard& shard = *shards_[ShardOf(key)];
   std::shared_lock lock(shard.mutex);
   uint64_t count = 0;

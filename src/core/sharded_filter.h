@@ -77,22 +77,36 @@ class ShardedFilter : public Filter {
   /// Structured insert: kAccepted below the threshold, kExpanded when the
   /// key was only admitted by chaining/expanding a generation,
   /// kRejectedFull when the policy refused it (key NOT queryable).
-  InsertOutcome InsertWithStatus(uint64_t key);
+  InsertOutcome InsertWithStatus(HashedKey key);
+  InsertOutcome InsertWithStatus(uint64_t key) {
+    return InsertWithStatus(HashedKey(key));
+  }
+  InsertOutcome InsertWithStatus(std::string_view key) {
+    return InsertWithStatus(HashedKey(key));
+  }
+
+  using Filter::Contains;
+  using Filter::ContainsMany;
+  using Filter::Count;
+  using Filter::Erase;
+  using Filter::Insert;
+  using Filter::InsertMany;
 
   /// Accepted(InsertWithStatus(key)) — kept for the Filter contract.
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override;
-  /// Batch paths group keys by shard first, so a batch of B keys takes
-  /// each shard lock at most once (~num_shards acquisitions instead of B)
-  /// and hands every shard one contiguous sub-batch — which flows into the
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override;
+  /// Batch paths group pre-hashed keys by shard first, so a batch of B
+  /// keys is hashed exactly once (by the Filter wrappers), takes each
+  /// shard lock at most once (~num_shards acquisitions instead of B) and
+  /// hands every shard one contiguous sub-batch — which flows into the
   /// shard filter's own prefetch-pipelined batch path. Sub-batches that
   /// fit under the load threshold go straight to the newest generation's
   /// InsertMany; near saturation the per-key policy path takes over.
-  void ContainsMany(std::span<const uint64_t> keys,
+  void ContainsMany(std::span<const HashedKey> keys,
                     uint8_t* out) const override;
-  size_t InsertMany(std::span<const uint64_t> keys) override;
-  bool Erase(uint64_t key) override;
-  uint64_t Count(uint64_t key) const override;
+  size_t InsertMany(std::span<const HashedKey> keys) override;
+  bool Erase(HashedKey key) override;
+  uint64_t Count(HashedKey key) const override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override;
   /// Load of the hottest shard's newest generation — the binding
@@ -162,18 +176,18 @@ class ShardedFilter : public Filter {
     uint64_t rejected = 0;
   };
 
-  size_t ShardOf(uint64_t key) const;
+  size_t ShardOf(HashedKey key) const;
   // The policy-driven insert path; requires shard.mutex held exclusively.
-  InsertOutcome InsertIntoShardLocked(Shard& shard, uint64_t key);
+  InsertOutcome InsertIntoShardLocked(Shard& shard, HashedKey key);
   // Chains a fresh generation onto `shard` (kChain). Requires the lock.
   Filter& AddGenerationLocked(Shard& shard);
   std::unique_ptr<Shard> MakeShard() const;
 
-  // Counting-sorts `keys` by shard. On return, group[s] holds the keys of
-  // shard s in batch order and index[s][j] is the batch position of
-  // group[s][j] (for scattering results back).
-  void GroupByShard(std::span<const uint64_t> keys,
-                    std::vector<std::vector<uint64_t>>* group,
+  // Counting-sorts pre-hashed `keys` by shard. On return, group[s] holds
+  // the keys of shard s in batch order and index[s][j] is the batch
+  // position of group[s][j] (for scattering results back).
+  void GroupByShard(std::span<const HashedKey> keys,
+                    std::vector<std::vector<HashedKey>>* group,
                     std::vector<std::vector<size_t>>* index) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,0 +1,34 @@
+#ifndef BBF_CORE_SIZING_H_
+#define BBF_CORE_SIZING_H_
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace bbf {
+
+/// Sizing math shared by the factory, the families, and the benches —
+/// previously duplicated (with a drifting ln2 approximation) across
+/// factory.cc and the bloom family.
+
+/// Fingerprint width for a fingerprint filter probing `probes`
+/// slot-candidates per query: eps ~= probes / 2^f, so f = lg(probes/eps).
+inline int FingerprintBitsFor(double fpr, double probes) {
+  return std::max(2, static_cast<int>(std::ceil(std::log2(probes / fpr))));
+}
+
+/// Optimal Bloom bits per key for a target false-positive rate:
+/// m/n = -ln(eps) / ln(2)^2 (§2 of the paper).
+inline double BloomBitsFor(double fpr) {
+  return -std::log(fpr) / (std::numbers::ln2 * std::numbers::ln2);
+}
+
+/// Optimal Bloom probe count for a bits-per-key budget: k = (m/n) ln 2.
+inline int OptimalBloomHashes(double bits_per_key) {
+  return std::max(1, static_cast<int>(std::round(bits_per_key *
+                                                 std::numbers::ln2)));
+}
+
+}  // namespace bbf
+
+#endif  // BBF_CORE_SIZING_H_

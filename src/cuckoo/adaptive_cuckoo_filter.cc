@@ -27,46 +27,47 @@ AdaptiveCuckooFilter::AdaptiveCuckooFilter(uint64_t expected_keys,
   remote_keys_.resize(num_buckets_ * kSlotsPerBucket, 0);
 }
 
-uint64_t AdaptiveCuckooFilter::FingerprintOf(uint64_t key,
+uint64_t AdaptiveCuckooFilter::FingerprintOf(HashedKey key,
                                              uint64_t selector) const {
-  const uint64_t fp = Hash64(key, hash_seed_ + 11 + selector) &
+  const uint64_t fp = key.Derive(hash_seed_ + 11 + selector) &
                       LowMask(fingerprint_bits_);
   return fp == 0 ? 1 : fp;
 }
 
-uint64_t AdaptiveCuckooFilter::Index1(uint64_t key) const {
-  return Hash64(key, hash_seed_ + 1) & (num_buckets_ - 1);
+uint64_t AdaptiveCuckooFilter::Index1(HashedKey key) const {
+  return key.Derive(hash_seed_ + 1) & (num_buckets_ - 1);
 }
 
-uint64_t AdaptiveCuckooFilter::Index2(uint64_t key) const {
+uint64_t AdaptiveCuckooFilter::Index2(HashedKey key) const {
   // Location hashes are key-based (not fingerprint-based): the remote
-  // store lets relocation rehash the original key, unlike a plain CF.
-  const uint64_t i2 = Hash64(key, hash_seed_ + 2) & (num_buckets_ - 1);
+  // store lets relocation re-derive from the original key, unlike a
+  // plain CF.
+  const uint64_t i2 = key.Derive(hash_seed_ + 2) & (num_buckets_ - 1);
   return i2 == Index1(key) ? (i2 ^ 1) & (num_buckets_ - 1) : i2;
 }
 
 bool AdaptiveCuckooFilter::SlotMatches(uint64_t bucket, int slot,
-                                       uint64_t key) const {
+                                       HashedKey key) const {
   const uint64_t idx = CellIndex(bucket, slot);
   const uint64_t fp = fingerprints_.Get(idx);
   if (fp == 0) return false;
   return fp == FingerprintOf(key, selectors_.Get(idx));
 }
 
-bool AdaptiveCuckooFilter::TryPlace(uint64_t bucket, uint64_t key) {
+bool AdaptiveCuckooFilter::TryPlace(uint64_t bucket, HashedKey key) {
   for (int s = 0; s < kSlotsPerBucket; ++s) {
     const uint64_t idx = CellIndex(bucket, s);
     if (fingerprints_.Get(idx) == 0) {
       fingerprints_.Set(idx, FingerprintOf(key, 0));
       selectors_.Set(idx, 0);
-      remote_keys_[idx] = key;
+      remote_keys_[idx] = key.value();
       return true;
     }
   }
   return false;
 }
 
-bool AdaptiveCuckooFilter::Insert(uint64_t key) {
+bool AdaptiveCuckooFilter::Insert(HashedKey key) {
   if (TryPlace(Index1(key), key) || TryPlace(Index2(key), key)) {
     ++num_keys_;
     return true;
@@ -84,18 +85,18 @@ bool AdaptiveCuckooFilter::Insert(uint64_t key) {
   const bool may_need_unwind = stash_.size() >= kMaxStash;
   std::vector<KickRecord> path;
   if (may_need_unwind) path.reserve(kMaxKicks);
-  uint64_t cur = key;
+  HashedKey cur = key;
   uint64_t bucket = kick_rng_.NextBelow(2) ? Index1(key) : Index2(key);
   for (int kick = 0; kick < kMaxKicks; ++kick) {
     const int slot = static_cast<int>(kick_rng_.NextBelow(kSlotsPerBucket));
     const uint64_t idx = CellIndex(bucket, slot);
-    const uint64_t victim = remote_keys_[idx];
+    const HashedKey victim = HashedKey::FromMix(remote_keys_[idx]);
     if (may_need_unwind) {
       path.push_back({idx, fingerprints_.Get(idx), selectors_.Get(idx)});
     }
     fingerprints_.Set(idx, FingerprintOf(cur, 0));
     selectors_.Set(idx, 0);
-    remote_keys_[idx] = cur;
+    remote_keys_[idx] = cur.value();
     cur = victim;
     bucket = (bucket == Index1(cur)) ? Index2(cur) : Index1(cur);
     if (TryPlace(bucket, cur)) {
@@ -111,34 +112,35 @@ bool AdaptiveCuckooFilter::Insert(uint64_t key) {
       const uint64_t placed = remote_keys_[path[i].idx];
       fingerprints_.Set(path[i].idx, path[i].fp);
       selectors_.Set(path[i].idx, path[i].selector);
-      remote_keys_[path[i].idx] = cur;
-      cur = placed;
+      remote_keys_[path[i].idx] = cur.value();
+      cur = HashedKey::FromMix(placed);
     }
     return false;  // State exactly as before the attempt.
   }
-  stash_.push_back(cur);  // Exact keys: the stash never false-positives.
+  // Exact canonical keys: the stash never false-positives.
+  stash_.push_back(cur.value());
   ++num_keys_;
   return true;
 }
 
-bool AdaptiveCuckooFilter::Contains(uint64_t key) const {
+bool AdaptiveCuckooFilter::Contains(HashedKey key) const {
   const uint64_t i1 = Index1(key);
   const uint64_t i2 = Index2(key);
   for (int s = 0; s < kSlotsPerBucket; ++s) {
     if (SlotMatches(i1, s, key) || SlotMatches(i2, s, key)) return true;
   }
   for (uint64_t k : stash_) {
-    if (k == key) return true;
+    if (k == key.value()) return true;
   }
   return false;
 }
 
-bool AdaptiveCuckooFilter::Erase(uint64_t key) {
+bool AdaptiveCuckooFilter::Erase(HashedKey key) {
   for (uint64_t bucket : {Index1(key), Index2(key)}) {
     for (int s = 0; s < kSlotsPerBucket; ++s) {
       const uint64_t idx = CellIndex(bucket, s);
       // Exact delete: the remote store disambiguates colliding twins.
-      if (fingerprints_.Get(idx) != 0 && remote_keys_[idx] == key) {
+      if (fingerprints_.Get(idx) != 0 && remote_keys_[idx] == key.value()) {
         fingerprints_.Set(idx, 0);
         selectors_.Set(idx, 0);
         remote_keys_[idx] = 0;
@@ -148,7 +150,7 @@ bool AdaptiveCuckooFilter::Erase(uint64_t key) {
     }
   }
   for (size_t i = 0; i < stash_.size(); ++i) {
-    if (stash_[i] == key) {
+    if (stash_[i] == key.value()) {
       stash_.erase(stash_.begin() + i);
       --num_keys_;
       return true;
@@ -157,17 +159,19 @@ bool AdaptiveCuckooFilter::Erase(uint64_t key) {
   return false;
 }
 
-bool AdaptiveCuckooFilter::ReportFalsePositive(uint64_t key) {
+bool AdaptiveCuckooFilter::ReportFalsePositive(HashedKey key) {
   const uint64_t max_selector = LowMask(selector_bits_);
   for (uint64_t bucket : {Index1(key), Index2(key)}) {
     for (int s = 0; s < kSlotsPerBucket; ++s) {
       const uint64_t idx = CellIndex(bucket, s);
       if (!SlotMatches(bucket, s, key)) continue;
-      if (remote_keys_[idx] == key) continue;  // True positive, not an FP.
+      // True positive, not an FP.
+      if (remote_keys_[idx] == key.value()) continue;
       // Bump the selector and recompute from the resident's true key.
       const uint64_t sel = (selectors_.Get(idx) + 1) & max_selector;
       selectors_.Set(idx, sel);
-      fingerprints_.Set(idx, FingerprintOf(remote_keys_[idx], sel));
+      fingerprints_.Set(
+          idx, FingerprintOf(HashedKey::FromMix(remote_keys_[idx]), sel));
       ++adaptations_;
     }
   }

@@ -26,9 +26,13 @@ class AdaptiveCuckooFilter : public Filter, public AdaptiveHook {
   AdaptiveCuckooFilter(uint64_t expected_keys, int fingerprint_bits,
                        int selector_bits = 2, uint64_t hash_seed = 0xAC);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override;
-  bool Erase(uint64_t key) override;
+  using Filter::Contains;
+  using Filter::Erase;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override;
+  bool Erase(HashedKey key) override;
   size_t SpaceBits() const override {
     return fingerprints_.size() * (fingerprints_.width() + selector_bits_);
   }
@@ -39,9 +43,11 @@ class AdaptiveCuckooFilter : public Filter, public AdaptiveHook {
   FilterClass Class() const override { return FilterClass::kDynamic; }
   std::string_view Name() const override { return "adaptive-cuckoo"; }
 
+  using AdaptiveHook::ReportFalsePositive;
+
   /// Rehashes every slot that collides with `key` under its current
   /// selector. Returns true if Contains(key) is now false.
-  bool ReportFalsePositive(uint64_t key) override;
+  bool ReportFalsePositive(HashedKey key) override;
 
   uint64_t adaptations() const { return adaptations_; }
 
@@ -58,14 +64,14 @@ class AdaptiveCuckooFilter : public Filter, public AdaptiveHook {
     int slot;
   };
 
-  uint64_t FingerprintOf(uint64_t key, uint64_t selector) const;
-  uint64_t Index1(uint64_t key) const;
-  uint64_t Index2(uint64_t key) const;
+  uint64_t FingerprintOf(HashedKey key, uint64_t selector) const;
+  uint64_t Index1(HashedKey key) const;
+  uint64_t Index2(HashedKey key) const;
   uint64_t CellIndex(uint64_t bucket, int slot) const {
     return bucket * kSlotsPerBucket + slot;
   }
-  bool TryPlace(uint64_t bucket, uint64_t key);
-  bool SlotMatches(uint64_t bucket, int slot, uint64_t key) const;
+  bool TryPlace(uint64_t bucket, HashedKey key);
+  bool SlotMatches(uint64_t bucket, int slot, HashedKey key) const;
 
   uint64_t num_buckets_;
   int fingerprint_bits_;
@@ -73,8 +79,9 @@ class AdaptiveCuckooFilter : public Filter, public AdaptiveHook {
   uint64_t hash_seed_;
   CompactVector fingerprints_;        // 0 = empty cell.
   CompactVector selectors_;
-  std::vector<uint64_t> remote_keys_;  // Original key per cell (dictionary).
-  std::vector<uint64_t> stash_;        // Exact homeless keys (rare).
+  // Canonical (pre-mixed) key per cell — the backing dictionary.
+  std::vector<uint64_t> remote_keys_;
+  std::vector<uint64_t> stash_;  // Exact homeless canonical keys (rare).
   SplitMix64 kick_rng_;
   uint64_t num_keys_ = 0;
   uint64_t adaptations_ = 0;

@@ -38,14 +38,14 @@ CuckooFilter CuckooFilter::ForFpr(uint64_t expected_keys, double fpr) {
   return CuckooFilter(expected_keys, f);
 }
 
-uint64_t CuckooFilter::FingerprintOf(uint64_t key) const {
+uint64_t CuckooFilter::FingerprintOf(HashedKey key) const {
   const uint64_t fp =
-      Hash64(key, hash_seed_ + 1) & LowMask(fingerprint_bits_);
+      key.Derive(hash_seed_ + 1) & LowMask(fingerprint_bits_);
   return fp == 0 ? 1 : fp;  // 0 marks an empty cell.
 }
 
-uint64_t CuckooFilter::IndexOf(uint64_t key) const {
-  return Hash64(key, hash_seed_) & (num_buckets_ - 1);
+uint64_t CuckooFilter::IndexOf(HashedKey key) const {
+  return key.Derive(hash_seed_) & (num_buckets_ - 1);
 }
 
 uint64_t CuckooFilter::AltIndex(uint64_t index, uint64_t fp) const {
@@ -63,7 +63,7 @@ bool CuckooFilter::TryPlace(uint64_t bucket, uint64_t fp) {
   return false;
 }
 
-bool CuckooFilter::Insert(uint64_t key) {
+bool CuckooFilter::Insert(HashedKey key) {
   const uint64_t fp = FingerprintOf(key);
   const uint64_t i1 = IndexOf(key);
   return InsertPrepared(fp, i1, AltIndex(i1, fp));
@@ -114,7 +114,7 @@ bool CuckooFilter::InsertPrepared(uint64_t fp, uint64_t i1, uint64_t i2) {
   return true;
 }
 
-bool CuckooFilter::Contains(uint64_t key) const {
+bool CuckooFilter::Contains(HashedKey key) const {
   const uint64_t fp = FingerprintOf(key);
   const uint64_t i1 = IndexOf(key);
   const uint64_t i2 = AltIndex(i1, fp);
@@ -130,7 +130,7 @@ bool CuckooFilter::Contains(uint64_t key) const {
   return false;
 }
 
-void CuckooFilter::ContainsMany(std::span<const uint64_t> keys,
+void CuckooFilter::ContainsMany(std::span<const HashedKey> keys,
                                 uint8_t* out) const {
   constexpr size_t kTile = 32;
   uint64_t fp[kTile];
@@ -169,7 +169,7 @@ void CuckooFilter::ContainsMany(std::span<const uint64_t> keys,
   }
 }
 
-size_t CuckooFilter::InsertMany(std::span<const uint64_t> keys) {
+size_t CuckooFilter::InsertMany(std::span<const HashedKey> keys) {
   constexpr size_t kTile = 32;
   uint64_t fp[kTile];
   uint64_t i1[kTile];
@@ -195,7 +195,7 @@ size_t CuckooFilter::InsertMany(std::span<const uint64_t> keys) {
   return inserted;
 }
 
-uint64_t CuckooFilter::Count(uint64_t key) const {
+uint64_t CuckooFilter::Count(HashedKey key) const {
   const uint64_t fp = FingerprintOf(key);
   const uint64_t i1 = IndexOf(key);
   const uint64_t i2 = AltIndex(i1, fp);
@@ -211,7 +211,7 @@ uint64_t CuckooFilter::Count(uint64_t key) const {
   return count;
 }
 
-bool CuckooFilter::Erase(uint64_t key) {
+bool CuckooFilter::Erase(HashedKey key) {
   const uint64_t fp = FingerprintOf(key);
   const uint64_t i1 = IndexOf(key);
   const uint64_t i2 = AltIndex(i1, fp);

@@ -25,16 +25,23 @@ class CuckooFilter : public Filter {
 
   static CuckooFilter ForFpr(uint64_t expected_keys, double fpr);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override;
-  /// Batch paths: hash a tile of keys, prefetch both candidate buckets per
-  /// key, then probe/place — one pipeline of independent cache misses
+  using Filter::Contains;
+  using Filter::ContainsMany;
+  using Filter::Count;
+  using Filter::Erase;
+  using Filter::Insert;
+  using Filter::InsertMany;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override;
+  /// Batch paths: derive a tile of keys, prefetch both candidate buckets
+  /// per key, then probe/place — one pipeline of independent cache misses
   /// instead of two dependent misses per key.
-  void ContainsMany(std::span<const uint64_t> keys,
+  void ContainsMany(std::span<const HashedKey> keys,
                     uint8_t* out) const override;
-  size_t InsertMany(std::span<const uint64_t> keys) override;
-  bool Erase(uint64_t key) override;
-  uint64_t Count(uint64_t key) const override;
+  size_t InsertMany(std::span<const HashedKey> keys) override;
+  bool Erase(HashedKey key) override;
+  uint64_t Count(HashedKey key) const override;
   size_t SpaceBits() const override {
     return cells_.size() * cells_.width() + stash_.size() * 64;
   }
@@ -56,8 +63,8 @@ class CuckooFilter : public Filter {
   bool LoadPayload(std::istream& is) override;
 
  private:
-  uint64_t FingerprintOf(uint64_t key) const;
-  uint64_t IndexOf(uint64_t key) const;
+  uint64_t FingerprintOf(HashedKey key) const;
+  uint64_t IndexOf(HashedKey key) const;
   uint64_t AltIndex(uint64_t index, uint64_t fp) const;
   uint64_t CellAt(uint64_t bucket, int slot) const {
     return cells_.Get(bucket * kSlotsPerBucket + slot);

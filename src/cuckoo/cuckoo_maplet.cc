@@ -23,14 +23,14 @@ CuckooMaplet::CuckooMaplet(uint64_t expected_keys, int fingerprint_bits,
   values_ = CompactVector(num_buckets_ * kSlotsPerBucket, value_bits);
 }
 
-uint64_t CuckooMaplet::FingerprintOf(uint64_t key) const {
+uint64_t CuckooMaplet::FingerprintOf(HashedKey key) const {
   const uint64_t fp =
-      Hash64(key, hash_seed_ + 1) & LowMask(fingerprint_bits_);
+      key.Derive(hash_seed_ + 1) & LowMask(fingerprint_bits_);
   return fp == 0 ? 1 : fp;
 }
 
-uint64_t CuckooMaplet::IndexOf(uint64_t key) const {
-  return Hash64(key, hash_seed_) & (num_buckets_ - 1);
+uint64_t CuckooMaplet::IndexOf(HashedKey key) const {
+  return key.Derive(hash_seed_) & (num_buckets_ - 1);
 }
 
 uint64_t CuckooMaplet::AltIndex(uint64_t index, uint64_t fp) const {
@@ -49,7 +49,7 @@ bool CuckooMaplet::TryPlace(uint64_t bucket, uint64_t fp, uint64_t value) {
   return false;
 }
 
-bool CuckooMaplet::Insert(uint64_t key, uint64_t value) {
+bool CuckooMaplet::Insert(HashedKey key, uint64_t value) {
   uint64_t fp = FingerprintOf(key);
   uint64_t val = value;
   const uint64_t i1 = IndexOf(key);
@@ -99,7 +99,7 @@ bool CuckooMaplet::Insert(uint64_t key, uint64_t value) {
   return true;
 }
 
-std::vector<uint64_t> CuckooMaplet::Lookup(uint64_t key) const {
+std::vector<uint64_t> CuckooMaplet::Lookup(HashedKey key) const {
   std::vector<uint64_t> out;
   const uint64_t fp = FingerprintOf(key);
   const uint64_t i1 = IndexOf(key);
@@ -120,7 +120,7 @@ std::vector<uint64_t> CuckooMaplet::Lookup(uint64_t key) const {
   return out;
 }
 
-bool CuckooMaplet::Erase(uint64_t key, uint64_t value) {
+bool CuckooMaplet::Erase(HashedKey key, uint64_t value) {
   const uint64_t fp = FingerprintOf(key);
   const uint64_t i1 = IndexOf(key);
   const uint64_t i2 = AltIndex(i1, fp);

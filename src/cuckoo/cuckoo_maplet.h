@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/key.h"
 #include "util/compact_vector.h"
 #include "util/random.h"
 
@@ -18,15 +19,25 @@ class CuckooMaplet {
                uint64_t hash_seed = 0xCA);
 
   /// Associates `value` with `key`; returns false if the table is full.
-  bool Insert(uint64_t key, uint64_t value);
+  bool Insert(HashedKey key, uint64_t value);
+  bool Insert(uint64_t key, uint64_t value) {
+    return Insert(HashedKey(key), value);
+  }
 
   /// All values stored under `key`'s fingerprint (possibly empty).
-  std::vector<uint64_t> Lookup(uint64_t key) const;
+  std::vector<uint64_t> Lookup(HashedKey key) const;
+  std::vector<uint64_t> Lookup(uint64_t key) const {
+    return Lookup(HashedKey(key));
+  }
 
-  bool Contains(uint64_t key) const { return !Lookup(key).empty(); }
+  bool Contains(HashedKey key) const { return !Lookup(key).empty(); }
+  bool Contains(uint64_t key) const { return Contains(HashedKey(key)); }
 
   /// Removes one (key, value) association.
-  bool Erase(uint64_t key, uint64_t value);
+  bool Erase(HashedKey key, uint64_t value);
+  bool Erase(uint64_t key, uint64_t value) {
+    return Erase(HashedKey(key), value);
+  }
 
   size_t SpaceBits() const {
     return fingerprints_.size() * (fingerprints_.width() + values_.width()) +
@@ -49,8 +60,8 @@ class CuckooMaplet {
     uint64_t fp;
     uint64_t value;
   };
-  uint64_t FingerprintOf(uint64_t key) const;
-  uint64_t IndexOf(uint64_t key) const;
+  uint64_t FingerprintOf(HashedKey key) const;
+  uint64_t IndexOf(HashedKey key) const;
   uint64_t AltIndex(uint64_t index, uint64_t fp) const;
   bool TryPlace(uint64_t bucket, uint64_t fp, uint64_t value);
 

@@ -14,7 +14,7 @@ ChainedQuotientFilter::ChainedQuotientFilter(int q_bits, int r_bits,
   ++next_q_bits_;
 }
 
-bool ChainedQuotientFilter::Insert(uint64_t key) {
+bool ChainedQuotientFilter::Insert(HashedKey key) {
   if (!links_.back()->Insert(key)) {
     links_.push_back(std::make_unique<QuotientFilter>(
         next_q_bits_, r_bits_, hash_seed_ + links_.size()));
@@ -25,14 +25,14 @@ bool ChainedQuotientFilter::Insert(uint64_t key) {
   return true;
 }
 
-bool ChainedQuotientFilter::Contains(uint64_t key) const {
+bool ChainedQuotientFilter::Contains(HashedKey key) const {
   for (const auto& link : links_) {
     if (link->Contains(key)) return true;
   }
   return false;
 }
 
-bool ChainedQuotientFilter::Erase(uint64_t key) {
+bool ChainedQuotientFilter::Erase(HashedKey key) {
   // Newest first: recently inserted keys are most likely there.
   for (auto it = links_.rbegin(); it != links_.rend(); ++it) {
     if ((*it)->Erase(key)) {
@@ -43,7 +43,7 @@ bool ChainedQuotientFilter::Erase(uint64_t key) {
   return false;
 }
 
-uint64_t ChainedQuotientFilter::Count(uint64_t key) const {
+uint64_t ChainedQuotientFilter::Count(HashedKey key) const {
   uint64_t count = 0;
   for (const auto& link : links_) count += link->Count(key);
   return count;

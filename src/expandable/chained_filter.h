@@ -21,10 +21,15 @@ class ChainedQuotientFilter : public Filter {
   /// (FPR per link ~2^-r, total ~chain_length * 2^-r).
   ChainedQuotientFilter(int q_bits, int r_bits, uint64_t hash_seed = 0xC4);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override;
-  bool Erase(uint64_t key) override;
-  uint64_t Count(uint64_t key) const override;
+  using Filter::Contains;
+  using Filter::Count;
+  using Filter::Erase;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override;
+  bool Erase(HashedKey key) override;
+  uint64_t Count(HashedKey key) const override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return num_keys_; }
   /// Newest link only — a fresh link resets the load after each growth.

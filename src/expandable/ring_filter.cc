@@ -18,8 +18,8 @@ RingFilter::RingFilter(int r_bits, uint64_t segment_capacity,
   ring_[0] = Segment{};  // One segment initially owns the whole ring.
 }
 
-void RingFilter::Locate(uint64_t key, uint32_t* bucket, uint16_t* fp) const {
-  const uint64_t h = Hash64(key, hash_seed_);
+void RingFilter::Locate(HashedKey key, uint32_t* bucket, uint16_t* fp) const {
+  const uint64_t h = key.Derive(hash_seed_);
   *bucket = static_cast<uint32_t>(h >> (64 - kBucketBits));
   *fp = static_cast<uint16_t>(h & LowMask(r_bits_));
 }
@@ -38,7 +38,7 @@ const RingFilter::Segment& RingFilter::SegmentOf(uint32_t bucket) const {
   return it->second;
 }
 
-bool RingFilter::Insert(uint64_t key) {
+bool RingFilter::Insert(HashedKey key) {
   uint32_t bucket;
   uint16_t fp;
   Locate(key, &bucket, &fp);
@@ -81,7 +81,7 @@ void RingFilter::MaybeSplit(uint32_t mount) {
   ring_[split_at] = std::move(fresh);
 }
 
-bool RingFilter::Contains(uint64_t key) const {
+bool RingFilter::Contains(HashedKey key) const {
   uint32_t bucket;
   uint16_t fp;
   Locate(key, &bucket, &fp);
@@ -92,7 +92,7 @@ bool RingFilter::Contains(uint64_t key) const {
          it->second.end();
 }
 
-bool RingFilter::Erase(uint64_t key) {
+bool RingFilter::Erase(HashedKey key) {
   uint32_t bucket;
   uint16_t fp;
   Locate(key, &bucket, &fp);

@@ -31,9 +31,13 @@ class RingFilter : public Filter {
   RingFilter(int r_bits, uint64_t segment_capacity = 4096,
              uint64_t hash_seed = 0x216);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override;
-  bool Erase(uint64_t key) override;
+  using Filter::Contains;
+  using Filter::Erase;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override;
+  bool Erase(HashedKey key) override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return num_keys_; }
   /// Mean residents per segment budget; splits keep this below 1.0, so a
@@ -65,7 +69,7 @@ class RingFilter : public Filter {
     uint64_t residents = 0;
   };
 
-  void Locate(uint64_t key, uint32_t* bucket, uint16_t* fp) const;
+  void Locate(HashedKey key, uint32_t* bucket, uint16_t* fp) const;
   Segment& SegmentOf(uint32_t bucket);
   const Segment& SegmentOf(uint32_t bucket) const;
   void MaybeSplit(uint32_t mount);

@@ -23,8 +23,8 @@ uint64_t TaffyFilter::BitsOf(uint64_t encoded) {
   return encoded ^ (uint64_t{1} << HighestSetBit(encoded));
 }
 
-void TaffyFilter::KeyParts(uint64_t key, uint64_t* fq, uint64_t* fp) const {
-  const uint64_t h = Hash64(key, hash_seed_);
+void TaffyFilter::KeyParts(HashedKey key, uint64_t* fq, uint64_t* fp) const {
+  const uint64_t h = key.Derive(hash_seed_);
   *fq = h & (table_.num_slots() - 1);
   *fp = h >> table_.q_bits();  // Fresh fingerprints take the next bits.
 }
@@ -47,7 +47,7 @@ bool TaffyFilter::InsertEncoded(uint64_t fq, uint64_t encoded) {
   return true;
 }
 
-bool TaffyFilter::Insert(uint64_t key) {
+bool TaffyFilter::Insert(HashedKey key) {
   if (table_.LoadFactor() >= kMaxLoadFactor) Expand();
   uint64_t fq;
   uint64_t fp;
@@ -58,7 +58,7 @@ bool TaffyFilter::Insert(uint64_t key) {
   return true;
 }
 
-bool TaffyFilter::Contains(uint64_t key) const {
+bool TaffyFilter::Contains(HashedKey key) const {
   uint64_t fq;
   uint64_t fp;
   KeyParts(key, &fq, &fp);
@@ -75,7 +75,7 @@ bool TaffyFilter::Contains(uint64_t key) const {
   return false;
 }
 
-bool TaffyFilter::Erase(uint64_t key) {
+bool TaffyFilter::Erase(HashedKey key) {
   uint64_t fq;
   uint64_t fp;
   KeyParts(key, &fq, &fp);

@@ -29,9 +29,13 @@ class TaffyFilter : public Filter {
   /// delimiter bit).
   TaffyFilter(int q_bits, int fingerprint_bits, uint64_t hash_seed = 0x7A);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override;
-  bool Erase(uint64_t key) override;
+  using Filter::Contains;
+  using Filter::Erase;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override;
+  bool Erase(HashedKey key) override;
   size_t SpaceBits() const override { return table_.SpaceBits(); }
   uint64_t NumKeys() const override { return num_keys_; }
   FilterClass Class() const override { return FilterClass::kDynamic; }
@@ -56,7 +60,7 @@ class TaffyFilter : public Filter {
   static int LengthOf(uint64_t encoded);
   static uint64_t BitsOf(uint64_t encoded);
 
-  void KeyParts(uint64_t key, uint64_t* fq, uint64_t* fp) const;
+  void KeyParts(HashedKey key, uint64_t* fq, uint64_t* fp) const;
   bool InsertEncoded(uint64_t fq, uint64_t encoded);
   void Expand();
 

@@ -8,13 +8,13 @@ class QuotientMapletAdapter : public Maplet {
   QuotientMapletAdapter(uint64_t capacity, double fpr, int value_bits)
       : impl_(QuotientMaplet::ForCapacity(capacity, fpr, value_bits)) {}
 
-  bool Insert(uint64_t key, uint64_t value) override {
+  bool Insert(HashedKey key, uint64_t value) override {
     return impl_.Insert(key, value);
   }
-  std::vector<uint64_t> Lookup(uint64_t key) const override {
+  std::vector<uint64_t> Lookup(HashedKey key) const override {
     return impl_.Lookup(key);
   }
-  bool Erase(uint64_t key, uint64_t value) override {
+  bool Erase(HashedKey key, uint64_t value) override {
     return impl_.Erase(key, value);
   }
   size_t SpaceBits() const override { return impl_.SpaceBits(); }
@@ -35,13 +35,13 @@ class CuckooMapletAdapter : public Maplet {
   CuckooMapletAdapter(uint64_t capacity, int fingerprint_bits, int value_bits)
       : impl_(capacity, fingerprint_bits, value_bits) {}
 
-  bool Insert(uint64_t key, uint64_t value) override {
+  bool Insert(HashedKey key, uint64_t value) override {
     return impl_.Insert(key, value);
   }
-  std::vector<uint64_t> Lookup(uint64_t key) const override {
+  std::vector<uint64_t> Lookup(HashedKey key) const override {
     return impl_.Lookup(key);
   }
-  bool Erase(uint64_t key, uint64_t value) override {
+  bool Erase(HashedKey key, uint64_t value) override {
     return impl_.Erase(key, value);
   }
   size_t SpaceBits() const override { return impl_.SpaceBits(); }
@@ -64,11 +64,11 @@ class BloomierMapletAdapter : public Maplet {
       int value_bits)
       : impl_(entries, value_bits) {}
 
-  bool Insert(uint64_t, uint64_t) override { return false; }  // Static.
-  std::vector<uint64_t> Lookup(uint64_t key) const override {
+  bool Insert(HashedKey, uint64_t) override { return false; }  // Static.
+  std::vector<uint64_t> Lookup(HashedKey key) const override {
     return {impl_.Get(key)};  // PRS = NRS = 1 by construction.
   }
-  bool Erase(uint64_t, uint64_t) override { return false; }
+  bool Erase(HashedKey, uint64_t) override { return false; }
   size_t SpaceBits() const override { return impl_.SpaceBits(); }
   std::string_view Name() const override { return "bloomier"; }
 

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/key.h"
 #include "cuckoo/cuckoo_maplet.h"
 #include "quotient/quotient_maplet.h"
 #include "staticf/bloomier_filter.h"
@@ -27,13 +28,24 @@ class Maplet {
   virtual ~Maplet() = default;
 
   /// Associates a value with a key. Static maplets return false.
-  virtual bool Insert(uint64_t key, uint64_t value) = 0;
+  /// The HashedKey overloads are the primitives; the uint64_t wrappers
+  /// hash once at this boundary (mirroring Filter's hash-once pipeline).
+  virtual bool Insert(HashedKey key, uint64_t value) = 0;
+  bool Insert(uint64_t key, uint64_t value) {
+    return Insert(HashedKey(key), value);
+  }
 
   /// Candidate values for `key` (PRS entries for members, NRS for others).
-  virtual std::vector<uint64_t> Lookup(uint64_t key) const = 0;
+  virtual std::vector<uint64_t> Lookup(HashedKey key) const = 0;
+  std::vector<uint64_t> Lookup(uint64_t key) const {
+    return Lookup(HashedKey(key));
+  }
 
   /// Removes one association. Unsupported on static maplets.
-  virtual bool Erase(uint64_t key, uint64_t value) = 0;
+  virtual bool Erase(HashedKey key, uint64_t value) = 0;
+  bool Erase(uint64_t key, uint64_t value) {
+    return Erase(HashedKey(key), value);
+  }
 
   virtual size_t SpaceBits() const = 0;
   virtual std::string_view Name() const = 0;

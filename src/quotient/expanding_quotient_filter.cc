@@ -12,13 +12,13 @@ ExpandingQuotientFilter::ExpandingQuotientFilter(int q_bits, int r_bits,
                                                  uint64_t hash_seed)
     : filter_(q_bits, r_bits, hash_seed), hash_seed_(hash_seed) {}
 
-bool ExpandingQuotientFilter::Insert(uint64_t key) {
+bool ExpandingQuotientFilter::Insert(HashedKey key) {
   if (filter_.Insert(key)) return true;
   if (!Expand()) return false;
   return filter_.Insert(key);
 }
 
-bool ExpandingQuotientFilter::Erase(uint64_t key) {
+bool ExpandingQuotientFilter::Erase(HashedKey key) {
   return filter_.Erase(key);
 }
 

@@ -20,9 +20,13 @@ class ExpandingQuotientFilter : public Filter {
   /// Starts with 2^q_bits slots and r_bits-bit remainders.
   ExpandingQuotientFilter(int q_bits, int r_bits, uint64_t hash_seed = 0xBE);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override { return filter_.Contains(key); }
-  bool Erase(uint64_t key) override;
+  using Filter::Contains;
+  using Filter::Erase;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override { return filter_.Contains(key); }
+  bool Erase(HashedKey key) override;
   size_t SpaceBits() const override { return filter_.SpaceBits(); }
   uint64_t NumKeys() const override { return filter_.NumKeys(); }
   FilterClass Class() const override { return FilterClass::kDynamic; }

@@ -28,17 +28,17 @@ PrefixFilter::PrefixFilter(uint64_t expected_keys, int fingerprint_bits,
                                             hash_seed_ + 0x51);
 }
 
-uint64_t PrefixFilter::BucketOf(uint64_t key) const {
-  return FastRange64(Hash64(key, hash_seed_), num_buckets_);
+uint64_t PrefixFilter::BucketOf(HashedKey key) const {
+  return FastRange64(key.Derive(hash_seed_), num_buckets_);
 }
 
-uint64_t PrefixFilter::FingerprintOf(uint64_t key) const {
+uint64_t PrefixFilter::FingerprintOf(HashedKey key) const {
   const uint64_t fp =
-      Hash64(key, hash_seed_ + 1) & LowMask(fingerprint_bits_);
+      key.Derive(hash_seed_ + 1) & LowMask(fingerprint_bits_);
   return fp == 0 ? 1 : fp;
 }
 
-bool PrefixFilter::Insert(uint64_t key) {
+bool PrefixFilter::Insert(HashedKey key) {
   const uint64_t bucket = BucketOf(key);
   const uint64_t fp = FingerprintOf(key);
   if (bucket_used_[bucket] < kBucketSize) {
@@ -53,7 +53,7 @@ bool PrefixFilter::Insert(uint64_t key) {
   return true;
 }
 
-bool PrefixFilter::Contains(uint64_t key) const {
+bool PrefixFilter::Contains(HashedKey key) const {
   const uint64_t bucket = BucketOf(key);
   const uint64_t fp = FingerprintOf(key);
   for (int s = 0; s < bucket_used_[bucket]; ++s) {

@@ -28,8 +28,11 @@ class PrefixFilter : public Filter {
   PrefixFilter(uint64_t expected_keys, int fingerprint_bits,
                uint64_t hash_seed = 0x9F);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override;
+  using Filter::Contains;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return num_keys_; }
   /// Occupancy of the prefix-bucket table (the spare absorbs overflow).
@@ -47,8 +50,8 @@ class PrefixFilter : public Filter {
   static constexpr int kBucketSize = 24;
 
  private:
-  uint64_t BucketOf(uint64_t key) const;
-  uint64_t FingerprintOf(uint64_t key) const;
+  uint64_t BucketOf(HashedKey key) const;
+  uint64_t FingerprintOf(HashedKey key) const;
   uint64_t CellIndex(uint64_t bucket, int slot) const {
     return bucket * kBucketSize + slot;
   }

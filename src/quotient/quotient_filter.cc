@@ -32,14 +32,14 @@ QuotientFilter QuotientFilter::ForCapacity(uint64_t n, double fpr) {
   return QuotientFilter(q_bits, r_bits);
 }
 
-void QuotientFilter::Fingerprint(uint64_t key, uint64_t* fq,
+void QuotientFilter::Fingerprint(HashedKey key, uint64_t* fq,
                                  uint64_t* fr) const {
-  const uint64_t h = Hash64(key, hash_seed_);
+  const uint64_t h = key.Derive(hash_seed_);
   *fq = (h >> table_.r_bits()) & (table_.num_slots() - 1);
   *fr = h & LowMask(table_.r_bits());
 }
 
-bool QuotientFilter::Insert(uint64_t key) {
+bool QuotientFilter::Insert(HashedKey key) {
   if (table_.LoadFactor() >= kMaxLoadFactor ||
       table_.num_used_slots() + 1 >= table_.num_slots()) {
     return false;
@@ -84,7 +84,7 @@ bool QuotientFilter::InsertFingerprint(uint64_t fq, uint64_t fr) {
   return true;
 }
 
-bool QuotientFilter::Contains(uint64_t key) const {
+bool QuotientFilter::Contains(HashedKey key) const {
   uint64_t fq;
   uint64_t fr;
   Fingerprint(key, &fq, &fr);
@@ -103,7 +103,7 @@ bool QuotientFilter::ContainsFingerprint(uint64_t fq, uint64_t fr) const {
   return false;
 }
 
-void QuotientFilter::ContainsMany(std::span<const uint64_t> keys,
+void QuotientFilter::ContainsMany(std::span<const HashedKey> keys,
                                   uint8_t* out) const {
   // Prefetching only pays once probes actually miss: a cache-resident
   // table answers from L2/LLC and the two-pass bookkeeping is pure
@@ -130,7 +130,7 @@ void QuotientFilter::ContainsMany(std::span<const uint64_t> keys,
   }
 }
 
-size_t QuotientFilter::InsertMany(std::span<const uint64_t> keys) {
+size_t QuotientFilter::InsertMany(std::span<const HashedKey> keys) {
   constexpr size_t kTile = 32;
   uint64_t fq[kTile];
   uint64_t fr[kTile];
@@ -156,7 +156,7 @@ size_t QuotientFilter::InsertMany(std::span<const uint64_t> keys) {
   return inserted;
 }
 
-uint64_t QuotientFilter::Count(uint64_t key) const {
+uint64_t QuotientFilter::Count(HashedKey key) const {
   uint64_t fq;
   uint64_t fr;
   Fingerprint(key, &fq, &fr);
@@ -172,7 +172,7 @@ uint64_t QuotientFilter::Count(uint64_t key) const {
   return count;
 }
 
-bool QuotientFilter::Erase(uint64_t key) {
+bool QuotientFilter::Erase(HashedKey key) {
   uint64_t fq;
   uint64_t fr;
   Fingerprint(key, &fq, &fr);
@@ -262,9 +262,9 @@ CountingQuotientFilter CountingQuotientFilter::ForCapacity(uint64_t n,
   return CountingQuotientFilter(q_bits, r_bits);
 }
 
-void CountingQuotientFilter::Fingerprint(uint64_t key, uint64_t* fq,
+void CountingQuotientFilter::Fingerprint(HashedKey key, uint64_t* fq,
                                          uint64_t* fr) const {
-  const uint64_t h = Hash64(key, hash_seed_);
+  const uint64_t h = key.Derive(hash_seed_);
   *fq = (h >> table_.r_bits()) & (table_.num_slots() - 1);
   *fr = h & LowMask(table_.r_bits());
 }
@@ -305,7 +305,7 @@ uint64_t CountingQuotientFilter::ReadCount(
   return count;
 }
 
-bool CountingQuotientFilter::Insert(uint64_t key) {
+bool CountingQuotientFilter::Insert(HashedKey key) {
   if (table_.LoadFactor() >= QuotientFilter::kMaxLoadFactor ||
       table_.num_used_slots() + 1 >= table_.num_slots()) {
     return false;
@@ -377,7 +377,7 @@ bool CountingQuotientFilter::Insert(uint64_t key) {
   return true;
 }
 
-uint64_t CountingQuotientFilter::Count(uint64_t key) const {
+uint64_t CountingQuotientFilter::Count(HashedKey key) const {
   uint64_t fq;
   uint64_t fr;
   Fingerprint(key, &fq, &fr);
@@ -392,7 +392,7 @@ void CountingQuotientFilter::RemoveEntrySlot(uint64_t pos, uint64_t run_start,
   table_.RemoveEntry(pos, run_start, fq);
 }
 
-bool CountingQuotientFilter::Erase(uint64_t key) {
+bool CountingQuotientFilter::Erase(HashedKey key) {
   uint64_t fq;
   uint64_t fr;
   Fingerprint(key, &fq, &fr);

@@ -27,15 +27,22 @@ class QuotientFilter : public Filter {
   /// default max load factor).
   static QuotientFilter ForCapacity(uint64_t n, double fpr);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override;
+  using Filter::Contains;
+  using Filter::ContainsMany;
+  using Filter::Count;
+  using Filter::Erase;
+  using Filter::Insert;
+  using Filter::InsertMany;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override;
   /// Batch paths: fingerprint a tile of keys, prefetch each home slot's
   /// metadata/remainder words, then walk the runs.
-  void ContainsMany(std::span<const uint64_t> keys,
+  void ContainsMany(std::span<const HashedKey> keys,
                     uint8_t* out) const override;
-  size_t InsertMany(std::span<const uint64_t> keys) override;
-  bool Erase(uint64_t key) override;
-  uint64_t Count(uint64_t key) const override;
+  size_t InsertMany(std::span<const HashedKey> keys) override;
+  bool Erase(HashedKey key) override;
+  uint64_t Count(HashedKey key) const override;
   size_t SpaceBits() const override { return table_.SpaceBits(); }
   uint64_t NumKeys() const override { return num_keys_; }
   FilterClass Class() const override { return FilterClass::kDynamic; }
@@ -46,7 +53,7 @@ class QuotientFilter : public Filter {
   int r_bits() const { return table_.r_bits(); }
 
   /// Splits the fingerprint of `key` into (quotient, remainder).
-  void Fingerprint(uint64_t key, uint64_t* fq, uint64_t* fr) const;
+  void Fingerprint(HashedKey key, uint64_t* fq, uint64_t* fr) const;
 
   /// Inserts a raw (quotient, remainder) fingerprint. Exposed for the
   /// expandable variants, which remap fingerprints across doublings.
@@ -91,10 +98,15 @@ class CountingQuotientFilter : public Filter {
 
   static CountingQuotientFilter ForCapacity(uint64_t n, double fpr);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override { return Count(key) > 0; }
-  bool Erase(uint64_t key) override;
-  uint64_t Count(uint64_t key) const override;
+  using Filter::Contains;
+  using Filter::Count;
+  using Filter::Erase;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override { return Count(key) > 0; }
+  bool Erase(HashedKey key) override;
+  uint64_t Count(HashedKey key) const override;
   size_t SpaceBits() const override { return table_.SpaceBits(); }
   uint64_t NumKeys() const override { return num_keys_; }
   FilterClass Class() const override { return FilterClass::kDynamic; }
@@ -107,7 +119,7 @@ class CountingQuotientFilter : public Filter {
   bool LoadPayload(std::istream& is) override;
 
  private:
-  void Fingerprint(uint64_t key, uint64_t* fq, uint64_t* fr) const;
+  void Fingerprint(HashedKey key, uint64_t* fq, uint64_t* fr) const;
   // Locates the remainder slot for (fq, fr). Returns false if absent;
   // otherwise *pos is the slot and *run_start the head of the run.
   bool FindRemainderSlot(uint64_t fq, uint64_t fr, uint64_t* pos,

@@ -26,14 +26,14 @@ QuotientMaplet QuotientMaplet::ForCapacity(uint64_t n, double fpr,
   return QuotientMaplet(q_bits, r_bits, value_bits);
 }
 
-void QuotientMaplet::Fingerprint(uint64_t key, uint64_t* fq,
+void QuotientMaplet::Fingerprint(HashedKey key, uint64_t* fq,
                                  uint64_t* fr) const {
-  const uint64_t h = Hash64(key, hash_seed_);
+  const uint64_t h = key.Derive(hash_seed_);
   *fq = (h >> table_.r_bits()) & (table_.num_slots() - 1);
   *fr = h & LowMask(table_.r_bits());
 }
 
-bool QuotientMaplet::Insert(uint64_t key, uint64_t value) {
+bool QuotientMaplet::Insert(HashedKey key, uint64_t value) {
   if (table_.LoadFactor() >= QuotientFilter::kMaxLoadFactor) return false;
   uint64_t fq;
   uint64_t fr;
@@ -84,7 +84,7 @@ void QuotientMaplet::ForEachEntry(
   });
 }
 
-std::vector<uint64_t> QuotientMaplet::Lookup(uint64_t key) const {
+std::vector<uint64_t> QuotientMaplet::Lookup(HashedKey key) const {
   std::vector<uint64_t> values;
   uint64_t fq;
   uint64_t fr;
@@ -100,7 +100,7 @@ std::vector<uint64_t> QuotientMaplet::Lookup(uint64_t key) const {
   return values;
 }
 
-bool QuotientMaplet::Erase(uint64_t key, uint64_t value) {
+bool QuotientMaplet::Erase(HashedKey key, uint64_t value) {
   uint64_t fq;
   uint64_t fr;
   Fingerprint(key, &fq, &fr);

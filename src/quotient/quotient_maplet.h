@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/key.h"
 #include "quotient/quotient_table.h"
 
 namespace bbf {
@@ -27,15 +28,25 @@ class QuotientMaplet {
 
   /// Associates `value` (low value_bits) with `key`.
   /// Returns false when full.
-  bool Insert(uint64_t key, uint64_t value);
+  bool Insert(HashedKey key, uint64_t value);
+  bool Insert(uint64_t key, uint64_t value) {
+    return Insert(HashedKey(key), value);
+  }
 
   /// All values whose fingerprints match `key` (possibly empty).
-  std::vector<uint64_t> Lookup(uint64_t key) const;
+  std::vector<uint64_t> Lookup(HashedKey key) const;
+  std::vector<uint64_t> Lookup(uint64_t key) const {
+    return Lookup(HashedKey(key));
+  }
 
-  bool Contains(uint64_t key) const { return !Lookup(key).empty(); }
+  bool Contains(HashedKey key) const { return !Lookup(key).empty(); }
+  bool Contains(uint64_t key) const { return Contains(HashedKey(key)); }
 
   /// Removes one (key, value) association; value must match exactly.
-  bool Erase(uint64_t key, uint64_t value);
+  bool Erase(HashedKey key, uint64_t value);
+  bool Erase(uint64_t key, uint64_t value) {
+    return Erase(HashedKey(key), value);
+  }
 
   /// Visits every stored entry as (quotient, remainder, value). Exposed
   /// for the expandable variant, which remaps fingerprints on doubling.
@@ -59,7 +70,7 @@ class QuotientMaplet {
  private:
   friend class ExpandingQuotientMaplet;
 
-  void Fingerprint(uint64_t key, uint64_t* fq, uint64_t* fr) const;
+  void Fingerprint(HashedKey key, uint64_t* fq, uint64_t* fr) const;
 
   QuotientTable table_;
   uint64_t hash_seed_;

@@ -30,8 +30,8 @@ Rsqf Rsqf::ForCapacity(uint64_t n, double fpr) {
   return Rsqf(q, r);
 }
 
-void Rsqf::Fingerprint(uint64_t key, uint64_t* fq, uint64_t* fr) const {
-  const uint64_t h = Hash64(key, hash_seed_);
+void Rsqf::Fingerprint(HashedKey key, uint64_t* fq, uint64_t* fr) const {
+  const uint64_t h = key.Derive(hash_seed_);
   *fq = (h >> r_bits_) & (num_quotients_ - 1);
   *fr = h & LowMask(r_bits_);
 }
@@ -72,7 +72,7 @@ uint64_t Rsqf::RunEndUpTo(uint64_t q) const {
 
 uint64_t Rsqf::RunEndOf(uint64_t q) const { return RunEndUpTo(q); }
 
-bool Rsqf::Contains(uint64_t key) const {
+bool Rsqf::Contains(HashedKey key) const {
   uint64_t fq;
   uint64_t fr;
   Fingerprint(key, &fq, &fr);
@@ -87,7 +87,7 @@ bool Rsqf::Contains(uint64_t key) const {
   return false;
 }
 
-bool Rsqf::Insert(uint64_t key) {
+bool Rsqf::Insert(HashedKey key) {
   if (LoadFactor() >= kMaxLoadFactor) return false;
   uint64_t fq;
   uint64_t fr;

@@ -30,8 +30,11 @@ class Rsqf : public Filter {
 
   static Rsqf ForCapacity(uint64_t n, double fpr);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override;
+  using Filter::Contains;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return num_keys_; }
   FilterClass Class() const override { return FilterClass::kSemiDynamic; }
@@ -52,7 +55,7 @@ class Rsqf : public Filter {
   static constexpr uint64_t kBlockSlots = 64;
 
  private:
-  void Fingerprint(uint64_t key, uint64_t* fq, uint64_t* fr) const;
+  void Fingerprint(HashedKey key, uint64_t* fq, uint64_t* fr) const;
   // Global position of the k-th (1-indexed) runend bit strictly after
   // `from` (pass from = -1 via uint64 wrap guard below). Returns total
   // slots if none.

@@ -24,13 +24,13 @@ VectorQuotientFilter::VectorQuotientFilter(uint64_t expected_keys,
   }
 }
 
-VectorQuotientFilter::Probe VectorQuotientFilter::ProbeOf(uint64_t key,
+VectorQuotientFilter::Probe VectorQuotientFilter::ProbeOf(HashedKey key,
                                                           int which) const {
-  const uint64_t h = Hash64(key, hash_seed_ + which);
+  const uint64_t h = key.Derive(hash_seed_ + which);
   Probe p;
   p.block = FastRange64(h, blocks_.size());
   p.bucket = static_cast<uint32_t>((h >> 32) % kBucketsPerBlock);
-  p.remainder = Hash64(key, hash_seed_ + 9) & LowMask(remainder_bits_);
+  p.remainder = key.Derive(hash_seed_ + 9) & LowMask(remainder_bits_);
   return p;
 }
 
@@ -122,7 +122,7 @@ bool VectorQuotientFilter::EraseFromBlock(Block* block, uint32_t bucket,
   return true;
 }
 
-bool VectorQuotientFilter::Insert(uint64_t key) {
+bool VectorQuotientFilter::Insert(HashedKey key) {
   const Probe p1 = ProbeOf(key, 0);
   const Probe p2 = ProbeOf(key, 1);
   // Power of two choices: the emptier candidate block wins.
@@ -139,14 +139,14 @@ bool VectorQuotientFilter::Insert(uint64_t key) {
   return false;  // Both candidate blocks full: the filter is at capacity.
 }
 
-bool VectorQuotientFilter::Contains(uint64_t key) const {
+bool VectorQuotientFilter::Contains(HashedKey key) const {
   const Probe p1 = ProbeOf(key, 0);
   if (BlockContains(blocks_[p1.block], p1.bucket, p1.remainder)) return true;
   const Probe p2 = ProbeOf(key, 1);
   return BlockContains(blocks_[p2.block], p2.bucket, p1.remainder);
 }
 
-bool VectorQuotientFilter::Erase(uint64_t key) {
+bool VectorQuotientFilter::Erase(HashedKey key) {
   const Probe p1 = ProbeOf(key, 0);
   if (EraseFromBlock(&blocks_[p1.block], p1.bucket, p1.remainder)) {
     --num_keys_;

@@ -26,9 +26,13 @@ class VectorQuotientFilter : public Filter {
   VectorQuotientFilter(uint64_t expected_keys, int remainder_bits,
                        uint64_t hash_seed = 0xF6);
 
-  bool Insert(uint64_t key) override;
-  bool Contains(uint64_t key) const override;
-  bool Erase(uint64_t key) override;
+  using Filter::Contains;
+  using Filter::Erase;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override;
+  bool Erase(HashedKey key) override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return num_keys_; }
   FilterClass Class() const override { return FilterClass::kDynamic; }
@@ -60,7 +64,7 @@ class VectorQuotientFilter : public Filter {
     uint64_t remainder;
   };
 
-  Probe ProbeOf(uint64_t key, int which) const;
+  Probe ProbeOf(HashedKey key, int which) const;
   // Slot range [begin, end) of `bucket` within `block`.
   void BucketRange(const Block& block, uint32_t bucket, int* begin,
                    int* end) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
+
 namespace bbf {
 
 LearnedFilter::LearnedFilter(const std::vector<uint64_t>& keys,
@@ -39,12 +41,15 @@ LearnedFilter::LearnedFilter(const std::vector<uint64_t>& keys,
   for (uint64_t k : leftover) backup_->Insert(k);
 }
 
-bool LearnedFilter::Contains(uint64_t key) const {
+bool LearnedFilter::Contains(HashedKey key) const {
+  // Intervals live in raw key space; Mix64 is bijective, so the raw key
+  // is recoverable without a second hash of the original input.
+  const uint64_t raw = InverseMix64(key.value());
   if (boundaries_.size() > 0) {
-    const auto idx = boundaries_.NextGeq(key);
+    const auto idx = boundaries_.NextGeq(raw);
     if (idx.has_value()) {
       if (*idx % 2 == 1) return true;  // Next boundary is an interval end.
-      if (boundaries_.Get(*idx) == key) return true;  // Exactly a start.
+      if (boundaries_.Get(*idx) == raw) return true;  // Exactly a start.
     }
   }
   return backup_->Contains(key);

@@ -33,8 +33,14 @@ class LearnedFilter : public Filter {
   LearnedFilter(const std::vector<uint64_t>& keys, uint64_t max_gap,
                 uint64_t min_run, double backup_bits_per_key);
 
-  bool Insert(uint64_t) override { return false; }  // Static (trained).
-  bool Contains(uint64_t key) const override;
+  using Filter::Contains;
+  using Filter::Insert;
+
+  bool Insert(HashedKey) override { return false; }  // Static (trained).
+  /// The interval model consults the *raw* key space, recovered from the
+  /// canonical hash via the Mix64 bijection; the backup Bloom consumes
+  /// the canonical key directly.
+  bool Contains(HashedKey key) const override;
   size_t SpaceBits() const override;
   uint64_t NumKeys() const override { return num_keys_; }
   /// Static: full by construction (trained over its whole key set).

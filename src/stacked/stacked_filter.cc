@@ -8,16 +8,24 @@ namespace bbf {
 StackedFilter::StackedFilter(const std::vector<uint64_t>& positives,
                              const std::vector<uint64_t>& hot_negatives,
                              double bits_per_key, int layers) {
+  // Hash-once boundary: both sides are mixed here, then every layer
+  // build and probe runs on canonical keys.
+  auto hash_side = [](const std::vector<uint64_t>& raw) {
+    std::vector<HashedKey> side;
+    side.reserve(raw.size());
+    for (uint64_t k : raw) side.emplace_back(k);
+    return side;
+  };
   // side_a feeds the next layer; side_b is filtered through it.
-  std::vector<uint64_t> side_a = positives;
-  std::vector<uint64_t> side_b = hot_negatives;
+  std::vector<HashedKey> side_a = hash_side(positives);
+  std::vector<HashedKey> side_b = hash_side(hot_negatives);
   for (int i = 0; i < layers; ++i) {
     auto filter = std::make_unique<BloomFilter>(
         std::max<uint64_t>(side_a.size(), 1), bits_per_key, 0,
         /*hash_seed=*/0x57AC + i);
-    for (uint64_t k : side_a) filter->Insert(k);
-    std::vector<uint64_t> survivors;
-    for (uint64_t k : side_b) {
+    for (HashedKey k : side_a) filter->Insert(k);
+    std::vector<HashedKey> survivors;
+    for (HashedKey k : side_b) {
       if (filter->Contains(k)) survivors.push_back(k);
     }
     layers_.push_back(std::move(filter));
@@ -27,7 +35,7 @@ StackedFilter::StackedFilter(const std::vector<uint64_t>& positives,
   }
 }
 
-bool StackedFilter::Contains(uint64_t key) const {
+bool StackedFilter::Contains(HashedKey key) const {
   for (size_t i = 0; i < layers_.size(); ++i) {
     if (!layers_[i]->Contains(key)) {
       return i % 2 == 1;  // Failing an even layer refutes membership.

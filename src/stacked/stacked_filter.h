@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bloom/bloom_filter.h"
+#include "core/key.h"
 
 namespace bbf {
 
@@ -28,7 +29,8 @@ class StackedFilter {
                 const std::vector<uint64_t>& hot_negatives,
                 double bits_per_key, int layers = 3);
 
-  bool Contains(uint64_t key) const;
+  bool Contains(HashedKey key) const;
+  bool Contains(uint64_t key) const { return Contains(HashedKey(key)); }
 
   size_t SpaceBits() const;
   size_t num_layers() const { return layers_.size(); }

@@ -9,9 +9,11 @@ BloomierFilter::BloomierFilter(
     const std::vector<std::pair<uint64_t, uint64_t>>& entries,
     int value_bits)
     : num_keys_(entries.size()) {
+  // Hash-once boundary: mix each raw key here; the peeler and every
+  // probe work on canonical values.
   std::vector<uint64_t> keys;
   keys.reserve(entries.size());
-  for (const auto& [k, v] : entries) keys.push_back(k);
+  for (const auto& [k, v] : entries) keys.push_back(HashedKey(k).value());
 
   const uint32_t capacity = XorPeeler::CapacityFor(keys.size());
   segment_len_ = capacity / 3;
@@ -40,24 +42,24 @@ BloomierFilter::BloomierFilter(
   }
   // Owned slots form a perfect matching: write values directly.
   for (const auto& [k, v] : entries) {
-    value_table_.Set(OwnedSlot(k), v & LowMask(value_bits));
+    value_table_.Set(OwnedSlot(HashedKey(k)), v & LowMask(value_bits));
   }
 }
 
-uint32_t BloomierFilter::OwnedSlot(uint64_t key) const {
+uint32_t BloomierFilter::OwnedSlot(HashedKey key) const {
   uint32_t s[3];
-  XorPeeler::Slots(key, segment_len_, seed_, s);
+  XorPeeler::Slots(key.value(), segment_len_, seed_, s);
   uint64_t tau =
       tau_table_.Get(s[0]) ^ tau_table_.Get(s[1]) ^ tau_table_.Get(s[2]);
   if (tau > 2) tau = 0;  // Non-key garbage; clamp to a valid slot.
   return s[tau];
 }
 
-uint64_t BloomierFilter::Get(uint64_t key) const {
+uint64_t BloomierFilter::Get(HashedKey key) const {
   return value_table_.Get(OwnedSlot(key));
 }
 
-void BloomierFilter::Update(uint64_t key, uint64_t new_value) {
+void BloomierFilter::Update(HashedKey key, uint64_t new_value) {
   value_table_.Set(OwnedSlot(key),
                    new_value & LowMask(value_table_.width()));
 }

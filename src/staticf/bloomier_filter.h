@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/key.h"
 #include "util/compact_vector.h"
 
 namespace bbf {
@@ -29,12 +30,16 @@ class BloomierFilter {
                  int value_bits);
 
   /// The value for `key`: exact for built keys, arbitrary otherwise.
-  uint64_t Get(uint64_t key) const;
+  uint64_t Get(HashedKey key) const;
+  uint64_t Get(uint64_t key) const { return Get(HashedKey(key)); }
 
   /// Rewrites the value of an existing key in place. Calling this for a
   /// key outside the build set overwrites some unrelated slot — the
   /// classic Bloomier contract.
-  void Update(uint64_t key, uint64_t new_value);
+  void Update(HashedKey key, uint64_t new_value);
+  void Update(uint64_t key, uint64_t new_value) {
+    Update(HashedKey(key), new_value);
+  }
 
   size_t SpaceBits() const {
     return tau_table_.size() * tau_table_.width() +
@@ -45,7 +50,7 @@ class BloomierFilter {
 
  private:
   /// The slot this key privately owns (exact for built keys).
-  uint32_t OwnedSlot(uint64_t key) const;
+  uint32_t OwnedSlot(HashedKey key) const;
 
   CompactVector tau_table_;    // 2-bit XOR-encoded owned-slot index.
   CompactVector value_table_;  // Direct-indexed values.

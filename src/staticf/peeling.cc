@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "core/key.h"
 #include "util/bits.h"
-#include "util/hash.h"
 
 namespace bbf {
 
@@ -15,9 +15,12 @@ uint32_t XorPeeler::CapacityFor(uint64_t n) {
 
 void XorPeeler::Slots(uint64_t key, uint32_t segment_len, uint64_t seed,
                       uint32_t out[3]) {
-  // One slot per segment, each from an independent hash (robust at any n).
+  // One slot per segment, each from an independent derived stream
+  // (robust at any n). `key` is already canonical; no re-mix of the raw
+  // key happens here.
+  const HashedKey hk = HashedKey::FromMix(key);
   for (int i = 0; i < 3; ++i) {
-    const uint64_t h = Hash64(key, seed + 0x9E37 * (i + 1));
+    const uint64_t h = hk.Derive(seed + 0x9E37 * (i + 1));
     out[i] = static_cast<uint32_t>(i) * segment_len +
              static_cast<uint32_t>(FastRange64(h, segment_len));
   }

@@ -13,19 +13,24 @@ namespace bbf {
 /// a private slot. Back-substitution in reverse order then satisfies
 /// key -> payload equations of the form
 ///   payload(key) = T[h0] ^ T[h1] ^ T[h2].
+///
+/// All keys here are *canonical* pre-mixed values (HashedKey::value());
+/// builders hash raw keys exactly once at their own entry point. The
+/// XOR-of-keys peeling trick needs the raw 64-bit value, so the peeler
+/// carries the canonical form rather than HashedKey itself.
 struct PeelEntry {
-  uint64_t key;
+  uint64_t key;   // Canonical (pre-mixed) key value.
   uint32_t slot;  // The slot this key uniquely owns.
 };
 
 class XorPeeler {
  public:
-  /// Attempts to peel `keys` into `capacity` slots with hash `seed`.
-  /// Returns true and fills `order` (peel order) on success.
+  /// Attempts to peel canonical `keys` into `capacity` slots with hash
+  /// `seed`. Returns true and fills `order` (peel order) on success.
   static bool Peel(const std::vector<uint64_t>& keys, uint32_t capacity,
                    uint64_t seed, std::vector<PeelEntry>* order);
 
-  /// The three candidate slots of `key` for the given geometry.
+  /// The three candidate slots of canonical `key` for the given geometry.
   static void Slots(uint64_t key, uint32_t segment_len, uint64_t seed,
                     uint32_t out[3]);
 

@@ -5,7 +5,6 @@
 #include <utility>
 
 #include "util/bits.h"
-#include "util/hash.h"
 #include "util/serialize.h"
 
 namespace bbf {
@@ -13,7 +12,11 @@ namespace bbf {
 RibbonFilter::RibbonFilter(const std::vector<uint64_t>& keys,
                            int fingerprint_bits)
     : fingerprint_bits_(fingerprint_bits) {
-  std::vector<uint64_t> unique = keys;
+  // Hash-once boundary: mix every raw key here (bijective, so dedup is
+  // preserved) and build over canonical values.
+  std::vector<uint64_t> unique;
+  unique.reserve(keys.size());
+  for (uint64_t k : keys) unique.push_back(HashedKey(k).value());
   std::sort(unique.begin(), unique.end());
   unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
   num_keys_ = unique.size();
@@ -35,7 +38,8 @@ RibbonFilter::RibbonFilter(const std::vector<uint64_t>& keys,
     std::fill(coeff.begin(), coeff.end(), 0);
     std::fill(rhs.begin(), rhs.end(), 0);
     bool ok = true;
-    for (uint64_t key : unique) {
+    for (uint64_t stored : unique) {
+      const HashedKey key = HashedKey::FromMix(stored);
       uint64_t pos = StartOf(key);
       uint64_t c = CoeffOf(key);  // Bit 0 always set.
       uint64_t r = FingerprintOf(key);
@@ -83,19 +87,19 @@ RibbonFilter RibbonFilter::ForFpr(const std::vector<uint64_t>& keys,
   return RibbonFilter(keys, bits);
 }
 
-uint64_t RibbonFilter::StartOf(uint64_t key) const {
-  return FastRange64(Hash64(key, seed_), num_starts_);
+uint64_t RibbonFilter::StartOf(HashedKey key) const {
+  return FastRange64(key.Derive(seed_), num_starts_);
 }
 
-uint64_t RibbonFilter::CoeffOf(uint64_t key) const {
-  return Hash64(key, seed_ + 1) | 1;
+uint64_t RibbonFilter::CoeffOf(HashedKey key) const {
+  return key.Derive(seed_ + 1) | 1;
 }
 
-uint64_t RibbonFilter::FingerprintOf(uint64_t key) const {
-  return Hash64(key, seed_ + 2) & LowMask(fingerprint_bits_);
+uint64_t RibbonFilter::FingerprintOf(HashedKey key) const {
+  return key.Derive(seed_ + 2) & LowMask(fingerprint_bits_);
 }
 
-bool RibbonFilter::Contains(uint64_t key) const {
+bool RibbonFilter::Contains(HashedKey key) const {
   const uint64_t start = StartOf(key);
   uint64_t c = CoeffOf(key);
   uint64_t acc = 0;

@@ -25,8 +25,11 @@ class RibbonFilter : public Filter {
 
   static RibbonFilter ForFpr(const std::vector<uint64_t>& keys, double fpr);
 
-  bool Insert(uint64_t) override { return false; }
-  bool Contains(uint64_t key) const override;
+  using Filter::Contains;
+  using Filter::Insert;
+
+  bool Insert(HashedKey) override { return false; }
+  bool Contains(HashedKey key) const override;
   size_t SpaceBits() const override {
     return solution_.size() * solution_.width();
   }
@@ -44,9 +47,9 @@ class RibbonFilter : public Filter {
   bool LoadPayload(std::istream& is) override;
 
  private:
-  uint64_t StartOf(uint64_t key) const;
-  uint64_t CoeffOf(uint64_t key) const;
-  uint64_t FingerprintOf(uint64_t key) const;
+  uint64_t StartOf(HashedKey key) const;
+  uint64_t CoeffOf(HashedKey key) const;
+  uint64_t FingerprintOf(HashedKey key) const;
 
   CompactVector solution_;  // One r-bit entry per slot (plus overhang).
   int fingerprint_bits_ = 0;

@@ -6,13 +6,16 @@
 
 #include "staticf/peeling.h"
 #include "util/bits.h"
-#include "util/hash.h"
 #include "util/serialize.h"
 
 namespace bbf {
 
 XorFilter::XorFilter(const std::vector<uint64_t>& keys, int fingerprint_bits) {
-  std::vector<uint64_t> unique = keys;
+  // Hash-once boundary: mix every raw key here, then build purely over
+  // canonical values (Mix64 is bijective, so dedup is preserved).
+  std::vector<uint64_t> unique;
+  unique.reserve(keys.size());
+  for (uint64_t k : keys) unique.push_back(HashedKey(k).value());
   std::sort(unique.begin(), unique.end());
   unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
   num_keys_ = unique.size();
@@ -31,7 +34,7 @@ XorFilter::XorFilter(const std::vector<uint64_t>& keys, int fingerprint_bits) {
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     uint32_t s[3];
     XorPeeler::Slots(it->key, segment_len_, seed_, s);
-    uint64_t v = FingerprintOf(it->key);
+    uint64_t v = FingerprintOf(HashedKey::FromMix(it->key));
     for (int i = 0; i < 3; ++i) {
       if (s[i] != it->slot) v ^= table_.Get(s[i]);
     }
@@ -45,13 +48,13 @@ XorFilter XorFilter::ForFpr(const std::vector<uint64_t>& keys, double fpr) {
   return XorFilter(keys, bits);
 }
 
-uint64_t XorFilter::FingerprintOf(uint64_t key) const {
-  return Hash64(key, seed_ + 0xF1A9) & LowMask(table_.width());
+uint64_t XorFilter::FingerprintOf(HashedKey key) const {
+  return key.Derive(seed_ + 0xF1A9) & LowMask(table_.width());
 }
 
-bool XorFilter::Contains(uint64_t key) const {
+bool XorFilter::Contains(HashedKey key) const {
   uint32_t s[3];
-  XorPeeler::Slots(key, segment_len_, seed_, s);
+  XorPeeler::Slots(key.value(), segment_len_, seed_, s);
   const uint64_t v =
       table_.Get(s[0]) ^ table_.Get(s[1]) ^ table_.Get(s[2]);
   return v == FingerprintOf(key);

@@ -19,13 +19,18 @@ namespace bbf {
 class XorFilter : public Filter {
  public:
   /// Builds over distinct `keys` (duplicates are removed internally).
+  /// Each raw key is hashed exactly once here; everything downstream
+  /// consumes the canonical value.
   XorFilter(const std::vector<uint64_t>& keys, int fingerprint_bits);
 
   static XorFilter ForFpr(const std::vector<uint64_t>& keys, double fpr);
 
+  using Filter::Contains;
+  using Filter::Insert;
+
   /// Static filter: no inserts after construction.
-  bool Insert(uint64_t) override { return false; }
-  bool Contains(uint64_t key) const override;
+  bool Insert(HashedKey) override { return false; }
+  bool Contains(HashedKey key) const override;
   size_t SpaceBits() const override {
     return table_.size() * table_.width();
   }
@@ -42,7 +47,7 @@ class XorFilter : public Filter {
   bool LoadPayload(std::istream& is) override;
 
  private:
-  uint64_t FingerprintOf(uint64_t key) const;
+  uint64_t FingerprintOf(HashedKey key) const;
 
   CompactVector table_;
   uint32_t segment_len_ = 0;

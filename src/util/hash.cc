@@ -17,11 +17,6 @@ inline uint64_t Load32(const uint8_t* p) {
   return v;
 }
 
-inline uint64_t Mum(uint64_t a, uint64_t b) {
-  __uint128_t r = static_cast<__uint128_t>(a) * b;
-  return static_cast<uint64_t>(r) ^ static_cast<uint64_t>(r >> 64);
-}
-
 constexpr uint64_t kP0 = 0xa0761d6478bd642fULL;
 constexpr uint64_t kP1 = 0xe7037ed1a0b428dbULL;
 constexpr uint64_t kP2 = 0x8ebc6af09c88c6e3ULL;

@@ -19,9 +19,31 @@ inline uint64_t Mix64(uint64_t x) {
   return x;
 }
 
+/// Exact inverse of Mix64: the xorshift-33 steps are involutions and the
+/// multiplier constants are odd, hence invertible mod 2^64. Lets layers
+/// that model the *raw* key space (e.g. the learned filter's intervals)
+/// recover the original integer key from a canonical pre-mixed value.
+inline uint64_t InverseMix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0x9cb4b2f8129337dbULL;  // 0xc4ceb9fe1a85ec53^-1 mod 2^64.
+  x ^= x >> 33;
+  x *= 0x4f74430c22a54005ULL;  // 0xff51afd7ed558ccd^-1 mod 2^64.
+  x ^= x >> 33;
+  return x;
+}
+
 /// Seeded hash of a 64-bit key.
 inline uint64_t Hash64(uint64_t key, uint64_t seed = 0) {
   return Mix64(key + 0x9e3779b97f4a7c15ULL * (seed + 1));
+}
+
+/// 128-bit multiply-and-fold (the wyhash/mum primitive): one widening
+/// multiply whose high and low halves are xor-folded. A single Mum is a
+/// full-avalanche mix when either operand is a good odd constant, at half
+/// the multiply count of Mix64 — HashedKey::Derive builds on it.
+inline uint64_t Mum(uint64_t a, uint64_t b) {
+  __uint128_t r = static_cast<__uint128_t>(a) * b;
+  return static_cast<uint64_t>(r) ^ static_cast<uint64_t>(r >> 64);
 }
 
 /// Seeded hash of an arbitrary byte string (wyhash-flavoured; see hash.cc).

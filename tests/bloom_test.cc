@@ -14,6 +14,8 @@
 #include "bloom/counting_bloom.h"
 #include "bloom/dleft_filter.h"
 #include "bloom/scalable_bloom.h"
+#include "core/factory.h"
+#include "core/sizing.h"
 #include "workload/generators.h"
 #include "workload/zipf.h"
 
@@ -71,6 +73,33 @@ TEST(BloomFilter, NumHashesMatchesOptimalFormula) {
         1, static_cast<int>(std::lround(bits_per_key * std::numbers::ln2)));
     EXPECT_EQ(f.num_hashes(), expected) << "fpr = " << fpr;
     EXPECT_EQ(f.num_hashes(), std::lround(-std::log2(fpr))) << "fpr = " << fpr;
+  }
+}
+
+TEST(BloomFilter, FactorySizesWithExactLn2) {
+  // The factory path must share the library's sizing math (core/sizing.h
+  // BloomBitsFor), not a re-derived approximation: the old factory carried
+  // its own -ln(eps)/0.6931^2 copy, which drifts from -ln(eps)/ln(2)^2 by
+  // ~1.4e-4 relative — tens to hundreds of bits at these sizes.
+  constexpr uint64_t n = 100000;
+  for (double fpr : {0.04, 0.01, 0.001, 0.0001}) {
+    const auto f = CreateFilter("bloom", n, fpr);
+    ASSERT_NE(f, nullptr);
+    const auto* bloom = dynamic_cast<const BloomFilter*>(f.get());
+    ASSERT_NE(bloom, nullptr);
+    // Bit-for-bit the same geometry as direct construction through the
+    // shared formula...
+    const BloomFilter direct(n, BloomBitsFor(fpr));
+    EXPECT_EQ(bloom->SpaceBits(), direct.SpaceBits()) << "fpr = " << fpr;
+    EXPECT_EQ(bloom->num_hashes(), direct.num_hashes()) << "fpr = " << fpr;
+    // ...with the k = round(lg(1/eps)) collapse only the untruncated ln 2
+    // produces...
+    EXPECT_EQ(bloom->num_hashes(), std::lround(-std::log2(fpr)))
+        << "fpr = " << fpr;
+    // ...and measurably not the truncated-constant sizing.
+    const auto approx_bits = static_cast<uint64_t>(
+        n * (-std::log(fpr) / (0.6931 * 0.6931)));
+    EXPECT_NE(bloom->SpaceBits(), approx_bits) << "fpr = " << fpr;
   }
 }
 

@@ -14,6 +14,7 @@
 
 #include "core/factory.h"
 #include "core/filter_io.h"
+#include "core/key.h"
 #include "core/sharded_filter.h"
 #include "fault_injection.h"
 #include "staticf/ribbon_filter.h"
@@ -167,7 +168,8 @@ class ShardedFaultTest : public ::testing::Test {
   }
 
   static size_t ShardOf(uint64_t key) {
-    return static_cast<size_t>(Hash64(key, 0x5A4D) % kShards);
+    // Mirrors ShardedFilter's routing: the canonical mix, not a re-hash.
+    return static_cast<size_t>(HashedKey(key).value() % kShards);
   }
 
   static constexpr int kShards = 4;

@@ -1,0 +1,254 @@
+// Statistical quality of the hash-once pipeline (DESIGN.md §10). Every
+// structural bit in the library — shard route, quotient, fingerprint,
+// probe offset — is a view of one canonical mix, so the mix and its
+// Derive streams carry the whole FPR analysis. These tests enforce:
+//
+//  * avalanche: flipping any single input bit flips each output bit with
+//    probability 1/2 (Mix64, HashBytes, and the composed
+//    HashedKey::Derive pipeline);
+//  * uniformity: chi-squared bucket balance for both sanctioned consumers
+//    — the routing slice `value() % shards` and Derive-stream reductions
+//    — on sequential keys, the adversarial input for a weak mix;
+//  * stream independence: distinct Derive streams are jointly uniform,
+//    so Kirsch–Mitzenmacher h1/h2 pairs do not correlate;
+//  * invertibility: InverseMix64 is the exact inverse of Mix64 (the
+//    learned filter relies on recovering raw keys from canonical values).
+//
+// All randomized draws go through TestSeed (override: BBF_TEST_SEED=<n>).
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/key.h"
+#include "test_seed.h"
+#include "util/bits.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace bbf {
+namespace {
+
+// Flips each of the 64 input bits over kTrials random keys and checks the
+// mean flipped-output-bit count (expect 32, sigma of the mean ~0.063 at
+// 4000 trials) and every per-output-bit flip rate (expect 0.5, sigma
+// ~0.0079). Tolerances sit past 6 sigma so a seeded rerun never flakes.
+template <typename HashFn>
+void ExpectAvalanche(HashFn hash, uint64_t seed, const char* what) {
+  constexpr int kTrials = 4000;
+  SplitMix64 rng(seed);
+  for (int bit = 0; bit < 64; ++bit) {
+    std::array<uint32_t, 64> flips{};
+    int64_t total = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      const uint64_t x = rng.Next();
+      const uint64_t d = hash(x) ^ hash(x ^ (uint64_t{1} << bit));
+      total += std::popcount(d);
+      for (int out = 0; out < 64; ++out) flips[out] += (d >> out) & 1;
+    }
+    const double mean = static_cast<double>(total) / kTrials;
+    ASSERT_NEAR(mean, 32.0, 0.6) << what << ": input bit " << bit;
+    for (int out = 0; out < 64; ++out) {
+      const double rate = static_cast<double>(flips[out]) / kTrials;
+      ASSERT_NEAR(rate, 0.5, 0.06)
+          << what << ": input bit " << bit << " -> output bit " << out;
+    }
+  }
+}
+
+TEST(HashQuality, Mix64Avalanche) {
+  const uint64_t seed = TestSeed(0xA1);
+  BBF_ANNOUNCE_SEED(seed);
+  ExpectAvalanche([](uint64_t x) { return Mix64(x); }, seed, "Mix64");
+}
+
+TEST(HashQuality, DerivePipelineAvalanche) {
+  // The composed boundary-to-family path: raw key -> canonical mix ->
+  // per-family stream. This is what every probe position is made of.
+  const uint64_t seed = TestSeed(0xA2);
+  BBF_ANNOUNCE_SEED(seed);
+  for (uint64_t stream : {uint64_t{0}, uint64_t{1}, uint64_t{0x5A4D}}) {
+    ExpectAvalanche(
+        [stream](uint64_t x) { return HashedKey(x).Derive(stream); },
+        seed + stream, "HashedKey::Derive");
+  }
+}
+
+TEST(HashQuality, HashBytesAvalanche) {
+  // Byte-string boundary hash: flip every bit of a 16-byte key (two
+  // internal words, so both the bulk loop and the tail path mix).
+  const uint64_t seed = TestSeed(0xA3);
+  BBF_ANNOUNCE_SEED(seed);
+  constexpr int kTrials = 2000;
+  constexpr size_t kLen = 16;
+  SplitMix64 rng(seed);
+  for (size_t bit = 0; bit < kLen * 8; ++bit) {
+    int64_t total = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      std::array<unsigned char, kLen> buf;
+      for (auto& b : buf) b = static_cast<unsigned char>(rng.Next());
+      const uint64_t h0 = HashBytes(buf.data(), kLen, HashedKey::kStringSeed);
+      buf[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+      const uint64_t h1 = HashBytes(buf.data(), kLen, HashedKey::kStringSeed);
+      total += std::popcount(h0 ^ h1);
+    }
+    // Sigma of the mean is 4/sqrt(2000) ~ 0.09; 0.7 is ~8 sigma.
+    ASSERT_NEAR(static_cast<double>(total) / kTrials, 32.0, 0.7)
+        << "input bit " << bit;
+  }
+}
+
+// Chi-squared statistic of `keys` balls in `buckets` bins; for a uniform
+// hash it follows chi2(buckets-1): mean = buckets-1, sigma =
+// sqrt(2*(buckets-1)).
+template <typename BucketFn>
+double ChiSquared(BucketFn bucket_of, uint64_t base, uint64_t keys,
+                  uint64_t buckets) {
+  std::vector<uint32_t> counts(buckets, 0);
+  for (uint64_t i = 0; i < keys; ++i) ++counts[bucket_of(base + i)];
+  const double expected = static_cast<double>(keys) / buckets;
+  double stat = 0;
+  for (uint32_t c : counts) {
+    const double d = c - expected;
+    stat += d * d / expected;
+  }
+  return stat;
+}
+
+TEST(HashQuality, BucketUniformityOnSequentialKeys) {
+  const uint64_t seed = TestSeed(0xA4);
+  BBF_ANNOUNCE_SEED(seed);
+  constexpr uint64_t kKeys = 1 << 17;
+  constexpr uint64_t kBuckets = 1024;
+  // dof = 1023: mean 1023, sigma ~45.2. Both tails checked — a
+  // too-perfect statistic means structured (non-random) assignment.
+  const double lo = 1023 - 6 * 45.2;
+  const double hi = 1023 + 6 * 45.2;
+
+  // The routing slice ShardedFilter uses (bit-usage contract side A).
+  const double route = ChiSquared(
+      [](uint64_t k) { return HashedKey(k).value() % kBuckets; }, seed, kKeys,
+      kBuckets);
+  EXPECT_GT(route, lo) << "routing slice";
+  EXPECT_LT(route, hi) << "routing slice";
+
+  // Derive-stream reductions families use (side B), both mod and
+  // FastRange flavours.
+  const double derive_mod = ChiSquared(
+      [](uint64_t k) { return HashedKey(k).Derive(7) % kBuckets; }, seed,
+      kKeys, kBuckets);
+  EXPECT_GT(derive_mod, lo) << "Derive mod";
+  EXPECT_LT(derive_mod, hi) << "Derive mod";
+
+  const double derive_range = ChiSquared(
+      [](uint64_t k) { return FastRange64(HashedKey(k).Derive(3), kBuckets); },
+      seed, kKeys, kBuckets);
+  EXPECT_GT(derive_range, lo) << "Derive FastRange";
+  EXPECT_LT(derive_range, hi) << "Derive FastRange";
+
+  // String-key boundary: decimal renderings of sequential integers share
+  // long prefixes — a classic weak-hash failure input.
+  const double strings = ChiSquared(
+      [](uint64_t k) {
+        return HashedKey(std::string_view(std::to_string(k))).value() %
+               kBuckets;
+      },
+      seed, kKeys, kBuckets);
+  EXPECT_GT(strings, lo) << "string keys";
+  EXPECT_LT(strings, hi) << "string keys";
+}
+
+TEST(HashQuality, DeriveStreamsAreJointlyUniform) {
+  // Pairwise independence of Derive streams: the joint (a mod 32, b mod
+  // 32) histogram over random keys must be uniform on its 1024 cells.
+  // Correlated streams (the failure Kirsch–Mitzenmacher double hashing
+  // cannot tolerate) would concentrate mass on a sub-lattice.
+  const uint64_t seed = TestSeed(0xA5);
+  BBF_ANNOUNCE_SEED(seed);
+  constexpr uint64_t kKeys = 1 << 17;
+  const double lo = 1023 - 6 * 45.2;
+  const double hi = 1023 + 6 * 45.2;
+  const std::pair<uint64_t, uint64_t> pairs[] = {
+      {0, 1}, {1, 2}, {0x71, 0x72}, {5, 1000}};
+  for (const auto& [a, b] : pairs) {
+    SplitMix64 rng(seed);
+    std::vector<uint32_t> counts(1024, 0);
+    for (uint64_t i = 0; i < kKeys; ++i) {
+      const HashedKey k(rng.Next());
+      ++counts[(k.Derive(a) % 32) * 32 + (k.Derive(b) % 32)];
+    }
+    const double expected = static_cast<double>(kKeys) / 1024;
+    double stat = 0;
+    for (uint32_t c : counts) {
+      const double d = c - expected;
+      stat += d * d / expected;
+    }
+    EXPECT_GT(stat, lo) << "streams " << a << "," << b;
+    EXPECT_LT(stat, hi) << "streams " << a << "," << b;
+  }
+}
+
+TEST(HashQuality, RoutingSliceIndependentOfDeriveStreams) {
+  // The bit-usage contract's whole point: conditioning on the shard a key
+  // routes to must not bias any family stream. Fix route bucket = 0 and
+  // check the conditioned Derive distribution is still uniform.
+  const uint64_t seed = TestSeed(0xA6);
+  BBF_ANNOUNCE_SEED(seed);
+  constexpr uint64_t kShards = 16;
+  constexpr uint64_t kBuckets = 256;
+  std::vector<uint32_t> counts(kBuckets, 0);
+  uint64_t kept = 0;
+  SplitMix64 rng(seed);
+  while (kept < (1u << 16)) {
+    const HashedKey k(rng.Next());
+    if (k.value() % kShards != 0) continue;
+    ++counts[k.Derive(1) % kBuckets];
+    ++kept;
+  }
+  const double expected = static_cast<double>(kept) / kBuckets;
+  double stat = 0;
+  for (uint32_t c : counts) {
+    const double d = c - expected;
+    stat += d * d / expected;
+  }
+  // dof = 255: mean 255, sigma ~22.6.
+  EXPECT_LT(stat, 255 + 6 * 22.6);
+}
+
+TEST(HashQuality, InverseMix64IsExactInverse) {
+  const uint64_t seed = TestSeed(0xA7);
+  BBF_ANNOUNCE_SEED(seed);
+  SplitMix64 rng(seed);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t x = rng.Next();
+    ASSERT_EQ(InverseMix64(Mix64(x)), x);
+    ASSERT_EQ(Mix64(InverseMix64(x)), x);
+  }
+  EXPECT_EQ(InverseMix64(Mix64(0)), 0u);
+  EXPECT_EQ(InverseMix64(Mix64(~uint64_t{0})), ~uint64_t{0});
+  // HashedKey round-trip as the learned filter uses it: canonical value
+  // back to the raw integer key.
+  EXPECT_EQ(InverseMix64(HashedKey(uint64_t{123456789}).value()),
+            uint64_t{123456789});
+}
+
+TEST(HashQuality, IntegerAndStringDomainsAreSeparated) {
+  // An integer key and its 8-byte little-endian rendering must not
+  // collide by construction: kStringSeed domain-separates the two
+  // constructors.
+  for (uint64_t k : {uint64_t{0}, uint64_t{1}, uint64_t{0xDEADBEEF}}) {
+    std::array<char, 8> bytes;
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<char>((k >> (8 * i)) & 0xFF);
+    }
+    EXPECT_NE(HashedKey(k),
+              HashedKey(std::string_view(bytes.data(), bytes.size())));
+  }
+}
+
+}  // namespace
+}  // namespace bbf

@@ -233,8 +233,8 @@ void CheckBatchParity(
     ASSERT_EQ(chunked, out) << "batch size " << batch;
   }
   // Empty batches are a no-op.
-  scalar->ContainsMany({}, nullptr);
-  EXPECT_EQ(scalar->InsertMany({}), 0u);
+  scalar->ContainsMany(std::span<const uint64_t>{}, nullptr);
+  EXPECT_EQ(scalar->InsertMany(std::span<const uint64_t>{}), 0u);
 
   // The batch-built filter answers exactly like the scalar-built one.
   std::vector<uint8_t> out_batched(queries.size(), 2);

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "quotient/expanding_quotient_filter.h"
+#include "core/key.h"
 #include "quotient/quotient_filter.h"
 #include "quotient/quotient_maplet.h"
 #include "util/hash.h"
@@ -152,12 +153,12 @@ TEST(QuotientFilter, ErasingAbsentKeyMayRemoveCollidingTwin) {
   QuotientFilter f(6, 4);  // 10-bit fingerprints: collisions are easy.
   uint64_t fq0;
   uint64_t fr0;
-  f.Fingerprint(1000, &fq0, &fr0);
+  f.Fingerprint(HashedKey(1000), &fq0, &fr0);
   uint64_t twin = 0;
   for (uint64_t k = 0;; ++k) {
     uint64_t fq;
     uint64_t fr;
-    f.Fingerprint(k, &fq, &fr);
+    f.Fingerprint(HashedKey(k), &fq, &fr);
     if (fq == fq0 && fr == fr0 && k != 1000) {
       twin = k;
       break;
@@ -186,7 +187,7 @@ TEST(QuotientFilter, ForEachFingerprintEnumeratesAll) {
     ASSERT_TRUE(f.Insert(k));
     uint64_t fq;
     uint64_t fr;
-    f.Fingerprint(k, &fq, &fr);
+    f.Fingerprint(HashedKey(k), &fq, &fr);
     expected.insert((fq << 12) | fr);
   }
   std::unordered_multiset<uint64_t> seen;

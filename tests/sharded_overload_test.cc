@@ -136,7 +136,9 @@ TEST(ShardedOverload, ChainPolicyRejectsOnlyAfterGenerationBudget) {
   for (const auto& s : f.Stats()) {
     EXPECT_LE(s.generations, 2u);
     // Once a shard rejects, it must be reporting saturation.
-    if (s.rejected > 0) EXPECT_TRUE(s.saturated);
+    if (s.rejected > 0) {
+      EXPECT_TRUE(s.saturated);
+    }
   }
   EXPECT_EQ(f.TotalRejected(), rejected);
 }
