@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/metrics_sink.h"
 #include "util/bits.h"
 #include "util/hash.h"
 #include "util/serialize.h"
@@ -106,6 +107,7 @@ bool AdaptiveQuotientFilter::ReportFalsePositive(HashedKey key) {
   }
   extensions_[f] = std::move(exts);
   ++adaptations_;
+  if (sink_ != nullptr) sink_->OnAdapt();
   return !Contains(key);
 }
 

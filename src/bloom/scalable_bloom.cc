@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/metrics_sink.h"
 #include "util/serialize.h"
 
 namespace bbf {
@@ -20,6 +21,8 @@ ScalableBloomFilter::ScalableBloomFilter(uint64_t initial_capacity,
 }
 
 void ScalableBloomFilter::AddStage() {
+  // The constructor's first stage is initial sizing, not an expansion.
+  if (sink_ != nullptr && !stages_.empty()) sink_->OnExpansion();
   Stage stage;
   stage.capacity = next_capacity_;
   stage.filter = std::make_unique<BloomFilter>(BloomFilter::ForFpr(

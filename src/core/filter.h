@@ -12,6 +12,8 @@
 
 namespace bbf {
 
+class MetricsSink;
+
 /// Taxonomy of §2 of the paper: static filters are built once from a known
 /// key set; semi-dynamic filters support inserts but not deletes; dynamic
 /// filters support both.
@@ -159,6 +161,20 @@ class Filter {
     const uint64_t n = NumKeys();
     return n == 0 ? 0.0 : static_cast<double>(SpaceBits()) / n;
   }
+
+  /// Attaches (or detaches, with nullptr) a structural-event listener
+  /// (DESIGN.md §11). Families report kick chains, probe scans,
+  /// expansions, and adapt repairs through it; a null sink — the default
+  /// — costs one predictable branch per reporting site. Wrappers that own
+  /// inner filters (ShardedFilter) override to propagate the sink; call
+  /// before concurrent use, the pointer itself is unsynchronized.
+  virtual void AttachMetricsSink(MetricsSink* sink) { sink_ = sink; }
+  MetricsSink* metrics_sink() const { return sink_; }
+
+ protected:
+  /// Event listener for families to report through; null when
+  /// uninstrumented.
+  MetricsSink* sink_ = nullptr;
 };
 
 /// Extension point for adaptive filters (§2.3): the fronted dictionary

@@ -1,0 +1,45 @@
+#ifndef BBF_CORE_METRICS_SINK_H_
+#define BBF_CORE_METRICS_SINK_H_
+
+#include <cstdint>
+
+namespace bbf {
+
+/// Structural-event listener for the observability layer (DESIGN.md §11).
+///
+/// Families report events a wrapper cannot observe from outside — cuckoo
+/// kick-chain lengths, quotient run-scan lengths, native expansions,
+/// adapt repairs — through the `sink_` pointer on Filter. The sink is
+/// null by default, so an uninstrumented filter pays exactly one
+/// predictable `if (sink_)` branch per reporting site and nothing else;
+/// core never depends on the obs library.
+///
+/// Implementations must be thread-safe: sharded filters invoke family
+/// code from many threads, each under its own shard lock, against one
+/// shared sink. The obs implementation (obs/metrics.h) uses relaxed
+/// atomics throughout.
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+
+  /// A cuckoo-style insert finished after displacing `kicks` residents
+  /// (0 = placed directly). Called once per attempted placement,
+  /// including stash landings and unwound failures (which report the
+  /// full chain they walked).
+  virtual void OnKickChain(uint64_t kicks) = 0;
+
+  /// A quotient-style membership probe scanned `slots` run slots
+  /// (0 = home slot unoccupied, answered without scanning).
+  virtual void OnProbeLength(uint64_t slots) = 0;
+
+  /// The structure grew a generation: a chained shard generation, a
+  /// scalable-bloom stage, a taffy/quotient doubling, a chained link.
+  virtual void OnExpansion() = 0;
+
+  /// A confirmed false positive was repaired (§2.3 adaptivity).
+  virtual void OnAdapt() = 0;
+};
+
+}  // namespace bbf
+
+#endif  // BBF_CORE_METRICS_SINK_H_

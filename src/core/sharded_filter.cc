@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "core/metrics_sink.h"
 #include "util/serialize.h"
 
 namespace bbf {
@@ -33,6 +34,9 @@ int SaturationConfig::GenerationsForFprBudget(double per_generation_fpr,
 std::unique_ptr<ShardedFilter::Shard> ShardedFilter::MakeShard() const {
   auto shard = std::make_unique<Shard>();
   shard->gens.push_back(factory_(per_shard_capacity_));
+  // Quarantine rebuilds and snapshot loads create shards after a sink may
+  // have been attached; keep them reporting.
+  shard->gens.back()->AttachMetricsSink(sink_);
   shard->newest_capacity = per_shard_capacity_;
   shard->next_capacity = static_cast<uint64_t>(
       std::max(1.0, per_shard_capacity_ * config_.growth));
@@ -66,10 +70,20 @@ size_t ShardedFilter::ShardOf(HashedKey key) const {
 
 Filter& ShardedFilter::AddGenerationLocked(Shard& shard) {
   shard.gens.push_back(factory_(shard.next_capacity));
+  shard.gens.back()->AttachMetricsSink(sink_);
+  if (sink_ != nullptr) sink_->OnExpansion();
   shard.newest_capacity = shard.next_capacity;
   shard.next_capacity = static_cast<uint64_t>(
       std::max(1.0, shard.next_capacity * config_.growth));
   return *shard.gens.back();
+}
+
+void ShardedFilter::AttachMetricsSink(MetricsSink* sink) {
+  Filter::AttachMetricsSink(sink);
+  for (const auto& shard : shards_) {
+    std::unique_lock lock(shard->mutex);
+    for (const auto& gen : shard->gens) gen->AttachMetricsSink(sink);
+  }
 }
 
 InsertOutcome ShardedFilter::InsertIntoShardLocked(Shard& shard,
@@ -419,6 +433,7 @@ bool ShardedFilter::LoadWithReport(std::istream& is, LoadReport* report) {
       std::unique_ptr<Filter> gen =
           g == 0 ? std::move(shard->gens.front())
                  : factory_(shard->next_capacity);
+      gen->AttachMetricsSink(sink_);
       std::istringstream bs(blob);
       if (have_blob && gen->Load(bs)) {
         if (g == 0) {

@@ -118,6 +118,13 @@ class ShardedFilter : public Filter {
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const SaturationConfig& saturation_config() const { return config_; }
 
+  /// Propagates the sink to every live generation (under each shard's
+  /// exclusive lock) and to generations created later by chaining or
+  /// quarantine rebuilds, so family-level events (kick chains, probe
+  /// scans) from all shards land in one metrics block. Chaining a
+  /// generation additionally reports MetricsSink::OnExpansion.
+  void AttachMetricsSink(MetricsSink* sink) override;
+
   /// Point-in-time occupancy and outcome counters for one shard. Counters
   /// reset on Load (snapshots persist structure, not serving history).
   struct ShardStats {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/metrics_sink.h"
 #include "util/bits.h"
 #include "util/hash.h"
 #include "util/serialize.h"
@@ -173,6 +174,7 @@ bool AdaptiveCuckooFilter::ReportFalsePositive(HashedKey key) {
       fingerprints_.Set(
           idx, FingerprintOf(HashedKey::FromMix(remote_keys_[idx]), sel));
       ++adaptations_;
+      if (sink_ != nullptr) sink_->OnAdapt();
     }
   }
   return !Contains(key);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/metrics_sink.h"
 #include "util/bits.h"
 #include "util/hash.h"
 #include "util/serialize.h"
@@ -71,6 +72,7 @@ bool CuckooFilter::Insert(HashedKey key) {
 
 bool CuckooFilter::InsertPrepared(uint64_t fp, uint64_t i1, uint64_t i2) {
   if (TryPlace(i1, fp) || TryPlace(i2, fp)) {
+    if (sink_ != nullptr) sink_->OnKickChain(0);
     ++num_keys_;
     return true;
   }
@@ -94,10 +96,14 @@ bool CuckooFilter::InsertPrepared(uint64_t fp, uint64_t i1, uint64_t i2) {
     fp = victim;
     bucket = AltIndex(bucket, fp);
     if (TryPlace(bucket, fp)) {
+      if (sink_ != nullptr) sink_->OnKickChain(static_cast<uint64_t>(kick) + 1);
       ++num_keys_;
       return true;
     }
   }
+  // Chain dead-ended after the full budget; both the stash landing and
+  // the unwound failure walked kMaxKicks displacements.
+  if (sink_ != nullptr) sink_->OnKickChain(kMaxKicks);
   if (may_need_unwind) {
     // Walk the chain backwards: each touched cell currently holds the
     // fingerprint placed into it, and must get back the victim it lost —

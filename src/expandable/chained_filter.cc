@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/metrics_sink.h"
 #include "util/serialize.h"
 
 namespace bbf {
@@ -19,6 +20,7 @@ bool ChainedQuotientFilter::Insert(HashedKey key) {
     links_.push_back(std::make_unique<QuotientFilter>(
         next_q_bits_, r_bits_, hash_seed_ + links_.size()));
     ++next_q_bits_;
+    if (sink_ != nullptr) sink_->OnExpansion();
     if (!links_.back()->Insert(key)) return false;
   }
   ++num_keys_;

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/metrics_sink.h"
 #include "util/bits.h"
 #include "util/hash.h"
 #include "util/serialize.h"
@@ -123,6 +124,7 @@ void TaffyFilter::Expand() {
     }
   }
   ++expansions_;
+  if (sink_ != nullptr) sink_->OnExpansion();
 }
 
 bool TaffyFilter::SavePayload(std::ostream& os) const {

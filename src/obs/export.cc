@@ -1,0 +1,174 @@
+#include "obs/export.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+namespace bbf::obs {
+namespace {
+
+// One rendered series: the label value and its formatted number(s).
+struct Series {
+  std::string label;
+  const MetricsSnapshot::Counter* counter = nullptr;
+  const MetricsSnapshot::Gauge* gauge = nullptr;
+  const HistogramSnapshot* histogram = nullptr;
+};
+
+// Groups every entry's metrics by metric name, preserving first-seen
+// order, so the Prometheus renderer can emit one # TYPE line per metric
+// even with many registered filters.
+struct MetricGroup {
+  std::string name;
+  const char* type;  // "counter" | "gauge" | "histogram"
+  std::vector<Series> series;
+};
+
+std::vector<MetricGroup> GroupByMetric(
+    const std::vector<MetricsRegistry::Entry>& entries) {
+  std::vector<MetricGroup> groups;
+  std::map<std::string, size_t> index;
+  auto group_for = [&](const std::string& name,
+                       const char* type) -> MetricGroup& {
+    auto [it, inserted] = index.emplace(name, groups.size());
+    if (inserted) groups.push_back(MetricGroup{name, type, {}});
+    return groups[it->second];
+  };
+  for (const MetricsRegistry::Entry& e : entries) {
+    for (const auto& c : e.snapshot.counters) {
+      Series s;
+      s.label = e.label;
+      s.counter = &c;
+      group_for(c.name, "counter").series.push_back(s);
+    }
+    for (const auto& g : e.snapshot.gauges) {
+      Series s;
+      s.label = e.label;
+      s.gauge = &g;
+      group_for(g.name, "gauge").series.push_back(s);
+    }
+    for (const auto& h : e.snapshot.histograms) {
+      Series s;
+      s.label = e.label;
+      s.histogram = &h;
+      group_for(h.name, "histogram").series.push_back(s);
+    }
+  }
+  return groups;
+}
+
+void Append(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<size_t>(n));
+}
+
+}  // namespace
+
+void MetricsRegistry::Register(std::string label,
+                               const InstrumentedFilter* filter) {
+  Register(std::move(label), [filter] { return filter->Snapshot(); });
+}
+
+void MetricsRegistry::Register(std::string label,
+                               std::function<MetricsSnapshot()> provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_.emplace_back(std::move(label), std::move(provider));
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> entries;
+  entries.reserve(sources_.size());
+  for (const auto& [label, provider] : sources_) {
+    entries.push_back(Entry{label, provider()});
+  }
+  return entries;
+}
+
+std::string FormatMetricValue(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string RenderPrometheus(
+    const std::vector<MetricsRegistry::Entry>& entries) {
+  std::string out;
+  for (const MetricGroup& group : GroupByMetric(entries)) {
+    Append(&out, "# TYPE bbf_%s %s\n", group.name.c_str(), group.type);
+    for (const Series& s : group.series) {
+      if (s.counter != nullptr) {
+        Append(&out, "bbf_%s{filter=\"%s\"} %llu\n", group.name.c_str(),
+               s.label.c_str(),
+               static_cast<unsigned long long>(s.counter->value));
+      } else if (s.gauge != nullptr) {
+        Append(&out, "bbf_%s{filter=\"%s\"} %s\n", group.name.c_str(),
+               s.label.c_str(), FormatMetricValue(s.gauge->value).c_str());
+      } else {
+        const HistogramSnapshot& h = *s.histogram;
+        for (size_t b = 0; b < h.bounds.size(); ++b) {
+          Append(&out, "bbf_%s_bucket{filter=\"%s\",le=\"%llu\"} %llu\n",
+                 group.name.c_str(), s.label.c_str(),
+                 static_cast<unsigned long long>(h.bounds[b]),
+                 static_cast<unsigned long long>(h.cumulative[b]));
+        }
+        Append(&out, "bbf_%s_bucket{filter=\"%s\",le=\"+Inf\"} %llu\n",
+               group.name.c_str(), s.label.c_str(),
+               static_cast<unsigned long long>(h.cumulative.back()));
+        Append(&out, "bbf_%s_sum{filter=\"%s\"} %llu\n", group.name.c_str(),
+               s.label.c_str(), static_cast<unsigned long long>(h.sum));
+        Append(&out, "bbf_%s_count{filter=\"%s\"} %llu\n", group.name.c_str(),
+               s.label.c_str(), static_cast<unsigned long long>(h.count));
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<MetricsRegistry::Entry>& entries) {
+  std::string out = "{\n  \"filters\": [\n";
+  for (size_t e = 0; e < entries.size(); ++e) {
+    const MetricsRegistry::Entry& entry = entries[e];
+    Append(&out, "    {\n      \"filter\": \"%s\",\n",
+           entry.label.c_str());
+    out += "      \"counters\": {";
+    for (size_t i = 0; i < entry.snapshot.counters.size(); ++i) {
+      const auto& c = entry.snapshot.counters[i];
+      Append(&out, "%s\"%s\": %llu", i == 0 ? "" : ", ", c.name.c_str(),
+             static_cast<unsigned long long>(c.value));
+    }
+    out += "},\n      \"gauges\": {";
+    for (size_t i = 0; i < entry.snapshot.gauges.size(); ++i) {
+      const auto& g = entry.snapshot.gauges[i];
+      Append(&out, "%s\"%s\": %s", i == 0 ? "" : ", ", g.name.c_str(),
+             FormatMetricValue(g.value).c_str());
+    }
+    out += "},\n      \"histograms\": {\n";
+    for (size_t i = 0; i < entry.snapshot.histograms.size(); ++i) {
+      const HistogramSnapshot& h = entry.snapshot.histograms[i];
+      Append(&out, "        \"%s\": {\"bounds\": [", h.name.c_str());
+      for (size_t b = 0; b < h.bounds.size(); ++b) {
+        Append(&out, "%s%llu", b == 0 ? "" : ", ",
+               static_cast<unsigned long long>(h.bounds[b]));
+      }
+      out += "], \"cumulative\": [";
+      for (size_t b = 0; b < h.cumulative.size(); ++b) {
+        Append(&out, "%s%llu", b == 0 ? "" : ", ",
+               static_cast<unsigned long long>(h.cumulative[b]));
+      }
+      Append(&out, "], \"sum\": %llu, \"count\": %llu}%s\n",
+             static_cast<unsigned long long>(h.sum),
+             static_cast<unsigned long long>(h.count),
+             i + 1 < entry.snapshot.histograms.size() ? "," : "");
+    }
+    Append(&out, "      }\n    }%s\n", e + 1 < entries.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace bbf::obs

@@ -1,0 +1,61 @@
+#ifndef BBF_OBS_EXPORT_H_
+#define BBF_OBS_EXPORT_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/instrumented.h"
+#include "obs/metrics.h"
+
+namespace bbf::obs {
+
+/// Named collection of metric sources — the unit a scrape endpoint
+/// serves. Register each instrumented filter (or any snapshot provider)
+/// under a label; Snapshot() materializes every source at once so one
+/// exporter call renders a consistent page.
+class MetricsRegistry {
+ public:
+  /// The caller keeps `filter` alive for the registry's lifetime.
+  void Register(std::string label, const InstrumentedFilter* filter);
+  /// Fully general form: any provider of MetricsSnapshot.
+  void Register(std::string label, std::function<MetricsSnapshot()> provider);
+
+  struct Entry {
+    std::string label;
+    MetricsSnapshot snapshot;
+  };
+  /// One entry per registered source, in registration order.
+  std::vector<Entry> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::function<MetricsSnapshot()>>>
+      sources_;
+};
+
+/// Renders registry entries in the Prometheus text exposition format.
+/// Metric names get the `bbf_` prefix; each source's label becomes the
+/// `filter="<label>"` label; series of the same metric are grouped under
+/// a single `# TYPE` line, as the format requires. Output is
+/// deterministic for a given entry vector (fixed metric order, fixed
+/// float formatting), so tests can validate it byte-for-byte.
+std::string RenderPrometheus(const std::vector<MetricsRegistry::Entry>& entries);
+
+/// Renders the same data as a JSON document:
+/// {"filters":[{"filter":label,"counters":{...},"gauges":{...},
+///              "histograms":{name:{"bounds":[...],"cumulative":[...],
+///                                  "sum":S,"count":C}}}]}
+/// Deterministic like the Prometheus form.
+std::string RenderJson(const std::vector<MetricsRegistry::Entry>& entries);
+
+/// Fixed double formatting shared by both exporters (shortest round-trip
+/// via %.17g would leak noise into byte-validated goldens; %.9g keeps
+/// FPR-scale values exact and stable).
+std::string FormatMetricValue(double value);
+
+}  // namespace bbf::obs
+
+#endif  // BBF_OBS_EXPORT_H_

@@ -1,0 +1,128 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bbf::obs {
+
+HistogramSnapshot Log2Histogram::Snapshot(std::string name) const {
+  HistogramSnapshot snap;
+  snap.name = std::move(name);
+  snap.bounds.reserve(kFiniteBounds);
+  snap.cumulative.reserve(kBuckets);
+  uint64_t running = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    running += buckets_[b].load(std::memory_order_relaxed);
+    if (b < kFiniteBounds) snap.bounds.push_back(BoundOf(b));
+    snap.cumulative.push_back(running);
+  }
+  snap.count = running;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+LatencyReservoir::Snapshot LatencyReservoir::Snap() const {
+  Snapshot snap;
+  snap.samples = next_.load(std::memory_order_relaxed);
+  const size_t n = static_cast<size_t>(
+      std::min<uint64_t>(snap.samples, kCapacity));
+  if (n == 0) return snap;
+  std::vector<uint64_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back(slots_[i].load(std::memory_order_relaxed));
+  }
+  std::sort(values.begin(), values.end());
+  snap.p50_ns = values[(n - 1) / 2];
+  snap.p99_ns = values[(n - 1) * 99 / 100];
+  snap.max_ns = values.back();
+  return snap;
+}
+
+void ObservedFprEstimator::RecordInsert(HashedKey key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  present_.insert(key.value());
+}
+
+void ObservedFprEstimator::RecordInserts(
+    const std::vector<uint64_t>& mixed_values) {
+  if (mixed_values.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  present_.reserve(present_.size() + mixed_values.size());
+  for (uint64_t v : mixed_values) present_.insert(v);
+}
+
+void ObservedFprEstimator::RecordErase(HashedKey key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  present_.erase(key.value());
+}
+
+void ObservedFprEstimator::RecordLookup(HashedKey key, bool filter_positive) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (present_.count(key.value())) {
+    ++positive_lookups_;
+    if (!filter_positive) ++false_negatives_;
+  } else {
+    ++negative_lookups_;
+    if (filter_positive) ++false_positives_;
+  }
+}
+
+ObservedFprEstimator::Snapshot ObservedFprEstimator::Snap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.tracked_keys = present_.size();
+  snap.negative_lookups = negative_lookups_;
+  snap.false_positives = false_positives_;
+  snap.positive_lookups = positive_lookups_;
+  snap.false_negatives = false_negatives_;
+  if (negative_lookups_ > 0) {
+    snap.observed_fpr =
+        static_cast<double>(false_positives_) / negative_lookups_;
+  }
+  return snap;
+}
+
+MetricsSnapshot FilterMetrics::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters = {
+      {"lookups_total", lookups.Load()},
+      {"lookup_hits_total", lookup_hits.Load()},
+      {"inserts_total", inserts.Load()},
+      {"insert_failures_total", insert_failures.Load()},
+      {"erases_total", erases.Load()},
+      {"erase_failures_total", erase_failures.Load()},
+      {"fp_reports_total", fp_reports.Load()},
+      {"expansions_total", expansions.Load()},
+      {"adapt_events_total", adapt_events.Load()},
+  };
+  const ObservedFprEstimator::Snapshot fpr_snap = fpr.Snap();
+  snap.counters.push_back(
+      {"sampled_negative_lookups_total", fpr_snap.negative_lookups});
+  snap.counters.push_back(
+      {"sampled_false_positives_total", fpr_snap.false_positives});
+  snap.counters.push_back(
+      {"sampled_positive_lookups_total", fpr_snap.positive_lookups});
+  snap.counters.push_back(
+      {"sampled_false_negatives_total", fpr_snap.false_negatives});
+
+  const LatencyReservoir::Snapshot lat = lookup_latency.Snap();
+  snap.gauges = {
+      {"configured_epsilon", configured_epsilon},
+      {"structural_event_sample_every",
+       static_cast<double>(kStructuralSampleEvery)},
+      {"observed_fpr", fpr_snap.observed_fpr},
+      {"sampled_tracked_keys", static_cast<double>(fpr_snap.tracked_keys)},
+      {"lookup_latency_samples", static_cast<double>(lat.samples)},
+      {"lookup_latency_p50_ns", static_cast<double>(lat.p50_ns)},
+      {"lookup_latency_p99_ns", static_cast<double>(lat.p99_ns)},
+      {"lookup_latency_max_ns", static_cast<double>(lat.max_ns)},
+  };
+
+  snap.histograms.push_back(kick_chain.Snapshot("kick_chain_length"));
+  snap.histograms.push_back(probe_length.Snapshot("probe_run_length"));
+  snap.histograms.push_back(batch_size.Snapshot("batch_size"));
+  return snap;
+}
+
+}  // namespace bbf::obs

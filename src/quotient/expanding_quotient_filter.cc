@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/metrics_sink.h"
 #include "util/bits.h"
 #include "util/serialize.h"
 
@@ -37,6 +38,7 @@ bool ExpandingQuotientFilter::Expand() {
   bigger.num_keys_ = filter_.num_keys_;
   filter_ = std::move(bigger);
   ++expansions_;
+  if (sink_ != nullptr) sink_->OnExpansion();
   return true;
 }
 

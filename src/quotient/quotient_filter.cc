@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/metrics_sink.h"
 #include "util/bits.h"
 #include "util/hash.h"
 #include "util/serialize.h"
@@ -92,15 +93,23 @@ bool QuotientFilter::Contains(HashedKey key) const {
 }
 
 bool QuotientFilter::ContainsFingerprint(uint64_t fq, uint64_t fr) const {
-  if (!table_.occupied(fq)) return false;
-  uint64_t s = table_.FindRunStart(fq);
-  do {
-    const uint64_t rem = table_.remainder(s);
-    if (rem == fr) return true;
-    if (rem > fr) return false;  // Runs are sorted.
-    s = table_.Next(s);
-  } while (table_.continuation(s));
-  return false;
+  uint64_t probed = 0;  // Run slots scanned; 0 = unoccupied home slot.
+  bool found = false;
+  if (table_.occupied(fq)) {
+    uint64_t s = table_.FindRunStart(fq);
+    do {
+      ++probed;
+      const uint64_t rem = table_.remainder(s);
+      if (rem == fr) {
+        found = true;
+        break;
+      }
+      if (rem > fr) break;  // Runs are sorted.
+      s = table_.Next(s);
+    } while (table_.continuation(s));
+  }
+  if (sink_ != nullptr) sink_->OnProbeLength(probed);
+  return found;
 }
 
 void QuotientFilter::ContainsMany(std::span<const HashedKey> keys,

@@ -22,6 +22,8 @@
 #include "core/factory.h"
 #include "core/sharded_filter.h"
 #include "cuckoo/cuckoo_filter.h"
+#include "obs/instrumented.h"
+#include "obs/metrics.h"
 #include "quotient/quotient_filter.h"
 #include "test_seed.h"
 #include "util/random.h"
@@ -323,6 +325,148 @@ TEST(ConcurrentStress, ExpandInPlaceTaffyNeverRejectsUnderStorm) {
   // 16k keys into 256-key sizing: the threshold tripped, so expansion
   // statuses must have been reported.
   EXPECT_GT(total_expanded, 0u);
+}
+
+// Instrumented torture: the same 8-thread storm through an
+// obs::InstrumentedFilter wrapping a sharded cuckoo. The counters are
+// relaxed atomics — this test is the proof (run under TSan in CI) that
+// they are race-free AND lose nothing: after the join, every metrics
+// total must equal the sum of the per-thread tallies of what each call
+// actually returned, and the sampled ground-truth estimator must have
+// seen zero false negatives.
+TEST(ConcurrentStress, InstrumentedCountersMatchPerThreadTallies) {
+  const uint64_t seed = TestSeed(2027);
+  BBF_ANNOUNCE_SEED(seed);
+
+  SaturationConfig config;
+  config.policy = SaturationPolicy::kReject;
+  config.load_threshold = 0.9;
+  obs::InstrumentedFilter f(
+      std::make_unique<ShardedFilter>(
+          8000, 8,
+          [](uint64_t cap) -> std::unique_ptr<Filter> {
+            return std::make_unique<CuckooFilter>(cap, 14);
+          },
+          config),
+      /*configured_epsilon=*/0.01);
+
+  struct Tally {
+    uint64_t scalar_inserts = 0;
+    uint64_t insert_failures = 0;
+    uint64_t batch_keys = 0;
+    uint64_t batch_shortfall = 0;
+    uint64_t lookups = 0;   // Scalar calls + batch query counts.
+    uint64_t hits = 0;      // Positive results actually returned to us.
+    uint64_t erases = 0;
+    uint64_t erase_failures = 0;
+    uint64_t own_key_misses = 0;
+    std::vector<uint64_t> acked;
+    size_t erased = 0;
+  };
+  std::vector<Tally> tallies(kThreads);
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&f, &tallies, t, seed] {
+      Tally& log = tallies[t];
+      SplitMix64 rng(seed + static_cast<uint64_t>(t) * 6151);
+      uint64_t next_key = 0;
+      std::vector<uint64_t> batch;
+      std::vector<uint8_t> out;
+      for (int op = 0; op < 2000; ++op) {
+        const uint64_t dice = rng.NextBelow(12);
+        if (dice < 5) {
+          const uint64_t key = PartitionKey(t, next_key++);
+          ++log.scalar_inserts;
+          if (f.Insert(key)) {
+            log.acked.push_back(key);
+          } else {
+            ++log.insert_failures;
+          }
+        } else if (dice == 5) {
+          batch.clear();
+          for (int j = 0; j < 32; ++j) {
+            batch.push_back(PartitionKey(t, next_key++));
+          }
+          const size_t n = f.InsertMany(batch);
+          log.batch_keys += batch.size();
+          log.batch_shortfall += batch.size() - n;
+        } else if (dice == 6) {
+          // Batched probe over own acked keys plus random negatives.
+          batch.clear();
+          for (int j = 0; j < 16; ++j) {
+            if (!log.acked.empty() && (j & 1) == 0) {
+              batch.push_back(log.acked[rng.NextBelow(log.acked.size())]);
+            } else {
+              batch.push_back(rng.Next());
+            }
+          }
+          out.assign(batch.size(), 0);
+          f.ContainsMany(batch, out.data());
+          log.lookups += batch.size();
+          for (uint8_t o : out) log.hits += o;
+        } else if (dice < 9) {
+          if (log.erased < log.acked.size()) {
+            ++log.erases;
+            if (f.Erase(log.acked[log.erased])) {
+              ++log.erased;
+            } else {
+              ++log.erase_failures;
+            }
+          }
+        } else if (dice < 11) {
+          if (log.erased < log.acked.size()) {
+            const size_t live =
+                log.erased +
+                rng.NextBelow(log.acked.size() - log.erased);
+            ++log.lookups;
+            const bool hit = f.Contains(log.acked[live]);
+            log.hits += hit;
+            log.own_key_misses += !hit;
+          }
+        } else {
+          ++log.lookups;
+          log.hits += f.Contains(rng.Next());
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  Tally sum;
+  for (const Tally& log : tallies) {
+    EXPECT_EQ(log.own_key_misses, 0u);
+    EXPECT_EQ(log.erase_failures, 0u);
+    sum.scalar_inserts += log.scalar_inserts;
+    sum.insert_failures += log.insert_failures;
+    sum.batch_keys += log.batch_keys;
+    sum.batch_shortfall += log.batch_shortfall;
+    sum.lookups += log.lookups;
+    sum.hits += log.hits;
+    sum.erases += log.erases;
+    sum.erase_failures += log.erase_failures;
+  }
+
+  const obs::MetricsSnapshot snap = f.Snapshot();
+  const auto counter = [&snap](std::string_view name) -> uint64_t {
+    for (const auto& c : snap.counters) {
+      if (c.name == name) return c.value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return ~uint64_t{0};
+  };
+  EXPECT_EQ(counter("inserts_total"), sum.scalar_inserts + sum.batch_keys);
+  EXPECT_EQ(counter("insert_failures_total"),
+            sum.insert_failures + sum.batch_shortfall);
+  EXPECT_EQ(counter("lookups_total"), sum.lookups);
+  EXPECT_EQ(counter("lookup_hits_total"), sum.hits);
+  EXPECT_EQ(counter("erases_total"), sum.erases);
+  EXPECT_EQ(counter("erase_failures_total"), 0u);
+  // The ground-truth estimator runs over a 1-in-64 key sample; with
+  // partitioned keys and multiset erase semantics a sampled key the
+  // filter acknowledged can never go missing.
+  EXPECT_EQ(counter("sampled_false_negatives_total"), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+// Statistical FPR regression suite: every factory-constructible family is
+// built for a configured epsilon, loaded to its design point, and probed
+// with a large negative stream. The measured false-positive count must
+// stay below a binomial upper bound on 1.5x the configured epsilon —
+// slack for fingerprint-sizing granularity (families round fingerprints
+// to whole bits) plus sampling noise, but tight enough that a sizing
+// regression (one fingerprint bit lost, a broken hash stream, an
+// expansion path that erodes fingerprints) trips it.
+//
+// The bound: with M negatives and true rate p = 1.5*eps, the FP count is
+// Binomial(M, p); we reject only above mean + 3*sigma (normal
+// approximation, one-sided ~0.1% false-alarm rate per family). Seeds run
+// through TestSeed so a trip replays with BBF_TEST_SEED=<n>.
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_filter.h"
+#include "core/factory.h"
+#include "core/registry.h"
+#include "test_seed.h"
+#include "workload/generators.h"
+
+namespace bbf {
+namespace {
+
+constexpr uint64_t kN = 20000;        // Keys inserted per family.
+constexpr uint64_t kNegatives = 200000;  // Negative probes per family.
+constexpr double kEpsilon = 0.01;     // Configured FPR target.
+constexpr double kSlack = 1.5;        // Allowed sizing granularity.
+
+/// mean + 3 sigma of Binomial(m, p): the acceptance threshold on the
+/// false-positive count.
+double BinomialUpperBound(uint64_t m, double p) {
+  const double mean = static_cast<double>(m) * p;
+  return mean + 3.0 * std::sqrt(mean * (1.0 - p));
+}
+
+/// Inserts `keys` (tolerating a small admission shortfall near the design
+/// point), then counts false positives over `negatives` via the batch
+/// path. Keys that failed to insert stay out of the FP accounting:
+/// a negative is only "false positive" against what the filter admitted.
+uint64_t MeasureFalsePositives(Filter& filter,
+                               const std::vector<uint64_t>& keys,
+                               const std::vector<uint64_t>& negatives,
+                               size_t* admitted_out) {
+  size_t admitted = 0;
+  for (uint64_t k : keys) admitted += filter.Insert(k);
+  *admitted_out = admitted;
+  std::vector<uint8_t> out(negatives.size());
+  filter.ContainsMany(negatives, out.data());
+  uint64_t fp = 0;
+  for (uint8_t o : out) fp += o;
+  return fp;
+}
+
+class FprRegression : public ::testing::TestWithParam<size_t> {
+ public:
+  static std::vector<std::string> Families() {
+    std::vector<std::string> families;
+    for (std::string_view tag : RegisteredFilterTags()) {
+      const FilterEntry* entry = FindFilterEntry(tag);
+      if (entry != nullptr && entry->in_factory) {
+        families.emplace_back(tag);
+      }
+    }
+    return families;
+  }
+};
+
+TEST_P(FprRegression, MeasuredFprWithinConfiguredBudget) {
+  const std::string family = Families()[GetParam()];
+  const uint64_t seed = TestSeed(4242);
+  BBF_ANNOUNCE_SEED(seed);
+  SCOPED_TRACE(family);
+
+  auto filter = CreateFilter(family, kN, kEpsilon);
+  ASSERT_NE(filter, nullptr) << family;
+
+  const auto keys = GenerateDistinctKeys(kN, seed);
+  const auto negatives = GenerateNegativeKeys(keys, kNegatives, seed + 1);
+  size_t admitted = 0;
+  const uint64_t fp =
+      MeasureFalsePositives(*filter, keys, negatives, &admitted);
+  ASSERT_GE(admitted, kN * 9 / 10)
+      << family << " refused too many inserts at its design point";
+
+  const double bound = BinomialUpperBound(kNegatives, kSlack * kEpsilon);
+  EXPECT_LE(static_cast<double>(fp), bound)
+      << family << ": measured fpr "
+      << static_cast<double>(fp) / kNegatives << " vs configured " << kEpsilon
+      << " (allowed " << kSlack << "x + 3 sigma = " << bound / kNegatives
+      << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFactoryFamilies, FprRegression,
+    ::testing::Range<size_t>(0, FprRegression::Families().size()),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      std::string name = FprRegression::Families()[info.param];
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// Negative control: the suite must have teeth. A Bloom filter starved to
+// ~3 bits/key has a true FPR far above 1.5 * 1%, so the same bound MUST
+// trip — if it doesn't, the harness is broken, not the filters.
+TEST(FprRegressionControl, StarvedBloomTripsTheBound) {
+  const uint64_t seed = TestSeed(4243);
+  BBF_ANNOUNCE_SEED(seed);
+  BloomFilter starved(kN, /*bits_per_key=*/3.0);
+  const auto keys = GenerateDistinctKeys(kN, seed);
+  const auto negatives = GenerateNegativeKeys(keys, kNegatives, seed + 1);
+  size_t admitted = 0;
+  const uint64_t fp =
+      MeasureFalsePositives(starved, keys, negatives, &admitted);
+  ASSERT_EQ(admitted, kN);
+  EXPECT_GT(static_cast<double>(fp),
+            BinomialUpperBound(kNegatives, kSlack * kEpsilon))
+      << "a 3-bits/key Bloom filter passing the 1% bound means the "
+         "regression harness lost its teeth";
+}
+
+}  // namespace
+}  // namespace bbf
