@@ -24,6 +24,7 @@
 #include "core/sharded_filter.h"
 #include "cuckoo/cuckoo_filter.h"
 #include "quotient/quotient_filter.h"
+#include "simd/dispatch.h"
 #include "workload/generators.h"
 
 using namespace bbf;
@@ -193,13 +194,53 @@ void RunSize(uint64_t n) {
   std::printf("\n");
 }
 
+/// The batch path exists to be faster: a full-batch lookup slower than
+/// the scalar loop is a regression, not a tradeoff — for every family at
+/// every size. 3% grace absorbs timer noise on a shared machine
+/// (min-of-3 already strips most of it); a real regression (the
+/// historical cuckoo 0.959x) sits right at the line, so the gate would
+/// have caught it. The batch{8,32,128} sweep rows are informational
+/// only: sub-batch per-call overhead is dominated by the host's
+/// call/dispatch cost (on the 1-CPU CI container even the untouched
+/// classic-bloom batch8 runs ~0.5x scalar), so gating them would test
+/// the machine, not the code.
+bool CheckBatchAtLeastScalar() {
+  constexpr double kTolerance = 0.97;
+  bool ok = true;
+  for (const Row& r : g_rows) {
+    if (r.op != "lookup" || r.mode != "batch") continue;
+    // Quotient at the in-cache size sits below its 4 MiB batching
+    // threshold, so both modes run the identical scalar loop (DESIGN §7,
+    // E18 "fallback parity") — a ratio of pure timer noise that cannot
+    // regress and should not gate.
+    if (r.filter == "quotient" && r.n < (uint64_t{1} << 24)) continue;
+    if (r.speedup < kTolerance) {
+      std::fprintf(stderr,
+                   "REGRESSION: %s n=%llu lookup %s is %.3fx scalar "
+                   "(< %.2f)\n",
+                   r.filter.c_str(), static_cast<unsigned long long>(r.n),
+                   r.mode.c_str(), r.speedup, kTolerance);
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf(
+        "full-batch lookup >= scalar for every family at every size "
+        "(tolerance %.2f)\n",
+        kTolerance);
+  }
+  return ok;
+}
+
 void WriteJson(const std::string& path) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"batch\",\n  \"results\": [\n");
+  std::fprintf(f, "{\n  \"bench\": \"batch\",\n  \"kernel\": \"%.*s\",\n  \"results\": [\n",
+               static_cast<int>(simd::ActiveIsaName().size()),
+               simd::ActiveIsaName().data());
   for (size_t i = 0; i < g_rows.size(); ++i) {
     const Row& r = g_rows[i];
     std::fprintf(f,
@@ -229,8 +270,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  std::printf("active kernel: %.*s\n\n",
+              static_cast<int>(simd::ActiveIsaName().size()),
+              simd::ActiveIsaName().data());
   RunSize(uint64_t{1} << 20);
   if (!quick) RunSize(uint64_t{1} << 24);
+  const bool ok = CheckBatchAtLeastScalar();
   if (!json_path.empty()) WriteJson(json_path);
-  return 0;
+  return ok ? 0 : 1;
 }

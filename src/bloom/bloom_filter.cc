@@ -15,7 +15,7 @@ namespace {
 // Batch tile for the two-pass (prefetch, then probe) paths: big enough to
 // keep a pipeline of cache misses in flight, small enough that per-key
 // hashes fit in registers/L1 scratch.
-constexpr size_t kBatchTile = 32;
+constexpr size_t kBatchTile = 64;
 
 }  // namespace
 
@@ -178,73 +178,65 @@ bool BloomFilter::LoadPayload(std::istream& is) {
 
 BlockedBloomFilter::BlockedBloomFilter(uint64_t expected_keys,
                                        double bits_per_key, int num_hashes)
-    : num_hashes_(num_hashes > 0 ? num_hashes
-                                 : OptimalBloomHashes(bits_per_key)) {
+    : num_hashes_(std::clamp(num_hashes > 0 ? num_hashes
+                                            : OptimalBloomHashes(bits_per_key),
+                             1, 64)),
+      hash_words_(simd::BloomHashWordsFor(num_hashes_)) {
   const uint64_t total_bits = std::max<uint64_t>(
       kBlockBits, static_cast<uint64_t>(expected_keys * bits_per_key));
   num_blocks_ = (total_bits + kBlockBits - 1) / kBlockBits;
   bits_.Resize(num_blocks_ * kBlockBits);
 }
 
+void BlockedBloomFilter::DeriveProbeWords(HashedKey key, uint64_t* hw) const {
+  // Probe i consumes 9 bits of hw[i/6] at shift 9*(i%6); hash word w is
+  // Derive(0x74 + 6w). Word 0 matches the historic Derive(0x74) and word
+  // w >= 1 the historic refresh Derive(0x75 + (6w - 1)), so the probe
+  // sequence — and therefore the bit layout and snapshot format — is
+  // unchanged from the pre-kernel rolling-refresh loop.
+  for (int w = 0; w < hash_words_; ++w) {
+    hw[w] = key.Derive(0x74 + 6 * static_cast<uint64_t>(w));
+  }
+}
+
 bool BlockedBloomFilter::Insert(HashedKey key) {
   const uint64_t block = FastRange64(key.Derive(0x73), num_blocks_);
-  const uint64_t base = block * kBlockBits;
-  uint64_t h = key.Derive(0x74);
-  for (int i = 0; i < num_hashes_; ++i) {
-    bits_.Set(base + (h & (kBlockBits - 1)));
-    h >>= 9;  // 9 bits per in-block probe; 512-bit blocks need 9 bits each.
-    if (i % 6 == 5) h = key.Derive(0x75 + i);  // Refresh hash bits.
-  }
+  uint64_t hw[simd::kMaxBloomHashWords];
+  DeriveProbeWords(key, hw);
+  simd::ActiveBloomKernel().set_block(
+      bits_.MutableWords() + block * kWordsPerBlock, hw, num_hashes_);
   ++num_keys_;
   return true;
 }
 
 bool BlockedBloomFilter::Contains(HashedKey key) const {
   const uint64_t block = FastRange64(key.Derive(0x73), num_blocks_);
-  const uint64_t base = block * kBlockBits;
-  uint64_t h = key.Derive(0x74);
-  for (int i = 0; i < num_hashes_; ++i) {
-    if (!bits_.Get(base + (h & (kBlockBits - 1)))) return false;
-    h >>= 9;
-    if (i % 6 == 5) h = key.Derive(0x75 + i);
-  }
-  return true;
+  uint64_t hw[simd::kMaxBloomHashWords];
+  DeriveProbeWords(key, hw);
+  return simd::ActiveBloomKernel().test_block(
+      bits_.Words() + block * kWordsPerBlock, hw, num_hashes_);
 }
 
 void BlockedBloomFilter::ContainsMany(std::span<const HashedKey> keys,
                                       uint8_t* out) const {
-  constexpr uint64_t kWordsPerBlock = kBlockBits / 64;
-  const bool needs_refresh = num_hashes_ > 6;
+  const simd::BlockedBloomKernel& kernel = simd::ActiveBloomKernel();
   uint64_t block[kBatchTile];
-  uint64_t probe[kBatchTile];
-  uint64_t refresh[kBatchTile];
+  uint64_t hw[kBatchTile * simd::kMaxBloomHashWords];
   for (size_t base = 0; base < keys.size(); base += kBatchTile) {
     const size_t n = std::min(kBatchTile, keys.size() - base);
-    // Pass 1: one block (= one or two cache lines) to fetch per key. The
-    // first hash refresh is also hoisted here, off pass 2's critical path.
+    // Pass 1: pick each key's block and issue ONE prefetch — the backing
+    // store is 64-byte aligned, so a 512-bit block is exactly one line.
+    // Hash-word derivation happens here too, inside the miss window.
     for (size_t j = 0; j < n; ++j) {
       block[j] = FastRange64(keys[base + j].Derive(0x73), num_blocks_);
-      probe[j] = keys[base + j].Derive(0x74);
-      if (needs_refresh) refresh[j] = keys[base + j].Derive(0x75 + 5);
-      const uint64_t w = block[j] * kWordsPerBlock;
-      bits_.PrefetchWord(w);
-      bits_.PrefetchWord(w + kWordsPerBlock - 1);
+      bits_.PrefetchWord(block[j] * kWordsPerBlock);
+      DeriveProbeWords(keys[base + j], hw + j * hash_words_);
     }
-    // Pass 2: all probes of a key hit the now-resident block; each probe
-    // is a single-word read, and the conjunction is branchless — the block
-    // is already in flight, so early exit would only buy mispredicts.
-    for (size_t j = 0; j < n; ++j) {
-      const uint64_t word0 = block[j] * kWordsPerBlock;
-      uint64_t h = probe[j];
-      uint64_t hit = 1;
-      for (int i = 0; i < num_hashes_; ++i) {
-        const uint64_t bit = h & (kBlockBits - 1);
-        hit &= bits_.Word(word0 + (bit >> 6)) >> (bit & 63);
-        h >>= 9;
-        if (i % 6 == 5) h = i == 5 ? refresh[j] : keys[base + j].Derive(0x75 + i);
-      }
-      out[base + j] = static_cast<uint8_t>(hit & 1);
-    }
+    // Pass 2: the kernel tests all probes of every key against its
+    // now-resident block (branchless conjunction; early exit would only
+    // buy mispredicts once the line is in flight).
+    kernel.test_tile(bits_.Words(), block, hw, hash_words_, num_hashes_, n,
+                     out + base);
   }
 }
 
@@ -268,6 +260,7 @@ bool BlockedBloomFilter::LoadPayload(std::istream& is) {
     return false;
   }
   num_hashes_ = k;
+  hash_words_ = simd::BloomHashWordsFor(k);
   num_blocks_ = blocks;
   num_keys_ = n;
   bits_ = std::move(bits);
@@ -275,27 +268,18 @@ bool BlockedBloomFilter::LoadPayload(std::istream& is) {
 }
 
 size_t BlockedBloomFilter::InsertMany(std::span<const HashedKey> keys) {
-  constexpr uint64_t kWordsPerBlock = kBlockBits / 64;
+  const simd::BlockedBloomKernel& kernel = simd::ActiveBloomKernel();
   uint64_t block[kBatchTile];
-  uint64_t probe[kBatchTile];
+  uint64_t hw[kBatchTile * simd::kMaxBloomHashWords];
   for (size_t base = 0; base < keys.size(); base += kBatchTile) {
     const size_t n = std::min(kBatchTile, keys.size() - base);
     for (size_t j = 0; j < n; ++j) {
       block[j] = FastRange64(keys[base + j].Derive(0x73), num_blocks_);
-      probe[j] = keys[base + j].Derive(0x74);
-      const uint64_t w = block[j] * kWordsPerBlock;
-      bits_.PrefetchWord(w, /*for_write=*/true);
-      bits_.PrefetchWord(w + kWordsPerBlock - 1, /*for_write=*/true);
+      bits_.PrefetchWord(block[j] * kWordsPerBlock, /*for_write=*/true);
+      DeriveProbeWords(keys[base + j], hw + j * hash_words_);
     }
-    for (size_t j = 0; j < n; ++j) {
-      const uint64_t bit0 = block[j] * kBlockBits;
-      uint64_t h = probe[j];
-      for (int i = 0; i < num_hashes_; ++i) {
-        bits_.Set(bit0 + (h & (kBlockBits - 1)));
-        h >>= 9;
-        if (i % 6 == 5) h = keys[base + j].Derive(0x75 + i);
-      }
-    }
+    kernel.set_tile(bits_.MutableWords(), block, hw, hash_words_, num_hashes_,
+                    n);
   }
   num_keys_ += keys.size();
   return keys.size();

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "core/filter.h"
+#include "simd/kernels.h"
 #include "util/bit_vector.h"
 
 namespace bbf {
@@ -72,6 +73,14 @@ class BloomFilter : public Filter {
 /// the block. One cache miss per operation at the cost of ~1 extra bit/key
 /// of FPR-equivalent space. The variant RocksDB and most LSM engines
 /// actually deploy (§3.1).
+///
+/// Split Boost.Bloom-style into two policies: this class owns bucket
+/// selection (FastRange over blocks, prefetch, tile staging) and hash-word
+/// derivation; the intra-block set/test of all K probe bits is delegated
+/// to a runtime-dispatched kernel (src/simd — scalar/AVX2/AVX-512/NEON,
+/// identical bit layout, so snapshots are kernel-portable). The kernel is
+/// re-fetched per operation, never cached, so BBF_FORCE_KERNEL and the
+/// test hooks take effect at any time.
 class BlockedBloomFilter : public Filter {
  public:
   BlockedBloomFilter(uint64_t expected_keys, double bits_per_key,
@@ -84,8 +93,10 @@ class BlockedBloomFilter : public Filter {
 
   bool Insert(HashedKey key) override;
   bool Contains(HashedKey key) const override;
-  /// Batch paths: one prefetch per 512-bit block, then a single-word-read
-  /// probe loop against BitVector::Word.
+  /// Batch paths: pass 1 computes each key's block, issues ONE prefetch
+  /// (the backing store is 64-byte aligned, so a block is exactly one
+  /// line) and derives the hash words inside the miss window; pass 2 is
+  /// one kernel call over the tile.
   void ContainsMany(std::span<const HashedKey> keys,
                     uint8_t* out) const override;
   size_t InsertMany(std::span<const HashedKey> keys) override;
@@ -103,10 +114,16 @@ class BlockedBloomFilter : public Filter {
 
  private:
   static constexpr uint64_t kBlockBits = 512;
+  static constexpr uint64_t kWordsPerBlock = kBlockBits / 64;
+
+  /// Derives the probe hash words for `key` (the `hw` contract in
+  /// simd/kernels.h); hw must hold hash_words_ entries.
+  void DeriveProbeWords(HashedKey key, uint64_t* hw) const;
 
   BitVector bits_;
   uint64_t num_blocks_;
   int num_hashes_;
+  int hash_words_;  // BloomHashWordsFor(num_hashes_), cached
   uint64_t num_keys_ = 0;
 };
 

@@ -152,72 +152,141 @@ bool ShardedFilter::Contains(HashedKey key) const {
   return false;
 }
 
-void ShardedFilter::GroupByShard(
-    std::span<const HashedKey> keys,
-    std::vector<std::vector<HashedKey>>* group,
-    std::vector<std::vector<size_t>>* index) const {
-  group->assign(shards_.size(), {});
-  index->assign(shards_.size(), {});
-  for (size_t i = 0; i < keys.size(); ++i) {
-    const size_t s = ShardOf(keys[i]);
-    (*group)[s].push_back(keys[i]);
-    (*index)[s].push_back(i);
+void ShardedFilter::GroupByShard(std::span<const HashedKey> keys,
+                                 HashedKey* sorted, size_t* src,
+                                 size_t* start) const {
+  const size_t num_shards = shards_.size();
+  // The shard id of each key is stored, not recomputed — `% num_shards`
+  // is a 64-bit divide, and paying it twice per key was a measurable
+  // share of the old grouping cost.
+  constexpr size_t kStackIds = 4096;
+  uint32_t sid_stack[kStackIds];
+  std::vector<uint32_t> sid_heap;
+  uint32_t* sid = sid_stack;
+  if (keys.size() > kStackIds) {
+    sid_heap.resize(keys.size());
+    sid = sid_heap.data();
   }
+  std::fill(start, start + num_shards + 1, 0);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    sid[i] = static_cast<uint32_t>(keys[i].value() % num_shards);
+    ++start[sid[i] + 1];
+  }
+  for (size_t s = 0; s < num_shards; ++s) start[s + 1] += start[s];
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const size_t pos = start[sid[i]]++;
+    sorted[pos] = keys[i];
+    src[pos] = i;
+  }
+  // The scatter advanced every cursor to its successor's offset; shift
+  // back in place instead of keeping a second cursor array.
+  for (size_t s = num_shards; s > 0; --s) start[s] = start[s - 1];
+  start[0] = 0;
 }
+
+namespace {
+
+// Stack scratch bounds for the grouped batch paths: batches up to
+// kStackKeys keys (and up to kStackShards-1 shards) run with zero heap
+// allocation, which is what makes grouping profitable for mid-size
+// batches that the old vector-of-vectors grouping lost money on.
+constexpr size_t kStackKeys = 1024;
+constexpr size_t kStackShards = 129;
+
+}  // namespace
 
 void ShardedFilter::ContainsMany(std::span<const HashedKey> keys,
                                  uint8_t* out) const {
-  // Grouping costs per-batch allocations and a gather/scatter; it pays
-  // only when each shard receives a sub-batch deep enough for its own
-  // prefetch pipeline. Shallow batches keep the per-key path.
-  if (keys.size() < shards_.size() * 32) {
+  const size_t num_shards = shards_.size();
+  // Passthrough: a batch shallower than ~2 keys per shard can't feed any
+  // shard's prefetch pipeline — grouping would add the sort and scatter
+  // for nothing — so it routes through per-key dispatch.
+  if (keys.size() < num_shards * 2) {
     for (size_t i = 0; i < keys.size(); ++i) {
       out[i] = Contains(keys[i]) ? 1 : 0;
     }
     return;
   }
-  std::vector<std::vector<HashedKey>> group;
-  std::vector<std::vector<size_t>> index;
-  GroupByShard(keys, &group, &index);
-  std::vector<uint8_t> shard_out;
-  std::vector<uint8_t> gen_out;
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    if (group[s].empty()) continue;
-    shard_out.assign(group[s].size(), 0);
-    {
-      std::shared_lock lock(shards_[s]->mutex);
-      const auto& gens = shards_[s]->gens;
-      // Single generation (the common case) writes results directly;
-      // chained shards OR the per-generation answers together.
-      gens.front()->ContainsMany(group[s], shard_out.data());
-      if (gens.size() > 1) {
-        gen_out.resize(group[s].size());
-        for (size_t g = 1; g < gens.size(); ++g) {
-          gens[g]->ContainsMany(group[s], gen_out.data());
-          for (size_t j = 0; j < group[s].size(); ++j) {
-            shard_out[j] |= gen_out[j];
-          }
-        }
+  HashedKey sorted_stack[kStackKeys];
+  size_t src_stack[kStackKeys];
+  uint8_t res_stack[kStackKeys];
+  size_t start_stack[kStackShards];
+  std::vector<HashedKey> sorted_heap;
+  std::vector<size_t> src_heap;
+  std::vector<uint8_t> res_heap;
+  std::vector<size_t> start_heap;
+  HashedKey* sorted = sorted_stack;
+  size_t* src = src_stack;
+  uint8_t* res = res_stack;
+  size_t* start = start_stack;
+  if (keys.size() > kStackKeys) {
+    sorted_heap.resize(keys.size());
+    src_heap.resize(keys.size());
+    res_heap.resize(keys.size());
+    sorted = sorted_heap.data();
+    src = src_heap.data();
+    res = res_heap.data();
+  }
+  if (num_shards + 1 > kStackShards) {
+    start_heap.resize(num_shards + 1);
+    start = start_heap.data();
+  }
+  GroupByShard(keys, sorted, src, start);
+  std::vector<uint8_t> gen_out;  // Only sized when a shard has chained.
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t b = start[s];
+    const size_t e = start[s + 1];
+    if (b == e) continue;
+    const std::span<const HashedKey> sub(sorted + b, e - b);
+    std::shared_lock lock(shards_[s]->mutex);
+    const auto& gens = shards_[s]->gens;
+    // Single generation (the common case) writes results directly;
+    // chained shards OR the per-generation answers together.
+    gens.front()->ContainsMany(sub, res + b);
+    if (gens.size() > 1) {
+      gen_out.resize(sub.size());
+      for (size_t g = 1; g < gens.size(); ++g) {
+        gens[g]->ContainsMany(sub, gen_out.data());
+        for (size_t j = 0; j < sub.size(); ++j) res[b + j] |= gen_out[j];
       }
     }
-    for (size_t j = 0; j < group[s].size(); ++j) {
-      out[index[s][j]] = shard_out[j];
-    }
   }
+  for (size_t p = 0; p < keys.size(); ++p) out[src[p]] = res[p];
 }
 
 size_t ShardedFilter::InsertMany(std::span<const HashedKey> keys) {
-  if (keys.size() < shards_.size() * 32) {
+  const size_t num_shards = shards_.size();
+  if (keys.size() < num_shards * 2) {
     size_t inserted = 0;
     for (HashedKey key : keys) inserted += Insert(key);
     return inserted;
   }
-  std::vector<std::vector<HashedKey>> group;
-  std::vector<std::vector<size_t>> index;
-  GroupByShard(keys, &group, &index);
+  HashedKey sorted_stack[kStackKeys];
+  size_t src_stack[kStackKeys];
+  size_t start_stack[kStackShards];
+  std::vector<HashedKey> sorted_heap;
+  std::vector<size_t> src_heap;
+  std::vector<size_t> start_heap;
+  HashedKey* sorted = sorted_stack;
+  size_t* src = src_stack;
+  size_t* start = start_stack;
+  if (keys.size() > kStackKeys) {
+    sorted_heap.resize(keys.size());
+    src_heap.resize(keys.size());
+    sorted = sorted_heap.data();
+    src = src_heap.data();
+  }
+  if (num_shards + 1 > kStackShards) {
+    start_heap.resize(num_shards + 1);
+    start = start_heap.data();
+  }
+  GroupByShard(keys, sorted, src, start);
   size_t inserted = 0;
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    if (group[s].empty()) continue;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t b = start[s];
+    const size_t e = start[s + 1];
+    if (b == e) continue;
+    const std::span<const HashedKey> sub(sorted + b, e - b);
     Shard& shard = *shards_[s];
     std::unique_lock lock(shard.mutex);
     Filter& cur = *shard.gens.back();
@@ -228,16 +297,16 @@ size_t ShardedFilter::InsertMany(std::span<const HashedKey> keys) {
     // refuses some keys the returned count stays truthful.
     const double headroom =
         config_.load_threshold - cur.LoadFactor() -
-        static_cast<double>(group[s].size()) / shard.newest_capacity;
+        static_cast<double>(sub.size()) / shard.newest_capacity;
     if (headroom > 0) {
-      const size_t n = cur.InsertMany(group[s]);
+      const size_t n = cur.InsertMany(sub);
       shard.accepted += n;
-      shard.rejected += group[s].size() - n;
+      shard.rejected += sub.size() - n;
       inserted += n;
       continue;
     }
     // Near saturation: per-key policy path (chaining mid-batch is fine).
-    for (HashedKey key : group[s]) {
+    for (HashedKey key : sub) {
       inserted += Accepted(InsertIntoShardLocked(shard, key));
     }
   }

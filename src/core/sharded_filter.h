@@ -190,12 +190,15 @@ class ShardedFilter : public Filter {
   Filter& AddGenerationLocked(Shard& shard);
   std::unique_ptr<Shard> MakeShard() const;
 
-  // Counting-sorts pre-hashed `keys` by shard. On return, group[s] holds
-  // the keys of shard s in batch order and index[s][j] is the batch
-  // position of group[s][j] (for scattering results back).
-  void GroupByShard(std::span<const HashedKey> keys,
-                    std::vector<std::vector<HashedKey>>* group,
-                    std::vector<std::vector<size_t>>* index) const;
+  // Flat counting sort of pre-hashed `keys` by shard: on return,
+  // sorted[start[s]..start[s+1]) holds shard s's keys in batch order and
+  // src[p] is the batch position sorted[p] came from (for scattering
+  // results back). All outputs are caller-provided flat arrays of
+  // keys.size() entries (start: shards+1) — no per-shard vectors, no
+  // allocation. The shard id is computed once per key and reused for the
+  // scatter.
+  void GroupByShard(std::span<const HashedKey> keys, HashedKey* sorted,
+                    size_t* src, size_t* start) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   ShardFactory factory_;          // Kept for chaining + quarantine rebuilds.

@@ -22,6 +22,7 @@ AdaptiveCuckooFilter::AdaptiveCuckooFilter(uint64_t expected_keys,
       std::max<uint64_t>(kSlotsPerBucket * 2,
                          static_cast<uint64_t>(expected_keys / 0.90));
   num_buckets_ = NextPow2((cells + kSlotsPerBucket - 1) / kSlotsPerBucket);
+  layout_ = simd::BucketLayout::Make(fingerprint_bits);
   fingerprints_ =
       CompactVector(num_buckets_ * kSlotsPerBucket, fingerprint_bits);
   selectors_ = CompactVector(num_buckets_ * kSlotsPerBucket, selector_bits);
@@ -124,16 +125,59 @@ bool AdaptiveCuckooFilter::Insert(HashedKey key) {
   return true;
 }
 
-bool AdaptiveCuckooFilter::Contains(HashedKey key) const {
-  const uint64_t i1 = Index1(key);
-  const uint64_t i2 = Index2(key);
-  for (int s = 0; s < kSlotsPerBucket; ++s) {
-    if (SlotMatches(i1, s, key) || SlotMatches(i2, s, key)) return true;
+bool AdaptiveCuckooFilter::ContainsInBuckets(HashedKey key, uint64_t i1,
+                                             uint64_t i2) const {
+  // Selectors only move off zero when a false positive is reported, so in
+  // the steady state every slot's fingerprint is H_0(key) and the whole
+  // bucket pair collapses to one packed-word kernel compare. Any adapted
+  // slot (nonzero selector run) falls back to the per-slot scan that
+  // honours each slot's own selector.
+  if (layout_.PackedEligible() &&
+      (selectors_.GetRun4(i1 * kSlotsPerBucket) |
+       selectors_.GetRun4(i2 * kSlotsPerBucket)) == 0) {
+    if (simd::ActiveCuckooKernel().contains2(
+            fingerprints_.GetRun4(i1 * kSlotsPerBucket),
+            fingerprints_.GetRun4(i2 * kSlotsPerBucket),
+            FingerprintOf(key, 0), layout_)) {
+      return true;
+    }
+  } else {
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      if (SlotMatches(i1, s, key) || SlotMatches(i2, s, key)) return true;
+    }
   }
   for (uint64_t k : stash_) {
     if (k == key.value()) return true;
   }
   return false;
+}
+
+bool AdaptiveCuckooFilter::Contains(HashedKey key) const {
+  return ContainsInBuckets(key, Index1(key), Index2(key));
+}
+
+void AdaptiveCuckooFilter::ContainsMany(std::span<const HashedKey> keys,
+                                        uint8_t* out) const {
+  constexpr size_t kTile = 32;
+  uint64_t i1[kTile];
+  uint64_t i2[kTile];
+  for (size_t base = 0; base < keys.size(); base += kTile) {
+    const size_t n = std::min(kTile, keys.size() - base);
+    // Pass 1: request both candidate buckets of every key — fingerprints
+    // and selectors live in separate planes, so both are prefetched.
+    for (size_t j = 0; j < n; ++j) {
+      i1[j] = Index1(keys[base + j]);
+      i2[j] = Index2(keys[base + j]);
+      fingerprints_.Prefetch(i1[j] * kSlotsPerBucket, kSlotsPerBucket);
+      fingerprints_.Prefetch(i2[j] * kSlotsPerBucket, kSlotsPerBucket);
+      selectors_.Prefetch(i1[j] * kSlotsPerBucket, kSlotsPerBucket);
+      selectors_.Prefetch(i2[j] * kSlotsPerBucket, kSlotsPerBucket);
+    }
+    // Pass 2: probe the now-resident buckets.
+    for (size_t j = 0; j < n; ++j) {
+      out[base + j] = ContainsInBuckets(keys[base + j], i1[j], i2[j]) ? 1 : 0;
+    }
+  }
 }
 
 bool AdaptiveCuckooFilter::Erase(HashedKey key) {
@@ -233,6 +277,7 @@ bool AdaptiveCuckooFilter::LoadPayload(std::istream& is) {
   num_buckets_ = buckets;
   num_keys_ = n;
   adaptations_ = adaptations;
+  layout_ = simd::BucketLayout::Make(f);
   fingerprints_ = std::move(fingerprints);
   selectors_ = std::move(selectors);
   remote_keys_ = std::move(remote);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/filter.h"
+#include "simd/kernels.h"
 #include "util/compact_vector.h"
 #include "util/random.h"
 
@@ -27,11 +28,19 @@ class AdaptiveCuckooFilter : public Filter, public AdaptiveHook {
                        int selector_bits = 2, uint64_t hash_seed = 0xAC);
 
   using Filter::Contains;
+  using Filter::ContainsMany;
   using Filter::Erase;
   using Filter::Insert;
 
   bool Insert(HashedKey key) override;
   bool Contains(HashedKey key) const override;
+  /// Batch path: prefetch both candidate buckets (fingerprints AND
+  /// selectors) for a tile of keys, then probe. Buckets whose selectors
+  /// are all still zero — the steady state until false positives are
+  /// reported — take the packed-bucket kernel fast path (src/simd);
+  /// adapted buckets fall back to the per-slot selector-aware scan.
+  void ContainsMany(std::span<const HashedKey> keys,
+                    uint8_t* out) const override;
   bool Erase(HashedKey key) override;
   size_t SpaceBits() const override {
     return fingerprints_.size() * (fingerprints_.width() + selector_bits_);
@@ -72,11 +81,16 @@ class AdaptiveCuckooFilter : public Filter, public AdaptiveHook {
   }
   bool TryPlace(uint64_t bucket, HashedKey key);
   bool SlotMatches(uint64_t bucket, int slot, HashedKey key) const;
+  /// Shared probe body for Contains/ContainsMany: both candidate buckets
+  /// plus the stash.
+  bool ContainsInBuckets(HashedKey key, uint64_t i1, uint64_t i2) const;
 
   uint64_t num_buckets_;
   int fingerprint_bits_;
   int selector_bits_;
   uint64_t hash_seed_;
+  // SWAR constants for the zero-selector kernel fast path.
+  simd::BucketLayout layout_;
   CompactVector fingerprints_;        // 0 = empty cell.
   CompactVector selectors_;
   // Canonical (pre-mixed) key per cell — the backing dictionary.

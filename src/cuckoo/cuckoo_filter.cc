@@ -29,6 +29,7 @@ CuckooFilter::CuckooFilter(uint64_t expected_keys, int fingerprint_bits,
       std::max<uint64_t>(kSlotsPerBucket * 2,
                          static_cast<uint64_t>(expected_keys / 0.95));
   num_buckets_ = NextPow2((cells + kSlotsPerBucket - 1) / kSlotsPerBucket);
+  layout_ = simd::BucketLayout::Make(fingerprint_bits);
   cells_ = CompactVector(num_buckets_ * kSlotsPerBucket, fingerprint_bits);
 }
 
@@ -55,6 +56,16 @@ uint64_t CuckooFilter::AltIndex(uint64_t index, uint64_t fp) const {
 }
 
 bool CuckooFilter::TryPlace(uint64_t bucket, uint64_t fp) {
+  if (layout_.PackedEligible()) {
+    // match_mask(fp = 0) marks the empty slots; ctz picks the lowest one,
+    // matching the scalar loop's slot order exactly (kick-chain contents —
+    // and so snapshots — stay identical across kernels).
+    const uint32_t empty =
+        simd::ActiveCuckooKernel().match_mask(BucketBits(bucket), 0, layout_);
+    if (empty == 0) return false;
+    SetCell(bucket, CountTrailingZeros(empty), fp);
+    return true;
+  }
   for (int s = 0; s < kSlotsPerBucket; ++s) {
     if (CellAt(bucket, s) == 0) {
       SetCell(bucket, s, fp);
@@ -124,8 +135,15 @@ bool CuckooFilter::Contains(HashedKey key) const {
   const uint64_t fp = FingerprintOf(key);
   const uint64_t i1 = IndexOf(key);
   const uint64_t i2 = AltIndex(i1, fp);
-  for (int s = 0; s < kSlotsPerBucket; ++s) {
-    if (CellAt(i1, s) == fp || CellAt(i2, s) == fp) return true;
+  if (layout_.PackedEligible()) {
+    if (simd::ActiveCuckooKernel().contains2(BucketBits(i1), BucketBits(i2),
+                                             fp, layout_)) {
+      return true;
+    }
+  } else {
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      if (CellAt(i1, s) == fp || CellAt(i2, s) == fp) return true;
+    }
   }
   for (uint64_t packed : stash_) {
     if (packed == PackStash(i1, fp, fingerprint_bits_) ||
@@ -142,6 +160,43 @@ void CuckooFilter::ContainsMany(std::span<const HashedKey> keys,
   uint64_t fp[kTile];
   uint64_t i1[kTile];
   uint64_t i2[kTile];
+  if (layout_.PackedEligible()) {
+    const simd::CuckooKernel& kernel = simd::ActiveCuckooKernel();
+    uint64_t bit1[kTile];
+    uint64_t bit2[kTile];
+    for (size_t base = 0; base < keys.size(); base += kTile) {
+      const size_t n = std::min(kTile, keys.size() - base);
+      // Pass 1: hash, request both candidate buckets of every key, and
+      // precompute the packed-run bit offsets the kernel reads from.
+      for (size_t j = 0; j < n; ++j) {
+        fp[j] = FingerprintOf(keys[base + j]);
+        i1[j] = IndexOf(keys[base + j]);
+        i2[j] = AltIndex(i1[j], fp[j]);
+        cells_.Prefetch(i1[j] * kSlotsPerBucket, kSlotsPerBucket);
+        cells_.Prefetch(i2[j] * kSlotsPerBucket, kSlotsPerBucket);
+        bit1[j] = cells_.BitOffset(i1[j] * kSlotsPerBucket);
+        bit2[j] = cells_.BitOffset(i2[j] * kSlotsPerBucket);
+      }
+      // Pass 2: one kernel call scans both buckets of the whole tile.
+      kernel.contains_tile(cells_.Words(), bit1, bit2, fp, layout_, n,
+                           out + base);
+      // Stash fix-up only for misses, and only when a stash exists at all
+      // (it is empty until an insert dead-ends, i.e. almost always).
+      if (!stash_.empty()) {
+        for (size_t j = 0; j < n; ++j) {
+          if (out[base + j]) continue;
+          for (uint64_t packed : stash_) {
+            if (packed == PackStash(i1[j], fp[j], fingerprint_bits_) ||
+                packed == PackStash(i2[j], fp[j], fingerprint_bits_)) {
+              out[base + j] = 1;
+              break;
+            }
+          }
+        }
+      }
+    }
+    return;
+  }
   for (size_t base = 0; base < keys.size(); base += kTile) {
     const size_t n = std::min(kTile, keys.size() - base);
     // Pass 1: hash and request both candidate buckets of every key.
@@ -206,9 +261,17 @@ uint64_t CuckooFilter::Count(HashedKey key) const {
   const uint64_t i1 = IndexOf(key);
   const uint64_t i2 = AltIndex(i1, fp);
   uint64_t count = 0;
-  for (int s = 0; s < kSlotsPerBucket; ++s) {
-    count += CellAt(i1, s) == fp;
-    if (i2 != i1) count += CellAt(i2, s) == fp;
+  if (layout_.PackedEligible()) {
+    const simd::CuckooKernel& kernel = simd::ActiveCuckooKernel();
+    count += Popcount(kernel.match_mask(BucketBits(i1), fp, layout_));
+    if (i2 != i1) {
+      count += Popcount(kernel.match_mask(BucketBits(i2), fp, layout_));
+    }
+  } else {
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      count += CellAt(i1, s) == fp;
+      if (i2 != i1) count += CellAt(i2, s) == fp;
+    }
   }
   for (uint64_t packed : stash_) {
     count += packed == PackStash(i1, fp, fingerprint_bits_);
@@ -221,16 +284,35 @@ bool CuckooFilter::Erase(HashedKey key) {
   const uint64_t fp = FingerprintOf(key);
   const uint64_t i1 = IndexOf(key);
   const uint64_t i2 = AltIndex(i1, fp);
-  for (int s = 0; s < kSlotsPerBucket; ++s) {
-    if (CellAt(i1, s) == fp) {
-      SetCell(i1, s, 0);
+  if (layout_.PackedEligible()) {
+    const simd::CuckooKernel& kernel = simd::ActiveCuckooKernel();
+    const uint32_t m1 = kernel.match_mask(BucketBits(i1), fp, layout_);
+    const uint32_t m2 = kernel.match_mask(BucketBits(i2), fp, layout_);
+    if ((m1 | m2) != 0) {
+      // Reproduce the scalar loop's interleaved slot order (i1.s, i2.s,
+      // i1.s+1, ...) so every kernel erases the same physical copy.
+      const int s1 = m1 ? CountTrailingZeros(m1) : kSlotsPerBucket;
+      const int s2 = m2 ? CountTrailingZeros(m2) : kSlotsPerBucket;
+      if (s1 <= s2) {
+        SetCell(i1, s1, 0);
+      } else {
+        SetCell(i2, s2, 0);
+      }
       --num_keys_;
       return true;
     }
-    if (CellAt(i2, s) == fp) {
-      SetCell(i2, s, 0);
-      --num_keys_;
-      return true;
+  } else {
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      if (CellAt(i1, s) == fp) {
+        SetCell(i1, s, 0);
+        --num_keys_;
+        return true;
+      }
+      if (CellAt(i2, s) == fp) {
+        SetCell(i2, s, 0);
+        --num_keys_;
+        return true;
+      }
     }
   }
   for (size_t i = 0; i < stash_.size(); ++i) {
@@ -280,6 +362,7 @@ bool CuckooFilter::LoadPayload(std::istream& is) {
   hash_seed_ = seed;
   num_buckets_ = buckets;
   num_keys_ = n;
+  layout_ = simd::BucketLayout::Make(f);
   cells_ = std::move(cells);
   stash_ = std::move(stash);
   // The kick RNG only drives future insert randomization; reseed it the

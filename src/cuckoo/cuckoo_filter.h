@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/filter.h"
+#include "simd/kernels.h"
 #include "util/compact_vector.h"
 #include "util/random.h"
 
@@ -36,7 +37,10 @@ class CuckooFilter : public Filter {
   bool Contains(HashedKey key) const override;
   /// Batch paths: derive a tile of keys, prefetch both candidate buckets
   /// per key, then probe/place — one pipeline of independent cache misses
-  /// instead of two dependent misses per key.
+  /// instead of two dependent misses per key. Bucket scans go through the
+  /// runtime-dispatched match kernels (src/simd): each 4-slot bucket is
+  /// read as ONE packed word and compared against the fingerprint in a
+  /// single SWAR/vector step instead of four field extractions.
   void ContainsMany(std::span<const HashedKey> keys,
                     uint8_t* out) const override;
   size_t InsertMany(std::span<const HashedKey> keys) override;
@@ -72,6 +76,11 @@ class CuckooFilter : public Filter {
   void SetCell(uint64_t bucket, int slot, uint64_t fp) {
     cells_.Set(bucket * kSlotsPerBucket + slot, fp);
   }
+  /// The whole 4-slot bucket as one packed word, for the SWAR/SIMD match
+  /// kernels (src/simd). Only valid when layout_.PackedEligible().
+  uint64_t BucketBits(uint64_t bucket) const {
+    return cells_.GetRun4(bucket * kSlotsPerBucket);
+  }
   bool TryPlace(uint64_t bucket, uint64_t fp);
   // Insert body for a pre-hashed key; shared by Insert and InsertMany.
   bool InsertPrepared(uint64_t fp, uint64_t i1, uint64_t i2);
@@ -79,6 +88,9 @@ class CuckooFilter : public Filter {
   uint64_t num_buckets_;
   int fingerprint_bits_;
   uint64_t hash_seed_;
+  // SWAR constants for kernel bucket scans; PackedEligible() is false for
+  // fingerprints wider than 16 bits, which keep the per-slot loops.
+  simd::BucketLayout layout_;
   CompactVector cells_;  // num_buckets * 4 fingerprints; 0 = empty.
   std::vector<uint64_t> stash_;  // Fingerprint-homeless victims (rare).
   SplitMix64 kick_rng_;

@@ -18,6 +18,7 @@ CuckooMaplet::CuckooMaplet(uint64_t expected_keys, int fingerprint_bits,
       std::max<uint64_t>(kSlotsPerBucket * 2,
                          static_cast<uint64_t>(expected_keys / 0.95));
   num_buckets_ = NextPow2((cells + kSlotsPerBucket - 1) / kSlotsPerBucket);
+  layout_ = simd::BucketLayout::Make(fingerprint_bits);
   fingerprints_ =
       CompactVector(num_buckets_ * kSlotsPerBucket, fingerprint_bits);
   values_ = CompactVector(num_buckets_ * kSlotsPerBucket, value_bits);
@@ -38,6 +39,18 @@ uint64_t CuckooMaplet::AltIndex(uint64_t index, uint64_t fp) const {
 }
 
 bool CuckooMaplet::TryPlace(uint64_t bucket, uint64_t fp, uint64_t value) {
+  if (layout_.PackedEligible()) {
+    // Lowest empty slot via one packed compare against fp = 0 — same slot
+    // order as the scalar loop, so table contents stay kernel-independent.
+    const uint32_t empty = simd::ActiveCuckooKernel().match_mask(
+        fingerprints_.GetRun4(bucket * kSlotsPerBucket), 0, layout_);
+    if (empty == 0) return false;
+    const uint64_t idx =
+        bucket * kSlotsPerBucket + CountTrailingZeros(empty);
+    fingerprints_.Set(idx, fp);
+    values_.Set(idx, value);
+    return true;
+  }
   for (int s = 0; s < kSlotsPerBucket; ++s) {
     const uint64_t idx = bucket * kSlotsPerBucket + s;
     if (fingerprints_.Get(idx) == 0) {
@@ -104,12 +117,29 @@ std::vector<uint64_t> CuckooMaplet::Lookup(HashedKey key) const {
   const uint64_t fp = FingerprintOf(key);
   const uint64_t i1 = IndexOf(key);
   const uint64_t i2 = AltIndex(i1, fp);
-  for (int s = 0; s < kSlotsPerBucket; ++s) {
-    if (fingerprints_.Get(i1 * kSlotsPerBucket + s) == fp) {
-      out.push_back(values_.Get(i1 * kSlotsPerBucket + s));
+  if (layout_.PackedEligible()) {
+    const simd::CuckooKernel& kernel = simd::ActiveCuckooKernel();
+    const uint32_t m1 = kernel.match_mask(
+        fingerprints_.GetRun4(i1 * kSlotsPerBucket), fp, layout_);
+    const uint32_t m2 =
+        i2 != i1 ? kernel.match_mask(
+                       fingerprints_.GetRun4(i2 * kSlotsPerBucket), fp,
+                       layout_)
+                 : 0;
+    // Emit in the same interleaved (i1.s, i2.s) order as the scalar scan
+    // so callers see an identical value sequence on every kernel.
+    for (int s = 0; (m1 | m2) >> s != 0 && s < kSlotsPerBucket; ++s) {
+      if ((m1 >> s) & 1) out.push_back(values_.Get(i1 * kSlotsPerBucket + s));
+      if ((m2 >> s) & 1) out.push_back(values_.Get(i2 * kSlotsPerBucket + s));
     }
-    if (i2 != i1 && fingerprints_.Get(i2 * kSlotsPerBucket + s) == fp) {
-      out.push_back(values_.Get(i2 * kSlotsPerBucket + s));
+  } else {
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      if (fingerprints_.Get(i1 * kSlotsPerBucket + s) == fp) {
+        out.push_back(values_.Get(i1 * kSlotsPerBucket + s));
+      }
+      if (i2 != i1 && fingerprints_.Get(i2 * kSlotsPerBucket + s) == fp) {
+        out.push_back(values_.Get(i2 * kSlotsPerBucket + s));
+      }
     }
   }
   for (const StashEntry& e : stash_) {
@@ -125,13 +155,31 @@ bool CuckooMaplet::Erase(HashedKey key, uint64_t value) {
   const uint64_t i1 = IndexOf(key);
   const uint64_t i2 = AltIndex(i1, fp);
   for (uint64_t bucket : {i1, i2}) {
-    for (int s = 0; s < kSlotsPerBucket; ++s) {
-      const uint64_t idx = bucket * kSlotsPerBucket + s;
-      if (fingerprints_.Get(idx) == fp && values_.Get(idx) == value) {
-        fingerprints_.Set(idx, 0);
-        values_.Set(idx, 0);
-        --num_entries_;
-        return true;
+    if (layout_.PackedEligible()) {
+      // Candidate slots from one packed compare; the value plane then
+      // disambiguates (the mask is exact on fingerprints only).
+      uint32_t m = simd::ActiveCuckooKernel().match_mask(
+          fingerprints_.GetRun4(bucket * kSlotsPerBucket), fp, layout_);
+      while (m != 0) {
+        const int s = CountTrailingZeros(m);
+        const uint64_t idx = bucket * kSlotsPerBucket + s;
+        if (values_.Get(idx) == value) {
+          fingerprints_.Set(idx, 0);
+          values_.Set(idx, 0);
+          --num_entries_;
+          return true;
+        }
+        m &= m - 1;
+      }
+    } else {
+      for (int s = 0; s < kSlotsPerBucket; ++s) {
+        const uint64_t idx = bucket * kSlotsPerBucket + s;
+        if (fingerprints_.Get(idx) == fp && values_.Get(idx) == value) {
+          fingerprints_.Set(idx, 0);
+          values_.Set(idx, 0);
+          --num_entries_;
+          return true;
+        }
       }
     }
     if (i2 == i1) break;
@@ -194,6 +242,7 @@ bool CuckooMaplet::LoadPayload(std::istream& is) {
   hash_seed_ = seed;
   num_buckets_ = buckets;
   num_entries_ = n;
+  layout_ = simd::BucketLayout::Make(f);
   fingerprints_ = std::move(fingerprints);
   values_ = std::move(values);
   stash_ = std::move(stash);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/key.h"
+#include "simd/kernels.h"
 #include "util/compact_vector.h"
 #include "util/random.h"
 
@@ -68,6 +69,8 @@ class CuckooMaplet {
   uint64_t num_buckets_;
   int fingerprint_bits_;
   uint64_t hash_seed_;
+  // SWAR constants for the packed bucket-scan kernels (src/simd).
+  simd::BucketLayout layout_;
   CompactVector fingerprints_;
   CompactVector values_;
   std::vector<StashEntry> stash_;  // Homeless kick victims (rare).

@@ -1,0 +1,212 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "simd/kernel_tables.h"
+#include "simd/kernels.h"
+
+namespace bbf::simd {
+
+namespace {
+
+// -1 = no test override; otherwise the forced Isa as an int. Relaxed is
+// enough: tests only flip this between operations, and the hot paths read
+// it once per tile.
+std::atomic<int> g_forced_isa{-1};
+
+bool CpuSupports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      // __builtin_cpu_supports also verifies OSXSAVE/XCR0, i.e. that the
+      // OS actually saves the wide registers, not just that the CPU has
+      // the execution units.
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return true;  // NEON is architecturally baseline on AArch64.
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// Resolves the default (un-forced) ISA exactly once per process:
+/// BBF_FORCE_KERNEL if it names an available ISA, else the widest
+/// available, preferring avx512 > avx2 > neon > scalar.
+Isa ResolveDefaultIsa() {
+  const char* env = std::getenv("BBF_FORCE_KERNEL");
+  if (env != nullptr && env[0] != '\0') {  // Set-but-empty means auto.
+    Isa isa;
+    if (ParseIsaName(env, &isa) && IsaAvailable(isa)) {
+      return isa;
+    }
+    std::fprintf(stderr,
+                 "bbf: BBF_FORCE_KERNEL=%s is not available in this build/on "
+                 "this CPU; falling back to auto-detection\n",
+                 env);
+  }
+  for (Isa isa : {Isa::kAvx512, Isa::kAvx2, Isa::kNeon}) {
+    if (IsaAvailable(isa)) return isa;
+  }
+  return Isa::kScalar;
+}
+
+}  // namespace
+
+std::string_view IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool ParseIsaName(std::string_view name, Isa* isa) {
+  for (int i = 0; i < kNumIsas; ++i) {
+    if (name == IsaName(static_cast<Isa>(i))) {
+      *isa = static_cast<Isa>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsaCompiledIn(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(BBF_HAVE_KERNEL_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(BBF_HAVE_KERNEL_AVX512)
+      return true;
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+#if defined(BBF_HAVE_KERNEL_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool IsaAvailable(Isa isa) { return IsaCompiledIn(isa) && CpuSupports(isa); }
+
+std::vector<Isa> AvailableIsas() {
+  std::vector<Isa> out;
+  for (int i = 0; i < kNumIsas; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    if (IsaAvailable(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+Isa ActiveIsa() {
+  const int forced = g_forced_isa.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Isa>(forced);
+  static const Isa kResolved = ResolveDefaultIsa();
+  return kResolved;
+}
+
+std::string_view ActiveIsaName() { return IsaName(ActiveIsa()); }
+
+bool ForceIsaForTesting(Isa isa) {
+  if (!IsaAvailable(isa)) return false;
+  g_forced_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+  return true;
+}
+
+void ClearForcedIsaForTesting() {
+  g_forced_isa.store(-1, std::memory_order_relaxed);
+}
+
+const BlockedBloomKernel* BloomKernelFor(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &internal::kScalarBloomKernel;
+    case Isa::kAvx2:
+#if defined(BBF_HAVE_KERNEL_AVX2)
+      return &internal::kAvx2BloomKernel;
+#else
+      return nullptr;
+#endif
+    case Isa::kAvx512:
+#if defined(BBF_HAVE_KERNEL_AVX512)
+      return &internal::kAvx512BloomKernel;
+#else
+      return nullptr;
+#endif
+    case Isa::kNeon:
+#if defined(BBF_HAVE_KERNEL_NEON)
+      return &internal::kNeonBloomKernel;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const CuckooKernel* CuckooKernelFor(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &internal::kScalarCuckooKernel;
+    case Isa::kAvx2:
+#if defined(BBF_HAVE_KERNEL_AVX2)
+      return &internal::kAvx2CuckooKernel;
+#else
+      return nullptr;
+#endif
+    case Isa::kAvx512:
+#if defined(BBF_HAVE_KERNEL_AVX512)
+      return &internal::kAvx512CuckooKernel;
+#else
+      return nullptr;
+#endif
+    case Isa::kNeon:
+#if defined(BBF_HAVE_KERNEL_NEON)
+      return &internal::kNeonCuckooKernel;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const BlockedBloomKernel& ActiveBloomKernel() {
+  // ActiveIsa() only ever resolves to an available (hence compiled-in) ISA.
+  return *BloomKernelFor(ActiveIsa());
+}
+
+const CuckooKernel& ActiveCuckooKernel() {
+  return *CuckooKernelFor(ActiveIsa());
+}
+
+}  // namespace bbf::simd

@@ -1,0 +1,69 @@
+#ifndef BBF_SIMD_DISPATCH_H_
+#define BBF_SIMD_DISPATCH_H_
+
+#include <string_view>
+#include <vector>
+
+namespace bbf::simd {
+
+/// Instruction-set targets the kernel layer can be built for. Which of
+/// them exist in a given binary is a compile-time property (per-file ISA
+/// flags, see src/simd/CMakeLists.txt); which one runs is decided exactly
+/// once per process, at first use, from:
+///
+///   1. the `BBF_FORCE_KERNEL` environment variable
+///      (`scalar|avx2|avx512|neon`) — testing/benchmark override; an
+///      unavailable ISA is ignored with a one-time stderr note rather than
+///      crashing, so a pinned CI matrix entry is portable across hosts;
+///   2. otherwise the widest ISA both compiled in and reported by the CPU
+///      (cpuid via `__builtin_cpu_supports` on x86; NEON is baseline on
+///      AArch64).
+///
+/// The hot paths pay one relaxed atomic load plus one indirect call per
+/// *tile* (not per key), so per-call branching is zero.
+enum class Isa : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+  kNeon = 3,
+};
+
+inline constexpr int kNumIsas = 4;
+
+/// "scalar", "avx2", "avx512", "neon".
+std::string_view IsaName(Isa isa);
+
+/// Parses an ISA name (as accepted in BBF_FORCE_KERNEL). Returns true and
+/// sets *isa on success.
+bool ParseIsaName(std::string_view name, Isa* isa);
+
+/// True when kernels for `isa` were compiled into this binary.
+bool IsaCompiledIn(Isa isa);
+
+/// True when `isa` is compiled in AND the running CPU supports it.
+bool IsaAvailable(Isa isa);
+
+/// Every ISA the current process can actually run, scalar first. The
+/// kernel-parity tests sweep this list.
+std::vector<Isa> AvailableIsas();
+
+/// The ISA the kernel getters resolve to. Resolved once (env override,
+/// then widest available) and cached; a ForceIsaForTesting override takes
+/// precedence.
+Isa ActiveIsa();
+
+/// Name of ActiveIsa(), for bench/diagnostic output.
+std::string_view ActiveIsaName();
+
+/// Test hook: pin kernel dispatch to `isa` for the rest of the process (or
+/// until cleared). Returns false — and changes nothing — if `isa` is not
+/// available on this host. Not thread-safe against in-flight filter ops;
+/// tests flip it only between operations.
+bool ForceIsaForTesting(Isa isa);
+
+/// Test hook: drop the ForceIsaForTesting override.
+void ClearForcedIsaForTesting();
+
+}  // namespace bbf::simd
+
+#endif  // BBF_SIMD_DISPATCH_H_

@@ -1,0 +1,131 @@
+#ifndef BBF_SIMD_KERNEL_IMPL_H_
+#define BBF_SIMD_KERNEL_IMPL_H_
+
+// Internal: shared helpers for the per-ISA kernel translation units.
+//
+// Everything here lives in an ANONYMOUS namespace on purpose. Each TU in
+// this directory is compiled with different ISA flags (-mavx2, -mavx512f);
+// if these helpers had external (comdat) linkage the linker would keep one
+// arbitrary copy — possibly one compiled with AVX2 auto-vectorization —
+// and a non-AVX2 host would SIGILL inside what looks like scalar code.
+// Internal linkage gives every TU its own correctly-flagged copy. For the
+// same reason this header must not pull in other inline-heavy headers;
+// the few bit helpers it needs are (re)defined here.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernels.h"
+
+namespace {
+
+/// Low `width` bits set; width in [1, 64].
+inline uint64_t KLowMask(int width) {
+  return width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+}
+
+/// Reads `width` (1..64) bits starting at bit offset `pos` of `words`.
+/// Only touches words[pos>>6 + 1] when the read actually straddles, so a
+/// run ending at the last valid bit never reads past the backing array.
+inline uint64_t KReadBits(const uint64_t* words, uint64_t pos, int width) {
+  const uint64_t w = pos >> 6;
+  const int off = static_cast<int>(pos & 63);
+  uint64_t v = words[w] >> off;
+  if (off + width > 64) {
+    v |= words[w + 1] << (64 - off);
+  }
+  return v & KLowMask(width);
+}
+
+/// Probe position (0..511) of probe `i` from the derived hash words. This
+/// IS the bit-layout contract shared by every kernel; see kernels.h.
+inline uint32_t KProbePos(const uint64_t* hw, int i) {
+  return static_cast<uint32_t>(
+      (hw[i / bbf::simd::kBloomProbesPerWord] >>
+       (9 * (i % bbf::simd::kBloomProbesPerWord))) &
+      511);
+}
+
+/// Portable 512-bit block ops — the reference semantics every vector
+/// kernel must reproduce bit for bit.
+inline bool KScalarTestBlock(const uint64_t* block_words, const uint64_t* hw,
+                             int k) {
+  for (int i = 0; i < k; ++i) {
+    const uint32_t pos = KProbePos(hw, i);
+    if (((block_words[pos >> 6] >> (pos & 63)) & 1) == 0) return false;
+  }
+  return true;
+}
+
+inline void KScalarSetBlock(uint64_t* block_words, const uint64_t* hw, int k) {
+  for (int i = 0; i < k; ++i) {
+    const uint32_t pos = KProbePos(hw, i);
+    block_words[pos >> 6] |= uint64_t{1} << (pos & 63);
+  }
+}
+
+/// Exact SWAR zero-field detect over 4 packed `l.width`-bit fields.
+/// For each field f of x: MSB of (((f & low) + low) | f) is set iff
+/// f != 0, with no carry into the neighbouring field because
+/// (f & low) + low <= 2^w - 2. So ~t & msbs marks exactly the fields
+/// equal to fp. Exact per-field — Erase/TryPlace pick slots from it.
+inline uint64_t KSwarZeroFields(uint64_t x, const bbf::simd::BucketLayout& l) {
+  const uint64_t t = ((x & l.low) + l.low) | x;
+  return ~t & l.msbs;
+}
+
+inline uint32_t KSwarMatchMask(uint64_t bucket_bits, uint64_t fp,
+                               const bbf::simd::BucketLayout& l) {
+  const uint64_t zeros = KSwarZeroFields(bucket_bits ^ (fp * l.ones), l);
+  // Compress one-MSB-per-field down to bits 0..3.
+  const uint64_t z = zeros >> (l.width - 1);
+  uint32_t m = 0;
+  for (int s = 0; s < 4; ++s) {
+    m |= static_cast<uint32_t>((z >> (s * l.width)) & 1) << s;
+  }
+  return m;
+}
+
+inline bool KSwarContains2(uint64_t b1_bits, uint64_t b2_bits, uint64_t fp,
+                           const bbf::simd::BucketLayout& l) {
+  const uint64_t probe = fp * l.ones;
+  return (KSwarZeroFields(b1_bits ^ probe, l) |
+          KSwarZeroFields(b2_bits ^ probe, l)) != 0;
+}
+
+/// Tile drivers shared by every ISA: the per-block functor is the only
+/// part that differs. n is unbounded (callers pass whole tiles).
+template <typename TestBlockFn>
+inline void KTestTile(TestBlockFn test_block, const uint64_t* words,
+                      const uint64_t* block, const uint64_t* hw, int hw_stride,
+                      int k, size_t n, uint8_t* out) {
+  for (size_t j = 0; j < n; ++j) {
+    out[j] = test_block(words + 8 * block[j], hw + j * hw_stride, k) ? 1 : 0;
+  }
+}
+
+template <typename SetBlockFn>
+inline void KSetTile(SetBlockFn set_block, uint64_t* words,
+                     const uint64_t* block, const uint64_t* hw, int hw_stride,
+                     int k, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    set_block(words + 8 * block[j], hw + j * hw_stride, k);
+  }
+}
+
+template <typename Contains2Fn>
+inline void KContainsTile(Contains2Fn contains2, const uint64_t* words,
+                          const uint64_t* bit1, const uint64_t* bit2,
+                          const uint64_t* fp, const bbf::simd::BucketLayout& l,
+                          size_t n, uint8_t* out) {
+  const int run_bits = l.width * 4;
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t b1 = KReadBits(words, bit1[j], run_bits);
+    const uint64_t b2 = KReadBits(words, bit2[j], run_bits);
+    out[j] = contains2(b1, b2, fp[j], l) ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+#endif  // BBF_SIMD_KERNEL_IMPL_H_

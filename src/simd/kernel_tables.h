@@ -1,0 +1,34 @@
+#ifndef BBF_SIMD_KERNEL_TABLES_H_
+#define BBF_SIMD_KERNEL_TABLES_H_
+
+// Internal: declarations of the per-ISA kernel tables, one pair per
+// translation unit in this directory. Only dispatch.cc and the kernel TUs
+// include this. The BBF_HAVE_KERNEL_* macros come from src/simd/CMakeLists
+// and reflect what the toolchain could compile, NOT what the CPU supports —
+// runtime support is checked separately in dispatch.cc.
+
+#include "simd/kernels.h"
+
+namespace bbf::simd::internal {
+
+extern const BlockedBloomKernel kScalarBloomKernel;
+extern const CuckooKernel kScalarCuckooKernel;
+
+#if defined(BBF_HAVE_KERNEL_AVX2)
+extern const BlockedBloomKernel kAvx2BloomKernel;
+extern const CuckooKernel kAvx2CuckooKernel;
+#endif
+
+#if defined(BBF_HAVE_KERNEL_AVX512)
+extern const BlockedBloomKernel kAvx512BloomKernel;
+extern const CuckooKernel kAvx512CuckooKernel;
+#endif
+
+#if defined(BBF_HAVE_KERNEL_NEON)
+extern const BlockedBloomKernel kNeonBloomKernel;
+extern const CuckooKernel kNeonCuckooKernel;
+#endif
+
+}  // namespace bbf::simd::internal
+
+#endif  // BBF_SIMD_KERNEL_TABLES_H_

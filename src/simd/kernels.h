@@ -1,0 +1,130 @@
+#ifndef BBF_SIMD_KERNELS_H_
+#define BBF_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/dispatch.h"
+
+namespace bbf::simd {
+
+// ---------------------------------------------------------------------------
+// Blocked-Bloom block kernels.
+//
+// BlockedBloomFilter is decomposed Boost.Bloom-style into two policies:
+//
+//   * bucket selection — FastRange over 512-bit blocks, software prefetch,
+//     tile staging. Lives in the filter (src/bloom) and is ISA-independent.
+//   * intra-block marking — set/test all K probe bits of one 512-bit block.
+//     Lives here, with one implementation per ISA, chosen at runtime.
+//
+// The probe-derivation contract is fixed across every kernel (it defines
+// the on-disk/in-memory bit layout, so snapshots are kernel-portable):
+// probe i reads 9 bits from derived hash word hw[i / 6] at shift
+// 9 * (i % 6) and sets/tests bit (those 9 bits) of the block. The filter
+// derives hw[w] = key.Derive(0x74 + 6 * w), matching the pre-kernel
+// rolling-refresh loop bit for bit.
+// ---------------------------------------------------------------------------
+
+/// Max derived hash words per key: 6 nine-bit probes per 64-bit word and a
+/// hard cap of 64 probes (enforced at construction and snapshot load).
+inline constexpr int kMaxBloomHashWords = 11;
+
+/// Probes drawn from one derived hash word before refreshing.
+inline constexpr int kBloomProbesPerWord = 6;
+
+/// Derived hash words needed for k probes.
+constexpr int BloomHashWordsFor(int k) {
+  return (k + kBloomProbesPerWord - 1) / kBloomProbesPerWord;
+}
+
+struct BlockedBloomKernel {
+  /// Tests all k probes of each key against its (pre-fetched) block.
+  /// `words` is the 64-byte-aligned backing array; key j's block occupies
+  /// words [8 * block[j], 8 * block[j] + 8). `hw` is row-major,
+  /// `hw_stride` words per key. Writes 0/1 to out[j].
+  void (*test_tile)(const uint64_t* words, const uint64_t* block,
+                    const uint64_t* hw, int hw_stride, int k, size_t n,
+                    uint8_t* out);
+
+  /// Sets all k probe bits of each key's block.
+  void (*set_tile)(uint64_t* words, const uint64_t* block, const uint64_t* hw,
+                   int hw_stride, int k, size_t n);
+
+  /// Single-block forms for the scalar (per-key) filter API.
+  bool (*test_block)(const uint64_t* block_words, const uint64_t* hw, int k);
+  void (*set_block)(uint64_t* block_words, const uint64_t* hw, int k);
+
+  const char* name;
+};
+
+// ---------------------------------------------------------------------------
+// Cuckoo bucket-scan kernels.
+//
+// A 4-slot bucket of w-bit fingerprints is read as ONE packed word
+// (CompactVector::GetRun4) whenever 4 * w <= 64, and the 4-way compare
+// against the probe fingerprint collapses into one SWAR / vector
+// zero-field detect instead of four field extractions — both candidate
+// buckets in two loads and two compares. Wider fingerprints (w > 16) keep
+// the portable per-slot loop in the filters.
+// ---------------------------------------------------------------------------
+
+/// Precomputed per-filter SWAR constants for 4 packed w-bit fields.
+struct BucketLayout {
+  int width = 0;        // fingerprint bits per slot
+  uint64_t ones = 0;    // bit 0 of each field
+  uint64_t msbs = 0;    // top bit of each field
+  uint64_t low = 0;     // all field bits except the top one
+
+  static BucketLayout Make(int width) {
+    BucketLayout l;
+    l.width = width;
+    if (width >= 1 && width * 4 <= 64) {
+      for (int s = 0; s < 4; ++s) l.ones |= uint64_t{1} << (s * width);
+      l.msbs = l.ones << (width - 1);
+      l.low = l.msbs - l.ones;
+    }
+    return l;
+  }
+
+  /// True when the packed-bucket kernels apply (the whole bucket fits in
+  /// one 64-bit word). width == 1 is excluded: its fields have no sub-MSB
+  /// bits, and such fingerprints do not occur (minimum is 2).
+  bool PackedEligible() const { return width >= 2 && width * 4 <= 64; }
+};
+
+struct CuckooKernel {
+  /// Per-slot match mask (bits 0..3) of fingerprint `fp` against the four
+  /// fields packed in `bucket_bits` (upper bits zero). Exact — safe for
+  /// Erase/TryPlace slot selection. fp == 0 finds empty slots.
+  uint32_t (*match_mask)(uint64_t bucket_bits, uint64_t fp,
+                         const BucketLayout& l);
+
+  /// True iff `fp` occurs in either packed bucket. One compare per bucket,
+  /// no early exit (the branchless form wins once both buckets are
+  /// resident).
+  bool (*contains2)(uint64_t b1_bits, uint64_t b2_bits, uint64_t fp,
+                    const BucketLayout& l);
+
+  /// Batched both-bucket membership over a tile: for each key j, reads the
+  /// packed buckets at bit offsets bit1[j] / bit2[j] of `words` and writes
+  /// 0/1 to out[j]. Buckets must be pre-fetched by the caller.
+  void (*contains_tile)(const uint64_t* words, const uint64_t* bit1,
+                        const uint64_t* bit2, const uint64_t* fp,
+                        const BucketLayout& l, size_t n, uint8_t* out);
+
+  const char* name;
+};
+
+/// Kernel tables for the active ISA (see dispatch.h for resolution).
+const BlockedBloomKernel& ActiveBloomKernel();
+const CuckooKernel& ActiveCuckooKernel();
+
+/// Kernel tables for a specific ISA; nullptr when not compiled in. The
+/// parity tests use these to cross-check every host-runnable kernel.
+const BlockedBloomKernel* BloomKernelFor(Isa isa);
+const CuckooKernel* CuckooKernelFor(Isa isa);
+
+}  // namespace bbf::simd
+
+#endif  // BBF_SIMD_KERNELS_H_

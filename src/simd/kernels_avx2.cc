@@ -1,0 +1,141 @@
+// AVX2 kernels. This TU (alone) is compiled with -mavx2; nothing here may
+// leak into other TUs (hence the anonymous namespace — see kernel_impl.h).
+// Dispatch only selects this table when cpuid reports AVX2 at runtime.
+
+#if defined(BBF_HAVE_KERNEL_AVX2)
+
+#include <immintrin.h>
+
+#include "simd/kernel_impl.h"
+#include "simd/kernel_tables.h"
+
+namespace {
+
+/// Tests all k (<= 8) probes of one 512-bit block in one vector step.
+///
+/// The block is 16 x u32; for probe positions P[0..7] (32-bit lanes,
+/// each in [0,512)):
+///   word index  = P >> 5            (0..15)
+///   both block halves are permuted by the index (permutevar8x32 ignores
+///   bit 3), then blended on bit 3 to pick the right half;
+///   bit mask    = 1 << (P & 31)    (per-lane variable shift)
+/// A probe hits when word & mask != 0; the key is present when every
+/// lane below k hits (kLaneMask discards the rest).
+// Lane-validity masks: row j enables the first j of 8 u32 lanes. Used to
+// discard miss verdicts from lanes past k instead of padding positions
+// (padding needs a scalar store-and-reload of the position vector, and
+// the resulting store-forwarding stall was slower than no SIMD at all).
+alignas(32) constexpr uint32_t kLaneMask[9][8] = {
+    {0, 0, 0, 0, 0, 0, 0, 0},
+    {~0u, 0, 0, 0, 0, 0, 0, 0},
+    {~0u, ~0u, 0, 0, 0, 0, 0, 0},
+    {~0u, ~0u, ~0u, 0, 0, 0, 0, 0},
+    {~0u, ~0u, ~0u, ~0u, 0, 0, 0, 0},
+    {~0u, ~0u, ~0u, ~0u, ~0u, 0, 0, 0},
+    {~0u, ~0u, ~0u, ~0u, ~0u, ~0u, 0, 0},
+    {~0u, ~0u, ~0u, ~0u, ~0u, ~0u, ~0u, 0},
+    {~0u, ~0u, ~0u, ~0u, ~0u, ~0u, ~0u, ~0u},
+};
+
+inline bool Avx2TestBlock(const uint64_t* block_words, const uint64_t* hw,
+                          int k) {
+  if (k > 8) {
+    // Multi-group vector extraction needs a gather per group here; the
+    // portable loop wins for these rare wide configs.
+    return KScalarTestBlock(block_words, hw, k);
+  }
+  const __m256i lo =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(block_words));
+  const __m256i hi =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(block_words + 4));
+
+  // Extract the k probe positions with vector shifts straight from the
+  // hash words: probes 0..5 are 9-bit fields of hw[0], probes 6..7 of
+  // hw[1] (kernels.h layout contract). hw[1] is only derived when k > 6,
+  // so substitute hw[0] below that — those lanes are masked off anyway.
+  const long long hw0 = static_cast<long long>(hw[0]);
+  const long long hw1 = static_cast<long long>(k > 6 ? hw[1] : hw[0]);
+  const __m256i va = _mm256_srlv_epi64(
+      _mm256_set1_epi64x(hw0), _mm256_set_epi64x(27, 18, 9, 0));
+  const __m256i vb = _mm256_srlv_epi64(
+      _mm256_set_epi64x(hw1, hw1, hw0, hw0), _mm256_set_epi64x(9, 0, 45, 36));
+  // Compress the 8 x u64 fields into 8 x u32 lanes (low dwords of va to
+  // the low half, of vb to the high half), then mask to 9 bits.
+  const __m256i low_dwords = _mm256_set_epi32(6, 4, 2, 0, 6, 4, 2, 0);
+  const __m256i p = _mm256_and_si256(
+      _mm256_blend_epi32(_mm256_permutevar8x32_epi32(va, low_dwords),
+                         _mm256_permutevar8x32_epi32(vb, low_dwords), 0xF0),
+      _mm256_set1_epi32(511));
+
+  const __m256i idx = _mm256_srli_epi32(p, 5);
+  const __m256i wlo = _mm256_permutevar8x32_epi32(lo, idx);
+  const __m256i whi = _mm256_permutevar8x32_epi32(hi, idx);
+  // Move idx bit 3 (half select) into the lane sign bit for blendv.
+  const __m256i sel = _mm256_slli_epi32(idx, 28);
+  const __m256i w = _mm256_castps_si256(
+      _mm256_blendv_ps(_mm256_castsi256_ps(wlo), _mm256_castsi256_ps(whi),
+                       _mm256_castsi256_ps(sel)));
+  const __m256i bit = _mm256_sllv_epi32(_mm256_set1_epi32(1),
+                                        _mm256_and_si256(p, _mm256_set1_epi32(31)));
+  const __m256i missed = _mm256_and_si256(
+      _mm256_cmpeq_epi32(_mm256_and_si256(w, bit), _mm256_setzero_si256()),
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(kLaneMask[k])));
+  return _mm256_testz_si256(missed, missed);
+}
+
+void Avx2TestTile(const uint64_t* words, const uint64_t* block,
+                  const uint64_t* hw, int hw_stride, int k, size_t n,
+                  uint8_t* out) {
+  KTestTile(Avx2TestBlock, words, block, hw, hw_stride, k, n, out);
+}
+
+// Setting bits is a scatter; there is no profitable AVX2 form for 8
+// conflicting read-modify-writes into one cache line, so inserts reuse
+// the scalar block op (compiled here, under AVX2 flags, which is fine —
+// this TU only runs on AVX2 hosts).
+void Avx2SetTile(uint64_t* words, const uint64_t* block, const uint64_t* hw,
+                 int hw_stride, int k, size_t n) {
+  KSetTile(KScalarSetBlock, words, block, hw, hw_stride, k, n);
+}
+
+/// Both candidate buckets checked in one 128-bit SWAR step: lane 0 holds
+/// bucket 1, lane 1 bucket 2, and the scalar zero-field algebra runs on
+/// both lanes at once.
+inline bool Avx2Contains2(uint64_t b1_bits, uint64_t b2_bits, uint64_t fp,
+                          const bbf::simd::BucketLayout& l) {
+  const __m128i b = _mm_set_epi64x(static_cast<long long>(b2_bits),
+                                   static_cast<long long>(b1_bits));
+  const __m128i probe = _mm_set1_epi64x(static_cast<long long>(fp * l.ones));
+  const __m128i low = _mm_set1_epi64x(static_cast<long long>(l.low));
+  const __m128i msbs = _mm_set1_epi64x(static_cast<long long>(l.msbs));
+  const __m128i x = _mm_xor_si128(b, probe);
+  const __m128i t =
+      _mm_or_si128(_mm_add_epi64(_mm_and_si128(x, low), low), x);
+  const __m128i zeros = _mm_andnot_si128(t, msbs);
+  return !_mm_testz_si128(zeros, zeros);
+}
+
+void Avx2ContainsTile(const uint64_t* words, const uint64_t* bit1,
+                      const uint64_t* bit2, const uint64_t* fp,
+                      const bbf::simd::BucketLayout& l, size_t n,
+                      uint8_t* out) {
+  KContainsTile(Avx2Contains2, words, bit1, bit2, fp, l, n, out);
+}
+
+}  // namespace
+
+namespace bbf::simd::internal {
+
+const BlockedBloomKernel kAvx2BloomKernel = {
+    Avx2TestTile, Avx2SetTile, Avx2TestBlock, KScalarSetBlock,
+    "avx2",
+};
+
+const CuckooKernel kAvx2CuckooKernel = {
+    KSwarMatchMask, Avx2Contains2, Avx2ContainsTile,
+    "avx2",
+};
+
+}  // namespace bbf::simd::internal
+
+#endif  // BBF_HAVE_KERNEL_AVX2

@@ -1,0 +1,139 @@
+// AVX-512 kernels (foundation subset only: -mavx512f). This TU alone is
+// compiled with AVX-512 flags; dispatch selects it only when cpuid reports
+// avx512f at runtime.
+
+#if defined(BBF_HAVE_KERNEL_AVX512)
+
+#include <immintrin.h>
+
+#include "simd/kernel_impl.h"
+#include "simd/kernel_tables.h"
+
+// GCC's own avx512fintrin.h builds _mm512_sllv_epi64 on top of an
+// intentionally-undefined merge operand (_mm512_undefined_pd), which
+// -Wmaybe-uninitialized flags after inlining (GCC PR105593). Nothing of
+// ours is uninitialized; silence it for this TU only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace {
+
+// Probe-position extraction tables, one row per group of 8 probes: probe
+// i reads hash word i/6 at shift 9*(i%6) (the layout contract in
+// kernels.h). Rows cover k <= 48, i.e. hash words 0..7 — the reach of a
+// single permutexvar over one zmm of hash words.
+struct PosGroup {
+  uint64_t word[8];
+  uint64_t shift[8];
+};
+constexpr PosGroup MakePosGroup(int g) {
+  PosGroup r{};
+  for (int l = 0; l < 8; ++l) {
+    const int i = g * 8 + l;
+    r.word[l] = static_cast<uint64_t>(i / 6);
+    r.shift[l] = static_cast<uint64_t>(9 * (i % 6));
+  }
+  return r;
+}
+constexpr PosGroup kPosGroups[6] = {MakePosGroup(0), MakePosGroup(1),
+                                    MakePosGroup(2), MakePosGroup(3),
+                                    MakePosGroup(4), MakePosGroup(5)};
+
+/// One zmm register holds the whole 512-bit block (8 x u64), so up to 8
+/// probes resolve in a single permute + variable shift + test:
+///   word  = permutexvar_epi64(P >> 6, block)
+///   mask  = 1 << (P & 63)
+///   hit   = test_epi64_mask(word, mask)
+/// The probe positions themselves are extracted with the same trick — one
+/// permute of the hash words + one variable shift — instead of a scalar
+/// store-and-reload, which costs a store-forwarding stall per group and
+/// was measurably slower than not vectorizing at all. Lanes past k are
+/// excluded by mask arithmetic, never padded.
+inline bool Avx512TestBlock(const uint64_t* block_words, const uint64_t* hw,
+                            int k) {
+  const __m512i blk = _mm512_loadu_si512(block_words);
+  const __m512i one = _mm512_set1_epi64(1);
+  const __m512i nine_bits = _mm512_set1_epi64(511);
+  if (k <= 48) {
+    // Masked load: only the ceil(k/6) derived hash words are readable
+    // semantically; masked-out lanes never contribute (their probe lanes
+    // are excluded from `valid` below).
+    const int words = (k + 5) / 6;
+    const __m512i hwv = _mm512_maskz_loadu_epi64(
+        static_cast<__mmask8>((1u << words) - 1), hw);
+    for (int g = 0; g * 8 < k; ++g) {
+      const __m512i widx = _mm512_loadu_si512(kPosGroups[g].word);
+      const __m512i sh = _mm512_loadu_si512(kPosGroups[g].shift);
+      const __m512i p = _mm512_and_si512(
+          _mm512_srlv_epi64(_mm512_permutexvar_epi64(widx, hwv), sh),
+          nine_bits);
+      const __m512i w =
+          _mm512_permutexvar_epi64(_mm512_srli_epi64(p, 6), blk);
+      const __m512i bit = _mm512_sllv_epi64(
+          one, _mm512_and_si512(p, _mm512_set1_epi64(63)));
+      const int lanes = k - g * 8;
+      const __mmask8 valid =
+          lanes >= 8 ? __mmask8{0xFF}
+                     : static_cast<__mmask8>((1u << lanes) - 1);
+      if ((_mm512_test_epi64_mask(w, bit) & valid) != valid) return false;
+    }
+    return true;
+  }
+  // k in (48, 64]: beyond one permute's reach; take the portable path.
+  return KScalarTestBlock(block_words, hw, k);
+}
+
+void Avx512TestTile(const uint64_t* words, const uint64_t* block,
+                    const uint64_t* hw, int hw_stride, int k, size_t n,
+                    uint8_t* out) {
+  KTestTile(Avx512TestBlock, words, block, hw, hw_stride, k, n, out);
+}
+
+// Inserts scatter into one line; scalar read-modify-write is the fastest
+// correct form (see the AVX2 TU note).
+void Avx512SetTile(uint64_t* words, const uint64_t* block, const uint64_t* hw,
+                   int hw_stride, int k, size_t n) {
+  KSetTile(KScalarSetBlock, words, block, hw, hw_stride, k, n);
+}
+
+/// Same two-lane SWAR as the AVX2 kernel — SSE registers suffice and avoid
+/// any 512-bit frequency licensing on the cuckoo path.
+inline bool Avx512Contains2(uint64_t b1_bits, uint64_t b2_bits, uint64_t fp,
+                            const bbf::simd::BucketLayout& l) {
+  const __m128i b = _mm_set_epi64x(static_cast<long long>(b2_bits),
+                                   static_cast<long long>(b1_bits));
+  const __m128i probe = _mm_set1_epi64x(static_cast<long long>(fp * l.ones));
+  const __m128i low = _mm_set1_epi64x(static_cast<long long>(l.low));
+  const __m128i msbs = _mm_set1_epi64x(static_cast<long long>(l.msbs));
+  const __m128i x = _mm_xor_si128(b, probe);
+  const __m128i t =
+      _mm_or_si128(_mm_add_epi64(_mm_and_si128(x, low), low), x);
+  const __m128i zeros = _mm_andnot_si128(t, msbs);
+  return !_mm_testz_si128(zeros, zeros);
+}
+
+void Avx512ContainsTile(const uint64_t* words, const uint64_t* bit1,
+                        const uint64_t* bit2, const uint64_t* fp,
+                        const bbf::simd::BucketLayout& l, size_t n,
+                        uint8_t* out) {
+  KContainsTile(Avx512Contains2, words, bit1, bit2, fp, l, n, out);
+}
+
+}  // namespace
+
+namespace bbf::simd::internal {
+
+const BlockedBloomKernel kAvx512BloomKernel = {
+    Avx512TestTile, Avx512SetTile, Avx512TestBlock, KScalarSetBlock,
+    "avx512",
+};
+
+const CuckooKernel kAvx512CuckooKernel = {
+    KSwarMatchMask, Avx512Contains2, Avx512ContainsTile,
+    "avx512",
+};
+
+}  // namespace bbf::simd::internal
+
+#endif  // BBF_HAVE_KERNEL_AVX512

@@ -1,0 +1,84 @@
+// NEON kernels (AArch64). NEON is baseline on AArch64, so no extra
+// compile flags and no runtime cpuid check are needed — the table is
+// simply absent from non-ARM builds.
+
+#if defined(BBF_HAVE_KERNEL_NEON)
+
+#include <arm_neon.h>
+
+#include "simd/kernel_impl.h"
+#include "simd/kernel_tables.h"
+
+namespace {
+
+/// Probes are tested two at a time in a 64x2 lane pair: gather the two
+/// target words scalar (NEON has no gather anyway), then one vtstq_u64
+/// answers both probes. Odd k tests the last probe scalar.
+inline bool NeonTestBlock(const uint64_t* block_words, const uint64_t* hw,
+                          int k) {
+  int i = 0;
+  for (; i + 2 <= k; i += 2) {
+    const uint32_t p0 = KProbePos(hw, i);
+    const uint32_t p1 = KProbePos(hw, i + 1);
+    const uint64x2_t w = {block_words[p0 >> 6], block_words[p1 >> 6]};
+    const uint64x2_t bit = {uint64_t{1} << (p0 & 63), uint64_t{1} << (p1 & 63)};
+    const uint64x2_t hit = vtstq_u64(w, bit);
+    if (vgetq_lane_u64(hit, 0) == 0 || vgetq_lane_u64(hit, 1) == 0) {
+      return false;
+    }
+  }
+  if (i < k) {
+    const uint32_t p = KProbePos(hw, i);
+    if (((block_words[p >> 6] >> (p & 63)) & 1) == 0) return false;
+  }
+  return true;
+}
+
+void NeonTestTile(const uint64_t* words, const uint64_t* block,
+                  const uint64_t* hw, int hw_stride, int k, size_t n,
+                  uint8_t* out) {
+  KTestTile(NeonTestBlock, words, block, hw, hw_stride, k, n, out);
+}
+
+void NeonSetTile(uint64_t* words, const uint64_t* block, const uint64_t* hw,
+                 int hw_stride, int k, size_t n) {
+  KSetTile(KScalarSetBlock, words, block, hw, hw_stride, k, n);
+}
+
+/// Two buckets in a 64x2 lane pair, SWAR zero-field algebra vectorized.
+inline bool NeonContains2(uint64_t b1_bits, uint64_t b2_bits, uint64_t fp,
+                          const bbf::simd::BucketLayout& l) {
+  const uint64x2_t b = {b1_bits, b2_bits};
+  const uint64x2_t probe = vdupq_n_u64(fp * l.ones);
+  const uint64x2_t low = vdupq_n_u64(l.low);
+  const uint64x2_t msbs = vdupq_n_u64(l.msbs);
+  const uint64x2_t x = veorq_u64(b, probe);
+  const uint64x2_t t = vorrq_u64(vaddq_u64(vandq_u64(x, low), low), x);
+  const uint64x2_t zeros = vbicq_u64(msbs, t);
+  return (vgetq_lane_u64(zeros, 0) | vgetq_lane_u64(zeros, 1)) != 0;
+}
+
+void NeonContainsTile(const uint64_t* words, const uint64_t* bit1,
+                      const uint64_t* bit2, const uint64_t* fp,
+                      const bbf::simd::BucketLayout& l, size_t n,
+                      uint8_t* out) {
+  KContainsTile(NeonContains2, words, bit1, bit2, fp, l, n, out);
+}
+
+}  // namespace
+
+namespace bbf::simd::internal {
+
+const BlockedBloomKernel kNeonBloomKernel = {
+    NeonTestTile, NeonSetTile, NeonTestBlock, KScalarSetBlock,
+    "neon",
+};
+
+const CuckooKernel kNeonCuckooKernel = {
+    KSwarMatchMask, NeonContains2, NeonContainsTile,
+    "neon",
+};
+
+}  // namespace bbf::simd::internal
+
+#endif  // BBF_HAVE_KERNEL_NEON

@@ -1,0 +1,43 @@
+// Portable scalar kernels — the reference implementation, always compiled,
+// and the parity baseline every vector kernel is tested against. Built
+// with the project's default flags only (no ISA extensions), so this TU is
+// safe on any host the binary runs on.
+
+#include "simd/kernel_impl.h"
+#include "simd/kernel_tables.h"
+
+namespace {
+
+void ScalarTestTile(const uint64_t* words, const uint64_t* block,
+                    const uint64_t* hw, int hw_stride, int k, size_t n,
+                    uint8_t* out) {
+  KTestTile(KScalarTestBlock, words, block, hw, hw_stride, k, n, out);
+}
+
+void ScalarSetTile(uint64_t* words, const uint64_t* block, const uint64_t* hw,
+                   int hw_stride, int k, size_t n) {
+  KSetTile(KScalarSetBlock, words, block, hw, hw_stride, k, n);
+}
+
+void ScalarContainsTile(const uint64_t* words, const uint64_t* bit1,
+                        const uint64_t* bit2, const uint64_t* fp,
+                        const bbf::simd::BucketLayout& l, size_t n,
+                        uint8_t* out) {
+  KContainsTile(KSwarContains2, words, bit1, bit2, fp, l, n, out);
+}
+
+}  // namespace
+
+namespace bbf::simd::internal {
+
+const BlockedBloomKernel kScalarBloomKernel = {
+    ScalarTestTile, ScalarSetTile, KScalarTestBlock, KScalarSetBlock,
+    "scalar",
+};
+
+const CuckooKernel kScalarCuckooKernel = {
+    KSwarMatchMask, KSwarContains2, ScalarContainsTile,
+    "scalar",
+};
+
+}  // namespace bbf::simd::internal

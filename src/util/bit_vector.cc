@@ -61,7 +61,7 @@ bool BitVector::Load(std::istream& is) {
   uint64_t n;
   if (!ReadU64Capped(is, &n, kMaxSnapshotElements)) return false;
   const uint64_t num_words = (n + 63) / 64;
-  std::vector<uint64_t> words;
+  WordVector words;
   for (uint64_t i = 0; i < num_words; ++i) {
     uint64_t w;
     if (!ReadU64(is, &w)) return false;

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <vector>
 
+#include "util/aligned.h"
 #include "util/bits.h"
 
 namespace bbf {
@@ -57,6 +58,12 @@ class BitVector {
   uint64_t Word(uint64_t w) const { return words_[w]; }
   uint64_t NumWords() const { return words_.size(); }
 
+  /// Raw word storage for the SIMD kernel layer (src/simd). The backing
+  /// array is 64-byte aligned, so any run of 8 words starting at a
+  /// multiple of 8 is exactly one cache line.
+  const uint64_t* Words() const { return words_.data(); }
+  uint64_t* MutableWords() { return words_.data(); }
+
   /// Hints the cache line holding word `w` (resp. bit `i`) into cache.
   /// Used by the batched filter paths: prefetch every target line for a
   /// batch, then probe. `for_write` requests exclusive ownership (inserts).
@@ -85,8 +92,10 @@ class BitVector {
   bool Load(std::istream& is);
 
  private:
+  using WordVector = std::vector<uint64_t, AlignedAllocator<uint64_t>>;
+
   uint64_t size_ = 0;
-  std::vector<uint64_t> words_;
+  WordVector words_;
 };
 
 }  // namespace bbf

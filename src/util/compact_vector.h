@@ -23,6 +23,19 @@ class CompactVector {
   uint64_t Get(uint64_t i) const { return bits_.GetBits(i * width_, width_); }
   void Set(uint64_t i, uint64_t v) { bits_.SetBits(i * width_, width_, v); }
 
+  /// Packed read of entries [i, i+4) as one word: entry i in the low
+  /// `width()` bits, entry i+3 in the top field, upper bits zero. This is
+  /// the whole 4-slot bucket of a cuckoo-family filter in one load, fed to
+  /// the SIMD/SWAR match kernels (src/simd). Requires 4 * width() <= 64.
+  uint64_t GetRun4(uint64_t i) const {
+    return bits_.GetBits(i * width_, width_ * 4);
+  }
+
+  /// Raw word storage plus the bit offset of entry `i`, for kernels that
+  /// read packed runs themselves.
+  const uint64_t* Words() const { return bits_.Words(); }
+  uint64_t BitOffset(uint64_t i) const { return i * width_; }
+
   /// Hints the cache lines holding entries [i, i + count) into cache; the
   /// batched filter paths prefetch whole buckets before probing them.
   void Prefetch(uint64_t i, uint64_t count = 1, bool for_write = false) const {

@@ -1,0 +1,341 @@
+// Kernel-parity property suite (src/simd): every ISA the host can run
+// must agree with the portable scalar kernel bit for bit — on query
+// answers, on table contents (snapshot bytes), and across kernels
+// (snapshot written under one ISA, loaded and queried under another).
+// The dispatch plumbing itself (names, availability, force hooks) is
+// covered here too, since CI pins kernels through it.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_filter.h"
+#include "cuckoo/adaptive_cuckoo_filter.h"
+#include "cuckoo/cuckoo_filter.h"
+#include "cuckoo/cuckoo_maplet.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
+#include "test_seed.h"
+#include "workload/generators.h"
+
+namespace bbf {
+namespace {
+
+// Batch shapes chosen to stress the tile machinery: sub-tile (1, 7),
+// one-short-of-tile (31), one-past-tile (33), and multi-tile (257).
+const size_t kBatchSizes[] = {1, 7, 31, 33, 257};
+
+/// Pins kernel dispatch to `isa` for the enclosing scope.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(simd::Isa isa) {
+    EXPECT_TRUE(simd::ForceIsaForTesting(isa))
+        << "ISA " << simd::IsaName(isa) << " not available";
+  }
+  ~ScopedIsa() { simd::ClearForcedIsaForTesting(); }
+};
+
+std::vector<HashedKey> ToHashed(const std::vector<uint64_t>& raw) {
+  std::vector<HashedKey> keys;
+  keys.reserve(raw.size());
+  for (uint64_t k : raw) keys.push_back(HashedKey(k));
+  return keys;
+}
+
+/// Batch + per-key answers of `filter` for `keys` under the forced `isa`,
+/// exercising every tail shape in kBatchSizes.
+template <typename F>
+std::vector<uint8_t> QueryUnderIsa(const F& filter,
+                                   const std::vector<HashedKey>& keys,
+                                   simd::Isa isa) {
+  ScopedIsa forced(isa);
+  std::vector<uint8_t> out(keys.size(), 0xEE);
+  for (size_t batch : kBatchSizes) {
+    for (size_t base = 0; base < keys.size(); base += batch) {
+      const size_t n = std::min(batch, keys.size() - base);
+      filter.ContainsMany(std::span<const HashedKey>(&keys[base], n),
+                          &out[base]);
+    }
+    // Per-key Contains must agree with the batch path under every ISA.
+    for (size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(filter.Contains(keys[i]), out[i] != 0)
+          << "Contains vs ContainsMany diverge under "
+          << simd::IsaName(isa) << " at key " << i << ", batch " << batch;
+    }
+  }
+  return out;
+}
+
+TEST(KernelDispatch, NamesRoundTrip) {
+  for (int i = 0; i < simd::kNumIsas; ++i) {
+    const simd::Isa isa = static_cast<simd::Isa>(i);
+    simd::Isa parsed;
+    ASSERT_TRUE(simd::ParseIsaName(simd::IsaName(isa), &parsed));
+    EXPECT_EQ(parsed, isa);
+  }
+  simd::Isa parsed;
+  EXPECT_FALSE(simd::ParseIsaName("sse9", &parsed));
+  EXPECT_FALSE(simd::ParseIsaName("", &parsed));
+}
+
+TEST(KernelDispatch, ScalarAlwaysAvailableAndActiveIsListed) {
+  EXPECT_TRUE(simd::IsaCompiledIn(simd::Isa::kScalar));
+  EXPECT_TRUE(simd::IsaAvailable(simd::Isa::kScalar));
+  const auto available = simd::AvailableIsas();
+  ASSERT_FALSE(available.empty());
+  EXPECT_EQ(available.front(), simd::Isa::kScalar);
+  bool active_listed = false;
+  for (simd::Isa isa : available) {
+    if (isa == simd::ActiveIsa()) active_listed = true;
+    // Every available kernel table must actually exist.
+    EXPECT_NE(simd::BloomKernelFor(isa), nullptr);
+    EXPECT_NE(simd::CuckooKernelFor(isa), nullptr);
+    EXPECT_EQ(simd::BloomKernelFor(isa)->name, simd::IsaName(isa));
+  }
+  EXPECT_TRUE(active_listed);
+}
+
+TEST(KernelDispatch, ForceHookRejectsUnavailableAndPinsAvailable) {
+  // At least one of AVX2/NEON is unavailable on any host (they are
+  // mutually exclusive architectures), giving a guaranteed reject case.
+  const simd::Isa unavailable = simd::IsaAvailable(simd::Isa::kNeon)
+                                    ? simd::Isa::kAvx2
+                                    : simd::Isa::kNeon;
+  EXPECT_FALSE(simd::ForceIsaForTesting(unavailable));
+  for (simd::Isa isa : simd::AvailableIsas()) {
+    ASSERT_TRUE(simd::ForceIsaForTesting(isa));
+    EXPECT_EQ(simd::ActiveIsa(), isa);
+    EXPECT_EQ(&simd::ActiveBloomKernel(), simd::BloomKernelFor(isa));
+    EXPECT_EQ(&simd::ActiveCuckooKernel(), simd::CuckooKernelFor(isa));
+  }
+  simd::ClearForcedIsaForTesting();
+}
+
+TEST(KernelParity, BlockedBloomAllIsasMatchScalar) {
+  const uint64_t seed = TestSeed(0xB10B);
+  BBF_ANNOUNCE_SEED(seed);
+  // k sweeps the kernel group shapes: below one vector group (<= 8),
+  // exactly one, just past one, multi-group, and the 64-probe cap.
+  for (int k : {1, 5, 7, 8, 9, 13, 24, 64}) {
+    SCOPED_TRACE("num_hashes=" + std::to_string(k));
+    BlockedBloomFilter filter(4000, 12.0, k);
+    const auto raw = GenerateDistinctKeys(4000, seed);
+    {
+      ScopedIsa scalar(simd::Isa::kScalar);
+      for (uint64_t key : raw) filter.Insert(key);
+    }
+    auto queries = ToHashed(raw);
+    for (uint64_t k2 : GenerateNegativeKeys(raw, 4000)) {
+      queries.push_back(HashedKey(k2));
+    }
+    const auto reference = QueryUnderIsa(filter, queries, simd::Isa::kScalar);
+    for (simd::Isa isa : simd::AvailableIsas()) {
+      SCOPED_TRACE(std::string("isa=") + std::string(simd::IsaName(isa)));
+      EXPECT_EQ(QueryUnderIsa(filter, queries, isa), reference);
+    }
+  }
+}
+
+TEST(KernelParity, BlockedBloomSaturatedFilterMatches) {
+  // A filter driven far past design capacity has nearly every bit set —
+  // the all-lanes-hit reduction path the vector kernels must get right.
+  BlockedBloomFilter filter(64, 8.0);
+  const auto raw = GenerateDistinctKeys(5000, TestSeed(0x5A7));
+  {
+    ScopedIsa scalar(simd::Isa::kScalar);
+    for (uint64_t key : raw) filter.Insert(key);
+  }
+  const auto queries = ToHashed(GenerateDistinctKeys(2000, 7));
+  const auto reference = QueryUnderIsa(filter, queries, simd::Isa::kScalar);
+  for (simd::Isa isa : simd::AvailableIsas()) {
+    SCOPED_TRACE(std::string("isa=") + std::string(simd::IsaName(isa)));
+    EXPECT_EQ(QueryUnderIsa(filter, queries, isa), reference);
+  }
+}
+
+/// Runs an identical insert/erase workload under `isa` and returns the
+/// snapshot bytes. Table contents must not depend on the kernel.
+std::string BloomSnapshotUnderIsa(simd::Isa isa,
+                                  const std::vector<uint64_t>& raw) {
+  ScopedIsa forced(isa);
+  BlockedBloomFilter filter(2000, 10.0);
+  size_t i = 0;
+  for (uint64_t key : raw) {
+    if (++i % 3 == 0) {
+      filter.InsertMany(std::span<const uint64_t>(&key, 1));
+    } else {
+      filter.Insert(key);
+    }
+  }
+  std::ostringstream os;
+  EXPECT_TRUE(filter.Save(os));
+  return std::move(os).str();
+}
+
+TEST(KernelParity, BlockedBloomSnapshotBytesIdenticalAcrossIsas) {
+  const auto raw = GenerateDistinctKeys(2000, TestSeed(0x51AB));
+  const std::string reference =
+      BloomSnapshotUnderIsa(simd::Isa::kScalar, raw);
+  for (simd::Isa isa : simd::AvailableIsas()) {
+    SCOPED_TRACE(std::string("isa=") + std::string(simd::IsaName(isa)));
+    EXPECT_EQ(BloomSnapshotUnderIsa(isa, raw), reference);
+  }
+}
+
+TEST(KernelParity, BlockedBloomSnapshotRoundTripsAcrossIsas) {
+  // Written under the widest kernel, loaded and queried under every other
+  // — the bit layout is the contract, not the kernel.
+  const auto raw = GenerateDistinctKeys(3000, TestSeed(0x0557));
+  const auto writer_isas = simd::AvailableIsas();
+  std::string bytes;
+  {
+    ScopedIsa forced(writer_isas.back());
+    BlockedBloomFilter writer(3000, 12.0);
+    for (uint64_t key : raw) writer.Insert(key);
+    std::ostringstream os;
+    ASSERT_TRUE(writer.Save(os));
+    bytes = std::move(os).str();
+  }
+  for (simd::Isa isa : writer_isas) {
+    SCOPED_TRACE(std::string("isa=") + std::string(simd::IsaName(isa)));
+    ScopedIsa forced(isa);
+    BlockedBloomFilter reader(1, 12.0);
+    std::istringstream is(bytes);
+    ASSERT_TRUE(reader.Load(is));
+    for (uint64_t key : raw) {
+      ASSERT_TRUE(reader.Contains(key)) << "false negative after load";
+    }
+  }
+}
+
+std::string CuckooSnapshotUnderIsa(simd::Isa isa, int fingerprint_bits,
+                                   const std::vector<uint64_t>& raw) {
+  ScopedIsa forced(isa);
+  CuckooFilter filter(raw.size(), fingerprint_bits);
+  size_t i = 0;
+  for (uint64_t key : raw) {
+    filter.Insert(key);
+    if (++i % 5 == 0) filter.Erase(key);  // Exercise mask-driven erase.
+  }
+  std::ostringstream os;
+  EXPECT_TRUE(filter.Save(os));
+  return std::move(os).str();
+}
+
+TEST(KernelParity, CuckooAllIsasMatchScalar) {
+  const uint64_t seed = TestSeed(0xCC1);
+  BBF_ANNOUNCE_SEED(seed);
+  // Widths sweep the packed-kernel envelope (4w <= 64) plus one width on
+  // the legacy per-slot path (20) for coverage of the fallback.
+  for (int f_bits : {4, 8, 12, 15, 16, 20}) {
+    SCOPED_TRACE("fingerprint_bits=" + std::to_string(f_bits));
+    CuckooFilter filter(3000, f_bits);
+    const auto raw = GenerateDistinctKeys(2500, seed);
+    {
+      ScopedIsa scalar(simd::Isa::kScalar);
+      for (uint64_t key : raw) filter.Insert(key);
+    }
+    auto queries = ToHashed(raw);
+    for (uint64_t k : GenerateNegativeKeys(raw, 2500)) {
+      queries.push_back(HashedKey(k));
+    }
+    const auto reference = QueryUnderIsa(filter, queries, simd::Isa::kScalar);
+    for (simd::Isa isa : simd::AvailableIsas()) {
+      SCOPED_TRACE(std::string("isa=") + std::string(simd::IsaName(isa)));
+      EXPECT_EQ(QueryUnderIsa(filter, queries, isa), reference);
+      // Count must agree with the scalar kernel too (it counts
+      // fingerprint matches, so collisions can make it > 1 — the value
+      // just must not depend on the kernel).
+      for (size_t i = 0; i < 200; ++i) {
+        uint64_t expected;
+        {
+          ScopedIsa scalar(simd::Isa::kScalar);
+          expected = filter.Count(queries[i]);
+        }
+        ScopedIsa forced(isa);
+        EXPECT_EQ(filter.Count(queries[i]), expected);
+      }
+    }
+  }
+}
+
+TEST(KernelParity, CuckooSnapshotBytesIdenticalAcrossIsas) {
+  const auto raw = GenerateDistinctKeys(2000, TestSeed(0xC5AB));
+  for (int f_bits : {8, 12}) {
+    SCOPED_TRACE("fingerprint_bits=" + std::to_string(f_bits));
+    const std::string reference =
+        CuckooSnapshotUnderIsa(simd::Isa::kScalar, f_bits, raw);
+    for (simd::Isa isa : simd::AvailableIsas()) {
+      SCOPED_TRACE(std::string("isa=") + std::string(simd::IsaName(isa)));
+      EXPECT_EQ(CuckooSnapshotUnderIsa(isa, f_bits, raw), reference);
+    }
+  }
+}
+
+TEST(KernelParity, AdaptiveCuckooMatchesScalarBeforeAndAfterAdaptation) {
+  const uint64_t seed = TestSeed(0xADA);
+  BBF_ANNOUNCE_SEED(seed);
+  AdaptiveCuckooFilter filter(2000, 12);
+  const auto raw = GenerateDistinctKeys(1500, seed);
+  {
+    ScopedIsa scalar(simd::Isa::kScalar);
+    for (uint64_t key : raw) filter.Insert(key);
+  }
+  auto queries = ToHashed(raw);
+  const auto negatives = GenerateNegativeKeys(raw, 1500);
+  for (uint64_t k : negatives) queries.push_back(HashedKey(k));
+  // Zero-selector steady state: the packed fast path.
+  auto reference = QueryUnderIsa(filter, queries, simd::Isa::kScalar);
+  for (simd::Isa isa : simd::AvailableIsas()) {
+    SCOPED_TRACE(std::string("isa=") + std::string(simd::IsaName(isa)));
+    EXPECT_EQ(QueryUnderIsa(filter, queries, isa), reference);
+  }
+  // Adapt away every observed false positive, then re-check parity on the
+  // mixed state (some buckets adapted -> per-slot path, most not).
+  {
+    ScopedIsa scalar(simd::Isa::kScalar);
+    for (uint64_t k : negatives) {
+      if (filter.Contains(k)) filter.ReportFalsePositive(HashedKey(k));
+    }
+  }
+  reference = QueryUnderIsa(filter, queries, simd::Isa::kScalar);
+  for (simd::Isa isa : simd::AvailableIsas()) {
+    SCOPED_TRACE(std::string("isa=") + std::string(simd::IsaName(isa)));
+    EXPECT_EQ(QueryUnderIsa(filter, queries, isa), reference);
+  }
+}
+
+TEST(KernelParity, CuckooMapletLookupOrderIdenticalAcrossIsas) {
+  const uint64_t seed = TestSeed(0x3A9);
+  BBF_ANNOUNCE_SEED(seed);
+  CuckooMaplet maplet(2000, 12, 16);
+  const auto raw = GenerateDistinctKeys(1500, seed);
+  {
+    ScopedIsa scalar(simd::Isa::kScalar);
+    for (size_t i = 0; i < raw.size(); ++i) {
+      maplet.Insert(HashedKey(raw[i]), i & 0xFFFF);
+      // Duplicate some keys so Lookup returns multi-value sequences whose
+      // ORDER the kernels must reproduce, not just their contents.
+      if (i % 7 == 0) maplet.Insert(HashedKey(raw[i]), (i + 1) & 0xFFFF);
+    }
+  }
+  for (size_t i = 0; i < raw.size(); i += 3) {
+    std::vector<uint64_t> reference;
+    {
+      ScopedIsa scalar(simd::Isa::kScalar);
+      reference = maplet.Lookup(HashedKey(raw[i]));
+    }
+    for (simd::Isa isa : simd::AvailableIsas()) {
+      ScopedIsa forced(isa);
+      ASSERT_EQ(maplet.Lookup(HashedKey(raw[i])), reference)
+          << "value order diverges under " << simd::IsaName(isa)
+          << " for key index " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bbf
