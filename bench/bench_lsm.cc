@@ -1,37 +1,83 @@
-// Experiment E9 (DESIGN.md §4): LSM-tree application (§3.1).
+// Experiment E9 (DESIGN.md §4): LSM-tree application (§3.1), plus the
+// E24 lifecycle numbers (DESIGN.md §13).
 //
 // Paper claims: per-file filters let point lookups skip files; Monkey
 // drops the expected negative-lookup cost from O(eps * #levels) to
-// O(eps); range filters avert the I/O of empty range scans.
+// O(eps); range filters avert the I/O of empty range scans. The
+// lifecycle section measures what the persistent manifest buys: opening
+// a tree from committed filter snapshots vs. rebuilding the same tree by
+// re-ingesting every key.
+//
+// Usage: bench_lsm [--quick] [--json=PATH]
+//   --quick      smaller tree (200k keys; default 1M).
+//   --json=PATH  machine-readable results (BENCH_lsm.json).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "apps/lsm/lsm_tree.h"
+#include "bench_util.h"
 #include "util/random.h"
 #include "workload/generators.h"
 
 using namespace bbf::lsm;
+using bbf::bench::Mops;
+using bbf::bench::Seconds;
 
 namespace {
 
 struct Row {
-  const char* name;
-  LsmOptions options;
+  std::string config;
+  double neg_ios;    // Simulated data reads per negative point lookup.
+  double pos_ios;    // ... per positive point lookup.
+  double scan_ios;   // ... per (mostly empty) short range scan.
+  double fpr;        // Measured point-lookup FPR across the whole tree.
+  double neg_mops;   // Wall-clock negative-lookup throughput.
+  double filter_mib;
+  double w_amp;
 };
 
-void Run(const Row& row, const std::vector<uint64_t>& keys,
-         const std::vector<uint64_t>& negatives) {
-  LsmTree db(row.options);
+struct LifecycleRow {
+  std::string mode;  // "recovery" | "rebuild"
+  uint64_t keys;
+  double seconds;
+};
+
+std::vector<Row> g_rows;
+std::vector<LifecycleRow> g_lifecycle;
+
+void RunConfig(const char* name, const LsmOptions& options,
+               const std::vector<uint64_t>& keys,
+               const std::vector<uint64_t>& negatives) {
+  LsmTree db(options);
   for (uint64_t k : keys) db.Put(k, k);
+
   db.ResetIo();
-  for (uint64_t k : negatives) db.Get(k);
+  uint64_t hits = 0;
+  const double t_neg = Seconds([&] {
+    for (uint64_t k : negatives) hits += db.Get(k).has_value();
+  });
   const double neg_ios =
       static_cast<double>(db.io().data_reads) / negatives.size();
+  // Every filter probe that passed on a negative key was a false
+  // positive; `false_probes` counts exactly those across all runs.
+  const double fpr = static_cast<double>(db.io().false_probes +
+                                         db.io().quarantined_reads) /
+                     negatives.size();
+  if (hits != 0) {
+    std::fprintf(stderr, "FATAL: %s returned values for negative keys\n",
+                 name);
+    std::exit(1);
+  }
+
   db.ResetIo();
   for (size_t i = 0; i < 10000; ++i) db.Get(keys[i * 37 % keys.size()]);
   const double pos_ios = static_cast<double>(db.io().data_reads) / 10000;
+
   db.ResetIo();
   bbf::SplitMix64 rng(5);
   const int kScans = 3000;
@@ -40,83 +86,196 @@ void Run(const Row& row, const std::vector<uint64_t>& keys,
     db.Scan(lo, lo + 255);
   }
   const double scan_ios = static_cast<double>(db.io().data_reads) / kScans;
-  std::printf("%-26s | %8.4f | %8.4f | %8.4f | %9.2f | %6.1f\n", row.name,
-              neg_ios, pos_ios, scan_ios,
-              db.TotalFilterBits() / 8.0 / (1 << 20),
-              db.WriteAmplification());
+
+  const Row row{name,
+                neg_ios,
+                pos_ios,
+                scan_ios,
+                fpr,
+                Mops(negatives.size(), t_neg),
+                db.TotalFilterBits() / 8.0 / (1 << 20),
+                db.WriteAmplification()};
+  g_rows.push_back(row);
+  std::printf("%-26s | %8.4f | %8.4f | %8.4f | %8.5f | %8.2f | %9.2f | %6.1f\n",
+              name, row.neg_ios, row.pos_ios, row.scan_ios, row.fpr,
+              row.neg_mops, row.filter_mib, row.w_amp);
+}
+
+/// E24: persist a tree under mixed insert/flush/compact load, then time
+/// LsmTree::Open (manifest + filter snapshots) against rebuilding the
+/// same tree by re-ingesting every key (every filter reconstructed).
+void RunLifecycle(const std::vector<uint64_t>& keys) {
+  std::printf("\n== E24: recovery from manifest vs rebuild from keys ==\n\n");
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bbf_bench_lsm").string();
+  std::filesystem::remove_all(dir);
+
+  LsmOptions o;
+  o.memtable_entries = 4096;
+  o.size_ratio = 4;
+  o.point_bits_per_key = 10;
+  o.range_filter = RangeFilterKind::kPrefixBloom;
+  o.dir = dir;
+  {
+    auto db = LsmTree::Open(o);
+    if (db == nullptr) {
+      std::fprintf(stderr, "FATAL: cannot create %s\n", dir.c_str());
+      std::exit(1);
+    }
+    const double t_ingest = Seconds([&] {
+      for (uint64_t k : keys) db->Put(k, k);
+    });
+    std::printf("  ingest (persistent, %llu keys): %.3f s  (%.2f Mops, "
+                "%llu generations)\n",
+                static_cast<unsigned long long>(keys.size()), t_ingest,
+                Mops(keys.size(), t_ingest),
+                static_cast<unsigned long long>(db->generation()));
+  }
+
+  std::unique_ptr<LsmTree> recovered;
+  const double t_recover = Seconds([&] { recovered = LsmTree::Open(o); });
+  if (recovered == nullptr || recovered->TotalEntries() == 0) {
+    std::fprintf(stderr, "FATAL: recovery failed\n");
+    std::exit(1);
+  }
+  g_lifecycle.push_back({"recovery", keys.size(), t_recover});
+
+  LsmOptions volatile_o = o;
+  volatile_o.dir.clear();
+  std::unique_ptr<LsmTree> rebuilt;
+  const double t_rebuild = Seconds([&] {
+    rebuilt = std::make_unique<LsmTree>(volatile_o);
+    for (uint64_t k : keys) rebuilt->Put(k, k);
+  });
+  g_lifecycle.push_back({"rebuild", keys.size(), t_rebuild});
+
+  std::printf("  open from manifest: %8.3f s   (filters loaded: snapshots)\n",
+              t_recover);
+  std::printf("  rebuild from keys:  %8.3f s   (filters reconstructed)\n",
+              t_rebuild);
+  std::printf("  speedup: %.1fx\n",
+              t_recover > 0 ? t_rebuild / t_recover : 0.0);
+  std::filesystem::remove_all(dir);
+}
+
+void WriteJson(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"lsm\",\n  \"results\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const Row& r = g_rows[i];
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"neg_ios\": %.4f, "
+                 "\"pos_ios\": %.4f, \"scan_ios\": %.4f, \"fpr\": %.5f, "
+                 "\"neg_mops\": %.3f, \"filter_mib\": %.2f, "
+                 "\"write_amp\": %.2f}%s\n",
+                 r.config.c_str(), r.neg_ios, r.pos_ios, r.scan_ios, r.fpr,
+                 r.neg_mops, r.filter_mib, r.w_amp,
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"lifecycle\": [\n");
+  for (size_t i = 0; i < g_lifecycle.size(); ++i) {
+    const LifecycleRow& r = g_lifecycle[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"keys\": %llu, "
+                 "\"seconds\": %.4f}%s\n",
+                 r.mode.c_str(), static_cast<unsigned long long>(r.keys),
+                 r.seconds, i + 1 < g_lifecycle.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("== E9: LSM point lookups and range scans (simulated I/O) ==\n\n");
-  const auto keys = bbf::GenerateDistinctKeys(1000000, 3);
-  const auto negatives = bbf::GenerateNegativeKeys(keys, 50000, 4);
+  const uint64_t n = quick ? 200000 : 1000000;
+  const auto keys = bbf::GenerateDistinctKeys(n, 3);
+  const auto negatives = bbf::GenerateNegativeKeys(keys, n / 20, 4);
 
   LsmOptions base;
   base.memtable_entries = 2048;
   base.size_ratio = 4;
   base.point_bits_per_key = 8;
 
-  std::vector<Row> rows;
-  {
-    Row r{"no filters", base};
-    r.options.point_filter = PointFilterKind::kNone;
-    rows.push_back(r);
-  }
-  {
-    Row r{"bloom uniform", base};
-    rows.push_back(r);
-  }
-  {
-    Row r{"bloom monkey", base};
-    r.options.allocation = FilterAllocation::kMonkey;
-    rows.push_back(r);
-  }
-  {
-    Row r{"xor uniform", base};
-    r.options.point_filter = PointFilterKind::kXor;
-    rows.push_back(r);
-  }
-  {
-    Row r{"ribbon uniform", base};
-    r.options.point_filter = PointFilterKind::kRibbon;
-    rows.push_back(r);
-  }
-  {
-    Row r{"quotient uniform", base};
-    r.options.point_filter = PointFilterKind::kQuotient;
-    rows.push_back(r);
-  }
-  {
-    Row r{"bloom tiered", base};
-    r.options.tiering = true;
-    rows.push_back(r);
-  }
-  {
-    Row r{"bloom + grafite", base};
-    r.options.range_filter = RangeFilterKind::kGrafite;
-    rows.push_back(r);
-  }
-  {
-    Row r{"bloom + surf", base};
-    r.options.range_filter = RangeFilterKind::kSurf;
-    rows.push_back(r);
-  }
-  {
-    Row r{"bloom + snarf", base};
-    r.options.range_filter = RangeFilterKind::kSnarf;
-    rows.push_back(r);
-  }
+  std::printf("%-26s | %-8s | %-8s | %-8s | %-8s | %-8s | %-9s | %s\n",
+              "config", "neg-get", "pos-get", "scan", "fpr", "neg-mops",
+              "filterMiB", "w-amp");
+  std::printf("%s\n", std::string(108, '-').c_str());
 
-  std::printf("%-26s | %-8s | %-8s | %-8s | %-9s | %s\n", "config",
-              "neg-get", "pos-get", "scan", "filterMiB", "w-amp");
-  std::printf("%s\n", std::string(88, '-').c_str());
-  for (const Row& r : rows) Run(r, keys, negatives);
+  {
+    LsmOptions o = base;
+    o.point_filter = PointFilterKind::kNone;
+    o.memtable_filter = MemtableFilterKind::kNone;
+    RunConfig("no filters", o, keys, negatives);
+  }
+  RunConfig("bloom uniform", base, keys, negatives);
+  {
+    LsmOptions o = base;
+    o.allocation = FilterAllocation::kMonkey;
+    RunConfig("bloom monkey", o, keys, negatives);
+  }
+  {
+    LsmOptions o = base;
+    o.point_filter = PointFilterKind::kXor;
+    RunConfig("xor uniform", o, keys, negatives);
+  }
+  {
+    LsmOptions o = base;
+    o.point_filter = PointFilterKind::kRibbon;
+    RunConfig("ribbon uniform", o, keys, negatives);
+  }
+  {
+    LsmOptions o = base;
+    o.point_filter = PointFilterKind::kQuotient;
+    RunConfig("quotient uniform", o, keys, negatives);
+  }
+  {
+    LsmOptions o = base;
+    o.tiering = true;
+    RunConfig("bloom tiered", o, keys, negatives);
+  }
+  {
+    LsmOptions o = base;
+    o.range_filter = RangeFilterKind::kGrafite;
+    RunConfig("bloom + grafite", o, keys, negatives);
+  }
+  {
+    LsmOptions o = base;
+    o.range_filter = RangeFilterKind::kSurf;
+    RunConfig("bloom + surf", o, keys, negatives);
+  }
+  {
+    LsmOptions o = base;
+    o.range_filter = RangeFilterKind::kSnarf;
+    RunConfig("bloom + snarf", o, keys, negatives);
+  }
 
   std::printf(
       "\nexpected shape (paper §3.1/[32]): uniform bloom leaves ~eps*levels\n"
       "I/Os per negative get; monkey ~eps; tiering trades lookup cost for\n"
       "write-amp; range filters collapse the empty-scan column.\n");
+
+  RunLifecycle(keys);
+
+  if (!json_path.empty()) WriteJson(json_path);
   return 0;
 }

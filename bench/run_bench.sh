@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Builds and runs the throughput experiments, emitting BENCH_batch.json,
-# BENCH_concurrent.json, BENCH_hash.json, and BENCH_obs.json at the repo
-# root so successive PRs accumulate a perf trajectory.
+# BENCH_concurrent.json, BENCH_hash.json, BENCH_obs.json, and
+# BENCH_lsm.json at the repo root so successive PRs accumulate a perf
+# trajectory.
 #
 # Usage: bench/run_bench.sh [--quick] [BUILD_DIR]
 #   --quick    smaller key counts (skips the out-of-LLC batch runs and
@@ -22,9 +23,10 @@ done
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" --target bench_batch bench_concurrent bench_hash \
-  bench_obs -j "$(nproc)" >/dev/null
+  bench_obs bench_lsm -j "$(nproc)" >/dev/null
 
 "$BUILD_DIR"/bench/bench_batch $QUICK --json=BENCH_batch.json
 "$BUILD_DIR"/bench/bench_concurrent $QUICK --json=BENCH_concurrent.json
 "$BUILD_DIR"/bench/bench_hash $QUICK --json=BENCH_hash.json
 "$BUILD_DIR"/bench/bench_obs $QUICK --json=BENCH_obs.json
+"$BUILD_DIR"/bench/bench_lsm $QUICK --json=BENCH_lsm.json

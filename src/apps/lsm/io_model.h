@@ -14,6 +14,9 @@ struct IoStats {
   uint64_t filter_probes = 0;   // In-memory filter consultations (CPU).
   uint64_t runs_consulted = 0;  // Runs whose filters were consulted.
   uint64_t false_probes = 0;    // Reads that found nothing (filter FPs).
+  uint64_t quarantined_reads = 0;  // Reads served filterless because the
+                                   // run's filter was quarantined at
+                                   // recovery (degraded mode, §13).
 
   void Reset() { *this = IoStats{}; }
   IoStats& operator+=(const IoStats& o) {
@@ -21,6 +24,7 @@ struct IoStats {
     filter_probes += o.filter_probes;
     runs_consulted += o.runs_consulted;
     false_probes += o.false_probes;
+    quarantined_reads += o.quarantined_reads;
     return *this;
   }
 };

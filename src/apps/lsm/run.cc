@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "bloom/bloom_filter.h"
 #include "cuckoo/cuckoo_filter.h"
@@ -13,10 +14,15 @@
 #include "range/surf.h"
 #include "staticf/ribbon_filter.h"
 #include "util/bits.h"
+#include "util/serialize.h"
 #include "staticf/xor_filter.h"
 
 namespace bbf::lsm {
 namespace {
+
+constexpr std::string_view kRunDataTag = "lsm-run";
+
+}  // namespace
 
 std::unique_ptr<Filter> BuildPointFilter(const std::vector<uint64_t>& keys,
                                          PointFilterKind kind,
@@ -94,20 +100,83 @@ std::unique_ptr<RangeFilter> BuildRangeFilter(
   return nullptr;
 }
 
-}  // namespace
+std::unique_ptr<RangeFilter> LoadRangeFilterSnapshot(std::istream& is) {
+  const std::istream::pos_type start = is.tellg();
+  std::string tag;
+  std::string payload;
+  if (!ReadSnapshotFrame(is, &tag, &payload)) return nullptr;
+  std::unique_ptr<RangeFilter> filter;
+  if (tag == "prefix-bloom") {
+    filter = std::make_unique<PrefixBloomRangeFilter>(
+        std::vector<uint64_t>{}, 44, 10.0);
+  } else {
+    return nullptr;
+  }
+  // Replay the whole frame through the family's own Load so its tag check
+  // and payload validation run exactly as for point filters.
+  is.clear();
+  if (!is.seekg(start)) return nullptr;
+  if (!filter->Load(is)) return nullptr;
+  return filter;
+}
 
-SortedRun::SortedRun(std::vector<Entry> entries, PointFilterKind point_kind,
-                     double point_bits_per_key, RangeFilterKind range_kind,
-                     double range_bits_per_key, uint64_t filter_seed)
-    : entries_(std::move(entries)) {
-  std::vector<uint64_t> keys;
-  keys.reserve(entries_.size());
-  for (const Entry& e : entries_) keys.push_back(e.key);
+SortedRun::SortedRun(uint64_t id, std::vector<Entry> entries,
+                     PointFilterKind point_kind, double point_bits_per_key,
+                     RangeFilterKind range_kind, double range_bits_per_key,
+                     uint64_t filter_seed)
+    : id_(id), entries_(std::move(entries)) {
+  const std::vector<uint64_t> keys = Keys();
   if (!keys.empty()) {
     point_filter_ =
         BuildPointFilter(keys, point_kind, point_bits_per_key, filter_seed);
     range_filter_ = BuildRangeFilter(keys, range_kind, range_bits_per_key);
   }
+}
+
+SortedRun::SortedRun(uint64_t id, std::vector<Entry> entries,
+                     std::unique_ptr<Filter> adopted_point_filter,
+                     RangeFilterKind range_kind, double range_bits_per_key)
+    : id_(id),
+      entries_(std::move(entries)),
+      point_filter_(std::move(adopted_point_filter)) {
+  const std::vector<uint64_t> keys = Keys();
+  if (!keys.empty()) {
+    range_filter_ = BuildRangeFilter(keys, range_kind, range_bits_per_key);
+  }
+}
+
+SortedRun::SortedRun(uint64_t id, std::vector<Entry> entries,
+                     std::unique_ptr<Filter> point_filter,
+                     bool point_quarantined,
+                     std::unique_ptr<RangeFilter> range_filter,
+                     bool range_quarantined)
+    : id_(id),
+      entries_(std::move(entries)),
+      point_filter_(std::move(point_filter)),
+      range_filter_(std::move(range_filter)),
+      point_quarantined_(point_quarantined),
+      range_quarantined_(range_quarantined),
+      data_persisted_(true),
+      point_filter_persisted_(point_filter_ != nullptr),
+      range_filter_persisted_(range_filter_ != nullptr) {}
+
+std::vector<uint64_t> SortedRun::Keys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(entries_.size());
+  for (const Entry& e : entries_) keys.push_back(e.key);
+  return keys;
+}
+
+void SortedRun::ReplacePointFilter(std::unique_ptr<Filter> filter) {
+  point_filter_ = std::move(filter);
+  point_quarantined_ = false;
+  point_filter_persisted_ = false;
+}
+
+void SortedRun::ReplaceRangeFilter(std::unique_ptr<RangeFilter> filter) {
+  range_filter_ = std::move(filter);
+  range_quarantined_ = false;
+  range_filter_persisted_ = false;
 }
 
 std::optional<Entry> SortedRun::Get(uint64_t key, IoStats* io) const {
@@ -118,6 +187,10 @@ std::optional<Entry> SortedRun::Get(uint64_t key, IoStats* io) const {
   if (point_filter_ != nullptr) {
     ++io->filter_probes;
     if (!point_filter_->Contains(key)) return std::nullopt;
+  } else if (point_quarantined_) {
+    // Degraded mode: no filter to avert the read; the extra I/O is the
+    // price of serving through a corrupt snapshot instead of failing.
+    ++io->quarantined_reads;
   }
   ++io->data_reads;  // One page fetch to binary-search the run.
   const auto it = std::lower_bound(
@@ -135,6 +208,8 @@ void SortedRun::Scan(uint64_t lo, uint64_t hi, std::vector<Entry>* out,
   if (range_filter_ != nullptr) {
     ++io->filter_probes;
     if (!range_filter_->MayContainRange(lo, hi)) return;
+  } else if (range_quarantined_) {
+    ++io->quarantined_reads;
   }
   const auto begin = std::lower_bound(
       entries_.begin(), entries_.end(), lo,
@@ -147,6 +222,48 @@ void SortedRun::Scan(uint64_t lo, uint64_t hi, std::vector<Entry>* out,
   io->data_reads += 1 + matched / kEntriesPerPage;
   if (matched == 0) ++io->false_probes;
   out->insert(out->end(), begin, end);
+}
+
+bool SortedRun::SaveData(std::ostream& os) const {
+  std::ostringstream payload;
+  WriteU64(payload, entries_.size());
+  for (const Entry& e : entries_) {
+    WriteU64(payload, e.key);
+    WriteU64(payload, e.value);
+    WriteU64(payload, e.tombstone ? 1 : 0);
+  }
+  return WriteSnapshotFrame(os, kRunDataTag, std::move(payload).str());
+}
+
+bool SortedRun::LoadData(std::istream& is, std::vector<Entry>* out) {
+  out->clear();
+  std::string tag;
+  std::string payload;
+  if (!ReadSnapshotFrame(is, &tag, &payload) || tag != kRunDataTag) {
+    return false;
+  }
+  std::istringstream ps(payload);
+  uint64_t count;
+  if (!ReadU64Capped(ps, &count, kMaxSnapshotElements)) return false;
+  std::vector<Entry> entries;
+  entries.reserve(std::min<uint64_t>(count, 1u << 20));
+  for (uint64_t i = 0; i < count; ++i) {
+    Entry e;
+    uint64_t tombstone;
+    if (!ReadU64(ps, &e.key) || !ReadU64(ps, &e.value) ||
+        !ReadU64Capped(ps, &tombstone, 1)) {
+      return false;
+    }
+    e.tombstone = tombstone != 0;
+    // Runs are sorted with one version per key; anything else is
+    // corruption the checksum happened to miss.
+    if (!entries.empty() && entries.back().key >= e.key) return false;
+    entries.push_back(e);
+  }
+  ps.peek();
+  if (!ps.eof()) return false;
+  *out = std::move(entries);
+  return true;
 }
 
 size_t SortedRun::FilterBits() const {

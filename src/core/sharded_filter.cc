@@ -524,6 +524,7 @@ bool ShardedFilter::LoadWithReport(std::istream& is, LoadReport* report) {
       // a partially corrupt chain can never leak state.
       shard = MakeShard();
       report->quarantined.push_back(static_cast<size_t>(s));
+      ++shards_quarantined_total_;
     }
     shards.push_back(std::move(shard));
   }

@@ -171,6 +171,11 @@ class ShardedFilter : public Filter {
   bool LoadWithReport(std::istream& is, LoadReport* report);
   bool Load(std::istream& is) override;
 
+  /// Shards quarantined across every LoadWithReport on this object —
+  /// monotone (unlike per-call LoadReport), so the obs layer can export
+  /// it as a counter.
+  uint64_t TotalQuarantinedShards() const { return shards_quarantined_total_; }
+
  private:
   struct Shard {
     mutable std::shared_mutex mutex;
@@ -204,6 +209,7 @@ class ShardedFilter : public Filter {
   ShardFactory factory_;          // Kept for chaining + quarantine rebuilds.
   uint64_t per_shard_capacity_;   // Capacity each shard was built with.
   SaturationConfig config_;
+  uint64_t shards_quarantined_total_ = 0;  // Not reset by Load.
 };
 
 }  // namespace bbf

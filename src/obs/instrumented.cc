@@ -147,6 +147,8 @@ MetricsSnapshot InstrumentedFilter::Snapshot() const {
     snap.counters.push_back({"saturation_accepted_total", accepted});
     snap.counters.push_back({"saturation_expanded_total", expanded});
     snap.counters.push_back({"saturation_rejected_total", rejected});
+    snap.counters.push_back({"load_quarantined_shards_total",
+                             sharded->TotalQuarantinedShards()});
     snap.gauges.push_back(
         {"shard_count",
          static_cast<double>(sharded->num_shards())});

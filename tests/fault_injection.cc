@@ -1,7 +1,9 @@
 #include "fault_injection.h"
 
 #include <algorithm>
+#include <fstream>
 #include <iterator>
+#include <sstream>
 #include <utility>
 
 #include "util/random.h"
@@ -46,8 +48,19 @@ std::vector<Corruption> BitFlipCorruptions(const std::string& blob,
   return out;
 }
 
-std::vector<Corruption> TruncationCorruptions(const std::string& blob) {
+std::vector<Corruption> TruncationsAt(const std::string& blob,
+                                      std::vector<size_t> cuts) {
   std::vector<Corruption> out;
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  for (size_t cut : cuts) {
+    if (cut >= blob.size()) continue;
+    out.push_back(Corruption{Label("truncate", cut), blob.substr(0, cut)});
+  }
+  return out;
+}
+
+std::vector<Corruption> TruncationCorruptions(const std::string& blob) {
   // Frame layout (DESIGN.md §8): magic(8) version(8) tag_len(8) tag
   // payload_len(8) checksum(8) payload. Cut at every boundary, one byte
   // around each, and a sample of payload interiors.
@@ -61,13 +74,7 @@ std::vector<Corruption> TruncationCorruptions(const std::string& blob) {
     cuts.push_back(tag_end + 16 + (blob.size() - tag_end) * k / 9);
   }
   if (!blob.empty()) cuts.push_back(blob.size() - 1);
-  std::sort(cuts.begin(), cuts.end());
-  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
-  for (size_t cut : cuts) {
-    if (cut >= blob.size()) continue;
-    out.push_back(Corruption{Label("truncate", cut), blob.substr(0, cut)});
-  }
-  return out;
+  return TruncationsAt(blob, std::move(cuts));
 }
 
 std::vector<Corruption> TornWriteCorruptions(const std::string& blob,
@@ -120,6 +127,38 @@ std::vector<Corruption> AllCorruptions(const std::string& blob,
   auto torn = TornWriteCorruptions(blob, seed + 1);
   std::move(torn.begin(), torn.end(), std::back_inserter(out));
   return out;
+}
+
+std::vector<Corruption> GenericCorruptions(const std::string& blob,
+                                           uint64_t seed) {
+  std::vector<Corruption> out = BitFlipCorruptions(blob, seed, 32);
+  // No layout knowledge: cut at both ends and evenly through the middle.
+  std::vector<size_t> cuts = {0};
+  for (int k = 1; k <= 8; ++k) cuts.push_back(blob.size() * k / 9);
+  if (!blob.empty()) cuts.push_back(blob.size() - 1);
+  auto truncs = TruncationsAt(blob, std::move(cuts));
+  std::move(truncs.begin(), truncs.end(), std::back_inserter(out));
+  auto torn = TornWriteCorruptions(blob, seed + 1);
+  std::move(torn.begin(), torn.end(), std::back_inserter(out));
+  return out;
+}
+
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (is.bad()) return false;
+  *out = std::move(buf).str();
+  return true;
+}
+
+bool WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  os.flush();
+  return os.good();
 }
 
 std::vector<std::string> ReplayExpectingRejection(

@@ -22,6 +22,28 @@ struct Corruption {
 std::vector<Corruption> BitFlipCorruptions(const std::string& blob,
                                            uint64_t seed, int count);
 
+/// Truncations of `blob` at exactly the given offsets (deduplicated,
+/// out-of-range cuts skipped) — the building block for both the
+/// frame-aware battery below and callers that know their own layout
+/// (manifest sweeps, WAL tails, multi-frame files).
+std::vector<Corruption> TruncationsAt(const std::string& blob,
+                                      std::vector<size_t> cuts);
+
+/// Layout-agnostic battery for any byte buffer (manifest payloads, WAL
+/// files, whole directories' files): bit flips, evenly spaced + boundary
+/// truncations, and torn writes. Unlike AllCorruptions it assumes nothing
+/// about the §8 frame layout.
+std::vector<Corruption> GenericCorruptions(const std::string& blob,
+                                           uint64_t seed);
+
+/// Reads a whole file into `out`; false if unreadable.
+bool ReadFileBytes(const std::string& path, std::string* out);
+
+/// Replaces the file at `path` with `bytes` (plain overwrite — tests
+/// corrupt files in place on purpose, atomicity is the system under
+/// test's job, not ours). False on I/O error.
+bool WriteFileBytes(const std::string& path, const std::string& bytes);
+
 /// Truncations at every header/frame boundary (magic, version, tag
 /// length, tag, payload length, checksum) plus sampled interior payload
 /// positions — the crash-mid-write family.

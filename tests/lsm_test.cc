@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/lsm/lsm_tree.h"
+#include "test_seed.h"
 #include "util/random.h"
 #include "workload/generators.h"
 
@@ -48,7 +49,9 @@ TEST_P(LsmModelTest, RandomOpsMatchReferenceModel) {
   o.tiering = GetParam();
   LsmTree db(o);
   std::map<uint64_t, uint64_t> ref;
-  SplitMix64 rng(33);
+  const uint64_t seed = TestSeed(33);
+  BBF_ANNOUNCE_SEED(seed);
+  SplitMix64 rng(seed);
   for (int op = 0; op < 30000; ++op) {
     const uint64_t key = rng.NextBelow(4000);
     const double dice = rng.NextDouble();
@@ -87,7 +90,9 @@ TEST(LsmTree, ScanMatchesReference) {
   o.range_filter = RangeFilterKind::kGrafite;
   LsmTree db(o);
   std::map<uint64_t, uint64_t> ref;
-  SplitMix64 rng(34);
+  const uint64_t seed = TestSeed(34);
+  BBF_ANNOUNCE_SEED(seed);
+  SplitMix64 rng(seed);
   for (int i = 0; i < 20000; ++i) {
     const uint64_t key = rng.NextBelow(1u << 20);
     db.Put(key, key * 2);
@@ -116,12 +121,14 @@ TEST(LsmTree, FiltersCutNegativeLookupIos) {
 
   LsmTree db_with(with);
   LsmTree db_without(without);
-  const auto keys = GenerateDistinctKeys(100000, 21);
+  const uint64_t seed = TestSeed(21);
+  BBF_ANNOUNCE_SEED(seed);
+  const auto keys = GenerateDistinctKeys(100000, seed);
   for (uint64_t k : keys) {
     db_with.Put(k, 1);
     db_without.Put(k, 1);
   }
-  const auto negatives = GenerateNegativeKeys(keys, 5000, 22);
+  const auto negatives = GenerateNegativeKeys(keys, 5000, seed + 1);
   db_with.ResetIo();
   db_without.ResetIo();
   for (uint64_t k : negatives) {
@@ -143,12 +150,14 @@ TEST(LsmTree, MonkeyAllocationBeatsUniformOnNegativeLookups) {
 
   LsmTree db_u(uniform);
   LsmTree db_m(monkey);
-  const auto keys = GenerateDistinctKeys(200000, 23);
+  const uint64_t seed = TestSeed(23);
+  BBF_ANNOUNCE_SEED(seed);
+  const auto keys = GenerateDistinctKeys(200000, seed);
   for (uint64_t k : keys) {
     db_u.Put(k, 1);
     db_m.Put(k, 1);
   }
-  const auto negatives = GenerateNegativeKeys(keys, 20000, 24);
+  const auto negatives = GenerateNegativeKeys(keys, 20000, seed + 1);
   db_u.ResetIo();
   db_m.ResetIo();
   for (uint64_t k : negatives) {
@@ -172,7 +181,9 @@ TEST(LsmTree, RangeFilterCutsEmptyScanIos) {
 
   LsmTree db_with(with);
   LsmTree db_without(without);
-  SplitMix64 rng(35);
+  const uint64_t seed = TestSeed(35);
+  BBF_ANNOUNCE_SEED(seed);
+  SplitMix64 rng(seed);
   // Sparse keys so short scans are usually empty.
   for (int i = 0; i < 100000; ++i) {
     const uint64_t k = rng.Next() & ~uint64_t{0xFFF};
@@ -195,7 +206,9 @@ TEST(LsmTree, TieringWritesLessThanLeveling) {
   tier_opts.tiering = true;
   LsmTree leveled(level_opts);
   LsmTree tiered(tier_opts);
-  const auto keys = GenerateDistinctKeys(50000, 25);
+  const uint64_t seed = TestSeed(25);
+  BBF_ANNOUNCE_SEED(seed);
+  const auto keys = GenerateDistinctKeys(50000, seed);
   for (uint64_t k : keys) {
     leveled.Put(k, 1);
     tiered.Put(k, 1);
@@ -209,7 +222,9 @@ TEST_P(LsmFilterKinds, AllPointFilterKindsAreCorrect) {
   LsmOptions o = SmallOptions();
   o.point_filter = GetParam();
   LsmTree db(o);
-  const auto keys = GenerateDistinctKeys(20000, 26);
+  const uint64_t seed = TestSeed(26);
+  BBF_ANNOUNCE_SEED(seed);
+  const auto keys = GenerateDistinctKeys(20000, seed);
   for (uint64_t k : keys) db.Put(k, k ^ 0xF00);
   for (size_t i = 0; i < keys.size(); i += 7) {
     ASSERT_EQ(db.Get(keys[i]), std::optional<uint64_t>(keys[i] ^ 0xF00));
@@ -242,7 +257,9 @@ TEST_P(LsmRangeKinds, AllRangeFilterKindsPreserveScans) {
   o.range_filter = GetParam();
   LsmTree db(o);
   std::map<uint64_t, uint64_t> ref;
-  SplitMix64 rng(27);
+  const uint64_t seed = TestSeed(27);
+  BBF_ANNOUNCE_SEED(seed);
+  SplitMix64 rng(seed);
   for (int i = 0; i < 10000; ++i) {
     const uint64_t k = rng.NextBelow(1u << 24);
     db.Put(k, k + 1);

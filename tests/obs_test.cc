@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "apps/lsm/lsm_tree.h"
 #include "bloom/bloom_filter.h"
 #include "core/sharded_filter.h"
 #include "cuckoo/adaptive_cuckoo_filter.h"
@@ -443,6 +444,114 @@ TEST(Exporters, EveryRegisteredMetricRoundTrips) {
     EXPECT_NE(json.find("\"" + h.name + "\": {\"bounds\""), std::string::npos)
         << h.name;
   }
+}
+
+
+// --- Load-quarantine counter through the exporter ----------------------------
+
+TEST(InstrumentedFilter, LoadQuarantineExportsMonotoneCounter) {
+  const auto factory = [](uint64_t cap) -> std::unique_ptr<Filter> {
+    return std::make_unique<CuckooFilter>(cap, 12);
+  };
+  auto sharded = std::make_unique<ShardedFilter>(500, 4, factory);
+  ShardedFilter* inner = sharded.get();
+  const auto keys = GenerateDistinctKeys(1500, TestSeed(81));
+  for (uint64_t k : keys) sharded->Insert(k);
+  std::stringstream ss;
+  ASSERT_TRUE(sharded->Save(ss));
+  std::string bytes = ss.str();
+  bytes[bytes.size() * 3 / 4] ^= 0x40;  // Inside some shard's blob.
+
+  // Two corrupt loads in a row: the per-call report resets, the counter
+  // must not.
+  uint64_t reported = 0;
+  for (int round = 0; round < 2; ++round) {
+    ShardedFilter::LoadReport report;
+    std::istringstream broken(bytes);
+    ASSERT_TRUE(inner->LoadWithReport(broken, &report));
+    ASSERT_FALSE(report.AllHealthy());
+    reported += report.quarantined.size();
+    EXPECT_EQ(inner->TotalQuarantinedShards(), reported);
+  }
+
+  InstrumentedFilter f(std::move(sharded), 0.002);
+  const MetricsSnapshot snap = f.Snapshot();
+  bool found = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "load_quarantined_shards_total") {
+      EXPECT_EQ(c.value, reported);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "sharded snapshot must export the quarantine count";
+}
+
+// --- LSM lifecycle metrics through the exporters -----------------------------
+
+TEST(Exporters, LsmLifecycleGoldenBytes) {
+  // A fresh volatile tree renders all-zero lifecycle metrics with a fixed
+  // name set and order — byte-validated like the TinySnapshot goldens so
+  // scrape consumers can rely on the schema.
+  lsm::LsmTree db(lsm::LsmOptions{});
+  MetricsRegistry registry;
+  registry.Register("lsm", [&db] { return db.ObsSnapshot(); });
+  const std::string prom = obs::RenderPrometheus(registry.Snapshot());
+  const std::string want_prom =
+      "# TYPE bbf_lsm_generations_committed_total counter\n"
+      "bbf_lsm_generations_committed_total{filter=\"lsm\"} 0\n"
+      "# TYPE bbf_lsm_persist_failures_total counter\n"
+      "bbf_lsm_persist_failures_total{filter=\"lsm\"} 0\n"
+      "# TYPE bbf_lsm_wal_append_failures_total counter\n"
+      "bbf_lsm_wal_append_failures_total{filter=\"lsm\"} 0\n"
+      "# TYPE bbf_lsm_wal_records_replayed_total counter\n"
+      "bbf_lsm_wal_records_replayed_total{filter=\"lsm\"} 0\n"
+      "# TYPE bbf_lsm_filters_quarantined_total counter\n"
+      "bbf_lsm_filters_quarantined_total{filter=\"lsm\"} 0\n"
+      "# TYPE bbf_lsm_filters_rebuilt_total counter\n"
+      "bbf_lsm_filters_rebuilt_total{filter=\"lsm\"} 0\n"
+      "# TYPE bbf_lsm_manifest_fallbacks_total counter\n"
+      "bbf_lsm_manifest_fallbacks_total{filter=\"lsm\"} 0\n"
+      "# TYPE bbf_lsm_quarantined_reads_total counter\n"
+      "bbf_lsm_quarantined_reads_total{filter=\"lsm\"} 0\n"
+      "# TYPE bbf_lsm_levels gauge\n"
+      "bbf_lsm_levels{filter=\"lsm\"} 0\n"
+      "# TYPE bbf_lsm_runs gauge\n"
+      "bbf_lsm_runs{filter=\"lsm\"} 0\n"
+      "# TYPE bbf_lsm_quarantined_runs gauge\n"
+      "bbf_lsm_quarantined_runs{filter=\"lsm\"} 0\n"
+      "# TYPE bbf_lsm_entries gauge\n"
+      "bbf_lsm_entries{filter=\"lsm\"} 0\n"
+      "# TYPE bbf_lsm_filter_bits gauge\n"
+      "bbf_lsm_filter_bits{filter=\"lsm\"} 0\n"
+      "# TYPE bbf_lsm_generation gauge\n"
+      "bbf_lsm_generation{filter=\"lsm\"} 0\n"
+      "# TYPE bbf_lsm_write_amplification gauge\n"
+      "bbf_lsm_write_amplification{filter=\"lsm\"} 0\n";
+  EXPECT_EQ(prom, want_prom);
+  const std::string json = obs::RenderJson(registry.Snapshot());
+  const std::string want_json =
+      "{\n"
+      "  \"filters\": [\n"
+      "    {\n"
+      "      \"filter\": \"lsm\",\n"
+      "      \"counters\": {\"lsm_generations_committed_total\": 0, "
+      "\"lsm_persist_failures_total\": 0, "
+      "\"lsm_wal_append_failures_total\": 0, "
+      "\"lsm_wal_records_replayed_total\": 0, "
+      "\"lsm_filters_quarantined_total\": 0, "
+      "\"lsm_filters_rebuilt_total\": 0, "
+      "\"lsm_manifest_fallbacks_total\": 0, "
+      "\"lsm_quarantined_reads_total\": 0},\n"
+      "      \"gauges\": {\"lsm_levels\": 0, \"lsm_runs\": 0, "
+      "\"lsm_quarantined_runs\": 0, \"lsm_entries\": 0, "
+      "\"lsm_filter_bits\": 0, \"lsm_generation\": 0, "
+      "\"lsm_write_amplification\": 0},\n"
+      "      \"histograms\": {\n"
+      "      }\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(json, want_json);
 }
 
 }  // namespace
