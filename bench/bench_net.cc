@@ -1,0 +1,191 @@
+// Experiment E25 (DESIGN.md §4, §14): filter-as-a-service front end.
+//
+// What the network layer costs: batched lookup throughput through the
+// full wire path (frame encode -> TCP loopback -> epoll loop ->
+// ShardedFilter::ContainsMany -> response decode), swept over client
+// connection count and per-frame batch size. The expectation mirrors
+// the batch-probe story (E4): bigger batches amortize the fixed
+// per-frame cost (syscalls, header validation, dispatch) over more
+// keys, and QPS scales with event-loop threads until the filter or the
+// loopback saturates.
+//
+// Usage: bench_net [--quick] [--json=PATH]
+//   --quick      fewer keys per connection and a smaller sweep.
+//   --json=PATH  machine-readable results (BENCH_net.json).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/net/client.h"
+#include "apps/net/server.h"
+#include "bench_util.h"
+#include "core/sharded_filter.h"
+#include "quotient/quotient_filter.h"
+#include "workload/generators.h"
+
+using bbf::Filter;
+using bbf::GenerateDistinctKeys;
+using bbf::HashedKey;
+using bbf::QuotientFilter;
+using bbf::ShardedFilter;
+using bbf::bench::Mops;
+using bbf::bench::Seconds;
+using bbf::net::FrameStatus;
+using bbf::net::Server;
+using bbf::net::ServerConfig;
+using bbf::net::SyncClient;
+
+namespace {
+
+struct Row {
+  int conns;
+  size_t batch;
+  double lookup_mops;    // Million key-lookups/s across all connections.
+  double frames_per_ms;  // Request/response round trips per millisecond.
+};
+
+std::vector<Row> g_rows;
+
+Row RunRow(uint16_t port, int conns, size_t batch, uint64_t keys_per_conn,
+           const std::vector<uint64_t>& pool) {
+  // Connect everything first so the timed region is pure request load.
+  std::vector<std::unique_ptr<SyncClient>> clients;
+  for (int c = 0; c < conns; ++c) {
+    clients.push_back(std::make_unique<SyncClient>(SyncClient::ConnectTcp(port)));
+    if (!clients.back()->ok()) {
+      std::fprintf(stderr, "connect failed\n");
+      std::exit(1);
+    }
+  }
+  const uint64_t frames_per_conn = std::max<uint64_t>(keys_per_conn / batch, 1);
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  const double seconds = Seconds([&] {
+    for (int c = 0; c < conns; ++c) {
+      threads.emplace_back([&, c] {
+        SyncClient& client = *clients[c];
+        std::vector<uint8_t> res;
+        // Each connection walks the pool at its own offset so concurrent
+        // frames hit different shards.
+        size_t off = (c * 8191u) % pool.size();
+        for (uint64_t f = 0; f < frames_per_conn; ++f) {
+          if (off + batch > pool.size()) off = 0;
+          if (client.Lookup(
+                  std::span<const uint64_t>(pool.data() + off, batch),
+                  &res) != FrameStatus::kOk) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          off += batch;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "lookup failures: %llu\n",
+                 static_cast<unsigned long long>(failures.load()));
+    std::exit(1);
+  }
+  const uint64_t total_keys = frames_per_conn * batch * conns;
+  const uint64_t total_frames = frames_per_conn * conns;
+  Row r;
+  r.conns = conns;
+  r.batch = batch;
+  r.lookup_mops = Mops(total_keys, seconds);
+  r.frames_per_ms = seconds > 0 ? total_frames / (seconds * 1e3) : 0.0;
+  return r;
+}
+
+void WriteJson(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"net\",\n  \"results\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const Row& r = g_rows[i];
+    std::fprintf(f,
+                 "    {\"conns\": %d, \"batch\": %zu, "
+                 "\"lookup_mops\": %.3f, \"frames_per_ms\": %.1f}%s\n",
+                 r.conns, r.batch, r.lookup_mops, r.frames_per_ms,
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json=PATH]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  const uint64_t pool_size = 1 << 20;
+  const uint64_t keys_per_conn = quick ? (1 << 17) : (1 << 21);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const int loops = static_cast<int>(std::min(hw, 8u));
+
+  ShardedFilter filter(pool_size, 16, [](uint64_t cap) {
+    return std::unique_ptr<Filter>(std::make_unique<QuotientFilter>(
+        QuotientFilter::ForCapacity(cap, 0.01)));
+  });
+  const auto pool = GenerateDistinctKeys(pool_size, 42);
+  // Half the pool resident: lookups see an even hit/miss mix.
+  std::vector<HashedKey> hashed;
+  hashed.reserve(pool.size() / 2);
+  for (size_t i = 0; i < pool.size() / 2; ++i) hashed.emplace_back(pool[i]);
+  filter.InsertMany(hashed);
+
+  ServerConfig config;
+  config.num_threads = loops;
+  Server server(&filter, config);
+  if (!server.Listen(0) || !server.Start()) {
+    std::fprintf(stderr, "server start failed\n");
+    return 1;
+  }
+
+  std::printf("E25: wire front end, %d event-loop threads, pool %llu keys\n",
+              loops, static_cast<unsigned long long>(pool_size));
+  std::printf("%8s %8s %14s %14s\n", "conns", "batch", "Mkeys/s",
+              "frames/ms");
+  const std::vector<int> conn_sweep =
+      quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16};
+  const std::vector<size_t> batch_sweep = quick
+                                              ? std::vector<size_t>{16, 1024}
+                                              : std::vector<size_t>{16, 256,
+                                                                    4096};
+  for (int conns : conn_sweep) {
+    for (size_t batch : batch_sweep) {
+      const Row r =
+          RunRow(server.port(), conns, batch, keys_per_conn, pool);
+      std::printf("%8d %8zu %14.3f %14.1f\n", r.conns, r.batch,
+                  r.lookup_mops, r.frames_per_ms);
+      g_rows.push_back(r);
+    }
+  }
+  server.Shutdown();
+
+  if (!json_path.empty()) WriteJson(json_path);
+  return 0;
+}

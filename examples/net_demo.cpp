@@ -1,0 +1,123 @@
+// Example: filter-as-a-service (DESIGN.md §14).
+//
+// A complete client/server round trip in one process: a ShardedFilter
+// and an adaptive blocklist served by the epoll front end, driven by a
+// SyncClient over a socketpair (AdoptConnection — no ports, no network
+// permissions needed). Shows batched inserts with per-key outcomes,
+// lookups, the blocklist opcodes, a metrics scrape, and a graceful
+// drain that snapshots the filter on the way out.
+
+#include <sys/socket.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "apps/net/client.h"
+#include "apps/net/server.h"
+#include "core/filter_io.h"
+#include "core/sharded_filter.h"
+#include "quotient/quotient_filter.h"
+#include "workload/generators.h"
+
+using namespace bbf;
+using namespace bbf::net;
+
+int main() {
+  // The filter behind the service: 4 shards of quotient filters, chained
+  // generations past saturation.
+  ShardedFilter filter(1 << 16, 4, [](uint64_t cap) {
+    return std::unique_ptr<Filter>(std::make_unique<QuotientFilter>(
+        QuotientFilter::ForCapacity(cap, 0.01)));
+  });
+
+  const auto urls = GenerateUrls(5000, 7);
+  const std::vector<std::string> bad(urls.begin(), urls.begin() + 4000);
+  auto blocklist = MakeAdaptiveBlocklist(bad, 0.02);
+
+  const std::string snapshot_path = "/tmp/bbf_net_demo_snapshot.bbf";
+  ServerConfig config;
+  config.num_threads = 2;
+  config.drain_snapshot_path = snapshot_path;
+  Server server(&filter, config);
+  server.set_blocklist(blocklist.get());
+  if (!server.Start()) {
+    std::fprintf(stderr, "server start failed\n");
+    return 1;
+  }
+
+  // One socketpair end goes to the server's event loop, the other to the
+  // blocking client. Same wire protocol a TCP peer would speak.
+  int sp[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, sp) != 0) return 1;
+  server.AdoptConnection(sp[1]);
+  SyncClient client(sp[0]);
+
+  std::printf("ping: %s\n",
+              client.Ping() == FrameStatus::kOk ? "ok" : "FAILED");
+
+  // Batched insert: the response carries one outcome byte per key, so
+  // the client knows exactly which keys are queryable.
+  const auto keys = GenerateDistinctKeys(10000, 11);
+  std::vector<uint8_t> outcomes;
+  client.Insert(keys, &outcomes);
+  size_t accepted = 0;
+  size_t expanded = 0;
+  size_t nacked = 0;
+  for (uint8_t o : outcomes) {
+    accepted += (o == kInsertAccepted);
+    expanded += (o == kInsertExpanded);
+    nacked += (o == kInsertNacked);
+  }
+  std::printf("insert 10000 keys: %zu accepted, %zu via expansion, "
+              "%zu NACKed\n",
+              accepted, expanded, nacked);
+
+  std::vector<uint8_t> present;
+  client.Lookup(keys, &present);
+  size_t hits = 0;
+  for (uint8_t p : present) hits += (p == kKeyPresent);
+  std::printf("lookup the same keys: %zu/%zu present\n", hits, keys.size());
+
+  // The blocklist over the wire: check, report a false block, recheck.
+  const std::vector<std::string> check(urls.end() - 100, urls.end());
+  std::vector<uint8_t> blocked;
+  client.BlockCheck(check, &blocked);
+  std::vector<std::string> falsely;
+  for (size_t i = 0; i < check.size(); ++i) {
+    if (blocked[i] != 0) falsely.push_back(check[i]);
+  }
+  std::printf("blocklist: %zu/100 benign URLs falsely blocked\n",
+              falsely.size());
+  if (!falsely.empty()) {
+    std::vector<uint8_t> adapted;
+    client.ReportFalseBlock(falsely, &adapted);
+    client.BlockCheck(falsely, &blocked);
+    size_t still = 0;
+    for (uint8_t b : blocked) still += (b != 0);
+    std::printf("after ReportFalseBlock: %zu still blocked\n", still);
+  }
+
+  std::string metrics;
+  client.Metrics(&metrics);
+  std::printf("\nmetrics scrape (%zu bytes), first lines:\n",
+              metrics.size());
+  std::printf("%s\n", metrics.substr(0, metrics.find('\n', 80)).c_str());
+
+  // Graceful drain: finish in-flight work, flush, snapshot the filter.
+  server.Shutdown();
+  std::ifstream is(snapshot_path, std::ios::binary);
+  ShardedFilter restored(1 << 16, 4, [](uint64_t cap) {
+    return std::unique_ptr<Filter>(std::make_unique<QuotientFilter>(
+        QuotientFilter::ForCapacity(cap, 0.01)));
+  });
+  if (is.good() && restored.Load(is)) {
+    std::printf("\ndrain snapshot: restored filter holds %llu keys "
+                "(served filter held %llu)\n",
+                static_cast<unsigned long long>(restored.NumKeys()),
+                static_cast<unsigned long long>(filter.NumKeys()));
+  }
+  std::remove(snapshot_path.c_str());
+  return 0;
+}

@@ -313,6 +313,51 @@ size_t ShardedFilter::InsertMany(std::span<const HashedKey> keys) {
   return inserted;
 }
 
+void ShardedFilter::InsertManyWithStatus(std::span<const HashedKey> keys,
+                                         InsertOutcome* out) {
+  const size_t num_shards = shards_.size();
+  if (keys.size() < num_shards * 2) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      out[i] = InsertWithStatus(keys[i]);
+    }
+    return;
+  }
+  HashedKey sorted_stack[kStackKeys];
+  size_t src_stack[kStackKeys];
+  size_t start_stack[kStackShards];
+  std::vector<HashedKey> sorted_heap;
+  std::vector<size_t> src_heap;
+  std::vector<size_t> start_heap;
+  HashedKey* sorted = sorted_stack;
+  size_t* src = src_stack;
+  size_t* start = start_stack;
+  if (keys.size() > kStackKeys) {
+    sorted_heap.resize(keys.size());
+    src_heap.resize(keys.size());
+    sorted = sorted_heap.data();
+    src = src_heap.data();
+  }
+  if (num_shards + 1 > kStackShards) {
+    start_heap.resize(num_shards + 1);
+    start = start_heap.data();
+  }
+  GroupByShard(keys, sorted, src, start);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t b = start[s];
+    const size_t e = start[s + 1];
+    if (b == e) continue;
+    Shard& shard = *shards_[s];
+    std::unique_lock lock(shard.mutex);
+    // Always the per-key policy path: the InsertMany fast path returns
+    // only a count, which cannot be attributed to keys when a family
+    // refuses some of a sub-batch — and guessing would ack a key that
+    // was never stored.
+    for (size_t p = b; p < e; ++p) {
+      out[src[p]] = InsertIntoShardLocked(shard, sorted[p]);
+    }
+  }
+}
+
 bool ShardedFilter::Erase(HashedKey key) {
   Shard& shard = *shards_[ShardOf(key)];
   std::unique_lock lock(shard.mutex);

@@ -85,6 +85,17 @@ class ShardedFilter : public Filter {
     return InsertWithStatus(HashedKey(key));
   }
 
+  /// Batched structured insert — the serving-layer twin of InsertMany
+  /// (DESIGN.md §14): writes InsertWithStatus's outcome for keys[i] to
+  /// out[i], equivalent to calling InsertWithStatus in order. Keys are
+  /// grouped by shard first so each shard lock is taken once per batch
+  /// (not once per key); within a shard the per-key policy path runs so
+  /// every outcome is exact — a network server acks precisely the keys
+  /// that are queryable, which the count-only InsertMany cannot promise
+  /// when a family refuses keys mid-batch.
+  void InsertManyWithStatus(std::span<const HashedKey> keys,
+                            InsertOutcome* out);
+
   using Filter::Contains;
   using Filter::ContainsMany;
   using Filter::Count;

@@ -23,6 +23,12 @@ void PutU64(std::string* blob, size_t offset, uint64_t v) {
   }
 }
 
+void PutU32(std::string* blob, size_t offset, uint32_t v) {
+  for (int i = 0; i < 4 && offset + i < blob->size(); ++i) {
+    (*blob)[offset + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
 uint64_t GetU64(const std::string& blob, size_t offset) {
   uint64_t v = 0;
   for (int i = 0; i < 8 && offset + i < blob.size(); ++i) {
@@ -138,6 +144,69 @@ std::vector<Corruption> GenericCorruptions(const std::string& blob,
   if (!blob.empty()) cuts.push_back(blob.size() - 1);
   auto truncs = TruncationsAt(blob, std::move(cuts));
   std::move(truncs.begin(), truncs.end(), std::back_inserter(out));
+  auto torn = TornWriteCorruptions(blob, seed + 1);
+  std::move(torn.begin(), torn.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<Corruption> ChecksumFlipCorruptions(const std::string& blob,
+                                                size_t offset) {
+  std::vector<Corruption> out;
+  if (offset == SIZE_MAX || offset >= blob.size()) return out;
+  const size_t end = std::min(blob.size(), offset + 8);
+  for (size_t byte = offset; byte < end; ++byte) {
+    Corruption c{Label("checksum-flip", byte - offset), blob};
+    c.blob[byte] ^= static_cast<char>(0x01u << ((byte - offset) % 8));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<Corruption> FrameCorpus(const std::string& blob,
+                                    const FrameSpec& spec, uint64_t seed) {
+  std::vector<Corruption> out;
+  if (blob.empty()) return out;
+
+  // Truncations: every declared boundary, one byte either side, sampled
+  // payload interiors, and the last byte (the "almost made it" cut).
+  std::vector<size_t> cuts;
+  for (size_t b : spec.field_boundaries) {
+    if (b > 0) cuts.push_back(b - 1);
+    cuts.push_back(b);
+    cuts.push_back(b + 1);
+  }
+  for (int k = 1; k <= 8; ++k) cuts.push_back(blob.size() * k / 9);
+  cuts.push_back(blob.size() - 1);
+  auto truncs = TruncationsAt(blob, std::move(cuts));
+  std::move(truncs.begin(), truncs.end(), std::back_inserter(out));
+
+  // Hostile length/count fields. Both widths are bombed at every declared
+  // offset: a receiver must reject from the *field's* cap, whichever
+  // width it actually decodes, before buffering toward the value.
+  const uint64_t hostile64[] = {~uint64_t{0}, uint64_t{1} << 62,
+                                uint64_t{1} << 32, (uint64_t{1} << 20) + 1};
+  const uint32_t hostile32[] = {~uint32_t{0}, uint32_t{1} << 30,
+                                (uint32_t{64} << 10) + 1};
+  for (size_t off : spec.length_field_offsets) {
+    for (uint64_t v : hostile64) {
+      Corruption c{Label("hostile-len64", off) + "=" + std::to_string(v),
+                   blob};
+      PutU64(&c.blob, off, v);
+      out.push_back(std::move(c));
+    }
+    for (uint32_t v : hostile32) {
+      Corruption c{Label("hostile-len32", off) + "=" + std::to_string(v),
+                   blob};
+      PutU32(&c.blob, off, v);
+      out.push_back(std::move(c));
+    }
+  }
+
+  auto sums = ChecksumFlipCorruptions(blob, spec.checksum_offset);
+  std::move(sums.begin(), sums.end(), std::back_inserter(out));
+
+  auto flips = BitFlipCorruptions(blob, seed, 64);
+  std::move(flips.begin(), flips.end(), std::back_inserter(out));
   auto torn = TornWriteCorruptions(blob, seed + 1);
   std::move(torn.begin(), torn.end(), std::back_inserter(out));
   return out;

@@ -64,6 +64,38 @@ std::vector<Corruption> HostileLengthCorruptions(const std::string& blob);
 std::vector<Corruption> AllCorruptions(const std::string& blob,
                                        uint64_t seed);
 
+/// Byte-layout description of ANY framed buffer — the generalization of
+/// the §8-specific batteries above, introduced for the wire protocol
+/// (DESIGN.md §14) and shared by net_test and wire_fuzz_test. A layout
+/// owner (e.g. apps/net/wire.h) exports its field offsets once; the
+/// corpus generator derives every boundary-targeted fault from them.
+struct FrameSpec {
+  /// Offsets where one header field ends and the next begins (including
+  /// 0 and the payload start). Truncations are generated at each, one
+  /// byte either side, and sampled payload interiors.
+  std::vector<size_t> field_boundaries;
+  /// Offsets of little-endian u64/u32 length or count fields, each
+  /// overwritten with hostile values (huge, just-over-cap, all-ones).
+  std::vector<size_t> length_field_offsets;
+  /// Offset of a u64 checksum field, bit-flipped so the payload no
+  /// longer matches. SIZE_MAX = the frame has no checksum field.
+  size_t checksum_offset = SIZE_MAX;
+};
+
+/// Bit flips confined to the 8 bytes at `offset` — checksum-mismatch
+/// faults that leave every other header field intact.
+std::vector<Corruption> ChecksumFlipCorruptions(const std::string& blob,
+                                                size_t offset);
+
+/// The generalized wire-frame corpus: truncations at every field
+/// boundary (±1 byte and sampled payload interiors), hostile values in
+/// every declared length field, checksum flips, random bit flips, and
+/// torn tails. Every receiver of framed bytes — the snapshot loaders,
+/// the network server, any future WAL reader — must survive the entire
+/// corpus without crashing or allocating toward a hostile length.
+std::vector<Corruption> FrameCorpus(const std::string& blob,
+                                    const FrameSpec& spec, uint64_t seed);
+
 /// Replays every corruption through `load` (which should stream-parse the
 /// blob and return whether the load succeeded). Returns the names of
 /// corruptions that were *accepted* — expected to be empty for any filter

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/lsm/lsm_tree.h"
+#include "apps/net/server.h"
 #include "bloom/bloom_filter.h"
 #include "core/sharded_filter.h"
 #include "cuckoo/adaptive_cuckoo_filter.h"
@@ -546,6 +547,81 @@ TEST(Exporters, LsmLifecycleGoldenBytes) {
       "\"lsm_quarantined_runs\": 0, \"lsm_entries\": 0, "
       "\"lsm_filter_bits\": 0, \"lsm_generation\": 0, "
       "\"lsm_write_amplification\": 0},\n"
+      "      \"histograms\": {\n"
+      "      }\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(json, want_json);
+}
+
+// --- Serving-layer lifecycle metrics through the exporters -------------------
+
+TEST(Exporters, NetServerGoldenBytes) {
+  // The wire front end's connection/frame lifecycle counters (DESIGN.md
+  // §14) render under the same registry as filter internals. Name set,
+  // order, and bytes are pinned: dashboards alert on these series.
+  net::ServerMetrics m;
+  m.accepted.Add(3);
+  m.closed.Add(2);
+  m.evicted_idle.Add(1);
+  m.evicted_deadline.Add(1);
+  m.frames_served.Add(12);
+  m.nacked_busy.Add(4);
+  m.malformed_rejected.Add(5);
+  m.drained_inflight.Add(2);
+  m.keys_looked_up.Add(640);
+  m.keys_inserted.Add(512);
+  m.keys_insert_nacked.Add(7);
+  m.http_scrapes.Add(1);
+  MetricsRegistry registry;
+  registry.Register("net", [&m] { return m.Snapshot(); });
+  const std::string prom = obs::RenderPrometheus(registry.Snapshot());
+  const std::string want_prom =
+      "# TYPE bbf_net_connections_accepted_total counter\n"
+      "bbf_net_connections_accepted_total{filter=\"net\"} 3\n"
+      "# TYPE bbf_net_connections_closed_total counter\n"
+      "bbf_net_connections_closed_total{filter=\"net\"} 2\n"
+      "# TYPE bbf_net_connections_evicted_idle_total counter\n"
+      "bbf_net_connections_evicted_idle_total{filter=\"net\"} 1\n"
+      "# TYPE bbf_net_connections_evicted_deadline_total counter\n"
+      "bbf_net_connections_evicted_deadline_total{filter=\"net\"} 1\n"
+      "# TYPE bbf_net_frames_served_total counter\n"
+      "bbf_net_frames_served_total{filter=\"net\"} 12\n"
+      "# TYPE bbf_net_frames_nacked_busy_total counter\n"
+      "bbf_net_frames_nacked_busy_total{filter=\"net\"} 4\n"
+      "# TYPE bbf_net_frames_malformed_total counter\n"
+      "bbf_net_frames_malformed_total{filter=\"net\"} 5\n"
+      "# TYPE bbf_net_frames_drained_inflight_total counter\n"
+      "bbf_net_frames_drained_inflight_total{filter=\"net\"} 2\n"
+      "# TYPE bbf_net_keys_looked_up_total counter\n"
+      "bbf_net_keys_looked_up_total{filter=\"net\"} 640\n"
+      "# TYPE bbf_net_keys_inserted_total counter\n"
+      "bbf_net_keys_inserted_total{filter=\"net\"} 512\n"
+      "# TYPE bbf_net_keys_insert_nacked_total counter\n"
+      "bbf_net_keys_insert_nacked_total{filter=\"net\"} 7\n"
+      "# TYPE bbf_net_http_scrapes_total counter\n"
+      "bbf_net_http_scrapes_total{filter=\"net\"} 1\n";
+  EXPECT_EQ(prom, want_prom);
+  const std::string json = obs::RenderJson(registry.Snapshot());
+  const std::string want_json =
+      "{\n"
+      "  \"filters\": [\n"
+      "    {\n"
+      "      \"filter\": \"net\",\n"
+      "      \"counters\": {\"net_connections_accepted_total\": 3, "
+      "\"net_connections_closed_total\": 2, "
+      "\"net_connections_evicted_idle_total\": 1, "
+      "\"net_connections_evicted_deadline_total\": 1, "
+      "\"net_frames_served_total\": 12, "
+      "\"net_frames_nacked_busy_total\": 4, "
+      "\"net_frames_malformed_total\": 5, "
+      "\"net_frames_drained_inflight_total\": 2, "
+      "\"net_keys_looked_up_total\": 640, "
+      "\"net_keys_inserted_total\": 512, "
+      "\"net_keys_insert_nacked_total\": 7, "
+      "\"net_http_scrapes_total\": 1},\n"
+      "      \"gauges\": {},\n"
       "      \"histograms\": {\n"
       "      }\n"
       "    }\n"

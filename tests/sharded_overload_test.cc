@@ -283,5 +283,48 @@ TEST(ShardedOverload, CorruptGenerationBlobQuarantinesOnlyItsShard) {
   EXPECT_GT(loaded.NumKeys(), 0u);
 }
 
+TEST(ShardedOverload, InsertManyWithStatusMatchesPerKeyPath) {
+  // The batched structured insert must be outcome-for-outcome identical
+  // to calling InsertWithStatus in order — the serving layer acks keys
+  // from these outcomes, so any drift would ack unstored keys.
+  const uint64_t seed = TestSeed(512);
+  BBF_ANNOUNCE_SEED(seed);
+  SaturationConfig config;
+  config.policy = SaturationPolicy::kReject;
+  config.load_threshold = 0.80;
+  const auto raw = GenerateDistinctKeys(4000, seed);
+  std::vector<HashedKey> keys;
+  keys.reserve(raw.size());
+  for (uint64_t k : raw) keys.emplace_back(k);
+
+  ShardedFilter ref(400, 4, QuotientFactory(0.01), config);
+  std::vector<InsertOutcome> want;
+  want.reserve(keys.size());
+  for (const HashedKey& k : keys) want.push_back(ref.InsertWithStatus(k));
+
+  // Batched in chunks (some below, some above the passthrough cutoff).
+  ShardedFilter batched(400, 4, QuotientFactory(0.01), config);
+  std::vector<InsertOutcome> got(keys.size());
+  size_t off = 0;
+  for (size_t chunk : {3u, 500u, 1u, 2000u}) {
+    const size_t n = std::min(chunk, keys.size() - off);
+    batched.InsertManyWithStatus(
+        std::span<const HashedKey>(keys.data() + off, n), got.data() + off);
+    off += n;
+  }
+  batched.InsertManyWithStatus(
+      std::span<const HashedKey>(keys.data() + off, keys.size() - off),
+      got.data() + off);
+
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i], got[i]) << "outcome diverged at key " << i;
+  }
+  EXPECT_EQ(batched.NumKeys(), ref.NumKeys());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (Accepted(got[i])) ASSERT_TRUE(batched.Contains(keys[i]));
+  }
+}
+
 }  // namespace
 }  // namespace bbf
