@@ -149,6 +149,11 @@ FrameStatus SyncClient::Metrics(std::string* text) {
   return Call(Opcode::kMetrics, 0, "", text);
 }
 
+FrameStatus SyncClient::TunerCtl(uint8_t cmd, std::string* text) {
+  const char payload[1] = {static_cast<char>(cmd)};
+  return Call(Opcode::kTunerCtl, 1, std::string_view(payload, 1), text);
+}
+
 FrameStatus SyncClient::BlockCheck(const std::vector<std::string>& urls,
                                    std::vector<uint8_t>* out) {
   std::string body;

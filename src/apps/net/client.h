@@ -54,6 +54,10 @@ class SyncClient {
   /// out[i] = 1 if the blocklist adapted for urls[i].
   FrameStatus ReportFalseBlock(const std::vector<std::string>& urls,
                                std::vector<uint8_t>* out);
+  /// Tuner control (kTunerCtl): `cmd` is kTunerCmdStatus/kTunerCmdPoll;
+  /// the tuner's text reply lands in `text`. kUnsupported when the
+  /// server runs without a tuner.
+  FrameStatus TunerCtl(uint8_t cmd, std::string* text);
 
  private:
   FrameStatus Call(Opcode op, uint32_t count, std::string_view payload,

@@ -70,6 +70,7 @@ obs::MetricsSnapshot ServerMetrics::Snapshot() const {
       {"net_keys_inserted_total", keys_inserted.Load()},
       {"net_keys_insert_nacked_total", keys_insert_nacked.Load()},
       {"net_http_scrapes_total", http_scrapes.Load()},
+      {"net_tuner_ctl_total", tuner_ctl.Load()},
   };
   return snap;
 }
@@ -396,6 +397,19 @@ struct Server::Worker {
         }
         return EncodeFrame(op, FrameStatus::kOk,
                            static_cast<uint32_t>(body.size()), h.seq, body);
+      }
+      case Opcode::kTunerCtl: {
+        if (!s.tuner_control_) {
+          return EncodeFrame(op, FrameStatus::kUnsupported, 0, h.seq, "");
+        }
+        // Exactly one command byte; anything else is a framing error.
+        if (payload.size() != 1 || h.count > 1) return std::string();
+        s.metrics_.tuner_ctl.Add();
+        std::string text = s.tuner_control_(static_cast<uint8_t>(payload[0]));
+        if (text.size() > kMaxWirePayloadBytes) {
+          text.resize(kMaxWirePayloadBytes);
+        }
+        return EncodeFrame(op, FrameStatus::kOk, 0, h.seq, text);
       }
     }
     return std::string();

@@ -71,6 +71,7 @@ struct ServerMetrics {
   obs::PaddedCounter keys_inserted;       // Accepted or expanded.
   obs::PaddedCounter keys_insert_nacked;  // Per-key kRejectedFull NACKs.
   obs::PaddedCounter http_scrapes;        // Plain-HTTP metrics fetches.
+  obs::PaddedCounter tuner_ctl;           // kTunerCtl frames handled.
 
   obs::MetricsSnapshot Snapshot() const;
 };
@@ -120,6 +121,15 @@ class Server {
     metrics_text_ = std::move(provider);
   }
 
+  /// Mounts the auto-tuner's control surface for kTunerCtl frames —
+  /// typically tuning::Tuner::WireControl(). Wired as a function so
+  /// apps/net never links against bbf_tuning. Call before Start; the
+  /// function must be thread-safe (WireControl's is). Without it,
+  /// kTunerCtl answers kUnsupported.
+  void set_tuner_control(std::function<std::string(uint8_t)> control) {
+    tuner_control_ = std::move(control);
+  }
+
   /// Binds one SO_REUSEPORT listening socket per thread on 127.0.0.1.
   /// `port` 0 picks an ephemeral port, readable via port() afterwards.
   bool Listen(uint16_t port = 0);
@@ -161,6 +171,7 @@ class Server {
   Blocklist* blocklist_ = nullptr;
   ServerConfig config_;
   std::function<std::string()> metrics_text_;
+  std::function<std::string(uint8_t)> tuner_control_;
   ServerMetrics metrics_;
 
   std::vector<std::unique_ptr<Worker>> workers_;

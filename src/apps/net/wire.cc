@@ -72,7 +72,7 @@ HeaderCheck CheckHeader(const FrameHeader& h) {
   if (h.version != kWireVersion) return HeaderCheck::kBadVersion;
   if (h.flags != 0) return HeaderCheck::kBadFlags;
   if (h.opcode < static_cast<uint8_t>(Opcode::kPing) ||
-      h.opcode > static_cast<uint8_t>(Opcode::kReportFalseBlock)) {
+      h.opcode > static_cast<uint8_t>(Opcode::kTunerCtl)) {
     return HeaderCheck::kBadOpcode;
   }
   if (h.payload_len > kMaxWirePayloadBytes || h.count > kMaxWireBatchCount) {

@@ -74,7 +74,12 @@ enum class Opcode : uint8_t {
   kMetrics = 5,           // empty -> Prometheus text payload.
   kBlockCheck = 6,        // count strings -> count bytes (0/1 blocked).
   kReportFalseBlock = 7,  // count strings -> count bytes (0/1 adapted).
+  kTunerCtl = 8,          // 1 command byte -> tuner status/decision text.
 };
+
+/// kTunerCtl command bytes (the single-byte request payload).
+inline constexpr uint8_t kTunerCmdStatus = 0;  // Status + decision history.
+inline constexpr uint8_t kTunerCmdPoll = 1;    // Manual poll-once trigger.
 
 /// Frame-level status in responses. Per-key outcomes ride in the payload;
 /// these describe the fate of the frame itself.

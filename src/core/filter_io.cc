@@ -50,6 +50,13 @@ std::unique_ptr<Filter> LoadShardedSnapshot(std::istream& is,
       1, 1, [inner_tag](uint64_t shard_capacity) {
         return CreateFilterForTag(inner_tag, shard_capacity);
       });
+  // Shards migrated away from the factory family carry their own
+  // generation tags (v3 directory); resolve them through the registry so
+  // heterogeneous snapshots reload instead of quarantining.
+  sharded->SetSnapshotTagBuilder(
+      [](std::string_view gen_tag, uint64_t shard_capacity) {
+        return CreateFilterForTag(gen_tag, shard_capacity);
+      });
   is.clear();
   if (!is.seekg(start)) return nullptr;
   if (!sharded->Load(is)) return nullptr;

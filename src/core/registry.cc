@@ -46,10 +46,10 @@ Registry& GlobalRegistry() {
 }  // namespace
 
 void RegisterFilter(std::string_view tag, FilterBuilder make,
-                    bool in_factory) {
+                    bool in_factory, FilterCaps caps) {
   Registry& r = GlobalRegistry();
   auto [it, inserted] = r.entries.insert_or_assign(
-      std::string(tag), FilterEntry{{}, std::move(make), in_factory});
+      std::string(tag), FilterEntry{{}, std::move(make), in_factory, caps});
   (void)inserted;
   it->second.tag = it->first;  // Point at the stable map-owned string.
 }
@@ -101,19 +101,33 @@ std::vector<std::string_view> FactoryFilterNames() {
 
 namespace {
 
+// Capability rows for the builtins (FilterCaps in registry.h). The
+// declared bits are verified against behavior for every registered tag in
+// registry_test, so a new family with a wrong row fails CI, not a
+// migration.
+constexpr FilterCaps kBitSet{false, false, BuildCostClass::kCheap};
+constexpr FilterCaps kCountingCheap{true, false, BuildCostClass::kCheap};
+constexpr FilterCaps kSlotted{true, false, BuildCostClass::kModerate};
+constexpr FilterCaps kSlottedNoErase{false, false, BuildCostClass::kModerate};
+constexpr FilterCaps kAdaptiveCaps{true, true, BuildCostClass::kExpensive};
+constexpr FilterCaps kStaticBuild{false, false, BuildCostClass::kExpensive};
+
 std::unique_ptr<Filter> MakeSharedBloom(uint64_t n, double fpr) {
   return std::make_unique<BloomFilter>(n, BloomBitsFor(fpr));
 }
 
-const FilterRegistrar kBloom("bloom", MakeSharedBloom);
+const FilterRegistrar kBloom("bloom", MakeSharedBloom,
+                             /*in_factory=*/true, kBitSet);
 const FilterRegistrar kBlockedBloom(
     "blocked-bloom", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<BlockedBloomFilter>(n, BloomBitsFor(fpr) + 2);
-    });
+    },
+    /*in_factory=*/true, kBitSet);
 const FilterRegistrar kCountingBloom(
     "counting-bloom", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<CountingBloomFilter>(n, 4 * BloomBitsFor(fpr));
-    });
+    },
+    /*in_factory=*/true, kCountingCheap);
 // Spectral's parameter is a bits-per-key budget, not an fpr target, so it
 // is snapshot-only: the tag must load, but CreateFilter rejects it.
 const FilterRegistrar kSpectralBloom(
@@ -121,94 +135,110 @@ const FilterRegistrar kSpectralBloom(
     [](uint64_t n, double /*fpr*/) -> std::unique_ptr<Filter> {
       return std::make_unique<SpectralBloomFilter>(n, 8.0);
     },
-    /*in_factory=*/false);
+    // Spectral counts occurrences but exposes no Erase (count estimates
+    // only decay via its own sketch semantics).
+    /*in_factory=*/false, kBitSet);
 const FilterRegistrar kDleft(
     "dleft-counting", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
       // A lookup scans all d=4 subtables x 8 cells; at the ~75% design
       // load that is ~24 occupied candidates, each a 2^-f collision.
       return std::make_unique<DleftCountingFilter>(
           n, 4, 8, FingerprintBitsFor(fpr, 24.0));
-    });
+    },
+    /*in_factory=*/true, kSlotted);
 // Historical factory name for the d-left family.
 const FilterRegistrar kDleftAlias("dleft", std::string_view("dleft-counting"));
 const FilterRegistrar kScalableBloom(
     "scalable-bloom", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<ScalableBloomFilter>(std::max<uint64_t>(n, 64),
                                                    fpr);
-    });
+    },
+    /*in_factory=*/true, kBitSet);
 const FilterRegistrar kQuotient(
     "quotient", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<QuotientFilter>(
           QuotientFilter::ForCapacity(n, fpr));
-    });
+    },
+    /*in_factory=*/true, kSlotted);
 const FilterRegistrar kCountingQuotient(
     "counting-quotient",
     [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<CountingQuotientFilter>(
           CountingQuotientFilter::ForCapacity(n, fpr));
-    });
+    },
+    /*in_factory=*/true, kSlotted);
 const FilterRegistrar kRsqf(
     "rsqf", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<Rsqf>(Rsqf::ForCapacity(n, fpr));
-    });
+    },
+    /*in_factory=*/true, kSlottedNoErase);
 const FilterRegistrar kVectorQuotient(
     "vector-quotient", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<VectorQuotientFilter>(
           n, FingerprintBitsFor(fpr, 2.2));
-    });
+    },
+    /*in_factory=*/true, kSlotted);
 const FilterRegistrar kPrefix(
     "prefix", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<PrefixFilter>(n, FingerprintBitsFor(fpr, 24.0));
-    });
+    },
+    /*in_factory=*/true, kSlottedNoErase);
 const FilterRegistrar kCuckoo(
     "cuckoo", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<CuckooFilter>(CuckooFilter::ForFpr(n, fpr));
-    });
+    },
+    /*in_factory=*/true, kSlotted);
 const FilterRegistrar kAdaptiveCuckoo(
     "adaptive-cuckoo", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<AdaptiveCuckooFilter>(
           n, FingerprintBitsFor(fpr, 8.0));
-    });
+    },
+    /*in_factory=*/true, kAdaptiveCaps);
 const FilterRegistrar kAdaptiveQuotient(
     "adaptive-quotient",
     [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<AdaptiveQuotientFilter>(
           AdaptiveQuotientFilter::ForCapacity(n, fpr));
-    });
+    },
+    /*in_factory=*/true, kAdaptiveCaps);
 const FilterRegistrar kTaffy(
     "taffy", [](uint64_t /*n*/, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<TaffyFilter>(10,
                                            FingerprintBitsFor(fpr, 1.0) + 4);
-    });
+    },
+    /*in_factory=*/true, kSlotted);
 const FilterRegistrar kChainedQuotient(
     "chained-quotient",
     [](uint64_t /*n*/, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<ChainedQuotientFilter>(
           10, FingerprintBitsFor(fpr, 1.0) + 3);
-    });
+    },
+    /*in_factory=*/true, kSlotted);
 const FilterRegistrar kExpandingQuotient(
     "expanding-quotient",
     [](uint64_t /*n*/, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<ExpandingQuotientFilter>(
           10, FingerprintBitsFor(fpr, 1.0) + 4);
-    });
+    },
+    /*in_factory=*/true, kSlotted);
 const FilterRegistrar kRing(
     "ring", [](uint64_t /*n*/, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<RingFilter>(
           std::min(16, FingerprintBitsFor(fpr, 4.0)));
-    });
+    },
+    /*in_factory=*/true, kSlotted);
 // Static filters want the key set up front; an empty build stands in
 // until LoadPayload replaces it — snapshot-only, like spectral.
 const FilterRegistrar kXor(
     "xor", [](uint64_t /*n*/, double /*fpr*/) -> std::unique_ptr<Filter> {
       return std::make_unique<XorFilter>(std::vector<uint64_t>{}, 8);
     },
-    /*in_factory=*/false);
+    /*in_factory=*/false, kStaticBuild);
 const FilterRegistrar kRibbon(
     "ribbon", [](uint64_t /*n*/, double /*fpr*/) -> std::unique_ptr<Filter> {
       return std::make_unique<RibbonFilter>(std::vector<uint64_t>{}, 8);
     },
-    /*in_factory=*/false);
+    /*in_factory=*/false, kStaticBuild);
 
 }  // namespace
 

@@ -17,9 +17,36 @@ namespace bbf {
 using FilterBuilder =
     std::function<std::unique_ptr<Filter>(uint64_t expected_keys, double fpr)>;
 
+/// Relative cost of rebuilding a family from a key set (snapshot-drain-
+/// replay migration, compaction-time rebuilds). Drives the Tuner's
+/// decision table: under pressure it prefers the cheapest family that has
+/// the capability it needs.
+enum class BuildCostClass : uint8_t {
+  kCheap,     // One pass of hash-and-set inserts (bloom variants).
+  kModerate,  // Insert with displacement/shifting (cuckoo, quotient).
+  kExpensive, // Needs auxiliary state per key (adaptive families) or a
+              // global construction pass (xor/ribbon peeling).
+};
+
+/// Capability metadata for one family — what the registry knows about a
+/// tag beyond how to build it. The declared bits are contract, verified
+/// against behavior for every registered family in registry_test.
+struct FilterCaps {
+  /// Erase(key) removes a previously inserted key (counting/slot-moving
+  /// families). False for plain bit-setting families, where Erase is a
+  /// no-op returning false.
+  bool supports_erase = false;
+  /// The filter implements AdaptiveHook: ReportFalsePositive(key) can
+  /// repair the slot so that exact false positive stops recurring.
+  bool supports_adapt = false;
+  /// Cost class for building a fresh instance from an enumerated key set.
+  BuildCostClass build_cost = BuildCostClass::kModerate;
+};
+
 /// One row of the filter registry — the single source of truth consulted
 /// by CreateFilter (factory construction), CreateFilterForTag (snapshot
-/// tag dispatch), and sharded snapshot recovery.
+/// tag dispatch), sharded snapshot recovery, and the Tuner's migration
+/// decision table.
 struct FilterEntry {
   /// The stable snapshot tag: must equal Name() of every filter `make`
   /// produces, because LoadFilterSnapshot routes frames by it.
@@ -29,6 +56,7 @@ struct FilterEntry {
   /// need their key set up front (xor, ribbon) or a non-fpr parameter
   /// (spectral-bloom) are snapshot-only: loadable, not factory-built.
   bool in_factory = true;
+  FilterCaps caps;
 };
 
 /// Registers a family under its stable Name() tag. Later registrations of
@@ -36,7 +64,7 @@ struct FilterEntry {
 /// registration is expected at static-init or test-setup time, not
 /// concurrently with lookups.
 void RegisterFilter(std::string_view tag, FilterBuilder make,
-                    bool in_factory = true);
+                    bool in_factory = true, FilterCaps caps = {});
 
 /// Registers `alias` as an alternate factory-visible name for `tag`
 /// ("dleft" builds the "dleft-counting" family). The alias participates
@@ -63,8 +91,8 @@ std::vector<std::string_view> FactoryFilterNames();
 /// static-lib dead-stripping can never drop a builtin.
 struct FilterRegistrar {
   FilterRegistrar(std::string_view tag, FilterBuilder make,
-                  bool in_factory = true) {
-    RegisterFilter(tag, std::move(make), in_factory);
+                  bool in_factory = true, FilterCaps caps = {}) {
+    RegisterFilter(tag, std::move(make), in_factory, caps);
   }
   FilterRegistrar(std::string_view alias, std::string_view tag) {
     RegisterFilterAlias(alias, tag);

@@ -1,10 +1,12 @@
 #include "core/sharded_filter.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "core/metrics_sink.h"
@@ -16,12 +18,24 @@ namespace {
 // Directory layout version for the sharded snapshot frame. v1 had no
 // generation chains; its first directory field was a capacity (always far
 // larger than any version number), so v1 streams fail the version check
-// cleanly instead of misparsing.
-constexpr uint64_t kShardedDirVersion = 2;
+// cleanly instead of misparsing. v3 (migration) records a tag per
+// generation because shards diverge by family after MigrateShard.
+constexpr uint64_t kShardedDirVersion = 3;
 
 // Sanity cap on per-shard generation counts in snapshots; real configs
 // stay in single digits.
 constexpr uint64_t kMaxSnapshotGenerations = 4096;
+
+// A catch-up round that drains the replay backlog to this size or below
+// stops iterating: the remainder is cheap enough to drain under the lock.
+constexpr size_t kFinalDrainTarget = 64;
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -40,6 +54,14 @@ std::unique_ptr<ShardedFilter::Shard> ShardedFilter::MakeShard() const {
   shard->newest_capacity = per_shard_capacity_;
   shard->next_capacity = static_cast<uint64_t>(
       std::max(1.0, per_shard_capacity_ * config_.growth));
+  // A freshly built shard is empty, so its (empty) journal is a complete
+  // op history — quarantine rebuilds stay migratable.
+  if (migration_enabled_) {
+    shard->journal_valid = true;
+    if (migration_config_.track_shard_fpr) {
+      shard->fpr = std::make_unique<ObservedFprEstimator>();
+    }
+  }
   return shard;
 }
 
@@ -69,7 +91,7 @@ size_t ShardedFilter::ShardOf(HashedKey key) const {
 }
 
 Filter& ShardedFilter::AddGenerationLocked(Shard& shard) {
-  shard.gens.push_back(factory_(shard.next_capacity));
+  shard.gens.push_back(FactoryFor(shard)(shard.next_capacity));
   shard.gens.back()->AttachMetricsSink(sink_);
   if (sink_ != nullptr) sink_->OnExpansion();
   shard.newest_capacity = shard.next_capacity;
@@ -88,6 +110,25 @@ void ShardedFilter::AttachMetricsSink(MetricsSink* sink) {
 
 InsertOutcome ShardedFilter::InsertIntoShardLocked(Shard& shard,
                                                    HashedKey key) {
+  const InsertOutcome out = InsertPolicyLocked(shard, key);
+  if (Accepted(out)) {
+    if (shard.journal_valid && !shard.journal_broken) {
+      if (shard.journal.size() >= migration_config_.journal_cap) {
+        // Over the cap the journal can no longer claim to be the full
+        // history; serving continues, migration of this shard is refused.
+        shard.journal_broken = true;
+      } else {
+        shard.journal.push_back({key.value(), 0});
+      }
+    }
+    if (shard.fpr && ObservedFprEstimator::InDomain(key)) {
+      shard.fpr->RecordInsert(key);
+    }
+  }
+  return out;
+}
+
+InsertOutcome ShardedFilter::InsertPolicyLocked(Shard& shard, HashedKey key) {
   Filter& cur = *shard.gens.back();
   const bool saturated = cur.LoadFactor() >= config_.load_threshold;
   if (!saturated && cur.Insert(key)) {
@@ -146,10 +187,17 @@ bool ShardedFilter::Insert(HashedKey key) {
 bool ShardedFilter::Contains(HashedKey key) const {
   const Shard& shard = *shards_[ShardOf(key)];
   std::shared_lock lock(shard.mutex);
+  bool hit = false;
   for (const auto& gen : shard.gens) {
-    if (gen->Contains(key)) return true;
+    if (gen->Contains(key)) {
+      hit = true;
+      break;
+    }
   }
-  return false;
+  if (shard.fpr && ObservedFprEstimator::InDomain(key)) {
+    shard.fpr->RecordLookup(key, hit);
+  }
+  return hit;
 }
 
 void ShardedFilter::GroupByShard(std::span<const HashedKey> keys,
@@ -250,6 +298,16 @@ void ShardedFilter::ContainsMany(std::span<const HashedKey> keys,
         for (size_t j = 0; j < sub.size(); ++j) res[b + j] |= gen_out[j];
       }
     }
+    if (shards_[s]->fpr != nullptr) {
+      // Strided like InstrumentedFilter's batch path: scoring every
+      // in-domain key would funnel 1/64th of the batch through the
+      // estimator mutex while the shard lock is held.
+      for (size_t j = 0; j < sub.size(); j += 16) {
+        if (ObservedFprEstimator::InDomain(sub[j])) {
+          shards_[s]->fpr->RecordLookup(sub[j], res[b + j] != 0);
+        }
+      }
+    }
   }
   for (size_t p = 0; p < keys.size(); ++p) out[src[p]] = res[p];
 }
@@ -290,6 +348,15 @@ size_t ShardedFilter::InsertMany(std::span<const HashedKey> keys) {
     Shard& shard = *shards_[s];
     std::unique_lock lock(shard.mutex);
     Filter& cur = *shard.gens.back();
+    // Journaling shards always take the per-key path: the count-only
+    // fast path cannot attribute a partial batch to keys, and a journal
+    // recording a key the family refused would replay a phantom insert.
+    if (shard.journal_valid || shard.fpr != nullptr) {
+      for (HashedKey key : sub) {
+        inserted += Accepted(InsertIntoShardLocked(shard, key));
+      }
+      continue;
+    }
     // Fast path: if the whole sub-batch fits under the threshold, hand it
     // to the newest generation's prefetch-pipelined InsertMany. The
     // headroom estimate is conservative (batch over built capacity), so
@@ -362,10 +429,26 @@ bool ShardedFilter::Erase(HashedKey key) {
   Shard& shard = *shards_[ShardOf(key)];
   std::unique_lock lock(shard.mutex);
   // Newest first: recent inserts are the likeliest erase targets.
+  bool erased = false;
   for (auto it = shard.gens.rbegin(); it != shard.gens.rend(); ++it) {
-    if ((*it)->Erase(key)) return true;
+    if ((*it)->Erase(key)) {
+      erased = true;
+      break;
+    }
   }
-  return false;
+  if (erased) {
+    if (shard.journal_valid && !shard.journal_broken) {
+      if (shard.journal.size() >= migration_config_.journal_cap) {
+        shard.journal_broken = true;
+      } else {
+        shard.journal.push_back({key.value(), 1});
+      }
+    }
+    if (shard.fpr && ObservedFprEstimator::InDomain(key)) {
+      shard.fpr->RecordErase(key);
+    }
+  }
+  return erased;
 }
 
 uint64_t ShardedFilter::Count(HashedKey key) const {
@@ -415,6 +498,16 @@ std::vector<ShardedFilter::ShardStats> ShardedFilter::Stats() const {
     s.accepted = shard->accepted;
     s.expanded = shard->expanded;
     s.rejected = shard->rejected;
+    s.family = std::string(shard->gens.back()->Name());
+    s.migrations = shard->migrations;
+    if (shard->fpr != nullptr) {
+      const ObservedFprEstimator::Snapshot f = shard->fpr->Snap();
+      s.observed_fpr = f.observed_fpr;
+      s.fpr_ci_low = f.ci_low;
+      s.fpr_ci_high = f.ci_high;
+      s.fpr_negative_lookups = f.negative_lookups;
+      s.fpr_repeated_keys = f.fp_repeated_keys;
+    }
     const bool can_chain =
         config_.policy == SaturationPolicy::kChain &&
         static_cast<int>(shard->gens.size()) < config_.max_generations;
@@ -449,6 +542,222 @@ uint64_t ShardedFilter::TotalRejected() const {
   return rejected;
 }
 
+uint64_t ShardedFilter::TotalMigrations() const {
+  uint64_t migrations = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    migrations += shard->migrations;
+  }
+  return migrations;
+}
+
+size_t ShardedFilter::WorstFprShard(uint64_t min_negative_lookups) const {
+  size_t worst = kNoShard;
+  double worst_fpr = -1.0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::shared_lock lock(shards_[i]->mutex);
+    if (shards_[i]->fpr == nullptr) continue;
+    const ObservedFprEstimator::Snapshot f = shards_[i]->fpr->Snap();
+    if (f.negative_lookups < min_negative_lookups) continue;
+    if (f.observed_fpr > worst_fpr) {
+      worst_fpr = f.observed_fpr;
+      worst = i;
+    }
+  }
+  return worst;
+}
+
+bool ShardedFilter::EnableMigration(const MigrationConfig& config) {
+  // All shard locks held at once (ordered, so no deadlock risk) so the
+  // emptiness check and the arm are one atomic step across the filter.
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+  for (const auto& shard : shards_) {
+    for (const auto& gen : shard->gens) {
+      if (gen->NumKeys() > 0) return false;
+    }
+  }
+  migration_enabled_ = true;
+  migration_config_ = config;
+  for (const auto& shard : shards_) {
+    shard->journal.clear();
+    shard->journal_valid = true;
+    shard->journal_broken = false;
+    if (config.track_shard_fpr && shard->fpr == nullptr) {
+      shard->fpr = std::make_unique<ObservedFprEstimator>();
+    }
+  }
+  return true;
+}
+
+void ShardedFilter::CompactJournalLocked(Shard& shard) {
+  // The net multiset of live ops replaces the op history: membership
+  // families ignore multiplicity and order, counting families keep their
+  // counts, and journal length now tracks live keys instead of traffic.
+  std::unordered_map<uint64_t, int64_t> counts;
+  counts.reserve(shard.journal.size());
+  for (const FilterJournalOp& op : shard.journal) {
+    counts[op.mix] += op.erase ? -1 : 1;
+  }
+  shard.journal.clear();
+  for (const auto& [mix, count] : counts) {
+    for (int64_t i = 0; i < count; ++i) shard.journal.push_back({mix, 0});
+  }
+}
+
+ShardedFilter::MigrationReport ShardedFilter::MigrateShard(
+    size_t shard_idx, ShardFactory successor_factory) {
+  // Default successor builder: construct empty via the factory and replay
+  // the snapshot ops in journal order.
+  ShardFactory factory = successor_factory;
+  return MigrateShard(
+      shard_idx,
+      [factory](std::span<const FilterJournalOp> ops,
+                uint64_t capacity) -> std::unique_ptr<Filter> {
+        std::unique_ptr<Filter> successor = factory(capacity);
+        if (!successor) return nullptr;
+        for (const FilterJournalOp& op : ops) {
+          const HashedKey key = HashedKey::FromMix(op.mix);
+          if (op.erase) {
+            successor->Erase(key);
+          } else if (!successor->Insert(key)) {
+            return nullptr;
+          }
+        }
+        return successor;
+      },
+      std::move(successor_factory));
+}
+
+ShardedFilter::MigrationReport ShardedFilter::MigrateShard(
+    size_t shard_idx, SuccessorBuilder build, ShardFactory successor_factory) {
+  MigrationReport report;
+  if (shard_idx >= shards_.size()) {
+    report.error = "shard index out of range";
+    return report;
+  }
+  Shard& shard = *shards_[shard_idx];
+  auto fail = [&](std::string error) {
+    std::unique_lock lock(shard.mutex);
+    shard.migrating = false;
+    report.error = std::move(error);
+    return report;
+  };
+
+  // Phase A — snapshot the journal under the lock. The copy is the whole
+  // pause writers see at this point; serving resumes immediately.
+  std::vector<FilterJournalOp> snapshot_ops;
+  {
+    std::unique_lock lock(shard.mutex);
+    if (!migration_enabled_ || !shard.journal_valid) {
+      report.error = "migration not enabled for this shard";
+      return report;
+    }
+    if (shard.journal_broken) {
+      report.error = "journal broken (overflowed journal_cap)";
+      return report;
+    }
+    if (shard.migrating) {
+      report.error = "migration already in progress";
+      return report;
+    }
+    shard.migrating = true;
+    snapshot_ops = shard.journal;
+  }
+  report.snapshot_ops = snapshot_ops.size();
+  int64_t live = 0;
+  for (const FilterJournalOp& op : snapshot_ops) live += op.erase ? -1 : 1;
+  live = std::max<int64_t>(live, 0);
+  const uint64_t capacity = std::max<uint64_t>(
+      per_shard_capacity_,
+      static_cast<uint64_t>(live) + static_cast<uint64_t>(live) / 2 + 16);
+
+  // Phase B — build the successor unlocked; reads and writes keep
+  // flowing through the old generations, writes also land in the journal.
+  std::unique_ptr<Filter> successor = build(
+      std::span<const FilterJournalOp>(snapshot_ops), capacity);
+  if (!successor) {
+    return fail("successor build failed (builder refused a snapshot op)");
+  }
+
+  auto replay = [&](std::span<const FilterJournalOp> ops) {
+    for (const FilterJournalOp& op : ops) {
+      const HashedKey key = HashedKey::FromMix(op.mix);
+      if (op.erase) {
+        successor->Erase(key);
+      } else if (!successor->Insert(key)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Phase C — catch-up rounds: drain the ops that landed during the
+  // build, reading the tail under a shared lock, replaying unlocked.
+  size_t cursor = snapshot_ops.size();
+  std::vector<FilterJournalOp> tail;
+  for (int round = 0; round < migration_config_.max_catchup_rounds; ++round) {
+    tail.clear();
+    {
+      std::shared_lock lock(shard.mutex);
+      if (shard.journal_broken) {
+        lock.unlock();
+        return fail("journal broke during migration");
+      }
+      if (shard.journal.size() - cursor > migration_config_.replay_cap) {
+        lock.unlock();
+        return fail("replay backlog exceeded replay_cap");
+      }
+      tail.assign(shard.journal.begin() + static_cast<ptrdiff_t>(cursor),
+                  shard.journal.end());
+    }
+    if (tail.size() <= kFinalDrainTarget) break;
+    if (!replay(tail)) return fail("successor rejected a replayed op");
+    cursor += tail.size();
+    report.replayed_ops += tail.size();
+  }
+
+  // Final drain and swap under the exclusive lock — the migration pause.
+  const uint64_t pause_start = MonotonicNanos();
+  {
+    std::unique_lock lock(shard.mutex);
+    if (shard.journal_broken) {
+      shard.migrating = false;
+      report.error = "journal broke during migration";
+      return report;
+    }
+    if (shard.journal.size() - cursor > migration_config_.replay_cap) {
+      shard.migrating = false;
+      report.error = "replay backlog exceeded replay_cap";
+      return report;
+    }
+    const std::span<const FilterJournalOp> rest(
+        shard.journal.data() + cursor, shard.journal.size() - cursor);
+    if (!replay(rest)) {
+      shard.migrating = false;
+      report.error = "successor rejected a replayed op";
+      return report;
+    }
+    report.replayed_ops += rest.size();
+    successor->AttachMetricsSink(sink_);
+    report.to_family = std::string(successor->Name());
+    shard.gens.clear();
+    shard.gens.push_back(std::move(successor));
+    shard.newest_capacity = capacity;
+    shard.next_capacity = static_cast<uint64_t>(
+        std::max(1.0, static_cast<double>(capacity) * config_.growth));
+    if (successor_factory) shard.factory = std::move(successor_factory);
+    CompactJournalLocked(shard);
+    if (shard.fpr != nullptr) shard.fpr->ResetObservations();
+    shard.migrating = false;
+    ++shard.migrations;
+  }
+  report.pause_ns = MonotonicNanos() - pause_start;
+  report.ok = true;
+  return report;
+}
+
 bool ShardedFilter::Save(std::ostream& os) const {
   if (shards_.empty()) return false;
   // Frame every generation independently first; the directory needs the
@@ -456,32 +765,51 @@ bool ShardedFilter::Save(std::ostream& os) const {
   // stays contained. Serializing under per-shard reader locks makes Save
   // safe against concurrent inserts: the result is a per-shard-consistent
   // cut (shard i may be older than shard j, each internally intact).
-  std::vector<std::vector<std::string>> blobs(shards_.size());
-  std::string inner_tag;
+  struct GenEntry {
+    std::string tag;
+    std::string blob;
+  };
+  std::vector<std::vector<GenEntry>> blobs(shards_.size());
+  std::vector<uint64_t> newest_caps(shards_.size());
+  std::vector<uint64_t> next_caps(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     std::shared_lock lock(shards_[s]->mutex);
+    newest_caps[s] = shards_[s]->newest_capacity;
+    next_caps[s] = shards_[s]->next_capacity;
     for (const auto& gen : shards_[s]->gens) {
       std::ostringstream ss;
       if (!gen->Save(ss)) return false;
-      inner_tag = gen->Name();
-      blobs[s].push_back(std::move(ss).str());
+      blobs[s].push_back({std::string(gen->Name()), std::move(ss).str()});
     }
   }
+  // The directory leads with the *factory* family's tag (not a
+  // generation's): LoadWithReport probes the factory against it, and
+  // filter_io's tag dispatcher rebuilds a matching factory from it. The
+  // per-generation tags that follow carry the real (possibly migrated)
+  // families.
+  const std::string factory_tag(factory_(1)->Name());
   std::ostringstream dir;
   WriteU64(dir, kShardedDirVersion);
   WriteU64(dir, per_shard_capacity_);
-  WriteU64(dir, inner_tag.size());
-  dir.write(inner_tag.data(),
-            static_cast<std::streamsize>(inner_tag.size()));
+  WriteU64(dir, factory_tag.size());
+  dir.write(factory_tag.data(),
+            static_cast<std::streamsize>(factory_tag.size()));
   WriteU64(dir, blobs.size());
-  for (const auto& shard_blobs : blobs) {
-    WriteU64(dir, shard_blobs.size());
-    for (const std::string& blob : shard_blobs) WriteU64(dir, blob.size());
+  for (size_t s = 0; s < blobs.size(); ++s) {
+    WriteU64(dir, newest_caps[s]);
+    WriteU64(dir, next_caps[s]);
+    WriteU64(dir, blobs[s].size());
+    for (const GenEntry& gen : blobs[s]) {
+      WriteU64(dir, gen.tag.size());
+      dir.write(gen.tag.data(), static_cast<std::streamsize>(gen.tag.size()));
+      WriteU64(dir, gen.blob.size());
+    }
   }
   if (!WriteSnapshotFrame(os, Name(), std::move(dir).str())) return false;
   for (const auto& shard_blobs : blobs) {
-    for (const std::string& blob : shard_blobs) {
-      os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    for (const GenEntry& gen : shard_blobs) {
+      os.write(gen.blob.data(),
+               static_cast<std::streamsize>(gen.blob.size()));
     }
   }
   return os.good();
@@ -503,66 +831,94 @@ bool ShardedFilter::LoadWithReport(std::istream& is, LoadReport* report) {
   uint64_t version;
   uint64_t capacity;
   uint64_t tag_len;
-  std::string inner_tag;
+  std::string factory_tag;
   uint64_t count;
   if (!ReadU64(dir, &version) || version != kShardedDirVersion ||
       !ReadU64Capped(dir, &capacity, kMaxSnapshotElements) ||
       !ReadU64Capped(dir, &tag_len, kMaxSnapshotTagBytes) ||
-      !ReadBytes(dir, &inner_tag, tag_len) ||
+      !ReadBytes(dir, &factory_tag, tag_len) ||
       !ReadU64Capped(dir, &count, uint64_t{1} << 20) || count == 0) {
     return false;
   }
-  std::vector<std::vector<uint64_t>> blob_lens(count);
-  for (auto& shard_lens : blob_lens) {
+  struct GenMeta {
+    std::string tag;
+    uint64_t blob_len = 0;
+  };
+  struct ShardMeta {
+    uint64_t newest_capacity = 0;
+    uint64_t next_capacity = 0;
+    std::vector<GenMeta> gens;
+  };
+  std::vector<ShardMeta> meta(count);
+  for (ShardMeta& sm : meta) {
     uint64_t gens;
-    if (!ReadU64Capped(dir, &gens, kMaxSnapshotGenerations) || gens == 0) {
+    if (!ReadU64Capped(dir, &sm.newest_capacity, kMaxSnapshotElements) ||
+        !ReadU64Capped(dir, &sm.next_capacity, kMaxSnapshotElements) ||
+        !ReadU64Capped(dir, &gens, kMaxSnapshotGenerations) || gens == 0) {
       return false;
     }
-    shard_lens.resize(gens);
-    for (uint64_t& len : shard_lens) {
-      if (!ReadU64Capped(dir, &len, kMaxSnapshotPayloadBytes)) return false;
+    sm.gens.resize(gens);
+    for (GenMeta& gm : sm.gens) {
+      uint64_t gen_tag_len;
+      if (!ReadU64Capped(dir, &gen_tag_len, kMaxSnapshotTagBytes) ||
+          !ReadBytes(dir, &gm.tag, gen_tag_len) ||
+          !ReadU64Capped(dir, &gm.blob_len, kMaxSnapshotPayloadBytes)) {
+        return false;
+      }
     }
   }
-  // The factory must produce the filter family the snapshot was taken
-  // from; otherwise every generation frame's tag check would quarantine
-  // it and the caller would silently get an empty filter.
+  // The factory must produce the family the snapshot's directory names;
+  // otherwise every factory-tagged generation would quarantine and the
+  // caller would silently get an empty filter. Generations with *other*
+  // tags (shards migrated to a new family) construct through the
+  // injectable TagBuilder; without one, those shards quarantine.
+  std::string probe_tag;
   {
     std::unique_ptr<Filter> probe = factory_(capacity);
-    if (!probe || probe->Name() != inner_tag) return false;
+    if (!probe || probe->Name() != factory_tag) return false;
+    probe_tag = std::string(probe->Name());
   }
   // Directory verified — from here on every defect is per-shard and
   // handled by quarantine, so committing the capacity now is safe.
   per_shard_capacity_ = capacity;
+  auto build_for_tag = [&](const std::string& gen_tag,
+                           uint64_t gen_capacity) -> std::unique_ptr<Filter> {
+    if (gen_tag == probe_tag) return factory_(gen_capacity);
+    if (tag_builder_) return tag_builder_(gen_tag, gen_capacity);
+    return nullptr;
+  };
   std::vector<std::unique_ptr<Shard>> shards;
   shards.reserve(count);
   for (uint64_t s = 0; s < count; ++s) {
     auto shard = MakeShard();
+    shard->gens.clear();
     bool healthy = true;
-    for (size_t g = 0; g < blob_lens[s].size(); ++g) {
+    for (size_t g = 0; g < meta[s].gens.size(); ++g) {
       std::string blob;
       // Keep consuming blobs even after a corrupt one so later shards
       // stay aligned in the stream.
-      const bool have_blob = ReadBytes(is, &blob, blob_lens[s][g]);
+      const bool have_blob = ReadBytes(is, &blob, meta[s].gens[g].blob_len);
       if (!healthy) continue;
       std::unique_ptr<Filter> gen =
-          g == 0 ? std::move(shard->gens.front())
-                 : factory_(shard->next_capacity);
+          build_for_tag(meta[s].gens[g].tag, meta[s].newest_capacity);
+      if (gen == nullptr) {
+        healthy = false;
+        continue;
+      }
       gen->AttachMetricsSink(sink_);
       std::istringstream bs(blob);
       if (have_blob && gen->Load(bs)) {
-        if (g == 0) {
-          shard->gens.front() = std::move(gen);
-        } else {
-          shard->gens.push_back(std::move(gen));
-          shard->newest_capacity = shard->next_capacity;
-          shard->next_capacity = static_cast<uint64_t>(
-              std::max(1.0, shard->next_capacity * config_.growth));
-        }
+        shard->gens.push_back(std::move(gen));
       } else {
         healthy = false;
       }
     }
-    if (healthy) {
+    if (healthy && !shard->gens.empty()) {
+      shard->newest_capacity = meta[s].newest_capacity;
+      shard->next_capacity = std::max<uint64_t>(1, meta[s].next_capacity);
+      // A loaded shard carries keys with no op history: journaling stays
+      // off until the filter is emptied and EnableMigration runs again.
+      shard->journal_valid = false;
       ++report->healthy_shards;
     } else {
       // Quarantine: any bad generation rebuilds the whole shard empty so

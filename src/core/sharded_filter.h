@@ -5,11 +5,24 @@
 #include <functional>
 #include <memory>
 #include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/filter.h"
+#include "core/fpr_estimator.h"
 
 namespace bbf {
+
+/// One acked mutation in a shard's migration journal. Filters cannot
+/// enumerate their keys, so online migration (snapshot-drain-replay,
+/// DESIGN.md §15) rebuilds a successor by replaying the journal;
+/// HashedKey::FromMix(mix) reconstitutes the exact key the families saw.
+struct FilterJournalOp {
+  uint64_t mix = 0;
+  uint8_t erase = 0;  // 0 = insert, 1 = erase.
+};
 
 /// What a shard does once its newest generation crosses the load
 /// threshold (DESIGN.md §9). The paper's §2.2 expansion strategies,
@@ -146,6 +159,17 @@ class ShardedFilter : public Filter {
     uint64_t expanded = 0;   // Inserts that needed expansion/chaining.
     uint64_t rejected = 0;   // Inserts refused (kRejectedFull).
     bool saturated = false;  // At threshold with no expansion headroom.
+    /// Newest generation's family tag — shards diverge after migration.
+    std::string family;
+    uint64_t migrations = 0;  // Completed online migrations of this shard.
+    /// Observed-FPR column (EnableMigration with track_shard_fpr):
+    /// negative = shard not instrumented. The per-shard twin of
+    /// HottestShard() — triage by FPR, not just by load.
+    double observed_fpr = -1.0;
+    double fpr_ci_low = 0.0;   // 95% Wilson bounds on observed_fpr.
+    double fpr_ci_high = 0.0;
+    uint64_t fpr_negative_lookups = 0;
+    uint64_t fpr_repeated_keys = 0;  // Adversarial-repeat sketch hits.
   };
 
   /// One entry per shard, each read under that shard's lock.
@@ -155,6 +179,85 @@ class ShardedFilter : public Filter {
   /// Total inserts refused across all shards since construction/Load.
   uint64_t TotalRejected() const;
 
+  // --- Online migration (DESIGN.md §15) -------------------------------------
+
+  /// Knobs for the migratable-shard seam.
+  struct MigrationConfig {
+    /// Writes that may land during one successor build before the
+    /// migration aborts — bounds both the replay backlog and the final
+    /// locked drain.
+    size_t replay_cap = size_t{1} << 16;
+    /// Unlocked catch-up rounds draining the replay backlog before the
+    /// final locked drain-and-swap.
+    int max_catchup_rounds = 8;
+    /// Attach a per-shard ObservedFprEstimator so Stats() grows the
+    /// observed-FPR column and WorstFprShard works.
+    bool track_shard_fpr = true;
+    /// Hard cap on one shard's journal; past it the journal is marked
+    /// broken and that shard refuses migration (serving is unaffected).
+    size_t journal_cap = size_t{1} << 22;
+  };
+
+  /// Arms the migration seam: every shard starts journaling acked
+  /// inserts/erases so a successor filter can be rebuilt online. Must be
+  /// called while the filter is empty (the journal cannot reconstruct
+  /// history it never saw) — returns false otherwise. Loading a snapshot
+  /// disarms journaling for the loaded shards (snapshots persist
+  /// structure, not op history); re-enable only on an empty filter.
+  bool EnableMigration(const MigrationConfig& config);
+  bool EnableMigration() { return EnableMigration(MigrationConfig{}); }
+  bool migration_enabled() const { return migration_enabled_; }
+  const MigrationConfig& migration_config() const {
+    return migration_config_;
+  }
+
+  /// What happened during one MigrateShard call.
+  struct MigrationReport {
+    bool ok = false;
+    uint64_t snapshot_ops = 0;  // Journal ops replayed in the build phase.
+    uint64_t replayed_ops = 0;  // Ops drained in catch-up + final drain.
+    uint64_t pause_ns = 0;      // Exclusive-lock hold for drain-and-swap.
+    std::string to_family;      // Name() of the successor filter.
+    std::string error;          // Empty iff ok.
+  };
+
+  /// Builds a successor filter already containing the journal snapshot.
+  /// `ops` is the journal prefix captured at migration start; `capacity`
+  /// is a sizing hint (live keys with headroom). Returning nullptr aborts
+  /// the migration. The default builder constructs via a ShardFactory and
+  /// replays the ops; the Tuner's stacked builder constructs a
+  /// learned/stacked front from the ops instead.
+  using SuccessorBuilder = std::function<std::unique_ptr<Filter>(
+      std::span<const FilterJournalOp> ops, uint64_t capacity)>;
+
+  /// Online snapshot-drain-replay migration of one shard (DESIGN.md §15):
+  ///   A. under the shard lock, snapshot the journal (a cheap copy) —
+  ///      serving continues immediately;
+  ///   B. unlocked, build the successor from the snapshot while writes
+  ///      keep landing in the old generations *and* the journal;
+  ///   C. drain the journal tail in bounded unlocked rounds, then take
+  ///      the lock once for the final drain and the atomic swap — the
+  ///      only pause serving ever sees, reported as pause_ns.
+  /// On any failure (successor refuses a replay op, backlog exceeds
+  /// replay_cap) the old generations are untouched and every acked key
+  /// is still served: migration is abort-safe by construction.
+  /// `successor_factory` becomes the shard's factory afterwards, so
+  /// chained generations and quarantine rebuilds stay in the new family.
+  MigrationReport MigrateShard(size_t shard, ShardFactory successor_factory);
+  MigrationReport MigrateShard(size_t shard, SuccessorBuilder build,
+                               ShardFactory successor_factory);
+
+  /// Completed migrations across all shards.
+  uint64_t TotalMigrations() const;
+
+  /// Sentinel for "no shard qualified".
+  static constexpr size_t kNoShard = ~size_t{0};
+
+  /// Index of the instrumented shard with the highest observed FPR among
+  /// those with at least `min_negative_lookups` scored negatives;
+  /// kNoShard when none qualify. The FPR twin of HottestShard().
+  size_t WorstFprShard(uint64_t min_negative_lookups = 256) const;
+
   /// What happened to each shard during LoadWithReport.
   struct LoadReport {
     size_t total_shards = 0;
@@ -163,15 +266,27 @@ class ShardedFilter : public Filter {
     bool AllHealthy() const { return quarantined.empty(); }
   };
 
-  /// Snapshot layout (v2): one outer frame holding only the shard
-  /// directory (layout version, shard count, inner filter tag, per-shard
-  /// generation counts, per-generation blob lengths), followed by every
-  /// generation's own independent frame, shard-major. Because every
-  /// generation frame carries its own checksum, one corrupt blob doesn't
-  /// poison the rest. Safe to call concurrently with inserts/queries:
-  /// each shard is serialized under its reader lock (the snapshot is a
-  /// per-shard-consistent cut, not a global point in time).
+  /// Snapshot layout (v3): one outer frame holding only the shard
+  /// directory (layout version, per-shard capacity, the factory family's
+  /// tag, shard count, then per shard its capacities and per-generation
+  /// (tag, blob length) pairs), followed by every generation's own
+  /// independent frame, shard-major. Per-generation tags because shards
+  /// diverge by family after migration. Because every generation frame
+  /// carries its own checksum, one corrupt blob doesn't poison the rest.
+  /// Safe to call concurrently with inserts/queries: each shard is
+  /// serialized under its reader lock (the snapshot is a per-shard-
+  /// consistent cut, not a global point in time).
   bool Save(std::ostream& os) const override;
+
+  /// Builds an empty filter for a foreign generation tag found in a
+  /// snapshot — shards migrated away from the factory family need one.
+  /// Installed by the factory/tuning layer (registry-backed); core stays
+  /// registry-free. Without a builder, foreign-tag shards quarantine.
+  using TagBuilder = std::function<std::unique_ptr<Filter>(
+      std::string_view tag, uint64_t capacity)>;
+  void SetSnapshotTagBuilder(TagBuilder builder) {
+    tag_builder_ = std::move(builder);
+  }
 
   /// Loads a snapshot written by Save. A shard with any corrupt or
   /// truncated generation frame is *quarantined*: it is rebuilt empty via
@@ -197,14 +312,35 @@ class ShardedFilter : public Filter {
     uint64_t accepted = 0;
     uint64_t expanded = 0;
     uint64_t rejected = 0;
+    // Migration seam. The journal records every acked mutation since the
+    // shard was last empty; valid only when that invariant holds.
+    std::vector<FilterJournalOp> journal;
+    bool journal_valid = false;
+    bool journal_broken = false;  // Overflowed journal_cap; stays serving.
+    bool migrating = false;       // One migration per shard at a time.
+    uint64_t migrations = 0;
+    // Post-migration family factory; empty -> the filter-level factory_.
+    ShardFactory factory;
+    // Per-shard FPR estimator (track_shard_fpr); null when disabled.
+    std::unique_ptr<ObservedFprEstimator> fpr;
   };
 
   size_t ShardOf(HashedKey key) const;
   // The policy-driven insert path; requires shard.mutex held exclusively.
   InsertOutcome InsertIntoShardLocked(Shard& shard, HashedKey key);
+  // InsertIntoShardLocked without the journal/estimator bookkeeping.
+  InsertOutcome InsertPolicyLocked(Shard& shard, HashedKey key);
   // Chains a fresh generation onto `shard` (kChain). Requires the lock.
   Filter& AddGenerationLocked(Shard& shard);
   std::unique_ptr<Shard> MakeShard() const;
+  // The factory chained generations of `shard` build from.
+  const ShardFactory& FactoryFor(const Shard& shard) const {
+    return shard.factory ? shard.factory : factory_;
+  }
+  // Rewrites the journal to the net multiset of live ops. Requires the
+  // shard lock; called after a successful swap so journal length tracks
+  // live keys, not op history.
+  static void CompactJournalLocked(Shard& shard);
 
   // Flat counting sort of pre-hashed `keys` by shard: on return,
   // sorted[start[s]..start[s+1]) holds shard s's keys in batch order and
@@ -221,6 +357,9 @@ class ShardedFilter : public Filter {
   uint64_t per_shard_capacity_;   // Capacity each shard was built with.
   SaturationConfig config_;
   uint64_t shards_quarantined_total_ = 0;  // Not reset by Load.
+  bool migration_enabled_ = false;
+  MigrationConfig migration_config_;
+  TagBuilder tag_builder_;
 };
 
 }  // namespace bbf

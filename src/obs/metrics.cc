@@ -39,50 +39,6 @@ LatencyReservoir::Snapshot LatencyReservoir::Snap() const {
   return snap;
 }
 
-void ObservedFprEstimator::RecordInsert(HashedKey key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  present_.insert(key.value());
-}
-
-void ObservedFprEstimator::RecordInserts(
-    const std::vector<uint64_t>& mixed_values) {
-  if (mixed_values.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  present_.reserve(present_.size() + mixed_values.size());
-  for (uint64_t v : mixed_values) present_.insert(v);
-}
-
-void ObservedFprEstimator::RecordErase(HashedKey key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  present_.erase(key.value());
-}
-
-void ObservedFprEstimator::RecordLookup(HashedKey key, bool filter_positive) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (present_.count(key.value())) {
-    ++positive_lookups_;
-    if (!filter_positive) ++false_negatives_;
-  } else {
-    ++negative_lookups_;
-    if (filter_positive) ++false_positives_;
-  }
-}
-
-ObservedFprEstimator::Snapshot ObservedFprEstimator::Snap() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Snapshot snap;
-  snap.tracked_keys = present_.size();
-  snap.negative_lookups = negative_lookups_;
-  snap.false_positives = false_positives_;
-  snap.positive_lookups = positive_lookups_;
-  snap.false_negatives = false_negatives_;
-  if (negative_lookups_ > 0) {
-    snap.observed_fpr =
-        static_cast<double>(false_positives_) / negative_lookups_;
-  }
-  return snap;
-}
-
 MetricsSnapshot FilterMetrics::Snapshot() const {
   MetricsSnapshot snap;
   snap.counters = {
@@ -112,6 +68,12 @@ MetricsSnapshot FilterMetrics::Snapshot() const {
       {"structural_event_sample_every",
        static_cast<double>(kStructuralSampleEvery)},
       {"observed_fpr", fpr_snap.observed_fpr},
+      // 95% Wilson interval bounds next to the point estimate: dashboards
+      // and the Tuner both need to know when observed_fpr is noise.
+      {"observed_fpr_ci_low", fpr_snap.ci_low},
+      {"observed_fpr_ci_high", fpr_snap.ci_high},
+      {"fp_repeat_max", static_cast<double>(fpr_snap.max_fp_repeats)},
+      {"fp_repeated_keys", static_cast<double>(fpr_snap.fp_repeated_keys)},
       {"sampled_tracked_keys", static_cast<double>(fpr_snap.tracked_keys)},
       {"lookup_latency_samples", static_cast<double>(lat.samples)},
       {"lookup_latency_p50_ns", static_cast<double>(lat.p50_ns)},

@@ -11,10 +11,16 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/fpr_estimator.h"
 #include "core/key.h"
 #include "core/metrics_sink.h"
 
 namespace bbf::obs {
+
+/// The estimator moved to core/fpr_estimator.h so ShardedFilter can host
+/// one per shard (core cannot depend on obs); this alias keeps the obs
+/// spelling every consumer already uses.
+using bbf::ObservedFprEstimator;
 
 /// Monotonic wall time in nanoseconds, for sampled latency measurement.
 inline uint64_t NowNanos() {
@@ -106,69 +112,6 @@ class LatencyReservoir {
  private:
   std::atomic<uint64_t> next_{0};
   std::array<std::atomic<uint64_t>, kCapacity> slots_{};
-};
-
-/// Live false-positive-rate estimator (§2, §2.3): tracks exact ground
-/// truth for a deterministic 1-in-64 sample of the key space, so a
-/// production filter can report its *observed* FPR next to the configured
-/// epsilon without storing every key.
-///
-/// The sample domain is a function of the key alone — the low bits of
-/// the canonical mix — so inserts and lookups agree on membership in the
-/// domain, and the test costs one AND on the batched-insert hot path
-/// (a fresh Derive per key measurably dents Bloom-speed inserts).
-/// Families never consume raw mix bits (they use Derive streams, which
-/// decorrelate from any fixed bit pattern of the mix), and the layers
-/// that do slice value() directly — shard routing, batch grouping — use
-/// the TOP bits, so the low-bit domain stays uncorrelated with both
-/// filter placement and routing. For an in-domain lookup the estimator
-/// knows the truth exactly: filter-positive on a key never recorded as
-/// inserted is a false positive; filter-negative on a recorded key is a
-/// false negative (the cardinal sin — exported so it can be alerted on,
-/// expected to stay 0).
-///
-/// Caveats (documented, deliberate): after a partial batch insert every
-/// in-domain key of the batch is recorded as inserted, which removes any
-/// rejected keys from the negative pool (conservative: never inflates the
-/// FPR estimate). Erasing one copy of a multiply-inserted key removes its
-/// ground truth, so erase-heavy multiset workloads can overcount FPs.
-class ObservedFprEstimator {
- public:
-  static constexpr uint64_t kDomainMask = 63;  // 1-in-64 sampling.
-
-  static bool InDomain(HashedKey key) {
-    return (key.value() & kDomainMask) == 0;
-  }
-
-  /// Records an in-domain key as present. Call only for InDomain keys.
-  void RecordInsert(HashedKey key);
-  /// Bulk form for batch inserts: one lock and one reserve for the whole
-  /// batch (per-key locking plus incremental rehash was the largest
-  /// single instrumentation cost on the batched insert path).
-  void RecordInserts(const std::vector<uint64_t>& mixed_values);
-  /// Drops an in-domain key's ground truth after a successful erase.
-  void RecordErase(HashedKey key);
-  /// Scores an in-domain membership answer against ground truth.
-  void RecordLookup(HashedKey key, bool filter_positive);
-
-  struct Snapshot {
-    uint64_t tracked_keys = 0;       // Current ground-truth set size.
-    uint64_t negative_lookups = 0;   // In-domain lookups of absent keys.
-    uint64_t false_positives = 0;    // Filter said yes on an absent key.
-    uint64_t positive_lookups = 0;   // In-domain lookups of present keys.
-    uint64_t false_negatives = 0;    // Filter said no on a present key.
-    /// false_positives / negative_lookups; 0 when no negatives were seen.
-    double observed_fpr = 0.0;
-  };
-  Snapshot Snap() const;
-
- private:
-  mutable std::mutex mu_;
-  std::unordered_set<uint64_t> present_;  // value() of sampled inserts.
-  uint64_t negative_lookups_ = 0;
-  uint64_t false_positives_ = 0;
-  uint64_t positive_lookups_ = 0;
-  uint64_t false_negatives_ = 0;
 };
 
 /// Point-in-time copy of a full metrics set, the unit the exporters

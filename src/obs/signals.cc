@@ -1,0 +1,28 @@
+#include "obs/signals.h"
+
+namespace bbf::obs {
+
+TunerSignals PullTunerSignals(const InstrumentedFilter& filter,
+                              uint64_t min_negative_lookups) {
+  TunerSignals s;
+  const FilterMetrics& m = filter.metrics();
+  s.configured_epsilon = m.configured_epsilon;
+  s.fpr = m.fpr.Snap();
+  s.load_factor = filter.LoadFactor();
+  s.num_keys = filter.NumKeys();
+  s.fp_reports = m.fp_reports.Load();
+  s.adapt_events = m.adapt_events.Load();
+  s.adaptive = filter.adaptive();
+  if (const auto* sharded =
+          dynamic_cast<const ShardedFilter*>(&filter.inner())) {
+    s.sharded = true;
+    s.shards = sharded->Stats();
+    s.hottest_shard = sharded->HottestShard();
+    s.worst_fpr_shard = sharded->WorstFprShard(min_negative_lookups);
+    s.total_rejected = sharded->TotalRejected();
+    s.total_migrations = sharded->TotalMigrations();
+  }
+  return s;
+}
+
+}  // namespace bbf::obs

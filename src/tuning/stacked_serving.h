@@ -1,0 +1,95 @@
+#ifndef BBF_TUNING_STACKED_SERVING_H_
+#define BBF_TUNING_STACKED_SERVING_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bloom/scalable_bloom.h"
+#include "core/filter.h"
+#include "core/sharded_filter.h"
+#include "stacked/stacked_filter.h"
+
+namespace bbf::tuning {
+
+/// A StackedFilter (§2.8) wrapped up as a servable Filter — the Tuner's
+/// migration target when a training sample of hot negative keys is
+/// available. The stacked front is static (built once from the journal's
+/// net positives plus the sample); inserts that land after the build go
+/// to a scalable-bloom overflow sized at the same FPR budget, so the
+/// shard keeps admitting keys while hot negatives enjoy the stacked
+/// front's exponentially reduced false-positive rate.
+///
+/// Deliberately NOT registered in the global filter registry: the tag
+/// only means something to deployments running a Tuner, which installs a
+/// matching TagBuilder on the ShardedFilter (Tuner::InstallTagBuilder)
+/// so v3 snapshots holding stacked shards reload. Erase is unsupported
+/// (the front cannot unlearn a key) — the Tuner only stacks shards whose
+/// journal shows an insert-only workload.
+class StackedServingFilter : public Filter {
+ public:
+  struct Params {
+    /// FPR budget for the overflow filter (and the approximate per-layer
+    /// budget of the stacked front, via bits_per_key).
+    double fpr_budget = 0.01;
+    /// Bits per key for each stacked layer.
+    double stacked_bits_per_key = 8.0;
+    /// Stacked layers (odd, so the deepest layer is a positive side).
+    int layers = 3;
+  };
+
+  /// Builds the stacked front from raw keys (both sides are re-mixed at
+  /// the hash-once boundary, exactly like direct StackedFilter use).
+  StackedServingFilter(std::vector<uint64_t> positive_keys,
+                       std::vector<uint64_t> hot_negative_keys,
+                       uint64_t capacity, const Params& params);
+
+  /// Empty shell for snapshot loading: no front, an empty overflow.
+  /// LoadPayload restores the real structure.
+  explicit StackedServingFilter(uint64_t capacity);
+
+  /// Net positive keys of a migration journal snapshot, as raw keys
+  /// (InverseMix64 of the stored mixes — exact, Mix64 is bijective).
+  /// Erases cancel earlier inserts multiset-style.
+  static std::vector<uint64_t> NetPositives(
+      std::span<const FilterJournalOp> ops);
+
+  using Filter::Contains;
+  using Filter::Insert;
+
+  bool Insert(HashedKey key) override;
+  bool Contains(HashedKey key) const override;
+  size_t SpaceBits() const override;
+  uint64_t NumKeys() const override;
+  double LoadFactor() const override { return overflow_->LoadFactor(); }
+  FilterClass Class() const override { return FilterClass::kSemiDynamic; }
+  std::string_view Name() const override { return "stacked-serving"; }
+
+  bool SavePayload(std::ostream& os) const override;
+  bool LoadPayload(std::istream& is) override;
+
+  size_t front_layers() const { return front_ ? front_->num_layers() : 0; }
+  uint64_t front_keys() const { return positives_.size(); }
+  const Params& params() const { return params_; }
+
+ private:
+  void BuildFront();
+  static std::unique_ptr<ScalableBloomFilter> MakeOverflow(
+      uint64_t capacity, const Params& params);
+
+  // Both key vectors are retained: they are the serialization format (the
+  // stacked front has no incremental snapshot of its own) and they make
+  // rebuild-on-load exact. Counted in SpaceBits — they are real memory
+  // the serving structure needs.
+  std::vector<uint64_t> positives_;
+  std::vector<uint64_t> hot_negatives_;
+  uint64_t capacity_;
+  Params params_;
+  std::unique_ptr<StackedFilter> front_;
+  std::unique_ptr<ScalableBloomFilter> overflow_;
+};
+
+}  // namespace bbf::tuning
+
+#endif  // BBF_TUNING_STACKED_SERVING_H_

@@ -65,6 +65,47 @@ std::vector<std::pair<uint64_t, uint64_t>> GenerateRangeQueries(
   return queries;
 }
 
+std::vector<uint64_t> GenerateAdversarialRepeatQueries(
+    const std::vector<uint64_t>& inserted, uint64_t hot_count, double hot_frac,
+    uint64_t stream_len, uint64_t seed) {
+  const std::vector<uint64_t> hot =
+      GenerateNegativeKeys(inserted, std::max<uint64_t>(hot_count, 1), seed);
+  std::unordered_set<uint64_t> excluded(inserted.begin(), inserted.end());
+  SplitMix64 rng(seed + 1);
+  std::vector<uint64_t> stream;
+  stream.reserve(stream_len);
+  while (stream.size() < stream_len) {
+    if (rng.NextDouble() < hot_frac) {
+      stream.push_back(hot[rng.NextBelow(hot.size())]);
+    } else {
+      const uint64_t k = rng.Next();
+      if (excluded.contains(k)) continue;  // Keep the stream all-negative.
+      stream.push_back(k);
+    }
+  }
+  return stream;
+}
+
+std::vector<uint64_t> GenerateShiftingZipfStream(uint64_t universe,
+                                                 double theta,
+                                                 uint64_t stream_len,
+                                                 uint64_t shift_every,
+                                                 uint64_t seed) {
+  const std::vector<uint64_t> keys = GenerateDistinctKeys(universe, seed);
+  ZipfGenerator zipf(universe, theta, seed + 1);
+  if (shift_every == 0) shift_every = stream_len;
+  std::vector<uint64_t> stream;
+  stream.reserve(stream_len);
+  uint64_t rotation = 0;
+  for (uint64_t i = 0; i < stream_len; ++i) {
+    // Jump by ~1/3 of the universe so each shift lands the hot ranks on
+    // genuinely different keys (a +1 rotation would only nudge them).
+    if (i > 0 && i % shift_every == 0) rotation += universe / 3 + 1;
+    stream.push_back(keys[(zipf.Next() + rotation) % universe]);
+  }
+  return stream;
+}
+
 std::vector<std::string> GenerateUrls(uint64_t n, uint64_t seed) {
   SplitMix64 rng(seed);
   std::vector<std::string> urls;

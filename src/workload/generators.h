@@ -31,6 +31,26 @@ std::vector<std::pair<uint64_t, uint64_t>> GenerateRangeQueries(
     const std::vector<uint64_t>& keys, uint64_t num_queries, uint64_t range_len,
     bool correlated, uint64_t domain, uint64_t seed = 45);
 
+/// Adversarial-repeat query stream (§2.3): an attacker who discovers
+/// false positives replays them. The stream mixes `hot_frac` queries
+/// drawn from a small pool of `hot_count` fixed negative keys (disjoint
+/// from `inserted`) with fresh uniform negatives — the workload the
+/// repeated-FP sketch and the Tuner's migrate-to-adaptive policy exist
+/// for.
+std::vector<uint64_t> GenerateAdversarialRepeatQueries(
+    const std::vector<uint64_t>& inserted, uint64_t hot_count, double hot_frac,
+    uint64_t stream_len, uint64_t seed = 48);
+
+/// A Zipf stream whose hot spot drifts: every `shift_every` samples the
+/// rank-to-key mapping rotates by one universe step, so the keys that
+/// were hot go cold and a different shard heats up. Exercises the
+/// Tuner's shard-skew / rebalance policy.
+std::vector<uint64_t> GenerateShiftingZipfStream(uint64_t universe,
+                                                 double theta,
+                                                 uint64_t stream_len,
+                                                 uint64_t shift_every,
+                                                 uint64_t seed = 49);
+
 /// Synthetic URL-like strings ("http://hostNNN.example/pathMMM").
 std::vector<std::string> GenerateUrls(uint64_t n, uint64_t seed = 46);
 

@@ -574,6 +574,7 @@ TEST(Exporters, NetServerGoldenBytes) {
   m.keys_inserted.Add(512);
   m.keys_insert_nacked.Add(7);
   m.http_scrapes.Add(1);
+  m.tuner_ctl.Add(2);
   MetricsRegistry registry;
   registry.Register("net", [&m] { return m.Snapshot(); });
   const std::string prom = obs::RenderPrometheus(registry.Snapshot());
@@ -601,7 +602,9 @@ TEST(Exporters, NetServerGoldenBytes) {
       "# TYPE bbf_net_keys_insert_nacked_total counter\n"
       "bbf_net_keys_insert_nacked_total{filter=\"net\"} 7\n"
       "# TYPE bbf_net_http_scrapes_total counter\n"
-      "bbf_net_http_scrapes_total{filter=\"net\"} 1\n";
+      "bbf_net_http_scrapes_total{filter=\"net\"} 1\n"
+      "# TYPE bbf_net_tuner_ctl_total counter\n"
+      "bbf_net_tuner_ctl_total{filter=\"net\"} 2\n";
   EXPECT_EQ(prom, want_prom);
   const std::string json = obs::RenderJson(registry.Snapshot());
   const std::string want_json =
@@ -620,7 +623,8 @@ TEST(Exporters, NetServerGoldenBytes) {
       "\"net_keys_looked_up_total\": 640, "
       "\"net_keys_inserted_total\": 512, "
       "\"net_keys_insert_nacked_total\": 7, "
-      "\"net_http_scrapes_total\": 1},\n"
+      "\"net_http_scrapes_total\": 1, "
+      "\"net_tuner_ctl_total\": 2},\n"
       "      \"gauges\": {},\n"
       "      \"histograms\": {\n"
       "      }\n"

@@ -115,6 +115,104 @@ TEST(Registry, UnknownNamesStayUnknownEverywhere) {
   EXPECT_EQ(CreateFilterForTag("no-such-filter", 100), nullptr);
 }
 
+// --- Capability metadata (FilterCaps) ---------------------------------------
+// The caps bits are contract: the Tuner's migration decision table picks
+// target families by supports_erase/supports_adapt/build_cost, so a row
+// that drifts from the family's real behavior silently mis-routes
+// migrations. Pin the declared table, then verify each bit behaviorally.
+
+struct CapsRow {
+  std::string_view tag;
+  bool supports_erase;
+  bool supports_adapt;
+  BuildCostClass build_cost;
+};
+
+TEST(RegistryCaps, DeclaredCapsTableIsPinned) {
+  // One row per canonical tag. A new family must add a row here (and the
+  // size check below makes forgetting impossible).
+  static constexpr CapsRow kRows[] = {
+      {"adaptive-cuckoo", true, true, BuildCostClass::kExpensive},
+      {"adaptive-quotient", true, true, BuildCostClass::kExpensive},
+      {"blocked-bloom", false, false, BuildCostClass::kCheap},
+      {"bloom", false, false, BuildCostClass::kCheap},
+      {"chained-quotient", true, false, BuildCostClass::kModerate},
+      {"counting-bloom", true, false, BuildCostClass::kCheap},
+      {"counting-quotient", true, false, BuildCostClass::kModerate},
+      {"cuckoo", true, false, BuildCostClass::kModerate},
+      {"dleft-counting", true, false, BuildCostClass::kModerate},
+      {"expanding-quotient", true, false, BuildCostClass::kModerate},
+      {"prefix", false, false, BuildCostClass::kModerate},
+      {"quotient", true, false, BuildCostClass::kModerate},
+      {"ribbon", false, false, BuildCostClass::kExpensive},
+      {"ring", true, false, BuildCostClass::kModerate},
+      {"rsqf", false, false, BuildCostClass::kModerate},
+      {"scalable-bloom", false, false, BuildCostClass::kCheap},
+      {"spectral-bloom", false, false, BuildCostClass::kCheap},
+      {"taffy", true, false, BuildCostClass::kModerate},
+      {"vector-quotient", true, false, BuildCostClass::kModerate},
+      {"xor", false, false, BuildCostClass::kExpensive},
+  };
+  const auto tags = RegisteredFilterTags();
+  ASSERT_EQ(tags.size(), std::size(kRows))
+      << "a family was registered without a caps row in this table";
+  for (const CapsRow& row : kRows) {
+    const FilterEntry* entry = FindFilterEntry(row.tag);
+    ASSERT_NE(entry, nullptr) << row.tag;
+    EXPECT_EQ(entry->caps.supports_erase, row.supports_erase) << row.tag;
+    EXPECT_EQ(entry->caps.supports_adapt, row.supports_adapt) << row.tag;
+    EXPECT_EQ(entry->caps.build_cost, row.build_cost) << row.tag;
+  }
+}
+
+TEST(RegistryCaps, DeclaredEraseMatchesBehaviorForEveryFamily) {
+  for (std::string_view tag : RegisteredFilterTags()) {
+    const FilterEntry* entry = FindFilterEntry(tag);
+    ASSERT_NE(entry, nullptr) << tag;
+    const auto f = CreateFilterForTag(tag, 1000);
+    ASSERT_NE(f, nullptr) << tag;
+    size_t inserted = 0;
+    for (uint64_t k = 1; k <= 128; ++k) inserted += f->Insert(k);
+    if (inserted == 0) {
+      // Static families reject inserts before their build; a family that
+      // cannot insert cannot honestly claim erase either.
+      EXPECT_FALSE(entry->caps.supports_erase) << tag;
+      continue;
+    }
+    // Erase of a just-inserted key must succeed exactly when the registry
+    // says it does — a bit-set family returns false (no-op), an
+    // erase-capable family returns true.
+    EXPECT_EQ(f->Erase(uint64_t{1}), entry->caps.supports_erase) << tag;
+  }
+}
+
+TEST(RegistryCaps, DeclaredAdaptMatchesAdaptiveHookForEveryFamily) {
+  for (std::string_view tag : RegisteredFilterTags()) {
+    const FilterEntry* entry = FindFilterEntry(tag);
+    ASSERT_NE(entry, nullptr) << tag;
+    const auto f = CreateFilterForTag(tag, 1000);
+    ASSERT_NE(f, nullptr) << tag;
+    const bool has_hook = dynamic_cast<AdaptiveHook*>(f.get()) != nullptr;
+    EXPECT_EQ(has_hook, entry->caps.supports_adapt)
+        << tag << ": declared supports_adapt must match AdaptiveHook";
+  }
+}
+
+TEST(RegistryCaps, AdaptiveFamiliesAreFactoryReachableForMigration) {
+  // The Tuner migrates shards by CreateFilter(to_family, ...): every
+  // supports_adapt family must therefore be factory-visible, or the
+  // repeated-FP policy could choose an unbuildable target.
+  size_t adaptive = 0;
+  for (std::string_view tag : RegisteredFilterTags()) {
+    const FilterEntry* entry = FindFilterEntry(tag);
+    if (!entry->caps.supports_adapt) continue;
+    ++adaptive;
+    EXPECT_TRUE(entry->in_factory) << tag;
+    EXPECT_NE(CreateFilter(tag, 1000, 0.01), nullptr) << tag;
+  }
+  EXPECT_GE(adaptive, 2u);  // adaptive-cuckoo and adaptive-quotient.
+}
+
 TEST(Registry, FactoryFiltersSurviveFactoryToSnapshotToLoadToQuery) {
   // End-to-end: build via the factory, fill, snapshot, reload via the tag
   // dispatcher, and verify no key was lost — the exact path sharded
