@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Builds and runs the throughput experiments, emitting BENCH_batch.json,
 # BENCH_concurrent.json, BENCH_hash.json, BENCH_obs.json, BENCH_lsm.json,
-# BENCH_net.json, and BENCH_tuner.json at the repo root so successive PRs
-# accumulate a perf trajectory.
+# BENCH_net.json, BENCH_tuner.json, and BENCH_range.json at the repo root
+# so successive PRs accumulate a perf trajectory.
 #
 # Usage: bench/run_bench.sh [--quick] [BUILD_DIR]
 #   --quick    smaller key counts (skips the out-of-LLC batch runs and
@@ -23,7 +23,8 @@ done
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" --target bench_batch bench_concurrent bench_hash \
-  bench_obs bench_lsm bench_net bench_tuner -j "$(nproc)" >/dev/null
+  bench_obs bench_lsm bench_net bench_tuner bench_range -j "$(nproc)" \
+  >/dev/null
 
 "$BUILD_DIR"/bench/bench_batch $QUICK --json=BENCH_batch.json
 "$BUILD_DIR"/bench/bench_concurrent $QUICK --json=BENCH_concurrent.json
@@ -32,3 +33,4 @@ cmake --build "$BUILD_DIR" --target bench_batch bench_concurrent bench_hash \
 "$BUILD_DIR"/bench/bench_lsm $QUICK --json=BENCH_lsm.json
 "$BUILD_DIR"/bench/bench_net $QUICK --json=BENCH_net.json
 "$BUILD_DIR"/bench/bench_tuner $QUICK --json=BENCH_tuner.json
+"$BUILD_DIR"/bench/bench_range $QUICK --json=BENCH_range.json

@@ -8,6 +8,7 @@
 #include "cuckoo/cuckoo_filter.h"
 #include "quotient/quotient_filter.h"
 #include "range/grafite.h"
+#include "range/memento.h"
 #include "range/prefix_bloom_range.h"
 #include "range/rosetta.h"
 #include "range/snarf.h"
@@ -96,6 +97,13 @@ std::unique_ptr<RangeFilter> BuildRangeFilter(
     case RangeFilterKind::kGrafite:
       return std::make_unique<GrafiteRangeFilter>(
           GrafiteRangeFilter::ForBitsPerKey(keys, bits_per_key));
+    case RangeFilterKind::kMemento: {
+      // The dynamic family: the "build" is just the online insert path.
+      auto f = std::make_unique<MementoFilter>(
+          MementoFilter::ForBitsPerKey(keys.size(), bits_per_key));
+      for (uint64_t k : keys) f->AddKey(k);
+      return f;
+    }
   }
   return nullptr;
 }
@@ -109,6 +117,8 @@ std::unique_ptr<RangeFilter> LoadRangeFilterSnapshot(std::istream& is) {
   if (tag == "prefix-bloom") {
     filter = std::make_unique<PrefixBloomRangeFilter>(
         std::vector<uint64_t>{}, 44, 10.0);
+  } else if (tag == "memento") {
+    filter = std::make_unique<MementoFilter>(6, 8);
   } else {
     return nullptr;
   }

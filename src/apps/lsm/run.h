@@ -33,7 +33,9 @@ enum class PointFilterKind {
   kQuotient,
 };
 
-/// Which range filter each run carries (§2.5).
+/// Which range filter each run carries (§2.5). kMemento is the dynamic
+/// family (DESIGN.md §16): built online from the key stream, no
+/// rebuild-from-scratch needed when a run's keys arrive incrementally.
 enum class RangeFilterKind {
   kNone,
   kPrefixBloom,
@@ -41,6 +43,7 @@ enum class RangeFilterKind {
   kRosetta,
   kSnarf,
   kGrafite,
+  kMemento,
 };
 
 /// Builds a fresh point filter over `keys` — the compaction-time rebuild
@@ -141,8 +144,8 @@ class SortedRun {
 
 /// Reads one range-filter snapshot frame and instantiates the matching
 /// family. Only families with snapshot payloads load (currently
-/// prefix-bloom); an unknown or corrupt frame returns nullptr and the
-/// caller rebuilds from the key stream instead.
+/// prefix-bloom and memento); an unknown or corrupt frame returns nullptr
+/// and the caller rebuilds from the key stream instead.
 std::unique_ptr<RangeFilter> LoadRangeFilterSnapshot(std::istream& is);
 
 }  // namespace bbf::lsm

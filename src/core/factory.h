@@ -19,7 +19,8 @@ namespace bbf {
 /// Names: bloom, blocked-bloom, counting-bloom, dleft (alias of
 /// dleft-counting), scalable-bloom, quotient, counting-quotient, rsqf,
 /// vector-quotient, prefix, cuckoo, adaptive-cuckoo, adaptive-quotient,
-/// taffy, chained-quotient, expanding-quotient, ring.
+/// taffy, chained-quotient, expanding-quotient, ring, memento (the
+/// dynamic range filter's point surface).
 ///
 /// Returns nullptr for unknown names. Static filters (xor/ribbon) need
 /// the key set up front and therefore have no factory entry — construct

@@ -29,7 +29,10 @@ class MetricsSink {
   virtual void OnKickChain(uint64_t kicks) = 0;
 
   /// A quotient-style membership probe scanned `slots` run slots
-  /// (0 = home slot unoccupied, answered without scanning).
+  /// (0 = home slot unoccupied, answered without scanning). The Memento
+  /// range filter reports one event per probed prefix — its run scans are
+  /// the memento-list walks, so this histogram doubles as the
+  /// memento-scan-length signal.
   virtual void OnProbeLength(uint64_t slots) = 0;
 
   /// The structure grew a generation: a chained shard generation, a

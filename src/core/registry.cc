@@ -22,6 +22,7 @@
 #include "quotient/quotient_filter.h"
 #include "quotient/rsqf.h"
 #include "quotient/vector_quotient_filter.h"
+#include "range/memento.h"
 #include "staticf/ribbon_filter.h"
 #include "staticf/xor_filter.h"
 
@@ -170,6 +171,17 @@ const FilterRegistrar kCountingQuotient(
 const FilterRegistrar kRsqf(
     "rsqf", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
       return std::make_unique<Rsqf>(Rsqf::ForCapacity(n, fpr));
+    },
+    /*in_factory=*/true, kSlottedNoErase);
+// The dynamic range filter (DESIGN.md §16). Its point surface is a full
+// Filter — online inserts on the RSQF substrate, expansion by doubling —
+// so it rides the registry, factory, and snapshot dispatcher like any
+// point family; the RangeFilter surface is reached through the same
+// object (LSM adoption in apps/lsm/run.cc).
+const FilterRegistrar kMemento(
+    "memento", [](uint64_t n, double fpr) -> std::unique_ptr<Filter> {
+      return std::make_unique<MementoFilter>(
+          MementoFilter::ForCapacity(n, fpr));
     },
     /*in_factory=*/true, kSlottedNoErase);
 const FilterRegistrar kVectorQuotient(

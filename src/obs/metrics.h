@@ -149,7 +149,9 @@ struct FilterMetrics : MetricsSink {
   PaddedCounter adapt_events;
 
   Log2Histogram kick_chain;    // Cuckoo displacement-chain lengths.
-  Log2Histogram probe_length;  // Quotient run-scan lengths.
+  Log2Histogram probe_length;  // Quotient run-scan lengths, including the
+                               // Memento filter's memento-list scans (one
+                               // event per probed prefix).
   Log2Histogram batch_size;    // ContainsMany/InsertMany batch sizes.
 
   LatencyReservoir lookup_latency;

@@ -4,39 +4,23 @@
 #include <cmath>
 #include <cstdio>
 
+#include "core/metrics_sink.h"
 #include "util/bits.h"
 #include "util/hash.h"
 #include "util/serialize.h"
 
 namespace bbf {
 
-Rsqf::Rsqf(int q_bits, int r_bits, uint64_t hash_seed)
-    : q_bits_(q_bits),
-      r_bits_(r_bits),
-      hash_seed_(hash_seed),
+RsqfTable::RsqfTable(int q_bits, int value_bits)
+    : value_bits_(value_bits),
       num_quotients_(uint64_t{1} << q_bits),
       total_slots_((uint64_t{1} << q_bits) + 2 * kBlockSlots),
       occupieds_(total_slots_),
       runends_(total_slots_),
-      remainders_(total_slots_, r_bits),
+      values_(total_slots_, value_bits),
       offsets_(total_slots_ / kBlockSlots + 1, 0) {}
 
-Rsqf Rsqf::ForCapacity(uint64_t n, double fpr) {
-  const uint64_t slots =
-      NextPow2(static_cast<uint64_t>(std::ceil(n / kMaxLoadFactor)));
-  const int q = std::max(6, BitWidth(slots - 1));
-  const double needed = -std::log2(fpr / kMaxLoadFactor);
-  const int r = std::max(1, static_cast<int>(std::ceil(needed)));
-  return Rsqf(q, r);
-}
-
-void Rsqf::Fingerprint(HashedKey key, uint64_t* fq, uint64_t* fr) const {
-  const uint64_t h = key.Derive(hash_seed_);
-  *fq = (h >> r_bits_) & (num_quotients_ - 1);
-  *fr = h & LowMask(r_bits_);
-}
-
-uint64_t Rsqf::SelectRunendAfter(uint64_t from, uint64_t k) const {
+uint64_t RsqfTable::SelectRunendAfter(uint64_t from, uint64_t k) const {
   // Position of the k-th (1-indexed) runend bit at position >= from.
   uint64_t w = from / 64;
   const uint64_t num_words = runends_.NumWords();
@@ -55,7 +39,7 @@ uint64_t Rsqf::SelectRunendAfter(uint64_t from, uint64_t k) const {
   return kNone;
 }
 
-uint64_t Rsqf::RunEndUpTo(uint64_t q) const {
+uint64_t RsqfTable::RunEndUpTo(uint64_t q) const {
   const uint64_t b = q / kBlockSlots;
   const int i = static_cast<int>(q % kBlockSlots);
   const uint64_t occ_word = occupieds_.Word(b);
@@ -70,32 +54,54 @@ uint64_t Rsqf::RunEndUpTo(uint64_t q) const {
   return SelectRunendAfter(b * kBlockSlots + offset, d);
 }
 
-uint64_t Rsqf::RunEndOf(uint64_t q) const { return RunEndUpTo(q); }
+uint64_t RsqfTable::RunStart(uint64_t q) const {
+  // A run starts right after the previous occupied quotient's runend, but
+  // never before its own quotient slot.
+  if (q == 0) return 0;
+  const uint64_t prev = RunEndUpTo(q - 1);
+  return (prev == kNone || prev < q) ? q : prev + 1;
+}
 
-bool Rsqf::Contains(HashedKey key) const {
-  uint64_t fq;
-  uint64_t fr;
-  Fingerprint(key, &fq, &fr);
-  if (!occupieds_.Get(fq)) return false;
-  uint64_t pos = RunEndOf(fq);
+bool RsqfTable::ContainsValue(uint64_t q, uint64_t value,
+                              uint64_t* probed) const {
+  if (!occupieds_.Get(q)) {
+    if (probed != nullptr) *probed = 0;
+    return false;
+  }
+  uint64_t pos = RunEndUpTo(q);
+  uint64_t scanned = 0;
+  bool hit = false;
   while (true) {
-    if (remainders_.Get(pos) == fr) return true;
-    if (pos <= fq) break;  // A run never starts before its quotient.
+    ++scanned;
+    if (values_.Get(pos) == value) {
+      hit = true;
+      break;
+    }
+    if (pos <= q) break;  // A run never starts before its quotient.
     --pos;
     if (runends_.Get(pos)) break;  // Crossed into the previous run.
   }
-  return false;
+  if (probed != nullptr) *probed = scanned;
+  return hit;
 }
 
-bool Rsqf::Insert(HashedKey key) {
-  if (LoadFactor() >= kMaxLoadFactor) return false;
-  uint64_t fq;
-  uint64_t fr;
-  Fingerprint(key, &fq, &fr);
-  const bool was_occupied = occupieds_.Get(fq);
+bool RsqfTable::InsertValue(uint64_t q, uint64_t value, bool sorted) {
+  const bool was_occupied = occupieds_.Get(q);
 
-  const uint64_t e = RunEndUpTo(fq);
-  uint64_t p = (e == kNone || e < fq) ? fq : e + 1;
+  const uint64_t e = RunEndUpTo(q);
+  uint64_t p = (e == kNone || e < q) ? q : e + 1;
+  bool mid_run = false;
+  if (sorted && was_occupied) {
+    // Splice position: the first run slot holding a larger value (equal
+    // values append after it, so duplicate inserts stay adjacent).
+    for (uint64_t pos = RunStart(q); pos <= e; ++pos) {
+      if (values_.Get(pos) > value) {
+        p = pos;
+        mid_run = true;
+        break;
+      }
+    }
+  }
   // First unused slot at or after p, jumping run by run.
   uint64_t u = p;
   while (true) {
@@ -104,31 +110,35 @@ bool Rsqf::Insert(HashedKey key) {
     u = ru + 1;
     if (u + 1 >= total_slots_) return false;  // Slack exhausted.
   }
-  // Shift remainders and runend bits in [p, u) one slot right.
+  // Shift values and runend bits in [p, u) one slot right.
   for (uint64_t j = u; j > p; --j) {
-    remainders_.Set(j, remainders_.Get(j - 1));
+    values_.Set(j, values_.Get(j - 1));
     runends_.Assign(j, runends_.Get(j - 1));
   }
-  remainders_.Set(p, fr);
-  if (was_occupied) {
+  values_.Set(p, value);
+  if (!was_occupied) {
+    occupieds_.Set(q);
+    runends_.Set(p);
+  } else if (!mid_run) {
     // Append to the existing run: its old end (p - 1) is an end no more.
     runends_.Clear(p - 1);
     runends_.Set(p);
   } else {
-    occupieds_.Set(fq);
-    runends_.Set(p);
+    // Mid-run splice: the shift carried the run's end bit (at e) to e+1
+    // on its own. The spliced slot is interior — clear the stale copy the
+    // shift left behind when p was the run end itself.
+    runends_.Clear(p);
   }
-  // Offsets of block boundaries in (fq, u+1] may have changed: the
+  // Offsets of block boundaries in (q, u+1] may have changed: the
   // inserted/extended run can spill across them and the shift moved every
-  // runend in [p, u) one right. Boundaries at or before fq are provably
+  // runend in [p, u) one right. Boundaries at or before q are provably
   // untouched (their controlling runend precedes p), so the recurrence
-  // can rebuild the window from the block containing fq.
-  RecomputeOffsets(fq / kBlockSlots + 1, (u + 1) / kBlockSlots);
-  ++num_keys_;
+  // can rebuild the window from the block containing q.
+  RecomputeOffsets(q / kBlockSlots + 1, (u + 1) / kBlockSlots);
   return true;
 }
 
-void Rsqf::RecomputeOffsets(uint64_t first_block, uint64_t last_block) {
+void RsqfTable::RecomputeOffsets(uint64_t first_block, uint64_t last_block) {
   last_block = std::min<uint64_t>(last_block, offsets_.size() - 1);
   for (uint64_t b = std::max<uint64_t>(first_block, 1); b <= last_block;
        ++b) {
@@ -152,13 +162,7 @@ void Rsqf::RecomputeOffsets(uint64_t first_block, uint64_t last_block) {
   }
 }
 
-size_t Rsqf::SpaceBits() const {
-  // 2 metadata bits + r remainder bits per slot, plus 16/64 bits of
-  // offset per block: the "2.125-ish" accounting of the paper.
-  return total_slots_ * (2 + r_bits_) + offsets_.size() * 16;
-}
-
-bool Rsqf::CheckInvariants() const {
+bool RsqfTable::CheckInvariants() const {
   // The occupieds/runends bijection: equal cardinality, and the i-th
   // runend must sit at or after the i-th occupied quotient.
   if (occupieds_.CountOnes() != runends_.CountOnes()) {
@@ -184,10 +188,95 @@ bool Rsqf::CheckInvariants() const {
   (void)runend_pos;
   // Offsets must match a from-scratch recomputation.
   std::vector<uint16_t> saved = offsets_;
-  const_cast<Rsqf*>(this)->RecomputeOffsets(1, offsets_.size() - 1);
+  const_cast<RsqfTable*>(this)->RecomputeOffsets(1, offsets_.size() - 1);
   const bool match = saved == offsets_;
   if (!match) std::fprintf(stderr, "rsqf: stale offsets\n");
   return match;
+}
+
+bool RsqfTable::SaveBody(std::ostream& os) const {
+  occupieds_.Save(os);
+  runends_.Save(os);
+  values_.Save(os);
+  for (uint16_t o : offsets_) WriteU64(os, o);
+  return os.good();
+}
+
+bool RsqfTable::LoadBody(std::istream& is, int q_bits, int value_bits,
+                         RsqfTable* out) {
+  if (q_bits < 1 || q_bits > 38 || value_bits < 1 || value_bits > 64) {
+    return false;
+  }
+  const uint64_t num_quotients = uint64_t{1} << q_bits;
+  const uint64_t total_slots = num_quotients + 2 * kBlockSlots;
+  BitVector occupieds;
+  BitVector runends;
+  CompactVector values;
+  if (!occupieds.Load(is) || occupieds.size() != total_slots ||
+      !runends.Load(is) || runends.size() != total_slots ||
+      !values.Load(is) || values.size() != total_slots ||
+      values.width() != value_bits) {
+    return false;
+  }
+  std::vector<uint16_t> offsets(total_slots / kBlockSlots + 1);
+  for (size_t b = 0; b < offsets.size(); ++b) {
+    uint64_t v;
+    if (!ReadU64Capped(is, &v, 0xFFFF)) return false;
+    // An offset names the absolute slot b*64 + v - 1; a hostile value
+    // pointing past the table would turn later lookups into OOB reads.
+    if (v != 0 && b * kBlockSlots + v - 1 >= total_slots) return false;
+    offsets[b] = static_cast<uint16_t>(v);
+  }
+  out->value_bits_ = value_bits;
+  out->num_quotients_ = num_quotients;
+  out->total_slots_ = total_slots;
+  out->occupieds_ = std::move(occupieds);
+  out->runends_ = std::move(runends);
+  out->values_ = std::move(values);
+  out->offsets_ = std::move(offsets);
+  return true;
+}
+
+Rsqf::Rsqf(int q_bits, int r_bits, uint64_t hash_seed)
+    : q_bits_(q_bits),
+      r_bits_(r_bits),
+      hash_seed_(hash_seed),
+      num_quotients_(uint64_t{1} << q_bits),
+      table_(q_bits, r_bits) {}
+
+Rsqf Rsqf::ForCapacity(uint64_t n, double fpr) {
+  const uint64_t slots =
+      NextPow2(static_cast<uint64_t>(std::ceil(n / kMaxLoadFactor)));
+  const int q = std::max(6, BitWidth(slots - 1));
+  const double needed = -std::log2(fpr / kMaxLoadFactor);
+  const int r = std::max(1, static_cast<int>(std::ceil(needed)));
+  return Rsqf(q, r);
+}
+
+void Rsqf::Fingerprint(HashedKey key, uint64_t* fq, uint64_t* fr) const {
+  const uint64_t h = key.Derive(hash_seed_);
+  *fq = (h >> r_bits_) & (num_quotients_ - 1);
+  *fr = h & LowMask(r_bits_);
+}
+
+bool Rsqf::Contains(HashedKey key) const {
+  uint64_t fq;
+  uint64_t fr;
+  Fingerprint(key, &fq, &fr);
+  uint64_t probed;
+  const bool hit = table_.ContainsValue(fq, fr, &probed);
+  if (sink_ != nullptr) sink_->OnProbeLength(probed);
+  return hit;
+}
+
+bool Rsqf::Insert(HashedKey key) {
+  if (LoadFactor() >= kMaxLoadFactor) return false;
+  uint64_t fq;
+  uint64_t fr;
+  Fingerprint(key, &fq, &fr);
+  if (!table_.InsertValue(fq, fr, /*sorted=*/false)) return false;
+  ++num_keys_;
+  return true;
 }
 
 bool Rsqf::SavePayload(std::ostream& os) const {
@@ -195,11 +284,7 @@ bool Rsqf::SavePayload(std::ostream& os) const {
   WriteI32(os, r_bits_);
   WriteU64(os, hash_seed_);
   WriteU64(os, num_keys_);
-  occupieds_.Save(os);
-  runends_.Save(os);
-  remainders_.Save(os);
-  for (uint16_t o : offsets_) WriteU64(os, o);
-  return os.good();
+  return table_.SaveBody(os);
 }
 
 bool Rsqf::LoadPayload(std::istream& is) {
@@ -211,33 +296,14 @@ bool Rsqf::LoadPayload(std::istream& is) {
       r > 64 || !ReadU64(is, &seed) || !ReadU64(is, &n)) {
     return false;
   }
-  const uint64_t num_quotients = uint64_t{1} << q;
-  const uint64_t total_slots = num_quotients + 2 * kBlockSlots;
-  BitVector occupieds;
-  BitVector runends;
-  CompactVector remainders;
-  if (!occupieds.Load(is) || occupieds.size() != total_slots ||
-      !runends.Load(is) || runends.size() != total_slots ||
-      !remainders.Load(is) || remainders.size() != total_slots ||
-      remainders.width() != r) {
-    return false;
-  }
-  std::vector<uint16_t> offsets(total_slots / kBlockSlots + 1);
-  for (uint16_t& o : offsets) {
-    uint64_t v;
-    if (!ReadU64Capped(is, &v, 0xFFFF)) return false;
-    o = static_cast<uint16_t>(v);
-  }
+  RsqfTable table(1, 1);
+  if (!RsqfTable::LoadBody(is, q, r, &table)) return false;
   q_bits_ = q;
   r_bits_ = r;
   hash_seed_ = seed;
   num_keys_ = n;
-  num_quotients_ = num_quotients;
-  total_slots_ = total_slots;
-  occupieds_ = std::move(occupieds);
-  runends_ = std::move(runends);
-  remainders_ = std::move(remainders);
-  offsets_ = std::move(offsets);
+  num_quotients_ = uint64_t{1} << q;
+  table_ = std::move(table);
   return true;
 }
 

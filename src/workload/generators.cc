@@ -65,6 +65,34 @@ std::vector<std::pair<uint64_t, uint64_t>> GenerateRangeQueries(
   return queries;
 }
 
+std::vector<RangeOp> GenerateInterleavedRangeOps(
+    const std::vector<uint64_t>& keys, double queries_per_insert,
+    double point_frac, uint64_t range_len, uint64_t domain,
+    uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<RangeOp> ops;
+  ops.reserve(static_cast<size_t>(keys.size() * (1.0 + queries_per_insert)) +
+              1);
+  double budget = 0.0;
+  for (uint64_t key : keys) {
+    ops.push_back({RangeOp::Kind::kInsert, key, key});
+    budget += queries_per_insert;
+    for (; budget >= 1.0; budget -= 1.0) {
+      const uint64_t lo = rng.NextBelow(domain);
+      // Scale the point/range coin to 2^32 to keep it integer-exact.
+      if (rng.NextBelow(uint64_t{1} << 32) <
+          static_cast<uint64_t>(point_frac * 4294967296.0)) {
+        ops.push_back({RangeOp::Kind::kPointQuery, lo, lo});
+      } else {
+        uint64_t hi = lo + range_len - 1;
+        if (hi < lo) hi = ~uint64_t{0};  // Clamp on overflow.
+        ops.push_back({RangeOp::Kind::kRangeQuery, lo, hi});
+      }
+    }
+  }
+  return ops;
+}
+
 std::vector<uint64_t> GenerateAdversarialRepeatQueries(
     const std::vector<uint64_t>& inserted, uint64_t hot_count, double hot_frac,
     uint64_t stream_len, uint64_t seed) {

@@ -31,6 +31,27 @@ std::vector<std::pair<uint64_t, uint64_t>> GenerateRangeQueries(
     const std::vector<uint64_t>& keys, uint64_t num_queries, uint64_t range_len,
     bool correlated, uint64_t domain, uint64_t seed = 45);
 
+/// One operation in an interleaved insert/point/range schedule — the
+/// dynamic-range-filter workload (DESIGN.md §16) where inserts arrive
+/// online while point and range queries stream between them, so static
+/// families must rebuild mid-stream and a dynamic family must not lose a
+/// key.
+struct RangeOp {
+  enum class Kind { kInsert, kPointQuery, kRangeQuery };
+  Kind kind;
+  uint64_t lo;  // The key for kInsert/kPointQuery; range start otherwise.
+  uint64_t hi;  // Inclusive range end; == lo for the other kinds.
+};
+
+/// An interleaved schedule over `keys`: every key is inserted exactly once
+/// in order, and between inserts ~`queries_per_insert` queries are woven
+/// in — a `point_frac` fraction are point lookups, the rest ranges of
+/// length `range_len` with uniform starts over `domain`.
+std::vector<RangeOp> GenerateInterleavedRangeOps(
+    const std::vector<uint64_t>& keys, double queries_per_insert,
+    double point_frac, uint64_t range_len, uint64_t domain,
+    uint64_t seed = 50);
+
 /// Adversarial-repeat query stream (§2.3): an attacker who discovers
 /// false positives replays them. The stream mixes `hot_frac` queries
 /// drawn from a small pool of `hot_count` fixed negative keys (disjoint

@@ -64,8 +64,9 @@ TEST(ContractCoverage, FactoryNamesMatchExpectedList) {
       "adaptive-cuckoo", "adaptive-quotient", "blocked-bloom",     "bloom",
       "chained-quotient", "counting-bloom",   "counting-quotient", "cuckoo",
       "dleft",            "dleft-counting",   "expanding-quotient",
-      "prefix",           "quotient",         "ring",              "rsqf",
-      "scalable-bloom",   "taffy",            "vector-quotient",
+      "memento",          "prefix",           "quotient",          "ring",
+      "rsqf",             "scalable-bloom",   "taffy",
+      "vector-quotient",
   };
   const std::vector<std::string_view> actual = FactoryFilterNames();
   EXPECT_EQ(actual, expected)

@@ -12,11 +12,13 @@
 
 #include <gtest/gtest.h>
 
+#include "apps/lsm/run.h"
 #include "core/factory.h"
 #include "core/filter_io.h"
 #include "core/key.h"
 #include "core/sharded_filter.h"
 #include "fault_injection.h"
+#include "range/memento.h"
 #include "staticf/ribbon_filter.h"
 #include "staticf/xor_filter.h"
 #include "util/hash.h"
@@ -119,6 +121,54 @@ TEST(FaultInjection, StaticFamiliesRejectCorruptSnapshots) {
         << accepted.size() << " corruptions accepted, first: "
         << (accepted.empty() ? "" : accepted.front());
   }
+}
+
+// The Memento frame rides two loader paths: Filter::Load on a live
+// instance (already in the every-family barrage above via the registry)
+// and the LSM's range-filter resurrection, which instantiates from the
+// frame tag alone. Both must reject every corruption of a real snapshot —
+// bit flips, truncations at each frame boundary, torn writes, hostile
+// length fields — and a rejected load must leave a live filter's range
+// answers intact.
+TEST(FaultInjection, MementoRangeLoaderRejectsCorruptSnapshots) {
+  SplitMix64 rng(0xDEF);
+  std::vector<uint64_t> keys(2000);
+  for (uint64_t& k : keys) k = rng.Next();
+  MementoFilter f = MementoFilter::ForCapacity(keys.size(), 0.01);
+  for (uint64_t k : keys) ASSERT_TRUE(f.AddKey(k));
+  std::ostringstream ss;
+  ASSERT_TRUE(f.Save(ss));
+  const std::string blob = std::move(ss).str();
+
+  const auto corruptions = fault::AllCorruptions(blob, 0x5EED);
+  const auto accepted_direct = fault::ReplayExpectingRejection(
+      corruptions, [&f](const std::string& b) {
+        std::istringstream is(b);
+        return f.Load(is);
+      });
+  EXPECT_TRUE(accepted_direct.empty())
+      << accepted_direct.size() << " corruptions accepted by Load, first: "
+      << (accepted_direct.empty() ? "" : accepted_direct.front());
+
+  const auto accepted_lsm = fault::ReplayExpectingRejection(
+      corruptions, [](const std::string& b) {
+        std::istringstream is(b);
+        return lsm::LoadRangeFilterSnapshot(is) != nullptr;
+      });
+  EXPECT_TRUE(accepted_lsm.empty())
+      << accepted_lsm.size()
+      << " corruptions accepted by the LSM range loader, first: "
+      << (accepted_lsm.empty() ? "" : accepted_lsm.front());
+
+  // The barrage of rejected loads must not have disturbed the original.
+  EXPECT_EQ(f.NumKeys(), keys.size());
+  for (uint64_t k : keys) ASSERT_TRUE(f.MayContainRange(k, k)) << k;
+
+  // Sanity: the clean blob still loads through the LSM path.
+  std::istringstream is(blob);
+  auto reloaded = lsm::LoadRangeFilterSnapshot(is);
+  ASSERT_NE(reloaded, nullptr);
+  for (uint64_t k : keys) ASSERT_TRUE(reloaded->MayContainRange(k, k)) << k;
 }
 
 TEST(FaultInjection, GarbageAndEmptyStreamsAreRejected) {

@@ -466,11 +466,12 @@ TEST_P(LsmRangeRecovery, RangeFiltersRecoverOrRebuildAndScansStayCorrect) {
     ASSERT_NE(db, nullptr);
     keys = Populate(db.get(), 1500, seed);
   }
-  // Prefix-bloom snapshots persist: corrupt them to force quarantine.
-  // Every other family has no snapshot payload — recovery must come up
-  // filterless and rebuild at the next flush either way.
+  // Prefix-bloom and memento snapshots persist: corrupt them to force
+  // quarantine. Every other family has no snapshot payload — recovery
+  // must come up filterless and rebuild at the next flush either way.
   const auto rf_files = FilesMatching(o.dir, ".rf");
-  if (GetParam() == RangeFilterKind::kPrefixBloom) {
+  if (GetParam() == RangeFilterKind::kPrefixBloom ||
+      GetParam() == RangeFilterKind::kMemento) {
     ASSERT_FALSE(rf_files.empty());
     for (size_t i = 0; i < rf_files.size(); ++i) {
       CorruptFile(rf_files[i], seed + i);
@@ -506,7 +507,7 @@ INSTANTIATE_TEST_SUITE_P(
     Kinds, LsmRangeRecovery,
     ::testing::Values(RangeFilterKind::kPrefixBloom, RangeFilterKind::kSurf,
                       RangeFilterKind::kRosetta, RangeFilterKind::kSnarf,
-                      RangeFilterKind::kGrafite),
+                      RangeFilterKind::kGrafite, RangeFilterKind::kMemento),
     [](const ::testing::TestParamInfo<RangeFilterKind>& info) {
       switch (info.param) {
         case RangeFilterKind::kNone: return "None";
@@ -515,6 +516,7 @@ INSTANTIATE_TEST_SUITE_P(
         case RangeFilterKind::kRosetta: return "Rosetta";
         case RangeFilterKind::kSnarf: return "Snarf";
         case RangeFilterKind::kGrafite: return "Grafite";
+        case RangeFilterKind::kMemento: return "Memento";
       }
       return "Unknown";
     });

@@ -282,7 +282,8 @@ INSTANTIATE_TEST_SUITE_P(
     Kinds, LsmRangeKinds,
     ::testing::Values(RangeFilterKind::kNone, RangeFilterKind::kPrefixBloom,
                       RangeFilterKind::kSurf, RangeFilterKind::kRosetta,
-                      RangeFilterKind::kSnarf, RangeFilterKind::kGrafite),
+                      RangeFilterKind::kSnarf, RangeFilterKind::kGrafite,
+                      RangeFilterKind::kMemento),
     [](const ::testing::TestParamInfo<RangeFilterKind>& info) {
       switch (info.param) {
         case RangeFilterKind::kNone: return "None";
@@ -291,6 +292,7 @@ INSTANTIATE_TEST_SUITE_P(
         case RangeFilterKind::kRosetta: return "Rosetta";
         case RangeFilterKind::kSnarf: return "Snarf";
         case RangeFilterKind::kGrafite: return "Grafite";
+        case RangeFilterKind::kMemento: return "Memento";
       }
       return "Unknown";
     });

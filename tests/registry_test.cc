@@ -142,6 +142,7 @@ TEST(RegistryCaps, DeclaredCapsTableIsPinned) {
       {"cuckoo", true, false, BuildCostClass::kModerate},
       {"dleft-counting", true, false, BuildCostClass::kModerate},
       {"expanding-quotient", true, false, BuildCostClass::kModerate},
+      {"memento", false, false, BuildCostClass::kModerate},
       {"prefix", false, false, BuildCostClass::kModerate},
       {"quotient", true, false, BuildCostClass::kModerate},
       {"ribbon", false, false, BuildCostClass::kExpensive},

@@ -14,7 +14,9 @@
 #include "core/factory.h"
 #include "core/filter_io.h"
 #include "maplet/maplet.h"
+#include "range/memento.h"
 #include "range/prefix_bloom_range.h"
+#include "range/range_filter.h"
 #include "staticf/ribbon_filter.h"
 #include "staticf/xor_filter.h"
 #include "util/random.h"
@@ -145,6 +147,50 @@ TEST(SnapshotRoundtrip, RangeFilterRoundTrips) {
     ASSERT_EQ(f.MayContainRange(lo, hi), g.MayContainRange(lo, hi));
   }
   for (uint64_t k : keys) ASSERT_TRUE(g.MayContain(k));
+}
+
+TEST(SnapshotRoundtrip, MementoRangeAnswersSurviveReload) {
+  SplitMix64 rng(0x55);
+  std::vector<uint64_t> keys(2000);
+  for (uint64_t& k : keys) k = rng.Next();
+  MementoFilter f = MementoFilter::ForCapacity(keys.size(), 0.01);
+  for (uint64_t k : keys) ASSERT_TRUE(f.AddKey(k));
+
+  // Direct reload into a differently-shaped instance.
+  std::ostringstream ss;
+  ASSERT_TRUE(f.Save(ss));
+  const std::string blob = std::move(ss).str();
+  MementoFilter g(/*q_bits=*/6, /*r_bits=*/4);
+  {
+    std::istringstream is(blob);
+    ASSERT_TRUE(g.Load(is));
+  }
+  EXPECT_EQ(g.NumKeys(), f.NumKeys());
+  EXPECT_EQ(g.SpaceBits(), f.SpaceBits());
+
+  // The factory path must also resurrect it, and the resurrected Filter
+  // must still expose the range surface through the RangeFilter base.
+  std::istringstream is(blob);
+  std::unique_ptr<Filter> h = LoadFilterSnapshot(is);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Name(), "memento");
+  auto* h_range = dynamic_cast<RangeFilter*>(h.get());
+  ASSERT_NE(h_range, nullptr);
+
+  // Exact range-answer parity — positives and negatives — across both
+  // reload paths, short windows and multi-prefix spans alike.
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(g.MayContainRange(k, k)) << k;
+    ASSERT_TRUE(h_range->MayContainRange(k, k)) << k;
+  }
+  for (int i = 0; i < 4000; ++i) {
+    const uint64_t lo = rng.Next();
+    const uint64_t span = rng.NextBelow(uint64_t{1} << 12);
+    const uint64_t hi = lo + span < lo ? ~uint64_t{0} : lo + span;
+    const bool want = f.MayContainRange(lo, hi);
+    ASSERT_EQ(want, g.MayContainRange(lo, hi)) << lo << ".." << hi;
+    ASSERT_EQ(want, h_range->MayContainRange(lo, hi)) << lo << ".." << hi;
+  }
 }
 
 TEST(SnapshotRoundtrip, MapletsRoundTrip) {
